@@ -1,0 +1,89 @@
+#ifndef EQ_BENCH_BENCH_COMMON_H_
+#define EQ_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace eq::bench {
+
+/// Command-line knobs shared by the figure benches.
+///
+///   --full        paper-scale sweeps (up to 100k queries; slower)
+///   --runs=N      repetitions per point (default 3, as in §5.2)
+///   --users=N     social-graph size (default 82168 = Slashdot scale)
+///   --seed=N      RNG seed
+struct BenchFlags {
+  bool full = false;
+  int runs = 3;
+  uint32_t users = 82168;
+  uint32_t airports = 102;
+  uint64_t seed = 42;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--full") == 0) {
+        f.full = true;
+      } else if (std::strncmp(a, "--runs=", 7) == 0) {
+        f.runs = std::atoi(a + 7);
+      } else if (std::strncmp(a, "--users=", 8) == 0) {
+        f.users = static_cast<uint32_t>(std::atoll(a + 8));
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        f.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", a);
+      }
+    }
+    if (f.runs < 1) f.runs = 1;
+    return f;
+  }
+};
+
+/// Mean and standard deviation over repeated timed runs. The paper reports
+/// 3-run averages with < 2% standard deviation (§5.2).
+struct RunStats {
+  double mean_ms = 0;
+  double stddev_ms = 0;
+};
+
+/// Times `fn` `runs` times (fn must be self-contained per run).
+inline RunStats Repeat(int runs, const std::function<double()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (int i = 0; i < runs; ++i) samples.push_back(fn());
+  RunStats out;
+  for (double s : samples) out.mean_ms += s;
+  out.mean_ms /= samples.size();
+  for (double s : samples) {
+    out.stddev_ms += (s - out.mean_ms) * (s - out.mean_ms);
+  }
+  out.stddev_ms = std::sqrt(out.stddev_ms / samples.size());
+  return out;
+}
+
+/// Query-count sweep used by the scalability figures: 5 → 100k in the
+/// paper; the default run stops at 20k to keep `make bench` snappy.
+inline std::vector<size_t> QuerySweep(bool full) {
+  std::vector<size_t> sweep = {5, 100, 1000, 5000, 10000, 20000};
+  if (full) {
+    sweep.push_back(50000);
+    sweep.push_back(100000);
+  }
+  return sweep;
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n%s\n", title);
+  std::printf("%s\n", columns);
+}
+
+}  // namespace eq::bench
+
+#endif  // EQ_BENCH_BENCH_COMMON_H_

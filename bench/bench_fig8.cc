@@ -1,0 +1,143 @@
+// Reproduces Figure 8: "Scalability when queries do not match".
+//
+// Four workloads stress the matcher (§5.3.4):
+//  1. no-coordination / no-unification — postconditions never unify with
+//     any head; the unifiability graph stays edge-free. Expected:
+//     near-linear (index lookups only).
+//  2. "usual partitions" — friendship-chain queries that unify heavily but
+//     never complete a coordination; social clustering bounds partition
+//     sizes. Expected: near-linear.
+//  3. massive cluster, incremental — one huge partition over the largest
+//     community; every arrival re-propagates unifiers through the cluster.
+//     Expected: super-linear growth ("significant increase in the overall
+//     running time").
+//  4. massive cluster, set-at-a-time — same queries, matched in one batch
+//     pass at the end. Expected: much cheaper than incremental ("for
+//     extremely huge coordinating groups, evaluating the queries
+//     set-at-a-time is definitely a better approach").
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "engine/engine.h"
+#include "util/rng.h"
+#include "workload/flight_workload.h"
+#include "workload/social_graph.h"
+
+namespace eq::bench {
+namespace {
+
+using workload::FlightWorkload;
+using workload::SocialGraph;
+
+enum class Kind {
+  kNoUnification,
+  kUsualPartitions,
+  kMassiveIncremental,
+  kMassiveSetAtATime,
+};
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kNoUnification:
+      return "no-unification";
+    case Kind::kUsualPartitions:
+      return "usual-partitions";
+    case Kind::kMassiveIncremental:
+      return "massive-incremental";
+    case Kind::kMassiveSetAtATime:
+      return "massive-set-at-a-time";
+  }
+  return "?";
+}
+
+double RunOnce(const SocialGraph& graph, Kind kind, size_t n, uint64_t seed) {
+  ir::QueryContext ctx;
+  FlightWorkload wl(&graph, &ctx);
+  db::Database db(&ctx.interner());
+  if (!wl.PopulateDatabase(&db).ok()) return 0;
+
+  Rng rng(seed);
+  std::vector<ir::EntangledQuery> queries;
+  engine::EvalMode mode = engine::EvalMode::kIncremental;
+  switch (kind) {
+    case Kind::kNoUnification:
+      queries = wl.NoUnification(n, &rng);
+      break;
+    case Kind::kUsualPartitions:
+      queries = wl.Chains(n, /*chain_len=*/10, &rng);
+      break;
+    case Kind::kMassiveIncremental:
+      queries = wl.MassiveCluster(n, &rng);
+      break;
+    case Kind::kMassiveSetAtATime:
+      queries = wl.MassiveCluster(n, &rng);
+      mode = engine::EvalMode::kSetAtATime;
+      break;
+  }
+
+  engine::CoordinationEngine engine(&ctx, &db, {.mode = mode});
+  Stopwatch sw;
+  for (auto& q : queries) {
+    auto r = engine.Submit(std::move(q));
+    (void)r;
+  }
+  engine.Flush().ok();
+  return sw.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace eq::bench
+
+int main(int argc, char** argv) {
+  using namespace eq::bench;
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+
+  eq::workload::SocialGraphOptions gopts;
+  gopts.num_users = flags.users;
+  gopts.num_airports = flags.airports;
+  gopts.seed = flags.seed;
+  eq::workload::SocialGraph graph = eq::workload::SocialGraph::Generate(gopts);
+
+  std::printf("# Figure 8: stress-testing the query matching\n");
+  std::printf("# graph: %u users, %zu edges; runs=%d\n", graph.num_users(),
+              graph.num_edges(), flags.runs);
+
+  PrintHeader("figure8",
+              "workload                queries   total_ms  stddev_ms  "
+              "ms_per_1k_queries");
+
+  // Near-linear workloads: the full query sweep.
+  for (Kind kind : {Kind::kNoUnification, Kind::kUsualPartitions}) {
+    for (size_t n : QuerySweep(flags.full)) {
+      RunStats stats = Repeat(flags.runs, [&] {
+        return RunOnce(graph, kind, n, flags.seed + n);
+      });
+      std::printf("%-23s %8zu %10.2f %10.2f %18.2f\n", KindName(kind), n,
+                  stats.mean_ms, stats.stddev_ms,
+                  stats.mean_ms * 1000.0 / static_cast<double>(n));
+    }
+  }
+  // The massive cluster grows super-linearly in incremental mode; sweep a
+  // smaller range so the default run stays snappy.
+  std::vector<size_t> cluster_sweep = {1000, 2000, 4000};
+  if (flags.full) {
+    cluster_sweep.push_back(8000);
+    cluster_sweep.push_back(16000);
+  }
+  for (Kind kind : {Kind::kMassiveIncremental, Kind::kMassiveSetAtATime}) {
+    for (size_t n : cluster_sweep) {
+      RunStats stats = Repeat(flags.runs, [&] {
+        return RunOnce(graph, kind, n, flags.seed + n);
+      });
+      std::printf("%-23s %8zu %10.2f %10.2f %18.2f\n", KindName(kind), n,
+                  stats.mean_ms, stats.stddev_ms,
+                  stats.mean_ms * 1000.0 / static_cast<double>(n));
+    }
+  }
+  std::printf(
+      "\n# expected shape: no-unification and usual-partitions near-linear\n"
+      "# (flat ms_per_1k); massive-incremental super-linear (rising\n"
+      "# ms_per_1k); massive-set-at-a-time well below massive-incremental.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Figure 9: "Evaluation time for safety check".
+//
+// The paper loads the system with 20,000 queries that are unable to
+// coordinate, then adds sets of 5 … 100,000 queries that fail the safety
+// check with respect to the resident queries, and measures the time of the
+// safety check. Expected shape: near-linear in the size of the added set,
+// with low per-query overhead ("the safety check does not add significant
+// overhead to the system").
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/safety.h"
+#include "util/rng.h"
+#include "workload/flight_workload.h"
+#include "workload/social_graph.h"
+
+namespace eq::bench {
+namespace {
+
+using core::SafetyChecker;
+using workload::FlightWorkload;
+using workload::SocialGraph;
+
+struct Fig9Row {
+  double ms = 0;
+  size_t rejected = 0;
+  uint64_t unification_attempts = 0;
+};
+
+Fig9Row RunOnce(const SocialGraph& graph, size_t resident, size_t added,
+                uint64_t seed) {
+  ir::QueryContext ctx;
+  FlightWorkload wl(&graph, &ctx);
+  Rng rng(seed);
+
+  ir::QuerySet qs;
+  qs.queries = wl.NoUnification(resident, &rng);
+  auto unsafe = wl.UnsafeSet(added, &rng);
+  for (auto& q : unsafe) qs.queries.push_back(std::move(q));
+  qs.AssignIds();
+
+  SafetyChecker checker(&qs);
+  // Load the resident set (untimed — it is the standing system state).
+  for (ir::QueryId q = 0; q < resident; ++q) {
+    if (!checker.Admit(q).ok()) {
+      std::fprintf(stderr, "resident query %u unexpectedly unsafe\n", q);
+    }
+  }
+  uint64_t attempts_before = checker.unification_attempts();
+
+  // Timed: the safety check over the added set.
+  Fig9Row row;
+  Stopwatch sw;
+  for (ir::QueryId q = static_cast<ir::QueryId>(resident);
+       q < qs.queries.size(); ++q) {
+    if (!checker.Admit(q).ok()) ++row.rejected;
+  }
+  row.ms = sw.ElapsedMillis();
+  row.unification_attempts = checker.unification_attempts() - attempts_before;
+  return row;
+}
+
+}  // namespace
+}  // namespace eq::bench
+
+int main(int argc, char** argv) {
+  using namespace eq::bench;
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t kResident = 20000;  // paper: twenty thousand resident queries
+
+  eq::workload::SocialGraphOptions gopts;
+  gopts.num_users = flags.users;
+  gopts.num_airports = flags.airports;
+  gopts.seed = flags.seed;
+  eq::workload::SocialGraph graph = eq::workload::SocialGraph::Generate(gopts);
+
+  std::printf("# Figure 9: safety-check overhead\n");
+  std::printf("# %zu resident non-coordinating queries; runs=%d\n", kResident,
+              flags.runs);
+
+  PrintHeader("figure9",
+              "added_queries   check_ms  stddev_ms  us_per_query  rejected  "
+              "unify_attempts");
+  std::vector<size_t> sweep = {5, 100, 1000, 10000, 20000};
+  if (flags.full) {
+    sweep.push_back(50000);
+    sweep.push_back(100000);
+  }
+  for (size_t n : sweep) {
+    Fig9Row last;
+    RunStats stats = Repeat(flags.runs, [&] {
+      last = RunOnce(graph, kResident, n, flags.seed + n);
+      return last.ms;
+    });
+    std::printf("%13zu %10.2f %10.2f %13.2f %9zu %15llu\n", n, stats.mean_ms,
+                stats.stddev_ms, stats.mean_ms * 1000.0 / n, last.rejected,
+                static_cast<unsigned long long>(last.unification_attempts));
+  }
+  std::printf(
+      "\n# expected shape: near-linear check time (flat us_per_query);\n"
+      "# every added query rejected as unsafe.\n");
+  return 0;
+}

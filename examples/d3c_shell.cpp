@@ -1,0 +1,285 @@
+// d3c_shell — an interactive shell for the entangled-queries engine.
+//
+// The paper notes that "entangled queries can, in principle, be input by
+// hand" (§5.1); this tool makes that concrete. It reads ';'-terminated
+// statements from stdin (or a script file passed as argv[1]):
+//
+//   CREATE TABLE Flights (fno INT, dest STR);
+//   INSERT Flights (122, 'Paris');
+//   INDEX Flights dest;
+//   SELECT 'Kramer', fno INTO ANSWER R
+//     WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+//     AND ('Jerry', fno) IN ANSWER R CHOOSE 1;
+//   IR {R(Kramer, x)} R(Jerry, x) :- Flights(x, 'Paris');
+//   STATUS;            -- pending / answered / failed counters
+//   TTL 20;            -- staleness for subsequent queries (logical ticks)
+//   TICK 25;           -- advance the clock (expires stale queries)
+//   FLUSH;             -- set-at-a-time resolution of everything pending
+//   HELP; QUIT;
+//
+// Answers arrive asynchronously through the engine callback and are printed
+// as soon as a coordination partner appears.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "db/database.h"
+#include "engine/engine.h"
+#include "ir/parser.h"
+#include "sql/translator.h"
+
+namespace {
+
+using namespace eq;
+
+class Shell {
+ public:
+  Shell()
+      : db_(&ctx_.interner()),
+        engine_(&ctx_, &db_, {.mode = engine::EvalMode::kIncremental}) {
+    engine_.SetCallback(
+        [this](ir::QueryId id, const engine::QueryOutcome& outcome) {
+          if (outcome.state == engine::QueryOutcome::State::kAnswered) {
+            for (const auto& t : outcome.tuples) {
+              std::printf("[q%u] answered: %s\n", id,
+                          t.ToString(ctx_.interner()).c_str());
+            }
+          } else {
+            std::printf("[q%u] failed: %s\n", id,
+                        outcome.status.ToString().c_str());
+          }
+        });
+  }
+
+  /// Executes one ';'-terminated statement. Returns false on QUIT.
+  bool Execute(const std::string& stmt) {
+    std::string word = FirstWord(stmt);
+    if (word.empty()) return true;
+    if (word == "QUIT" || word == "EXIT") return false;
+    if (word == "HELP") {
+      Help();
+    } else if (word == "CREATE") {
+      Report(CreateTable(stmt));
+    } else if (word == "INSERT") {
+      Report(Insert(stmt));
+    } else if (word == "INDEX") {
+      Report(Index(stmt));
+    } else if (word == "SELECT") {
+      SubmitSql(stmt);
+    } else if (word == "IR") {
+      SubmitIr(stmt.substr(stmt.find("IR") + 2));
+    } else if (word == "FLUSH") {
+      engine_.Flush().ok();
+      std::printf("flushed; pending=%zu\n", engine_.pending_count());
+    } else if (word == "TICK") {
+      uint64_t t = 0;
+      std::sscanf(stmt.c_str(), "%*s %llu", (unsigned long long*)&t);
+      engine_.AdvanceTime(engine_.now() + t);
+      std::printf("clock=%llu pending=%zu\n",
+                  (unsigned long long)engine_.now(), engine_.pending_count());
+    } else if (word == "TTL") {
+      std::sscanf(stmt.c_str(), "%*s %llu", (unsigned long long*)&ttl_);
+      std::printf("ttl=%llu ticks for subsequent queries\n",
+                  (unsigned long long)ttl_);
+    } else if (word == "STATUS") {
+      const auto& m = engine_.metrics();
+      std::printf(
+          "pending=%zu answered=%llu failed=%llu expired=%llu "
+          "unsafe=%llu combined_queries=%llu\n",
+          engine_.pending_count(), (unsigned long long)m.answered,
+          (unsigned long long)m.failed, (unsigned long long)m.expired,
+          (unsigned long long)m.rejected_unsafe,
+          (unsigned long long)m.combined_queries);
+    } else {
+      std::printf("unknown statement '%s' (try HELP)\n", word.c_str());
+    }
+    return true;
+  }
+
+ private:
+  static std::string FirstWord(const std::string& s) {
+    size_t i = 0;
+    while (i < s.size() && std::isspace((unsigned char)s[i])) ++i;
+    size_t j = i;
+    while (j < s.size() && (std::isalpha((unsigned char)s[j]))) ++j;
+    std::string w = s.substr(i, j - i);
+    for (char& c : w) c = static_cast<char>(std::toupper((unsigned char)c));
+    return w;
+  }
+
+  static void Report(const Status& st) {
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  }
+
+  void Help() {
+    std::printf(
+        "statements (terminate with ';'):\n"
+        "  CREATE TABLE name (col TYPE, ...)   TYPE = INT | STR\n"
+        "  INSERT name (value, ...)            value = 123 | 'text'\n"
+        "  INDEX name column\n"
+        "  SELECT ... INTO ANSWER ... CHOOSE k   entangled SQL (paper §2.1)\n"
+        "  IR {C} H :- B                         Datalog-style IR (§2.2)\n"
+        "  TTL n | TICK n | FLUSH | STATUS | HELP | QUIT\n");
+  }
+
+  Status CreateTable(const std::string& stmt) {
+    // CREATE TABLE name ( col TYPE , ... )
+    std::istringstream in(stmt);
+    std::string kw1, kw2, name;
+    in >> kw1 >> kw2 >> name;
+    size_t open = stmt.find('(');
+    size_t close = stmt.rfind(')');
+    if (name.empty() || open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return Status::ParseError("usage: CREATE TABLE name (col TYPE, ...)");
+    }
+    // Strip a '(' glued to the name.
+    if (size_t p = name.find('('); p != std::string::npos) {
+      name = name.substr(0, p);
+    }
+    db::Schema schema;
+    std::string cols = stmt.substr(open + 1, close - open - 1);
+    std::istringstream cin2(cols);
+    std::string piece;
+    while (std::getline(cin2, piece, ',')) {
+      std::istringstream pin(piece);
+      std::string col, type;
+      pin >> col >> type;
+      for (char& c : type) c = static_cast<char>(std::toupper((unsigned char)c));
+      if (col.empty() || (type != "INT" && type != "STR")) {
+        return Status::ParseError("bad column spec '" + piece + "'");
+      }
+      schema.columns.push_back(db::Column{
+          col, type == "INT" ? ir::ValueType::kInt : ir::ValueType::kString});
+    }
+    if (schema.columns.empty()) {
+      return Status::ParseError("table needs at least one column");
+    }
+    return db_.CreateTable(name, std::move(schema));
+  }
+
+  Status Insert(const std::string& stmt) {
+    // INSERT name ( v1, v2, ... )
+    std::istringstream in(stmt);
+    std::string kw, name;
+    in >> kw >> name;
+    size_t open = stmt.find('(');
+    size_t close = stmt.rfind(')');
+    if (name.empty() || open == std::string::npos || close == std::string::npos) {
+      return Status::ParseError("usage: INSERT name (v1, v2, ...)");
+    }
+    if (size_t p = name.find('('); p != std::string::npos) {
+      name = name.substr(0, p);
+    }
+    db::Row row;
+    std::string vals = stmt.substr(open + 1, close - open - 1);
+    std::istringstream vin(vals);
+    std::string piece;
+    while (std::getline(vin, piece, ',')) {
+      // Trim.
+      size_t b = piece.find_first_not_of(" \t\n");
+      size_t e = piece.find_last_not_of(" \t\n");
+      if (b == std::string::npos) {
+        return Status::ParseError("empty value");
+      }
+      piece = piece.substr(b, e - b + 1);
+      if (piece.front() == '\'') {
+        if (piece.size() < 2 || piece.back() != '\'') {
+          return Status::ParseError("unterminated string " + piece);
+        }
+        row.push_back(ctx_.StrValue(piece.substr(1, piece.size() - 2)));
+      } else {
+        row.push_back(ir::Value::Int(std::atoll(piece.c_str())));
+      }
+    }
+    return db_.Insert(name, std::move(row));
+  }
+
+  Status Index(const std::string& stmt) {
+    std::istringstream in(stmt);
+    std::string kw, name, col;
+    in >> kw >> name >> col;
+    db::Table* table = db_.GetTable(name);
+    if (table == nullptr) return Status::NotFound("no table " + name);
+    int idx = table->schema().ColumnIndex(col);
+    if (idx < 0) return Status::NotFound("no column " + col);
+    return table->BuildIndex(static_cast<size_t>(idx));
+  }
+
+  void SubmitSql(const std::string& stmt) {
+    sql::Translator tr(&ctx_, &db_);
+    auto q = tr.TranslateSql(stmt);
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    Submit(std::move(q).value());
+  }
+
+  void SubmitIr(const std::string& text) {
+    ir::Parser parser(&ctx_);
+    auto q = parser.ParseQuery(text);
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    Submit(std::move(q).value());
+  }
+
+  void Submit(ir::EntangledQuery q) {
+    auto r = engine_.Submit(std::move(q), ttl_);
+    if (!r.ok()) {
+      std::printf("rejected: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    if (engine_.outcome(*r).state == engine::QueryOutcome::State::kPending) {
+      std::printf("[q%u] pending (awaiting coordination partners)\n", *r);
+    }
+  }
+
+  ir::QueryContext ctx_;
+  db::Database db_;
+  engine::CoordinationEngine engine_;
+  uint64_t ttl_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  bool interactive = true;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+    interactive = false;
+  }
+
+  Shell shell;
+  if (interactive) {
+    std::printf("entangled-queries shell — HELP; for commands\n");
+  }
+  std::string buffer, line;
+  while (std::getline(*in, line)) {
+    // Strip -- comments.
+    if (size_t c = line.find("--"); c != std::string::npos) {
+      line = line.substr(0, c);
+    }
+    buffer += line + "\n";
+    size_t semi;
+    while ((semi = buffer.find(';')) != std::string::npos) {
+      std::string stmt = buffer.substr(0, semi);
+      buffer = buffer.substr(semi + 1);
+      if (!shell.Execute(stmt)) return 0;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef EQ_CORE_ATOM_INDEX_H_
+#define EQ_CORE_ATOM_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/atom.h"
+#include "ir/query.h"
+
+namespace eq::core {
+
+/// Locates one atom of one query: `query` plus the position of the atom in
+/// the indexed list (head atoms or postcondition atoms, depending on which
+/// side the index covers).
+struct AtomRef {
+  ir::QueryId query = ir::kInvalidQuery;
+  uint32_t atom_idx = 0;
+
+  bool operator==(const AtomRef& o) const {
+    return query == o.query && atom_idx == o.atom_idx;
+  }
+};
+
+/// The (Relation, Parameter, Value) → [atoms] index of paper §4.1.4.
+///
+/// Every indexed atom is registered under one key per argument position:
+/// constant positions under their value, variable positions under the
+/// wildcard Δ. A lookup for atom R(v1..vn) consults, per the paper,
+///
+///     A ∩ ⋂_{constant v_i} ( L(R, i, v_i) ∪ L(R, i, Δ) )
+///
+/// and returns a superset of the truly unifiable atoms (the caller runs real
+/// unification on the candidates; the index only prunes). Atoms whose
+/// arguments are all variables are found via the per-relation catch-all
+/// list.
+///
+/// The index is append-only; when queries leave the system (answered, stale,
+/// removed for safety) the caller filters dead AtomRefs on lookup.
+class AtomIndex {
+ public:
+  /// Registers `atom` under reference `ref`.
+  void Add(const AtomRef& ref, const ir::Atom& atom);
+
+  /// Appends candidate references that may unify with `probe` to *out.
+  /// Candidates are distinct but may include dead queries.
+  void Candidates(const ir::Atom& probe, std::vector<AtomRef>* out) const;
+
+  /// Number of (key, entry) pairs — used by benchmarks.
+  size_t entry_count() const { return entries_; }
+
+ private:
+  struct Key {
+    SymbolId rel;
+    uint32_t pos;
+    ir::Value val;  // null Value encodes Δ (constants are never null)
+
+    bool operator==(const Key& o) const {
+      return rel == o.rel && pos == o.pos && val == o.val;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = k.rel * 0x9e3779b97f4a7c15ULL + k.pos;
+      h ^= k.val.Hash() + 0x9e3779b9u + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  std::unordered_map<Key, std::vector<AtomRef>, KeyHash> map_;
+  std::unordered_map<SymbolId, std::vector<AtomRef>> by_relation_;
+  size_t entries_ = 0;
+};
+
+}  // namespace eq::core
+
+#endif  // EQ_CORE_ATOM_INDEX_H_

@@ -1,0 +1,166 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace eq::core {
+
+using ir::QueryId;
+using unify::MergeResult;
+
+void Matcher::Trace(MatchTrace* trace, MatchTrace::Kind kind, QueryId node,
+                    QueryId parent) {
+  if (trace == nullptr) return;
+  MatchTrace::Event ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.parent = parent;
+  if (ctx_ != nullptr && graph_->node(node).alive) {
+    ev.unifier = graph_->node(node).unifier.ToString(*ctx_);
+  }
+  trace->events.push_back(std::move(ev));
+}
+
+std::vector<QueryId> Matcher::Cleanup(QueryId n) {
+  std::vector<QueryId> removed;
+  std::vector<QueryId> stack{n};
+  while (!stack.empty()) {
+    QueryId u = stack.back();
+    stack.pop_back();
+    auto& node = graph_->node(u);
+    if (!node.alive) continue;
+    // Collect live successors before RemoveNode retires the edges.
+    for (uint32_t id : node.out_edges) {
+      const Edge& e = graph_->edge(id);
+      if (e.alive && e.to != u && graph_->node(e.to).alive) {
+        stack.push_back(e.to);
+      }
+    }
+    graph_->RemoveNode(u);
+    removed.push_back(u);
+  }
+  return removed;
+}
+
+std::vector<QueryId> Matcher::MatchComponent(
+    const std::vector<QueryId>& component, MatchStats* stats,
+    MatchTrace* trace) {
+  MatchStats local;
+
+  // Phase 1: initial removal. A query whose postcondition has no unifying
+  // head — INDEGREE < PCCOUNT under safety — can never participate in a
+  // coordinating set; the same holds when its initial unifier already
+  // conflicted (two postconditions demanding incompatible constants from
+  // the same variables). CLEANUP removes it and its descendants. One pass
+  // suffices: any query whose match count drops during a cleanup is a
+  // descendant of the removed query and is removed by the same cleanup.
+  for (QueryId q : component) {
+    auto& node = graph_->node(q);
+    if (!node.alive) continue;
+    if (node.init_conflict || !node.AllPcsMatched()) {
+      Trace(trace, MatchTrace::Kind::kInitialRemoval, q);
+      size_t n = Cleanup(q).size();
+      local.removed += n;
+      ++local.initial_removals;
+      ++local.cleanups;
+    }
+  }
+
+  // Phase 2: Algorithm 1. The updates queue starts holding every live node.
+  std::deque<QueryId> updates;
+  std::unordered_set<QueryId> in_queue;
+  for (QueryId q : component) {
+    if (graph_->node(q).alive) {
+      updates.push_back(q);
+      in_queue.insert(q);
+    }
+  }
+
+  while (!updates.empty()) {
+    QueryId parent = updates.front();
+    updates.pop_front();
+    in_queue.erase(parent);
+    auto& pnode = graph_->node(parent);
+    if (!pnode.alive) continue;  // removed while enqueued (lazy deletion)
+    ++local.nodes_processed;
+    Trace(trace, MatchTrace::Kind::kProcess, parent);
+
+    for (uint32_t id : pnode.out_edges) {
+      const Edge& e = graph_->edge(id);
+      if (!e.alive) continue;
+      QueryId child = e.to;
+      auto& cnode = graph_->node(child);
+      if (!cnode.alive || child == parent) continue;
+      ++local.merges;
+      MergeResult r = cnode.unifier.MergeFrom(pnode.unifier);
+      if (r == MergeResult::kConflict) {
+        Trace(trace, MatchTrace::Kind::kConflictCleanup, child, parent);
+        local.removed += Cleanup(child).size();
+        ++local.cleanups;
+        // CLEANUP may have removed `parent` itself (if it is a descendant
+        // of `child`); stop iterating its edges in that case.
+        if (!pnode.alive) break;
+      } else if (r == MergeResult::kChanged) {
+        ++local.merges_changed;
+        Trace(trace, MatchTrace::Kind::kUnifierChanged, child, parent);
+        if (in_queue.insert(child).second) updates.push_back(child);
+      }
+    }
+  }
+
+  std::vector<QueryId> survivors;
+  for (QueryId q : component) {
+    if (graph_->node(q).alive) survivors.push_back(q);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  if (stats != nullptr) *stats = local;
+  return survivors;
+}
+
+std::optional<QueryId> Matcher::Propagate(const std::vector<QueryId>& seeds,
+                                          MatchStats* stats) {
+  MatchStats local;
+  std::deque<QueryId> updates;
+  std::unordered_set<QueryId> in_queue;
+  for (QueryId q : seeds) {
+    if (graph_->node(q).alive && in_queue.insert(q).second) {
+      updates.push_back(q);
+    }
+  }
+
+  while (!updates.empty()) {
+    QueryId parent = updates.front();
+    updates.pop_front();
+    in_queue.erase(parent);
+    auto& pnode = graph_->node(parent);
+    if (!pnode.alive) continue;
+    if (pnode.init_conflict) {
+      if (stats != nullptr) *stats = local;
+      return parent;
+    }
+    ++local.nodes_processed;
+
+    for (uint32_t id : pnode.out_edges) {
+      const Edge& e = graph_->edge(id);
+      if (!e.alive) continue;
+      QueryId child = e.to;
+      auto& cnode = graph_->node(child);
+      if (!cnode.alive || child == parent) continue;
+      ++local.merges;
+      MergeResult r = cnode.unifier.MergeFrom(pnode.unifier);
+      if (r == MergeResult::kConflict) {
+        if (stats != nullptr) *stats = local;
+        return child;
+      }
+      if (r == MergeResult::kChanged) {
+        ++local.merges_changed;
+        if (in_queue.insert(child).second) updates.push_back(child);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return std::nullopt;
+}
+
+}  // namespace eq::core

@@ -1,0 +1,90 @@
+#ifndef EQ_CORE_MATCHER_H_
+#define EQ_CORE_MATCHER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/unifiability_graph.h"
+#include "ir/query.h"
+
+namespace eq::core {
+
+/// Counters describing one matching run.
+struct MatchStats {
+  size_t initial_removals = 0;  ///< queries removed before propagation
+  size_t nodes_processed = 0;   ///< dequeue operations (Algorithm 1 line 3)
+  size_t merges = 0;            ///< MGU merges attempted (line 5)
+  size_t merges_changed = 0;    ///< merges whose verdict was "changed"
+  size_t cleanups = 0;          ///< CLEANUP invocations
+  size_t removed = 0;           ///< total queries removed
+};
+
+/// Optional trace of a matching run (used to assert the paper's Figure 4
+/// walk-through in tests).
+struct MatchTrace {
+  enum class Kind {
+    kInitialRemoval,   ///< node removed before propagation (unmatched pc /
+                       ///< initial unifier conflict)
+    kProcess,          ///< node dequeued as `parent`
+    kUnifierChanged,   ///< child's unifier tightened by parent
+    kConflictCleanup,  ///< child's unifier conflicted; CLEANUP(child)
+  };
+  struct Event {
+    Kind kind;
+    ir::QueryId node;                     ///< the node acted upon
+    ir::QueryId parent = ir::kInvalidQuery;  ///< for merge events
+    std::string unifier;                  ///< rendered U(node) after the event
+  };
+  std::vector<Event> events;
+};
+
+/// Algorithm 1 (paper §4.1.4): unifier propagation over one component of
+/// the unifiability graph, with cascading CLEANUP of unanswerable queries.
+///
+/// Precondition: the workload is safe (each postcondition unifies with at
+/// most one head). Run SafetyChecker first; on unsafe inputs the matcher
+/// still terminates but its verdicts follow the first-edge-wins structure
+/// the graph recorded, not an exhaustive search.
+class Matcher {
+ public:
+  /// The matcher mutates `graph` (removals). `ctx` is only used to render
+  /// unifiers into traces; pass nullptr when not tracing.
+  explicit Matcher(UnifiabilityGraph* graph,
+                   const ir::QueryContext* ctx = nullptr)
+      : graph_(graph), ctx_(ctx) {}
+
+  /// Batch matching of one component (set-at-a-time mode):
+  ///  1. removes every query with an unmatched postcondition or an initial
+  ///     unifier conflict, plus all descendants (CLEANUP);
+  ///  2. runs the Algorithm 1 propagation loop seeded with all live members;
+  ///  3. returns the surviving (answerable) query ids in ascending order.
+  std::vector<ir::QueryId> MatchComponent(
+      const std::vector<ir::QueryId>& component, MatchStats* stats = nullptr,
+      MatchTrace* trace = nullptr);
+
+  /// Incremental propagation (engine incremental mode, §5.1): runs the
+  /// propagation loop seeded with `seeds` only, without removing queries
+  /// whose postconditions are still unmatched (they stay pending, awaiting
+  /// partners). On the first unifier conflict, propagation stops and the
+  /// conflicted query id is returned WITHOUT removing it — the engine
+  /// decides how to fail it and rebuild the partition. Returns nullopt when
+  /// propagation converges conflict-free.
+  std::optional<ir::QueryId> Propagate(const std::vector<ir::QueryId>& seeds,
+                                       MatchStats* stats = nullptr);
+
+  /// CLEANUP(n) (§4.1.3): removes `n` and all its live descendants from the
+  /// graph. Returns the removed ids.
+  std::vector<ir::QueryId> Cleanup(ir::QueryId n);
+
+ private:
+  void Trace(MatchTrace* trace, MatchTrace::Kind kind, ir::QueryId node,
+             ir::QueryId parent = ir::kInvalidQuery);
+
+  UnifiabilityGraph* graph_;
+  const ir::QueryContext* ctx_;
+};
+
+}  // namespace eq::core
+
+#endif  // EQ_CORE_MATCHER_H_

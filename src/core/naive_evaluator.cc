@@ -1,0 +1,113 @@
+#include "core/naive_evaluator.h"
+
+#include <unordered_set>
+
+namespace eq::core {
+
+using ir::Atom;
+using ir::EntangledQuery;
+using ir::GroundAtom;
+using ir::GroundAtomHash;
+using ir::QueryId;
+using ir::Term;
+
+namespace {
+
+GroundAtom GroundWith(const Atom& atom, const db::Valuation& val) {
+  GroundAtom out;
+  out.relation = atom.relation;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) {
+    out.args.push_back(t.is_const() ? t.value() : val.ValueOf(t.var()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Grounding>> NaiveEvaluator::Groundings(QueryId q,
+                                                          size_t max) const {
+  const EntangledQuery& query = queries_->queries[q];
+  db::ConjunctiveQuery body;
+  body.atoms = query.body;
+  body.filters = query.filters;
+  body.limit = max;
+
+  std::vector<Grounding> out;
+  db::Executor exec(db_);
+  Status st = exec.Execute(body, db::ExecOptions(),
+                           [&](const db::Valuation& val) {
+                             Grounding g;
+                             for (const Atom& h : query.head) {
+                               g.head.push_back(GroundWith(h, val));
+                             }
+                             for (const Atom& p : query.postconditions) {
+                               g.postconditions.push_back(GroundWith(p, val));
+                             }
+                             out.push_back(std::move(g));
+                             return true;
+                           });
+  if (!st.ok()) return st;
+  return out;
+}
+
+bool NaiveEvaluator::IsCoordinatingSet(
+    const std::vector<const Grounding*>& chosen) {
+  std::unordered_set<GroundAtom, GroundAtomHash> heads;
+  for (const Grounding* g : chosen) {
+    for (const GroundAtom& h : g->head) heads.insert(h);
+  }
+  for (const Grounding* g : chosen) {
+    for (const GroundAtom& p : g->postconditions) {
+      if (!heads.count(p)) return false;
+    }
+  }
+  return true;
+}
+
+Result<NaiveEvaluator::SearchResult> NaiveEvaluator::FindCoordinatingSet(
+    const std::vector<QueryId>& qids, const Options& opts) const {
+  std::vector<std::vector<Grounding>> groundings;
+  groundings.reserve(qids.size());
+  for (QueryId q : qids) {
+    auto g = Groundings(q, opts.max_groundings_per_query);
+    if (!g.ok()) return g.status();
+    groundings.push_back(std::move(g).value());
+  }
+
+  SearchResult best;
+  best.selection.assign(qids.size(), -1);
+
+  std::vector<int> selection(qids.size(), -1);
+  std::vector<const Grounding*> chosen;
+
+  // Depth-first over queries: for each, try every grounding, then (unless
+  // require_all) exclusion. Branch-and-bound on the inclusion count.
+  auto recurse = [&](auto&& self, size_t i, size_t included) -> void {
+    if (best.found && best.included == qids.size()) return;  // optimum hit
+    if (included + (qids.size() - i) <= best.included) return;  // bound
+    if (i == qids.size()) {
+      if (included == 0) return;
+      if (opts.require_all && included < qids.size()) return;
+      if (!IsCoordinatingSet(chosen)) return;
+      if (included > best.included || !best.found) {
+        best.found = true;
+        best.included = included;
+        best.selection = selection;
+      }
+      return;
+    }
+    for (size_t gi = 0; gi < groundings[i].size(); ++gi) {
+      selection[i] = static_cast<int>(gi);
+      chosen.push_back(&groundings[i][gi]);
+      self(self, i + 1, included + 1);
+      chosen.pop_back();
+      selection[i] = -1;
+    }
+    if (!opts.require_all) self(self, i + 1, included);
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+}  // namespace eq::core

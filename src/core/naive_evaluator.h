@@ -1,0 +1,82 @@
+#ifndef EQ_CORE_NAIVE_EVALUATOR_H_
+#define EQ_CORE_NAIVE_EVALUATOR_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "db/executor.h"
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace eq::core {
+
+/// A grounding of an entangled query (paper §2.3): the query with its
+/// variables replaced by constants following one valuation of its body.
+/// The body is discarded ("the bodies of the groundings are no longer
+/// needed"); what remains is the ground head and ground postconditions.
+struct Grounding {
+  std::vector<ir::GroundAtom> head;
+  std::vector<ir::GroundAtom> postconditions;
+};
+
+/// Reference implementation of coordinated query answering, straight from
+/// the paper's semantics (§2.3): materialize the grounding set G, then
+/// search for a coordinating subset G' — at most one grounding per query,
+/// all postconditions of chosen groundings contained in the set of chosen
+/// heads.
+///
+/// This is the exponential baseline the evaluation algorithm avoids: it
+/// performs the backtracking search of the general CSP (Theorem 2.1 — see
+/// naive_evaluator_test.cc, which encodes graph coloring). It serves as
+/// (a) the correctness oracle for the matcher+combiner pipeline in property
+/// tests and (b) the "no static matching" baseline in the ablation bench.
+/// It also handles unsafe workloads, which the fast path rejects.
+struct NaiveEvalOptions {
+  /// Require a grounding for every query; if impossible, report found =
+  /// false instead of returning a partial coordinating set.
+  bool require_all = false;
+  /// Cap on materialized groundings per query (guards test blow-ups).
+  size_t max_groundings_per_query = 10000;
+};
+
+class NaiveEvaluator {
+ public:
+  using Options = NaiveEvalOptions;
+
+  struct SearchResult {
+    /// Parallel to the input ids: index into that query's grounding list,
+    /// or -1 when the query is not part of the coordinating set.
+    std::vector<int> selection;
+    /// Number of queries included.
+    size_t included = 0;
+    /// True iff a coordinating set including at least one query exists
+    /// (and, under require_all, includes every query).
+    bool found = false;
+  };
+
+  NaiveEvaluator(const ir::QuerySet* queries, const db::Database* db)
+      : queries_(queries), db_(db) {}
+
+  /// Materializes all groundings of query `q` on the database snapshot.
+  Result<std::vector<Grounding>> Groundings(ir::QueryId q,
+                                            size_t max = 10000) const;
+
+  /// Exhaustive search for a maximum coordinating set over `qids`
+  /// (branch-and-bound on the number of included queries). Exponential in
+  /// |qids| by design.
+  Result<SearchResult> FindCoordinatingSet(
+      const std::vector<ir::QueryId>& qids,
+      const Options& opts = Options()) const;
+
+  /// Checks the §2.3 condition directly: the union of the chosen heads
+  /// (as a set) contains every chosen postcondition.
+  static bool IsCoordinatingSet(const std::vector<const Grounding*>& chosen);
+
+ private:
+  const ir::QuerySet* queries_;
+  const db::Database* db_;
+};
+
+}  // namespace eq::core
+
+#endif  // EQ_CORE_NAIVE_EVALUATOR_H_

@@ -1,0 +1,34 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/disjoint_set.h"
+
+namespace eq::core {
+
+std::vector<std::vector<ir::QueryId>> Partitioner::Components(
+    const UnifiabilityGraph& graph) {
+  const size_t n = graph.node_count();
+  DisjointSetForest dsu(n);
+  for (size_t i = 0; i < graph.edge_count(); ++i) {
+    const Edge& e = graph.edge(static_cast<uint32_t>(i));
+    if (!e.alive) continue;
+    dsu.Union(e.from, e.to);
+  }
+  std::map<uint32_t, std::vector<ir::QueryId>> by_root;
+  for (ir::QueryId q = 0; q < n; ++q) {
+    if (!graph.node(q).alive) continue;
+    by_root[dsu.Find(q)].push_back(q);
+  }
+  std::vector<std::vector<ir::QueryId>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, members] : by_root) out.push_back(std::move(members));
+  // std::map iteration gives roots in ascending order, but the root is an
+  // arbitrary member; order components by smallest member for determinism.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+}  // namespace eq::core

@@ -1,0 +1,26 @@
+#ifndef EQ_CORE_PARTITIONER_H_
+#define EQ_CORE_PARTITIONER_H_
+
+#include <vector>
+
+#include "core/unifiability_graph.h"
+#include "ir/query.h"
+
+namespace eq::core {
+
+/// Partitions a workload into the connected components of its unifiability
+/// graph (paper §4.1.2). Queries in different components cannot influence
+/// each other's answers, so downstream matching and combined-query
+/// evaluation run per component — independently and in parallel.
+class Partitioner {
+ public:
+  /// Connected components over the *live* nodes and edges of `graph`.
+  /// Each component lists its query ids in ascending order; components are
+  /// ordered by their smallest member. Dead queries appear in no component.
+  static std::vector<std::vector<ir::QueryId>> Components(
+      const UnifiabilityGraph& graph);
+};
+
+}  // namespace eq::core
+
+#endif  // EQ_CORE_PARTITIONER_H_

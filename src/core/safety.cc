@@ -1,0 +1,217 @@
+#include "core/safety.h"
+
+#include "unify/unifier.h"
+
+namespace eq::core {
+
+using ir::Atom;
+using ir::EntangledQuery;
+using ir::QueryId;
+using ir::QuerySet;
+using unify::Unifiable;
+
+namespace {
+
+/// Key for (query, pc_idx) maps.
+uint64_t PcKey(QueryId q, uint32_t pc_idx) {
+  return (static_cast<uint64_t>(q) << 32) | pc_idx;
+}
+
+}  // namespace
+
+std::vector<SafetyChecker::Violation> SafetyChecker::FindViolations(
+    const QuerySet& qs, const SafetyOptions& opts) {
+  // Index atoms by *position* in qs.queries, not by query id — ids need not
+  // equal positions (e.g. after EnforceSafety compacted the set). Reported
+  // Violations translate positions back to ids.
+  AtomIndex heads;
+  for (uint32_t pos = 0; pos < qs.queries.size(); ++pos) {
+    const EntangledQuery& q = qs.queries[pos];
+    for (uint32_t i = 0; i < q.head.size(); ++i) {
+      heads.Add(AtomRef{pos, i}, q.head[i]);
+    }
+  }
+  auto to_id = [&](AtomRef ref) {
+    ref.query = qs.queries[ref.query].id;
+    return ref;
+  };
+  std::vector<Violation> out;
+  std::vector<AtomRef> cands;
+  for (uint32_t pos = 0; pos < qs.queries.size(); ++pos) {
+    const EntangledQuery& q = qs.queries[pos];
+    for (uint32_t j = 0; j < q.postconditions.size(); ++j) {
+      const Atom& p = q.postconditions[j];
+      cands.clear();
+      heads.Candidates(p, &cands);
+      AtomRef first{};
+      bool have_first = false;
+      for (const AtomRef& ref : cands) {
+        if (ref.query == pos && !opts.count_self_matches) continue;
+        const Atom& h = qs.queries[ref.query].head[ref.atom_idx];
+        if (!Unifiable(h, p)) continue;
+        if (!have_first) {
+          first = ref;
+          have_first = true;
+        } else {
+          out.push_back(Violation{q.id, j, to_id(first), to_id(ref)});
+          break;  // one violation per ambiguous postcondition is enough
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<QueryId> SafetyChecker::EnforceSafety(QuerySet* qs,
+                                                  const SafetyOptions& opts) {
+  std::vector<QueryId> removed;
+  std::unordered_set<QueryId> dead;
+
+  // Fixpoint: removing a query takes its heads out of play, which can make
+  // previously ambiguous postconditions unique again — so re-scan until a
+  // full pass removes nothing. Queries are visited in ascending id order
+  // (the procedure is order-dependent / not Church-Rosser, §3.1.1).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const EntangledQuery& q : qs->queries) {
+      if (dead.count(q.id)) continue;
+      bool ambiguous = false;
+      for (const Atom& p : q.postconditions) {
+        uint32_t matches = 0;
+        for (const EntangledQuery& other : qs->queries) {
+          if (dead.count(other.id)) continue;
+          if (other.id == q.id && !opts.count_self_matches) continue;
+          for (const Atom& h : other.head) {
+            if (Unifiable(h, p) && ++matches >= 2) break;
+          }
+          if (matches >= 2) break;
+        }
+        if (matches >= 2) {
+          ambiguous = true;
+          break;
+        }
+      }
+      if (ambiguous) {
+        dead.insert(q.id);
+        removed.push_back(q.id);
+        changed = true;
+      }
+    }
+  }
+
+  if (!removed.empty()) {
+    std::vector<EntangledQuery> kept;
+    kept.reserve(qs->queries.size() - removed.size());
+    for (EntangledQuery& q : qs->queries) {
+      if (!dead.count(q.id)) kept.push_back(std::move(q));
+    }
+    qs->queries = std::move(kept);
+  }
+  return removed;
+}
+
+SafetyChecker::SafetyChecker(const QuerySet* queries,
+                             const SafetyOptions& opts)
+    : queries_(queries), opts_(opts) {}
+
+uint32_t SafetyChecker::CountUnifyingHeads(const Atom& probe, uint32_t cap) {
+  std::vector<AtomRef> cands;
+  head_index_.Candidates(probe, &cands);
+  uint32_t count = 0;
+  for (const AtomRef& ref : cands) {
+    if (!admitted_.count(ref.query)) continue;  // stale index entry
+    const Atom& h = queries_->queries[ref.query].head[ref.atom_idx];
+    ++unification_attempts_;
+    if (Unifiable(h, probe) && ++count >= cap) return count;
+  }
+  return count;
+}
+
+Status SafetyChecker::Admit(QueryId q) {
+  const EntangledQuery& query = queries_->queries[q];
+
+  // (a) Each postcondition of q must unify with at most one head across the
+  // admitted set *plus q's own heads*.
+  std::vector<uint32_t> own_pc_counts(query.postconditions.size(), 0);
+  for (uint32_t j = 0; j < query.postconditions.size(); ++j) {
+    const Atom& p = query.postconditions[j];
+    uint32_t count = CountUnifyingHeads(p, 2);
+    if (opts_.count_self_matches) {
+      for (const Atom& h : query.head) {
+        if (count >= 2) break;
+        ++unification_attempts_;
+        if (Unifiable(h, p)) ++count;
+      }
+    }
+    if (count >= 2) {
+      return Status::Unsafe("postcondition " + std::to_string(j) +
+                            " of query " + std::to_string(q) +
+                            " would unify with two or more heads");
+    }
+    own_pc_counts[j] = count;
+  }
+
+  // (b) Each head of q must not give any admitted postcondition a second
+  // match. Increments are staged so rejection leaves no trace.
+  std::unordered_map<uint64_t, uint32_t> staged;
+  std::vector<AtomRef> cands;
+  for (const Atom& h : query.head) {
+    cands.clear();
+    pc_index_.Candidates(h, &cands);
+    for (const AtomRef& ref : cands) {
+      if (!admitted_.count(ref.query)) continue;
+      const Atom& p =
+          queries_->queries[ref.query].postconditions[ref.atom_idx];
+      ++unification_attempts_;
+      if (!Unifiable(h, p)) continue;
+      uint64_t key = PcKey(ref.query, ref.atom_idx);
+      uint32_t current = pc_match_counts_[key] + staged[key];
+      if (current + 1 >= 2) {
+        return Status::Unsafe(
+            "head of query " + std::to_string(q) +
+            " would make postcondition " + std::to_string(ref.atom_idx) +
+            " of admitted query " + std::to_string(ref.query) + " ambiguous");
+      }
+      ++staged[key];
+    }
+  }
+
+  // Safe: admit. Apply staged counts, index atoms, record own counts.
+  for (const auto& [key, inc] : staged) pc_match_counts_[key] += inc;
+  for (uint32_t j = 0; j < query.postconditions.size(); ++j) {
+    pc_match_counts_[PcKey(q, j)] = own_pc_counts[j];
+    pc_index_.Add(AtomRef{q, j}, query.postconditions[j]);
+  }
+  for (uint32_t i = 0; i < query.head.size(); ++i) {
+    head_index_.Add(AtomRef{q, i}, query.head[i]);
+  }
+  admitted_.insert(q);
+  return Status::OK();
+}
+
+void SafetyChecker::Remove(QueryId q) {
+  if (!admitted_.erase(q)) return;
+  const EntangledQuery& query = queries_->queries[q];
+  // Heads leave the set: decrement the match count of every admitted
+  // postcondition they were satisfying.
+  std::vector<AtomRef> cands;
+  for (const Atom& h : query.head) {
+    cands.clear();
+    pc_index_.Candidates(h, &cands);
+    for (const AtomRef& ref : cands) {
+      if (!admitted_.count(ref.query)) continue;
+      const Atom& p =
+          queries_->queries[ref.query].postconditions[ref.atom_idx];
+      if (Unifiable(h, p)) {
+        auto it = pc_match_counts_.find(PcKey(ref.query, ref.atom_idx));
+        if (it != pc_match_counts_.end() && it->second > 0) --it->second;
+      }
+    }
+  }
+  for (uint32_t j = 0; j < query.postconditions.size(); ++j) {
+    pc_match_counts_.erase(PcKey(q, j));
+  }
+}
+
+}  // namespace eq::core

@@ -1,0 +1,120 @@
+#include "core/ucs.h"
+
+#include <algorithm>
+
+namespace eq::core {
+
+namespace {
+
+/// Iterative Tarjan SCC over the live nodes/edges of the graph.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const UnifiabilityGraph& g)
+      : g_(g),
+        n_(g.node_count()),
+        index_(n_, -1),
+        lowlink_(n_, 0),
+        on_stack_(n_, false),
+        scc_of_(n_, -1) {}
+
+  void Run() {
+    for (uint32_t v = 0; v < n_; ++v) {
+      if (g_.node(v).alive && index_[v] < 0) Strongconnect(v);
+    }
+  }
+
+  const std::vector<int>& scc_of() const { return scc_of_; }
+  int scc_count() const { return scc_count_; }
+
+ private:
+  struct Frame {
+    uint32_t v;
+    size_t edge_pos;  // position within v's out_edges
+  };
+
+  void Strongconnect(uint32_t root) {
+    frames_.push_back(Frame{root, 0});
+    NewNode(root);
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      const auto& out = g_.node(f.v).out_edges;
+      bool descended = false;
+      while (f.edge_pos < out.size()) {
+        const Edge& e = g_.edge(out[f.edge_pos]);
+        ++f.edge_pos;
+        if (!e.alive || !g_.node(e.to).alive) continue;
+        uint32_t w = e.to;
+        if (index_[w] < 0) {
+          frames_.push_back(Frame{w, 0});
+          NewNode(w);
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) {
+          lowlink_[f.v] = std::min(lowlink_[f.v], index_[w]);
+        }
+      }
+      if (descended) continue;
+      // f.v is finished: pop a component if it is a root.
+      uint32_t v = f.v;
+      frames_.pop_back();
+      if (!frames_.empty()) {
+        lowlink_[frames_.back().v] =
+            std::min(lowlink_[frames_.back().v], lowlink_[v]);
+      }
+      if (lowlink_[v] == index_[v]) {
+        for (;;) {
+          uint32_t w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          scc_of_[w] = scc_count_;
+          if (w == v) break;
+        }
+        ++scc_count_;
+      }
+    }
+  }
+
+  void NewNode(uint32_t v) {
+    index_[v] = counter_;
+    lowlink_[v] = counter_;
+    ++counter_;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const UnifiabilityGraph& g_;
+  size_t n_;
+  std::vector<int> index_;
+  std::vector<int> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<int> scc_of_;
+  std::vector<uint32_t> stack_;
+  std::vector<Frame> frames_;
+  int counter_ = 0;
+  int scc_count_ = 0;
+};
+
+}  // namespace
+
+UcsChecker::Report UcsChecker::Check(const UnifiabilityGraph& graph) {
+  TarjanScc tarjan(graph);
+  tarjan.Run();
+
+  Report report;
+  report.scc_of = tarjan.scc_of();
+  report.scc_count = static_cast<size_t>(tarjan.scc_count());
+  for (uint32_t id = 0; id < graph.edge_count(); ++id) {
+    const Edge& e = graph.edge(id);
+    if (!e.alive || !graph.node(e.from).alive || !graph.node(e.to).alive) {
+      continue;
+    }
+    if (report.scc_of[e.from] != report.scc_of[e.to]) {
+      report.cross_edges.push_back(id);
+      report.ucs = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace eq::core

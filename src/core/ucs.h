@@ -1,0 +1,43 @@
+#ifndef EQ_CORE_UCS_H_
+#define EQ_CORE_UCS_H_
+
+#include <vector>
+
+#include "core/unifiability_graph.h"
+#include "ir/query.h"
+
+namespace eq::core {
+
+/// Checks Uniqueness of the Coordination Structure (paper §3.1.2).
+///
+/// The paper states the property as "every node in the simplified
+/// unifiability graph belongs to a strongly connected component", with the
+/// Figure 3(b) discussion making the intent precise: no query may depend on
+/// (require the head of) a query outside its own SCC, because then a proper
+/// subset could coordinate "locally" while the full set cannot. We formalize
+/// exactly that reading: a workload has the UCS property iff every edge of
+/// the simplified unifiability graph connects two nodes of the same SCC —
+/// equivalently, the condensation has no edges. Isolated queries (no
+/// coordination dependencies either way) trivially satisfy UCS.
+///
+/// Under this definition Figure 3(b) fails (the Jerry→Frank edge leaves
+/// Jerry's SCC) and Figure 3(a) passes (all three queries share one SCC),
+/// matching the paper's verdicts.
+class UcsChecker {
+ public:
+  struct Report {
+    bool ucs = true;
+    /// Edge ids (into the graph's edge table) that cross SCC boundaries.
+    std::vector<uint32_t> cross_edges;
+    /// SCC index per query (-1 for dead queries).
+    std::vector<int> scc_of;
+    size_t scc_count = 0;
+  };
+
+  /// Analyzes the live portion of `graph`.
+  static Report Check(const UnifiabilityGraph& graph);
+};
+
+}  // namespace eq::core
+
+#endif  // EQ_CORE_UCS_H_

@@ -1,0 +1,189 @@
+#include "core/unifiability_graph.h"
+
+#include <algorithm>
+
+namespace eq::core {
+
+using ir::Atom;
+using ir::EntangledQuery;
+using ir::QueryId;
+using unify::MergeResult;
+using unify::Unifier;
+using unify::UnifyAtoms;
+
+UnifiabilityGraph::UnifiabilityGraph(const ir::QuerySet* queries,
+                                     GraphOptions opts)
+    : queries_(queries), opts_(opts) {
+  nodes_.resize(queries_->queries.size());
+}
+
+Status UnifiabilityGraph::Build() {
+  for (QueryId q = 0; q < queries_->queries.size(); ++q) {
+    EQ_RETURN_NOT_OK(AddQuery(q));
+  }
+  return Status::OK();
+}
+
+void UnifiabilityGraph::HeadCandidates(const Atom& probe,
+                                       std::vector<AtomRef>* out) const {
+  if (opts_.use_atom_index) {
+    head_index_.Candidates(probe, out);
+    return;
+  }
+  // All-pairs fallback: every head atom of every added query.
+  for (QueryId q = 0; q < nodes_.size(); ++q) {
+    if (!nodes_[q].alive) continue;
+    const EntangledQuery& query = queries_->queries[q];
+    for (uint32_t i = 0; i < query.head.size(); ++i) {
+      out->push_back(AtomRef{q, i});
+    }
+  }
+}
+
+void UnifiabilityGraph::PcCandidates(const Atom& probe,
+                                     std::vector<AtomRef>* out) const {
+  if (opts_.use_atom_index) {
+    pc_index_.Candidates(probe, out);
+    return;
+  }
+  for (QueryId q = 0; q < nodes_.size(); ++q) {
+    if (!nodes_[q].alive) continue;
+    const EntangledQuery& query = queries_->queries[q];
+    for (uint32_t i = 0; i < query.postconditions.size(); ++i) {
+      out->push_back(AtomRef{q, i});
+    }
+  }
+}
+
+void UnifiabilityGraph::AddEdge(QueryId from, uint32_t head_idx, QueryId to,
+                                uint32_t pc_idx,
+                                const Unifier& edge_unifier) {
+  uint32_t id = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(Edge{from, to, head_idx, pc_idx, /*alive=*/true});
+  nodes_[from].out_edges.push_back(id);
+  nodes_[to].in_edges.push_back(id);
+  uint32_t count = ++nodes_[to].pc_match_count[pc_idx];
+  if (count == 2) {
+    // The postcondition now unifies with two live heads: `to` violates the
+    // safety condition (§3.1.1). Recorded once, on the 1→2 transition.
+    safety_violations_.push_back(to);
+  }
+  // Fold the edge's pairwise MGU into the target's unifier (§4.1.4: "update
+  // U(q_j) to be the MGU of U(q_j) and the most general unifier of p and h").
+  if (!nodes_[to].init_conflict &&
+      nodes_[to].unifier.MergeFrom(edge_unifier) == MergeResult::kConflict) {
+    nodes_[to].init_conflict = true;
+  }
+}
+
+Status UnifiabilityGraph::AddQuery(QueryId q) {
+  if (q >= queries_->queries.size()) {
+    return Status::InvalidArgument("query id " + std::to_string(q) +
+                                   " out of range");
+  }
+  // The query set may have grown since construction (incremental mode).
+  if (q >= nodes_.size()) nodes_.resize(queries_->queries.size());
+  Node& node = nodes_[q];
+  if (node.alive) {
+    return Status::AlreadyExists("query " + std::to_string(q) +
+                                 " already added");
+  }
+  const EntangledQuery& query = queries_->queries[q];
+  node.alive = true;
+  node.init_conflict = false;
+  node.pc_match_count.assign(query.postconditions.size(), 0);
+
+  // Register this query's atoms first so self-edges (a query whose own head
+  // satisfies its own postcondition) are discovered by the lookups below.
+  if (opts_.use_atom_index) {
+    for (uint32_t i = 0; i < query.head.size(); ++i) {
+      head_index_.Add(AtomRef{q, i}, query.head[i]);
+    }
+    for (uint32_t j = 0; j < query.postconditions.size(); ++j) {
+      pc_index_.Add(AtomRef{q, j}, query.postconditions[j]);
+    }
+  }
+
+  std::vector<AtomRef> cands;
+
+  // Direction 1: this query's postconditions against existing heads
+  // (including its own when self-edges are enabled).
+  for (uint32_t j = 0; j < query.postconditions.size(); ++j) {
+    const Atom& p = query.postconditions[j];
+    cands.clear();
+    HeadCandidates(p, &cands);
+    for (const AtomRef& ref : cands) {
+      if (ref.query == q && !opts_.allow_self_edges) continue;
+      if (!nodes_[ref.query].alive) continue;  // dead query: stale index hit
+      const Atom& h = queries_->queries[ref.query].head[ref.atom_idx];
+      Unifier u;
+      ++unification_attempts_;
+      if (!UnifyAtoms(h, p, &u)) continue;
+      AddEdge(ref.query, ref.atom_idx, q, j, u);
+    }
+  }
+
+  // Direction 2: this query's heads against existing postconditions.
+  // Skip our own postconditions — direction 1 already found those.
+  for (uint32_t i = 0; i < query.head.size(); ++i) {
+    const Atom& h = query.head[i];
+    cands.clear();
+    PcCandidates(h, &cands);
+    for (const AtomRef& ref : cands) {
+      if (ref.query == q) continue;
+      if (!nodes_[ref.query].alive) continue;
+      const Atom& p = queries_->queries[ref.query].postconditions[ref.atom_idx];
+      Unifier u;
+      ++unification_attempts_;
+      if (!UnifyAtoms(h, p, &u)) continue;
+      AddEdge(q, i, ref.query, ref.atom_idx, u);
+    }
+  }
+  return Status::OK();
+}
+
+size_t UnifiabilityGraph::live_edge_count() const {
+  size_t n = 0;
+  for (const Edge& e : edges_) {
+    if (e.alive) ++n;
+  }
+  return n;
+}
+
+void UnifiabilityGraph::RemoveNode(QueryId q) {
+  Node& node = nodes_[q];
+  if (!node.alive) return;
+  node.alive = false;
+  for (uint32_t id : node.out_edges) {
+    Edge& e = edges_[id];
+    if (!e.alive) continue;
+    e.alive = false;
+    // The successor's postcondition loses its (unique, under safety) match.
+    --nodes_[e.to].pc_match_count[e.pc_idx];
+  }
+  for (uint32_t id : node.in_edges) {
+    edges_[id].alive = false;
+  }
+}
+
+bool UnifiabilityGraph::RecomputeUnifier(QueryId q) {
+  Node& node = nodes_[q];
+  node.unifier = Unifier();
+  node.init_conflict = false;
+  const EntangledQuery& query = queries_->queries[q];
+  for (uint32_t id : node.in_edges) {
+    const Edge& e = edges_[id];
+    if (!e.alive) continue;
+    const Atom& h = queries_->queries[e.from].head[e.head_idx];
+    const Atom& p = query.postconditions[e.pc_idx];
+    Unifier u;
+    if (!UnifyAtoms(h, p, &u) ||
+        node.unifier.MergeFrom(u) == MergeResult::kConflict) {
+      node.init_conflict = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eq::core

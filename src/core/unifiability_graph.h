@@ -1,0 +1,135 @@
+#ifndef EQ_CORE_UNIFIABILITY_GRAPH_H_
+#define EQ_CORE_UNIFIABILITY_GRAPH_H_
+
+#include <vector>
+
+#include "core/atom_index.h"
+#include "ir/query.h"
+#include "unify/unifier.h"
+#include "util/status.h"
+
+namespace eq::core {
+
+/// One edge of the unifiability multi-digraph (paper §4.1.1): the head atom
+/// `head_idx` of query `from` unifies with the postcondition atom `pc_idx`
+/// of query `to`. Multiple edges between the same pair of queries are
+/// possible (one per unifying atom pair).
+struct Edge {
+  ir::QueryId from = ir::kInvalidQuery;
+  ir::QueryId to = ir::kInvalidQuery;
+  uint32_t head_idx = 0;
+  uint32_t pc_idx = 0;
+  bool alive = true;
+};
+
+/// Construction knobs. `use_atom_index` is the ablation switch between the
+/// paper's indexed lookup (§4.1.4) and the "straightforward but inefficient"
+/// all-pairs unification it mentions.
+///
+/// `allow_self_edges` controls whether a query's own head may satisfy its
+/// own postcondition. The paper's formal §2.3 semantics permits this (a
+/// single grounding can be a coordinating set), but its §5.3 experimental
+/// workloads — `{R(x, ITH)} R(Jerry, ITH) ⊃ F(Jerry, x) ...` — only stay
+/// safe if a query's own atoms are not matched against each other, so the
+/// default follows the experiments and excludes self-edges (see DESIGN.md).
+struct GraphOptions {
+  bool use_atom_index = true;
+  bool allow_self_edges = false;
+};
+
+/// The unifiability graph over a workload of entangled queries.
+///
+/// Nodes carry the evolving unifier U(q) of Algorithm 1; per-postcondition
+/// match counts maintain the INDEGREE(q) ≤ PCCOUNT(q) safety invariant and
+/// let the matcher detect unanswerable queries (a postcondition with no
+/// unifying head). The graph supports incremental growth (AddQuery) for the
+/// engine's incremental evaluation mode (§5.1).
+class UnifiabilityGraph {
+ public:
+  struct Node {
+    bool alive = false;          ///< false until added; false again after removal
+    bool init_conflict = false;  ///< initial unifier construction failed (§4.1.4)
+    unify::Unifier unifier;      ///< U(q): constraints required for answerability
+    std::vector<uint32_t> out_edges;       ///< edge ids leaving this node
+    std::vector<uint32_t> in_edges;        ///< edge ids entering this node
+    std::vector<uint32_t> pc_match_count;  ///< per postcondition: live in-edges
+
+    size_t pccount() const { return pc_match_count.size(); }
+
+    /// True iff every postcondition currently has a matching head.
+    bool AllPcsMatched() const {
+      for (uint32_t c : pc_match_count) {
+        if (c == 0) return false;
+      }
+      return true;
+    }
+  };
+
+  /// `queries` must outlive the graph and have ids assigned 0..n-1. The
+  /// graph is built lazily: call Build() for the whole set, or AddQuery()
+  /// one at a time.
+  explicit UnifiabilityGraph(const ir::QuerySet* queries,
+                             GraphOptions opts = GraphOptions());
+
+  /// Adds every query of the set (in id order).
+  Status Build();
+
+  /// Adds one query: indexes its atoms, discovers edges in both directions
+  /// against all previously added (alive) queries, updates unifiers and
+  /// match counts, and records safety violations.
+  Status AddQuery(ir::QueryId q);
+
+  const ir::QuerySet& queries() const { return *queries_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  Node& node(ir::QueryId q) { return nodes_[q]; }
+  const Node& node(ir::QueryId q) const { return nodes_[q]; }
+
+  const Edge& edge(uint32_t id) const { return edges_[id]; }
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Number of edges that are still alive.
+  size_t live_edge_count() const;
+
+  /// Marks a node dead and retires its incident edges, decrementing the
+  /// postcondition match counts of its successors. Does NOT cascade — the
+  /// matcher's CLEANUP drives the transitive removal (§4.1.3).
+  void RemoveNode(ir::QueryId q);
+
+  /// Recomputes U(q) from scratch from the live incoming edges (used when a
+  /// partition must be rebuilt after an incremental removal). Returns false
+  /// and sets init_conflict on MGU failure.
+  bool RecomputeUnifier(ir::QueryId q);
+
+  /// Queries observed (at insertion time) to have a postcondition unifiable
+  /// with two or more live heads — safety violations (§3.1.1).
+  const std::vector<ir::QueryId>& safety_violations() const {
+    return safety_violations_;
+  }
+
+  /// Number of head/postcondition unification attempts performed during
+  /// construction — the work the atom index is meant to prune.
+  uint64_t unification_attempts() const { return unification_attempts_; }
+
+ private:
+  /// Candidate head refs for a postcondition probe (index or full scan).
+  void HeadCandidates(const ir::Atom& probe, std::vector<AtomRef>* out) const;
+  /// Candidate postcondition refs for a head probe.
+  void PcCandidates(const ir::Atom& probe, std::vector<AtomRef>* out) const;
+
+  void AddEdge(ir::QueryId from, uint32_t head_idx, ir::QueryId to,
+               uint32_t pc_idx, const unify::Unifier& edge_unifier);
+
+  const ir::QuerySet* queries_;
+  GraphOptions opts_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  AtomIndex head_index_;  // over head atoms of added queries
+  AtomIndex pc_index_;    // over postcondition atoms of added queries
+  std::vector<ir::QueryId> safety_violations_;
+  uint64_t unification_attempts_ = 0;
+};
+
+}  // namespace eq::core
+
+#endif  // EQ_CORE_UNIFIABILITY_GRAPH_H_

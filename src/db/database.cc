@@ -1,0 +1,46 @@
+#include "db/database.h"
+
+namespace eq::db {
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  SymbolId rel = interner_->Intern(name);
+  auto [it, inserted] =
+      tables_.emplace(rel, std::make_unique<Table>(std::move(schema)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Table* Database::GetTable(SymbolId rel) {
+  auto it = tables_.find(rel);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(SymbolId rel) const {
+  auto it = tables_.find(rel);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetTable(std::string_view name) {
+  SymbolId rel = interner_->Lookup(name);
+  if (rel == kInvalidSymbol) return nullptr;
+  return GetTable(rel);
+}
+
+const Table* Database::GetTable(std::string_view name) const {
+  SymbolId rel = interner_->Lookup(name);
+  if (rel == kInvalidSymbol) return nullptr;
+  return GetTable(rel);
+}
+
+Status Database::Insert(std::string_view table, Row row) {
+  Table* t = GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  return t->Insert(std::move(row));
+}
+
+}  // namespace eq::db

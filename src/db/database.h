@@ -1,0 +1,55 @@
+#ifndef EQ_DB_DATABASE_H_
+#define EQ_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "db/table.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace eq::db {
+
+/// The catalog: maps relation symbols to tables.
+///
+/// The database shares a StringInterner with the ir::QueryContext of the
+/// workload, so string constants in queries and string cells in tables are
+/// the same SymbolIds and compare as integers.
+///
+/// Thread model: mutation (CreateTable / Insert / BuildIndex) must be
+/// externally serialized; concurrent read-only evaluation (the engine's
+/// parallel partition evaluation, §4.1.2) is safe.
+class Database {
+ public:
+  /// `interner` must outlive the database.
+  explicit Database(StringInterner* interner) : interner_(interner) {}
+
+  StringInterner& interner() { return *interner_; }
+  const StringInterner& interner() const { return *interner_; }
+
+  /// Creates an empty table. Fails if the name is taken.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Table by relation symbol; nullptr if absent.
+  Table* GetTable(SymbolId rel);
+  const Table* GetTable(SymbolId rel) const;
+
+  /// Table by name; nullptr if absent.
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  /// Convenience: inserts a row built from interned strings / ints according
+  /// to the table schema. Mostly used by tests and workload loaders.
+  Status Insert(std::string_view table, Row row);
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  StringInterner* interner_;
+  std::unordered_map<SymbolId, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace eq::db
+
+#endif  // EQ_DB_DATABASE_H_

@@ -1,0 +1,332 @@
+#include "db/executor.h"
+
+#include <algorithm>
+
+namespace eq::db {
+
+using ir::Atom;
+using ir::CompareOp;
+using ir::Filter;
+using ir::Term;
+using ir::Value;
+using ir::VarId;
+
+const Value& Valuation::ValueOf(VarId v) const {
+  for (size_t i = 0; i < vars_->size(); ++i) {
+    if ((*vars_)[i] == v) return (*values_)[i];
+  }
+  static const Value kNull;
+  return kNull;
+}
+
+std::unordered_map<VarId, Value> Valuation::ToMap() const {
+  std::unordered_map<VarId, Value> out;
+  for (size_t i = 0; i < vars_->size(); ++i) {
+    out.emplace((*vars_)[i], (*values_)[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Three-way comparison of two values; types compare before payloads so that
+/// mixed-type comparisons are total (and deterministic) rather than errors.
+int CompareValues(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return a.type() < b.type() ? -1 : 1;
+  }
+  if (a.is_int()) {
+    if (a.AsInt() != b.AsInt()) return a.AsInt() < b.AsInt() ? -1 : 1;
+    return 0;
+  }
+  if (a == b) return 0;
+  return a.Hash() < b.Hash() ? -1 : 1;  // strings: arbitrary but total
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  // Equality/inequality are exact; ordered comparisons use CompareValues.
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return CompareValues(a, b) < 0;
+    case CompareOp::kLe:
+      return CompareValues(a, b) <= 0;
+    case CompareOp::kGt:
+      return CompareValues(a, b) > 0;
+    case CompareOp::kGe:
+      return CompareValues(a, b) >= 0;
+  }
+  return false;
+}
+
+/// One depth-first evaluation of a conjunctive query.
+class Evaluation {
+ public:
+  Evaluation(const Database* db, const ConjunctiveQuery& q,
+             const ExecOptions& opts, const RowCallback& cb, ExecStats* stats)
+      : db_(db), q_(q), opts_(opts), cb_(cb), stats_(stats) {}
+
+  Status Run() {
+    EQ_RETURN_NOT_OK(Prepare());
+    if (!PassesConstFilters()) return Status::OK();
+    Status st = Recurse(0);
+    if (stats_ != nullptr) *stats_ = local_stats_;
+    return st;
+  }
+
+ private:
+  struct PlannedAtom {
+    const Atom* atom = nullptr;
+    const Table* table = nullptr;
+  };
+
+  int SlotOf(VarId v) {
+    auto it = var_slots_.find(v);
+    if (it != var_slots_.end()) return it->second;
+    int slot = static_cast<int>(var_order_.size());
+    var_slots_.emplace(v, slot);
+    var_order_.push_back(v);
+    values_.emplace_back();
+    bound_.push_back(false);
+    return slot;
+  }
+
+  Status Prepare() {
+    // Resolve tables and collect variables.
+    for (const Atom& a : q_.atoms) {
+      const Table* t = db_->GetTable(a.relation);
+      if (t == nullptr) {
+        return Status::NotFound("relation '" +
+                                db_->interner().Name(a.relation) +
+                                "' has no table");
+      }
+      if (t->schema().arity() != a.arity()) {
+        return Status::InvalidArgument(
+            "atom arity " + std::to_string(a.arity()) +
+            " does not match table '" + db_->interner().Name(a.relation) +
+            "' arity " + std::to_string(t->schema().arity()));
+      }
+      for (const Term& term : a.args) {
+        if (term.is_var()) SlotOf(term.var());
+      }
+      plan_.push_back(PlannedAtom{&a, t});
+    }
+    for (const Filter& f : q_.filters) {
+      for (const Term* t : {&f.lhs, &f.rhs}) {
+        if (t->is_var()) SlotOf(t->var());
+      }
+    }
+
+    if (opts_.reorder_atoms) OrderAtoms();
+
+    // Attach each filter to the earliest plan level at which both operands
+    // are bound (level = index into plan_ after whose binding it can run).
+    filter_level_.assign(q_.filters.size(), -1);
+    std::vector<bool> sim_bound(var_order_.size(), false);
+    for (size_t lvl = 0; lvl < plan_.size(); ++lvl) {
+      for (const Term& term : plan_[lvl].atom->args) {
+        if (term.is_var()) sim_bound[var_slots_[term.var()]] = true;
+      }
+      for (size_t fi = 0; fi < q_.filters.size(); ++fi) {
+        if (filter_level_[fi] >= 0) continue;
+        const Filter& f = q_.filters[fi];
+        bool ready = true;
+        for (const Term* t : {&f.lhs, &f.rhs}) {
+          if (t->is_var() && !sim_bound[var_slots_[t->var()]]) ready = false;
+        }
+        if (ready) filter_level_[fi] = static_cast<int>(lvl);
+      }
+    }
+    // Filters on variables never bound by any atom are a validation error
+    // upstream; treat remaining -1 (constant-only filters) as level -1,
+    // checked before recursion starts.
+    return Status::OK();
+  }
+
+  /// Greedy bound-first static ordering: repeatedly pick the atom with the
+  /// most bound argument positions (constants + already-planned variables);
+  /// tie-break on smaller table.
+  void OrderAtoms() {
+    std::vector<bool> planned(plan_.size(), false);
+    std::vector<bool> var_known(var_order_.size(), false);
+    std::vector<PlannedAtom> ordered;
+    ordered.reserve(plan_.size());
+    for (size_t step = 0; step < plan_.size(); ++step) {
+      int best = -1;
+      size_t best_bound = 0;
+      size_t best_rows = 0;
+      for (size_t i = 0; i < plan_.size(); ++i) {
+        if (planned[i]) continue;
+        size_t bound = 0;
+        for (const Term& t : plan_[i].atom->args) {
+          if (t.is_const() || var_known[var_slots_[t.var()]]) ++bound;
+        }
+        size_t rows = plan_[i].table->row_count();
+        if (best < 0 || bound > best_bound ||
+            (bound == best_bound && rows < best_rows)) {
+          best = static_cast<int>(i);
+          best_bound = bound;
+          best_rows = rows;
+        }
+      }
+      planned[best] = true;
+      for (const Term& t : plan_[best].atom->args) {
+        if (t.is_var()) var_known[var_slots_[t.var()]] = true;
+      }
+      ordered.push_back(plan_[best]);
+    }
+    plan_ = std::move(ordered);
+  }
+
+  const Value& TermValue(const Term& t) const {
+    if (t.is_const()) return t.value();
+    return values_[var_slots_.at(t.var())];
+  }
+
+  bool PassesConstFilters() const {
+    for (size_t fi = 0; fi < q_.filters.size(); ++fi) {
+      if (filter_level_[fi] != -1) continue;
+      const Filter& f = q_.filters[fi];
+      if (!EvalCompare(f.op, TermValue(f.lhs), TermValue(f.rhs))) return false;
+    }
+    return true;
+  }
+
+  bool FiltersAtLevelPass(int level) const {
+    for (size_t fi = 0; fi < q_.filters.size(); ++fi) {
+      if (filter_level_[fi] != level) continue;
+      const Filter& f = q_.filters[fi];
+      if (!EvalCompare(f.op, TermValue(f.lhs), TermValue(f.rhs))) return false;
+    }
+    return true;
+  }
+
+  /// Binds the row against the atom at `level`; records which slots were
+  /// newly bound in *newly for backtracking. Returns false on mismatch.
+  bool TryBindRow(const Atom& atom, const Row& row, std::vector<int>* newly) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (t.is_const()) {
+        if (t.value() != row[i]) return false;
+      } else {
+        int slot = var_slots_[t.var()];
+        if (bound_[slot]) {
+          if (values_[slot] != row[i]) return false;
+        } else {
+          bound_[slot] = true;
+          values_[slot] = row[i];
+          newly->push_back(slot);
+        }
+      }
+    }
+    return true;
+  }
+
+  void Unbind(const std::vector<int>& newly) {
+    for (int slot : newly) bound_[slot] = false;
+  }
+
+  Status Recurse(size_t level) {
+    if (done_) return Status::OK();
+    if (level == plan_.size()) {
+      ++local_stats_.output_rows;
+      Valuation v(&var_order_, &values_);
+      if (!cb_(v)) done_ = true;
+      if (q_.limit != 0 && local_stats_.output_rows >= q_.limit) done_ = true;
+      return Status::OK();
+    }
+
+    const PlannedAtom& pa = plan_[level];
+    const Atom& atom = *pa.atom;
+
+    // Candidate rows: an index probe on some bound column if permitted,
+    // otherwise a full scan.
+    const std::vector<uint32_t>* candidates = nullptr;
+    if (opts_.use_indexes) {
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        bool is_bound =
+            t.is_const() || bound_[var_slots_.at(t.var())];
+        if (is_bound && pa.table->HasIndex(i)) {
+          candidates = pa.table->Probe(i, TermValue(t));
+          ++local_stats_.index_probes;
+          break;
+        }
+      }
+    }
+
+    auto visit = [&](const Row& row) -> Status {
+      ++local_stats_.rows_scanned;
+      if (opts_.max_scanned_rows != 0 &&
+          local_stats_.rows_scanned > opts_.max_scanned_rows) {
+        return Status::Timeout("scan budget of " +
+                               std::to_string(opts_.max_scanned_rows) +
+                               " rows exceeded");
+      }
+      std::vector<int> newly;
+      if (TryBindRow(atom, row, &newly)) {
+        if (FiltersAtLevelPass(static_cast<int>(level))) {
+          Status st = Recurse(level + 1);
+          if (!st.ok()) {
+            Unbind(newly);
+            return st;
+          }
+        }
+      }
+      Unbind(newly);
+      return Status::OK();
+    };
+
+    if (candidates != nullptr) {
+      for (uint32_t rid : *candidates) {
+        if (done_) break;
+        EQ_RETURN_NOT_OK(visit(pa.table->row(rid)));
+      }
+    } else {
+      for (size_t rid = 0; rid < pa.table->row_count(); ++rid) {
+        if (done_) break;
+        EQ_RETURN_NOT_OK(visit(pa.table->row(rid)));
+      }
+    }
+    return Status::OK();
+  }
+
+  const Database* db_;
+  const ConjunctiveQuery& q_;
+  const ExecOptions& opts_;
+  const RowCallback& cb_;
+  ExecStats* stats_;
+
+  std::vector<PlannedAtom> plan_;
+  std::unordered_map<VarId, int> var_slots_;
+  std::vector<VarId> var_order_;
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+  std::vector<int> filter_level_;
+  ExecStats local_stats_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Status Executor::Execute(const ConjunctiveQuery& q, const ExecOptions& opts,
+                         const RowCallback& cb, ExecStats* stats) {
+  Evaluation eval(db_, q, opts, cb, stats);
+  return eval.Run();
+}
+
+Result<std::vector<std::unordered_map<VarId, Value>>> Executor::ExecuteAll(
+    const ConjunctiveQuery& q, const ExecOptions& opts) {
+  std::vector<std::unordered_map<VarId, Value>> out;
+  Status st = Execute(q, opts, [&](const Valuation& v) {
+    out.push_back(v.ToMap());
+    return true;
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace eq::db

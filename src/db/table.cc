@@ -1,0 +1,59 @@
+#include "db/table.h"
+
+namespace eq::db {
+
+const std::vector<uint32_t> Table::kEmptyPostings;
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.columns[i].type) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema_.columns[i].name + "'");
+    }
+  }
+  uint32_t id = static_cast<uint32_t>(rows_.size());
+  for (size_t c = 0; c < indexed_.size(); ++c) {
+    if (indexed_[c]) indexes_[c][row[c]].push_back(id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::BuildIndex(size_t col) {
+  if (col >= schema_.arity()) {
+    return Status::InvalidArgument("no column " + std::to_string(col));
+  }
+  if (indexes_.size() < schema_.arity()) {
+    indexes_.resize(schema_.arity());
+    indexed_.resize(schema_.arity(), false);
+  }
+  indexes_[col].clear();
+  indexed_[col] = true;
+  for (uint32_t i = 0; i < rows_.size(); ++i) {
+    indexes_[col][rows_[i][col]].push_back(i);
+  }
+  return Status::OK();
+}
+
+const std::vector<uint32_t>* Table::Probe(size_t col,
+                                          const ir::Value& v) const {
+  if (!HasIndex(col)) return nullptr;
+  auto it = indexes_[col].find(v);
+  if (it == indexes_[col].end()) return &kEmptyPostings;
+  return &it->second;
+}
+
+}  // namespace eq::db

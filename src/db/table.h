@@ -1,0 +1,76 @@
+#ifndef EQ_DB_TABLE_H_
+#define EQ_DB_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/value.h"
+#include "util/status.h"
+
+namespace eq::db {
+
+using Row = std::vector<ir::Value>;
+
+/// Column description: name (for the SQL frontend) and type.
+struct Column {
+  std::string name;
+  ir::ValueType type = ir::ValueType::kString;
+};
+
+/// A table schema: ordered list of typed, named columns.
+struct Schema {
+  std::vector<Column> columns;
+
+  Schema() = default;
+  /*implicit*/ Schema(std::initializer_list<Column> cols) : columns(cols) {}
+
+  size_t arity() const { return columns.size(); }
+
+  /// Index of the column with the given name, or -1.
+  int ColumnIndex(std::string_view name) const;
+};
+
+/// An in-memory row-store table with optional per-column hash indexes.
+///
+/// This is the storage substrate for combined-query evaluation — the role
+/// MySQL played in the paper's experiments (§5.1). Rows are append-only
+/// (coordinated answering operates on a database snapshot; §2.3 requires the
+/// database not change during answering).
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row after arity/type checking. Maintains any built indexes.
+  Status Insert(Row row);
+
+  /// Builds (or rebuilds) a hash index on `col`; kept up to date by Insert.
+  Status BuildIndex(size_t col);
+
+  bool HasIndex(size_t col) const {
+    return col < indexed_.size() && indexed_[col];
+  }
+
+  /// Row ids whose `col` equals `v`. Requires HasIndex(col); returns a
+  /// pointer to an empty vector when no rows match.
+  const std::vector<uint32_t>* Probe(size_t col, const ir::Value& v) const;
+
+ private:
+  using HashIndex =
+      std::unordered_map<ir::Value, std::vector<uint32_t>, ir::ValueHash>;
+
+  static const std::vector<uint32_t> kEmptyPostings;
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<HashIndex> indexes_;  // parallel to columns once any index built
+  std::vector<bool> indexed_;       // which columns have an index
+};
+
+}  // namespace eq::db
+
+#endif  // EQ_DB_TABLE_H_

@@ -1,0 +1,230 @@
+#ifndef EQ_ENGINE_ENGINE_H_
+#define EQ_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/combiner.h"
+#include "core/matcher.h"
+#include "core/safety.h"
+#include "core/unifiability_graph.h"
+#include "db/database.h"
+#include "ir/query.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace eq::engine {
+
+/// Evaluation strategy (paper §5.1): set-at-a-time batches queries and
+/// resolves them on Flush(); incremental matches each query on arrival and
+/// answers a partition as soon as all of its members are matched.
+enum class EvalMode { kSetAtATime, kIncremental };
+
+/// How much of the affected partition the incremental mode re-propagates
+/// on each arrival. kFullPartition mirrors the paper's implementation
+/// ("continues the matching algorithm" over the partition state, §5.1) and
+/// reproduces the super-linear incremental curve of Figure 8; kDeltaSeeds
+/// is our optimization — only the arriving query and the nodes its edges
+/// tightened seed the propagation, so an arrival that changes nothing
+/// costs O(1) instead of O(partition).
+enum class IncrementalRematch { kFullPartition, kDeltaSeeds };
+
+/// Scores one query's answer tuples within one candidate coordinated
+/// outcome; higher is better. The §6 "ranking function on preferred query
+/// groundings" extension: when set, the engine enumerates several
+/// coordinated outcomes and favors the one maximizing the members' total
+/// score ("the evaluation algorithm should favor coordinating sets G' that
+/// satisfy the users' preferences").
+using PreferenceFn = std::function<double(
+    ir::QueryId, const std::vector<ir::GroundAtom>&)>;
+
+struct EngineOptions {
+  EvalMode mode = EvalMode::kSetAtATime;
+
+  IncrementalRematch rematch = IncrementalRematch::kFullPartition;
+
+  /// Optional grounding preference (§6 extension). Null = paper-core
+  /// semantics: the first coordinated outcome wins.
+  PreferenceFn preference;
+
+  /// How many coordinated outcomes to enumerate when ranking preferences.
+  size_t preference_candidates = 16;
+
+  /// Threads for parallel per-partition evaluation during Flush
+  /// (§4.1.2: components are independent). 0 = sequential.
+  size_t worker_threads = 0;
+
+  /// Reject queries that would make the admitted set unsafe (§3.1.1).
+  bool enforce_safety = true;
+
+  /// Executor knobs for combined-query evaluation.
+  db::ExecOptions exec;
+};
+
+/// Life-cycle state of one submitted query.
+struct QueryOutcome {
+  enum class State { kPending, kAnswered, kFailed };
+
+  State state = State::kPending;
+  /// For kFailed: why (Unsafe / Unsatisfiable / Timeout / NotFound...).
+  Status status;
+  /// For kAnswered: the coordinated answer tuples (rows of the ANSWER
+  /// relations this query contributed). CHOOSE 1 yields one tuple per head
+  /// atom; CHOOSE k up to k per head atom.
+  std::vector<ir::GroundAtom> tuples;
+};
+
+/// Performance counters (used by the benchmark harnesses; Figure 7 reports
+/// match_seconds and db_seconds separately).
+struct EngineMetrics {
+  double match_seconds = 0;  ///< graph building + safety + propagation
+  double db_seconds = 0;     ///< combined-query evaluation in the database
+  uint64_t answered = 0;
+  uint64_t failed = 0;
+  uint64_t expired = 0;
+  uint64_t rejected_unsafe = 0;
+  uint64_t partitions_evaluated = 0;
+  uint64_t combined_queries = 0;
+};
+
+/// The D3C coordination engine (paper §5.1, Figure 5).
+///
+/// Life cycle of a query: Submit() validates, checks safety, and registers
+/// the query as pending. The application is then notified asynchronously via
+/// the answer callback — on coordination success (with the answer tuples),
+/// on failure (safety violation, unsatisfiable constraints, no database
+/// support, staleness timeout), exactly once per query.
+///
+/// Modes:
+///  - kIncremental: every Submit updates the unifiability graph, propagates
+///    unifiers in the affected partition, and evaluates the partition if all
+///    of its members have matched postconditions.
+///  - kSetAtATime: Submits only accumulate; Flush() matches and evaluates
+///    all pending queries, failing those with no partners. Partitions are
+///    evaluated in parallel on a thread pool when worker_threads > 0.
+///
+/// Staleness (§5.1): Submit accepts a TTL in logical ticks; AdvanceTime()
+/// expires overdue pending queries with a Timeout outcome.
+///
+/// Thread model: the public API must be called from one thread; internal
+/// parallelism is confined to Flush.
+class CoordinationEngine {
+ public:
+  using AnswerCallback =
+      std::function<void(ir::QueryId, const QueryOutcome&)>;
+
+  /// `ctx` and `db` must outlive the engine. The database is treated as a
+  /// snapshot: §2.3 requires it unchanged during coordinated answering.
+  CoordinationEngine(ir::QueryContext* ctx, const db::Database* db,
+                     EngineOptions opts = EngineOptions());
+
+  /// Registers a query built against this engine's QueryContext. Variables
+  /// must be fresh (never used by a previously submitted query); use
+  /// ir::RenameApart to instantiate templates. ttl_ticks = 0 means the
+  /// query never goes stale.
+  Result<ir::QueryId> Submit(ir::EntangledQuery query, uint64_t ttl_ticks = 0);
+
+  /// Resolves all pending queries set-at-a-time. In incremental mode this
+  /// forces resolution of the still-pending remainder (queries whose
+  /// partners never arrived fail).
+  Status Flush();
+
+  /// Advances the logical clock, expiring stale pending queries.
+  void AdvanceTime(uint64_t now);
+  uint64_t now() const { return now_; }
+
+  /// Invoked once per query when it leaves the pending state. Callbacks run
+  /// synchronously inside Submit/Flush/AdvanceTime.
+  void SetCallback(AnswerCallback cb) { callback_ = std::move(cb); }
+
+  const QueryOutcome& outcome(ir::QueryId q) const { return outcomes_[q]; }
+  size_t pending_count() const { return pending_.size(); }
+  const EngineMetrics& metrics() const { return metrics_; }
+  const ir::QuerySet& queries() const { return queries_; }
+
+ private:
+  struct Partition {
+    std::vector<ir::QueryId> members;  // pending members only
+  };
+
+  using PartitionId = uint32_t;
+
+  /// Merges the partitions of `q` and all its live graph neighbours.
+  void AbsorbPartitions(ir::QueryId q);
+
+  /// Re-splits a partition whose member set shrank (BFS over live edges).
+  void SplitPartition(PartitionId pid);
+
+  /// Marks a query resolved and notifies the application.
+  void Resolve(ir::QueryId q, QueryOutcome outcome);
+
+  /// Removes a resolved query from graph/safety/partition bookkeeping.
+  void Retire(ir::QueryId q);
+
+  /// Bulk Retire: one partition fix-up per touched partition instead of a
+  /// scan-and-split per query (a whole component retires together when it
+  /// is answered or rejected, so this is the hot path of Flush).
+  void RetireAll(const std::vector<ir::QueryId>& qs);
+
+  /// Incremental step: propagate in q's partition, handling conflicts by
+  /// failing the conflicted query and rebuilding, then evaluate the
+  /// partition if every member is fully matched.
+  void IncrementalStep(ir::QueryId q);
+
+  /// Repeatedly runs propagation over `members`; on conflict fails the
+  /// conflicted query, removes it, recomputes the survivors' unifiers and
+  /// retries. Returns the ids still alive.
+  std::vector<ir::QueryId> PropagateWithRepair(
+      std::vector<ir::QueryId> members);
+
+  /// True iff every live member has all postconditions matched.
+  bool PartitionReady(const std::vector<ir::QueryId>& members) const;
+
+  /// Combines + evaluates a fully matched member set; resolves all members
+  /// (answered, or failed when no global MGU / no data in set-at-a-time).
+  /// In incremental mode, "no data" leaves members pending and returns
+  /// false. Returns true when the members were resolved.
+  bool EvaluateMembers(const std::vector<ir::QueryId>& members,
+                       bool fail_on_no_data);
+
+  /// Set-at-a-time resolution of one component (runs on the pool): batch
+  /// matching, failing non-survivors, then evaluation. Outcome writes are
+  /// confined to this component's queries.
+  void ResolveComponentBatch(const std::vector<ir::QueryId>& component);
+
+  ir::QueryContext* ctx_;
+  const db::Database* db_;
+  EngineOptions opts_;
+
+  ir::QuerySet queries_;
+  std::vector<QueryOutcome> outcomes_;
+  std::vector<uint64_t> deadlines_;  // 0 = none
+  std::unordered_set<ir::QueryId> pending_;
+  std::unordered_set<ir::VarId> used_vars_;
+
+  core::UnifiabilityGraph graph_;
+  core::SafetyChecker safety_;
+  core::Combiner combiner_;
+
+  std::unordered_map<ir::QueryId, PartitionId> partition_of_;
+  std::unordered_map<PartitionId, Partition> partitions_;
+  PartitionId next_partition_ = 0;
+
+  // Staleness: min-heap of (deadline, query), lazily invalidated.
+  using DeadlineEntry = std::pair<uint64_t, ir::QueryId>;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<>>
+      deadline_heap_;
+  uint64_t now_ = 0;
+
+  AnswerCallback callback_;
+  EngineMetrics metrics_;
+};
+
+}  // namespace eq::engine
+
+#endif  // EQ_ENGINE_ENGINE_H_

@@ -1,0 +1,81 @@
+#ifndef EQ_IR_ATOM_H_
+#define EQ_IR_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/term.h"
+#include "util/interner.h"
+
+namespace eq::ir {
+
+class QueryContext;
+
+/// A relational atom R(t1, ..., tn) over constants and variables.
+///
+/// Atoms appear in three places in an entangled query {C} H ⊃ B:
+/// postconditions C and heads H range over ANSWER relations, while body atoms
+/// B range over ordinary database relations (paper §2.2).
+struct Atom {
+  SymbolId relation = kInvalidSymbol;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(SymbolId rel, std::vector<Term> a) : relation(rel), args(std::move(a)) {}
+
+  size_t arity() const { return args.size(); }
+
+  bool operator==(const Atom& o) const {
+    return relation == o.relation && args == o.args;
+  }
+  bool operator!=(const Atom& o) const { return !(*this == o); }
+
+  /// True iff the atom contains no variables.
+  bool IsGround() const {
+    for (const auto& t : args) {
+      if (t.is_var()) return false;
+    }
+    return true;
+  }
+
+  /// Renders e.g. "R(Kramer, x)". Variable and relation names are resolved
+  /// through `ctx`.
+  std::string ToString(const QueryContext& ctx) const;
+};
+
+/// A fully grounded atom: every argument is a constant. Used by the naive
+/// semantics evaluator and as the representation of answer tuples.
+struct GroundAtom {
+  SymbolId relation = kInvalidSymbol;
+  std::vector<Value> args;
+
+  GroundAtom() = default;
+  GroundAtom(SymbolId rel, std::vector<Value> a)
+      : relation(rel), args(std::move(a)) {}
+
+  bool operator==(const GroundAtom& o) const {
+    return relation == o.relation && args == o.args;
+  }
+  bool operator!=(const GroundAtom& o) const { return !(*this == o); }
+
+  bool operator<(const GroundAtom& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return args < o.args;
+  }
+
+  size_t Hash() const {
+    size_t h = relation * 0x9e3779b97f4a7c15ULL;
+    for (const auto& v : args) h = h * 1315423911u + v.Hash();
+    return h;
+  }
+
+  std::string ToString(const StringInterner& interner) const;
+};
+
+struct GroundAtomHash {
+  size_t operator()(const GroundAtom& a) const { return a.Hash(); }
+};
+
+}  // namespace eq::ir
+
+#endif  // EQ_IR_ATOM_H_

@@ -1,0 +1,50 @@
+#ifndef EQ_IR_PARSER_H_
+#define EQ_IR_PARSER_H_
+
+#include <string_view>
+
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace eq::ir {
+
+/// Parser for the Datalog-style intermediate representation (paper §2.2).
+///
+/// Grammar (paper notation, with `:-` for the ⊃ separator):
+///
+///   query    :=  [label ':']  '{' atoms? '}'  atoms  [':-' bodyitems]
+///                [ 'choose' INT ]
+///   atoms    :=  atom (',' atom)*
+///   bodyitem :=  atom  |  term cmp term          cmp ∈ {=, !=, <, <=, >, >=}
+///   atom     :=  IDENT '(' term (',' term)* ')'
+///   term     :=  INT | 'quoted' | IDENT | '_'
+///
+/// Identifier terms follow the paper's typographic convention: names that
+/// start with a lowercase letter (x, y, fno) are variables, names that start
+/// with an uppercase letter (Jerry, Paris, ITH) are string constants; quoted
+/// literals are always constants; '_' is a fresh anonymous variable.
+///
+/// Relations appearing inside `{...}` or in head position are automatically
+/// declared as ANSWER relations in the context.
+///
+/// Example (Kramer's query from the paper introduction):
+///
+///   kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris)
+class Parser {
+ public:
+  /// The parser interns symbols and allocates variables in `*ctx`.
+  explicit Parser(QueryContext* ctx) : ctx_(ctx) {}
+
+  /// Parses a single query.
+  Result<EntangledQuery> ParseQuery(std::string_view text);
+
+  /// Parses a ';'-separated list of queries and assigns sequential ids.
+  Result<QuerySet> ParseProgram(std::string_view text);
+
+ private:
+  QueryContext* ctx_;
+};
+
+}  // namespace eq::ir
+
+#endif  // EQ_IR_PARSER_H_

@@ -1,0 +1,139 @@
+#ifndef EQ_IR_QUERY_H_
+#define EQ_IR_QUERY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/atom.h"
+#include "util/status.h"
+
+namespace eq::ir {
+
+/// Dense id of an entangled query within a QuerySet / engine instance.
+using QueryId = uint32_t;
+
+inline constexpr QueryId kInvalidQuery = UINT32_MAX;
+
+/// Comparison operators for (optional) scalar filters in query bodies.
+///
+/// The paper restricts bodies to conjunctions of relational atoms "for
+/// simplicity of discussion" but explicitly allows arbitrary queries over
+/// database relations (§2.2). Filters cover the common non-join conditions
+/// produced by the SQL frontend.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// A scalar filter `lhs op rhs` over body variables/constants.
+struct Filter {
+  Term lhs;
+  CompareOp op = CompareOp::kEq;
+  Term rhs;
+
+  bool operator==(const Filter& o) const {
+    return lhs == o.lhs && op == o.op && rhs == o.rhs;
+  }
+};
+
+/// Shared symbol/variable namespace for a set of entangled queries.
+///
+/// Owns the string interner, the variable table (ids to display names), the
+/// registry of ANSWER relations, and per-relation arities. The matching
+/// algorithm requires globally unique variables (paper §4.1.3); NewVar hands
+/// out fresh ids, so queries built through one context never alias variables
+/// unless the caller deliberately reuses a VarId.
+class QueryContext {
+ public:
+  StringInterner& interner() { return interner_; }
+  const StringInterner& interner() const { return interner_; }
+
+  /// Interns a symbol (relation name or string constant).
+  SymbolId Intern(std::string_view s) { return interner_.Intern(s); }
+
+  /// Shorthand: interned string constant value.
+  Value StrValue(std::string_view s) { return Value::Str(Intern(s)); }
+
+  /// Creates a fresh variable with a display name (names may repeat; ids
+  /// never do).
+  VarId NewVar(std::string name);
+
+  const std::string& VarName(VarId v) const { return var_names_[v]; }
+  size_t var_count() const { return var_names_.size(); }
+
+  /// Declares `rel` as an ANSWER relation (head/postcondition namespace).
+  void DeclareAnswerRelation(SymbolId rel) { answer_relations_[rel] = true; }
+  bool IsAnswerRelation(SymbolId rel) const {
+    auto it = answer_relations_.find(rel);
+    return it != answer_relations_.end() && it->second;
+  }
+
+  /// Records/validates the arity of a relation. The first call fixes the
+  /// arity; later mismatches return InvalidArgument.
+  Status NoteArity(SymbolId rel, size_t arity);
+
+  /// Returns the recorded arity, or 0 if the relation was never seen.
+  size_t ArityOf(SymbolId rel) const;
+
+ private:
+  StringInterner interner_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<SymbolId, bool> answer_relations_;
+  std::unordered_map<SymbolId, size_t> arities_;
+};
+
+/// An entangled query in the intermediate representation {C} H ⊃ B
+/// (paper §2.2):
+///   - `postconditions` (C): conjunctive constraints over ANSWER relations
+///     that must be satisfied by *other* queries' contributions;
+///   - `head` (H): this query's contribution to the ANSWER relations, also
+///     the tuples returned to the submitter;
+///   - `body` (B) (+ `filters`): an ordinary conjunctive query over database
+///     relations that binds every variable used in H and C.
+struct EntangledQuery {
+  QueryId id = kInvalidQuery;
+  std::string label;  ///< diagnostic tag (e.g. submitting user)
+
+  std::vector<Atom> postconditions;  // C
+  std::vector<Atom> head;            // H
+  std::vector<Atom> body;            // B
+  std::vector<Filter> filters;       // extra scalar conditions on B
+
+  /// Number of coordinated answer tuples requested (CHOOSE k). The paper's
+  /// core semantics fixes k = 1; k > 1 is the §6 multi-answer extension.
+  int choose_k = 1;
+
+  /// All variables appearing anywhere in the query, in first-use order.
+  std::vector<VarId> Variables() const;
+
+  /// Renders the Datalog-style form `{C} H :- B`.
+  std::string ToString(const QueryContext& ctx) const;
+};
+
+/// A workload of entangled queries sharing one QueryContext.
+struct QuerySet {
+  std::vector<EntangledQuery> queries;
+
+  /// Assigns sequential ids (0..n-1) to all queries.
+  void AssignIds();
+};
+
+/// Validates a single query against the paper's well-formedness rules:
+/// non-empty head, ANSWER relations only in H/C, database relations only in
+/// B, consistent arities, and range restriction (every variable of H and C
+/// occurs in B).
+Status ValidateQuery(const EntangledQuery& q, QueryContext* ctx);
+
+/// Validates a workload: per-query validation plus the global requirement
+/// that no variable is shared between two queries (§4.1.3).
+Status ValidateQuerySet(const QuerySet& qs, QueryContext* ctx);
+
+/// Returns a copy of `q` with every variable replaced by a fresh one from
+/// `ctx` (same display names). Use this to instantiate a query template for
+/// repeated submission — the matching algorithm requires globally unique
+/// variables (§4.1.3: "it is easy to enforce by renaming as needed").
+EntangledQuery RenameApart(const EntangledQuery& q, QueryContext* ctx);
+
+}  // namespace eq::ir
+
+#endif  // EQ_IR_QUERY_H_

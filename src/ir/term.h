@@ -1,0 +1,54 @@
+#ifndef EQ_IR_TERM_H_
+#define EQ_IR_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/value.h"
+
+namespace eq::ir {
+
+/// Id of a variable. Variables are numbered within an ir::QueryContext; the
+/// matching algorithm requires that no variable is shared between two queries
+/// (paper §4.1.3), which QueryContext::NewVar guarantees by construction.
+using VarId = uint32_t;
+
+inline constexpr VarId kInvalidVar = UINT32_MAX;
+
+/// A term of a relational atom: either a variable or a constant.
+class Term {
+ public:
+  Term() : var_(kInvalidVar), value_() {}
+
+  static Term Var(VarId v) {
+    Term t;
+    t.var_ = v;
+    return t;
+  }
+
+  static Term Const(Value v) {
+    Term t;
+    t.value_ = v;
+    return t;
+  }
+
+  bool is_var() const { return var_ != kInvalidVar; }
+  bool is_const() const { return var_ == kInvalidVar; }
+
+  VarId var() const { return var_; }
+  const Value& value() const { return value_; }
+
+  bool operator==(const Term& o) const {
+    if (is_var()) return o.is_var() && var_ == o.var_;
+    return o.is_const() && value_ == o.value_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+ private:
+  VarId var_;
+  Value value_;
+};
+
+}  // namespace eq::ir
+
+#endif  // EQ_IR_TERM_H_

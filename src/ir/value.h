@@ -1,0 +1,91 @@
+#ifndef EQ_IR_VALUE_H_
+#define EQ_IR_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/interner.h"
+
+namespace eq::ir {
+
+/// Runtime type of a constant.
+enum class ValueType : uint8_t { kNull = 0, kInt = 1, kString = 2 };
+
+/// A constant value: 64-bit integer or interned string.
+///
+/// Strings are stored as interned SymbolIds, so equality and hashing are
+/// integer operations; the owning ir::QueryContext (or db::Database) holds
+/// the interner needed to render the text.
+class Value {
+ public:
+  /// Null value (used by the DB layer for absent cells).
+  Value() : type_(ValueType::kNull), bits_(0) {}
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt;
+    out.bits_ = static_cast<uint64_t>(v);
+    return out;
+  }
+
+  static Value Str(SymbolId s) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.bits_ = s;
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_int() const { return type_ == ValueType::kInt; }
+  bool is_str() const { return type_ == ValueType::kString; }
+
+  int64_t AsInt() const { return static_cast<int64_t>(bits_); }
+  SymbolId AsStr() const { return static_cast<SymbolId>(bits_); }
+
+  bool operator==(const Value& o) const {
+    return type_ == o.type_ && bits_ == o.bits_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order: by type tag, then payload (signed comparison for ints,
+  /// id order for interned strings). Makes Values usable as map keys and
+  /// gives deterministic sorting in test output.
+  bool operator<(const Value& o) const {
+    if (type_ != o.type_) return type_ < o.type_;
+    if (type_ == ValueType::kInt) return AsInt() < o.AsInt();
+    return bits_ < o.bits_;
+  }
+
+  size_t Hash() const {
+    uint64_t h = bits_ * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(type_);
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+
+  /// Renders the value; string payloads are resolved through `interner`.
+  std::string ToString(const StringInterner& interner) const {
+    switch (type_) {
+      case ValueType::kNull:
+        return "NULL";
+      case ValueType::kInt:
+        return std::to_string(AsInt());
+      case ValueType::kString:
+        return interner.Name(AsStr());
+    }
+    return "?";
+  }
+
+ private:
+  ValueType type_;
+  uint64_t bits_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace eq::ir
+
+#endif  // EQ_IR_VALUE_H_

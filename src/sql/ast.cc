@@ -1,0 +1,76 @@
+#include "sql/ast.h"
+
+namespace eq::sql {
+
+namespace {
+
+std::string TermToSql(const SqlTerm& t) {
+  switch (t.kind) {
+    case SqlTerm::Kind::kStringLit:
+      return "'" + t.text + "'";
+    case SqlTerm::Kind::kIntLit:
+      return std::to_string(t.number);
+    case SqlTerm::Kind::kColumnRef:
+      return t.qualifier.empty() ? t.text : t.qualifier + "." + t.text;
+  }
+  return "?";
+}
+
+std::string ComparisonToSql(const SqlComparison& c) {
+  return TermToSql(c.lhs) + " " + ir::CompareOpName(c.op) + " " +
+         TermToSql(c.rhs);
+}
+
+}  // namespace
+
+std::string ToSql(const EntangledSelect& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToSql(stmt.select_list[i]);
+  }
+  out += " INTO ";
+  for (size_t i = 0; i < stmt.answer_tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "ANSWER " + stmt.answer_tables[i];
+  }
+
+  std::vector<std::string> conds;
+  for (const InSubquery& m : stmt.memberships) {
+    std::string c = m.outer_column + " IN (SELECT " +
+                    TermToSql(m.subquery.select) + " FROM ";
+    for (size_t i = 0; i < m.subquery.from.size(); ++i) {
+      if (i > 0) c += ", ";
+      c += m.subquery.from[i].table;
+      if (!m.subquery.from[i].alias.empty()) {
+        c += " " + m.subquery.from[i].alias;
+      }
+    }
+    for (size_t i = 0; i < m.subquery.where.size(); ++i) {
+      c += i == 0 ? " WHERE " : " AND ";
+      c += ComparisonToSql(m.subquery.where[i]);
+    }
+    c += ")";
+    conds.push_back(std::move(c));
+  }
+  for (const InAnswer& pc : stmt.postconditions) {
+    std::string c = "(";
+    for (size_t i = 0; i < pc.tuple.size(); ++i) {
+      if (i > 0) c += ", ";
+      c += TermToSql(pc.tuple[i]);
+    }
+    c += ") IN ANSWER " + pc.answer_table;
+    conds.push_back(std::move(c));
+  }
+  for (const SqlComparison& f : stmt.filters) {
+    conds.push_back(ComparisonToSql(f));
+  }
+  for (size_t i = 0; i < conds.size(); ++i) {
+    out += i == 0 ? " WHERE " : " AND ";
+    out += conds[i];
+  }
+  out += " CHOOSE " + std::to_string(stmt.choose_k);
+  return out;
+}
+
+}  // namespace eq::sql

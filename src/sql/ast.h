@@ -1,0 +1,99 @@
+#ifndef EQ_SQL_AST_H_
+#define EQ_SQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+
+namespace eq::sql {
+
+/// A scalar expression in an entangled-SQL statement: a literal or a
+/// (possibly qualified) column reference.
+struct SqlTerm {
+  enum class Kind { kStringLit, kIntLit, kColumnRef };
+
+  Kind kind = Kind::kColumnRef;
+  std::string text;      ///< string literal payload, or column name
+  int64_t number = 0;    ///< integer literal payload
+  std::string qualifier; ///< optional "alias." prefix for column refs
+
+  static SqlTerm StringLit(std::string s) {
+    SqlTerm t;
+    t.kind = Kind::kStringLit;
+    t.text = std::move(s);
+    return t;
+  }
+  static SqlTerm IntLit(int64_t n) {
+    SqlTerm t;
+    t.kind = Kind::kIntLit;
+    t.number = n;
+    return t;
+  }
+  static SqlTerm Column(std::string name, std::string qualifier = "") {
+    SqlTerm t;
+    t.kind = Kind::kColumnRef;
+    t.text = std::move(name);
+    t.qualifier = std::move(qualifier);
+    return t;
+  }
+};
+
+/// FROM-list entry: table name with optional alias ("Flights F").
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< empty = table name itself
+};
+
+/// A comparison between two scalar terms.
+struct SqlComparison {
+  SqlTerm lhs;
+  ir::CompareOp op = ir::CompareOp::kEq;
+  SqlTerm rhs;
+};
+
+/// The inner SELECT of a membership condition:
+/// `SELECT col FROM T1 [a][, T2 [b]] WHERE c1 AND c2 ...`.
+struct SubquerySelect {
+  SqlTerm select;  ///< must be a column ref
+  std::vector<TableRef> from;
+  std::vector<SqlComparison> where;
+};
+
+/// `outer_column IN (SELECT ...)` — binds an outer variable to rows of
+/// database relations (becomes body atoms in the IR).
+struct InSubquery {
+  std::string outer_column;
+  SubquerySelect subquery;
+};
+
+/// `(e1, e2, ...) IN ANSWER tbl` — a coordination postcondition.
+struct InAnswer {
+  std::vector<SqlTerm> tuple;
+  std::string answer_table;
+};
+
+/// A full entangled query in the paper's §2.1 surface syntax:
+///
+///   SELECT select_list INTO ANSWER t1 [, ANSWER t2]...
+///   [WHERE cond AND cond ...]
+///   CHOOSE k
+///
+/// where each WHERE conjunct is an IN-subquery membership, an IN ANSWER
+/// postcondition, or a scalar comparison.
+struct EntangledSelect {
+  std::vector<SqlTerm> select_list;
+  std::vector<std::string> answer_tables;
+  std::vector<InSubquery> memberships;
+  std::vector<InAnswer> postconditions;
+  std::vector<SqlComparison> filters;
+  int choose_k = 1;
+};
+
+/// Renders the AST back to SQL text (normalized whitespace/casing).
+std::string ToSql(const EntangledSelect& stmt);
+
+}  // namespace eq::sql
+
+#endif  // EQ_SQL_AST_H_

@@ -1,0 +1,142 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace eq::sql {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  if (kind != TokenKind::kIdent || text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  auto push = [&](TokenKind kind, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    size_t start = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      ++pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_')) {
+        ++pos;
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(text.substr(start, pos - start));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      Token t;
+      t.kind = TokenKind::kInt;
+      t.number = std::stoll(std::string(text.substr(start, pos - start)));
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++pos;
+      size_t body = pos;
+      while (pos < text.size() && text[pos] != '\'') ++pos;
+      if (pos == text.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::string(text.substr(body, pos - body));
+      t.offset = start;
+      out.push_back(std::move(t));
+      ++pos;  // closing quote
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++pos;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++pos;
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++pos;
+        break;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++pos;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++pos;
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++pos;
+        break;
+      case '!':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(TokenKind::kNe, start);
+          pos += 2;
+        } else {
+          return Status::ParseError("stray '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(TokenKind::kLe, start);
+          pos += 2;
+        } else if (pos + 1 < text.size() && text[pos + 1] == '>') {
+          push(TokenKind::kNe, start);
+          pos += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++pos;
+        }
+        break;
+      case '>':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(TokenKind::kGe, start);
+          pos += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++pos;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, text.size());
+  return out;
+}
+
+}  // namespace eq::sql

@@ -1,0 +1,46 @@
+#ifndef EQ_SQL_LEXER_H_
+#define EQ_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace eq::sql {
+
+enum class TokenKind {
+  kIdent,    ///< bare identifier (possibly a keyword; parser decides)
+  kString,   ///< 'quoted literal'
+  kInt,      ///< integer literal
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier or string payload
+  int64_t number = 0; ///< for kInt
+  size_t offset = 0;  ///< byte offset in the source (for error messages)
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes an entangled-SQL statement. SQL keywords are returned as plain
+/// identifiers; the parser matches them case-insensitively.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace eq::sql
+
+#endif  // EQ_SQL_LEXER_H_

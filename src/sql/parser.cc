@@ -1,0 +1,279 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace eq::sql {
+
+namespace {
+
+#define EQ_RETURN_ERR(expr)    \
+  do {                         \
+    ::eq::Status _st = (expr); \
+    if (!_st.ok()) return _st; \
+  } while (0)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<EntangledSelect> Parse() {
+    EntangledSelect stmt;
+    if (!ConsumeKeyword("SELECT")) return Err("expected SELECT");
+    EQ_RETURN_ERR(ParseSelectList(&stmt.select_list));
+    if (!ConsumeKeyword("INTO")) return Err("expected INTO");
+    do {
+      if (!ConsumeKeyword("ANSWER")) return Err("expected ANSWER");
+      std::string name;
+      EQ_RETURN_ERR(ExpectIdent(&name));
+      stmt.answer_tables.push_back(std::move(name));
+    } while (Consume(TokenKind::kComma));
+
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        EQ_RETURN_ERR(ParseCondition(&stmt));
+      } while (ConsumeKeyword("AND"));
+    }
+
+    EQ_RETURN_ERR(CheckUnsupported());  // e.g. OR / UNION between conditions
+    if (!ConsumeKeyword("CHOOSE")) return Err("expected CHOOSE clause");
+    if (Peek().kind != TokenKind::kInt || Peek().number < 1) {
+      return Err("CHOOSE requires a positive integer");
+    }
+    stmt.choose_k = static_cast<int>(Peek().number);
+    Advance();
+
+    if (Peek().kind != TokenKind::kEnd) return Err("unexpected trailing input");
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool Consume(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<EntangledSelect> Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+  Status ErrS(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Status CheckUnsupported() const {
+    for (const char* kw : {"OR", "UNION", "COUNT", "NOT", "GROUP", "SUM"}) {
+      if (Peek().IsKeyword(kw)) {
+        return Status::ParseError(
+            std::string(kw) +
+            " is a §6 future-work extension and is not supported at offset " +
+            std::to_string(Peek().offset));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpectIdent(std::string* out) {
+    EQ_RETURN_NOT_OK(CheckUnsupported());
+    if (Peek().kind != TokenKind::kIdent) return ErrS("expected identifier");
+    *out = Peek().text;
+    Advance();
+    return Status::OK();
+  }
+
+  /// expr := 'string' | int | ident [ '.' ident ]
+  Status ParseTerm(SqlTerm* out) {
+    EQ_RETURN_NOT_OK(CheckUnsupported());
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kString) {
+      *out = SqlTerm::StringLit(t.text);
+      Advance();
+      return Status::OK();
+    }
+    if (t.kind == TokenKind::kInt) {
+      *out = SqlTerm::IntLit(t.number);
+      Advance();
+      return Status::OK();
+    }
+    if (t.kind == TokenKind::kIdent) {
+      std::string first = t.text;
+      Advance();
+      if (Consume(TokenKind::kDot)) {
+        std::string col;
+        EQ_RETURN_NOT_OK(ExpectIdent(&col));
+        *out = SqlTerm::Column(col, first);
+      } else {
+        *out = SqlTerm::Column(first);
+      }
+      return Status::OK();
+    }
+    return ErrS("expected literal or column reference");
+  }
+
+  Status ParseSelectList(std::vector<SqlTerm>* out) {
+    do {
+      SqlTerm t;
+      EQ_RETURN_NOT_OK(ParseTerm(&t));
+      out->push_back(std::move(t));
+    } while (Consume(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  bool ConsumeCompareOp(ir::CompareOp* op) {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        *op = ir::CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        *op = ir::CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        *op = ir::CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        *op = ir::CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        *op = ir::CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        *op = ir::CompareOp::kGe;
+        break;
+      default:
+        return false;
+    }
+    Advance();
+    return true;
+  }
+
+  /// condition := '(' expr[, expr]* ')' IN ANSWER ident
+  ///            | expr IN ANSWER ident
+  ///            | expr IN '(' subselect ')'
+  ///            | expr op expr
+  Status ParseCondition(EntangledSelect* stmt) {
+    EQ_RETURN_NOT_OK(CheckUnsupported());
+    // Tuple form: '(' e1, e2 ')' IN ANSWER t.
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      InAnswer pc;
+      do {
+        SqlTerm t;
+        EQ_RETURN_NOT_OK(ParseTerm(&t));
+        pc.tuple.push_back(std::move(t));
+      } while (Consume(TokenKind::kComma));
+      if (!Consume(TokenKind::kRParen)) return ErrS("expected ')'");
+      if (!ConsumeKeyword("IN")) return ErrS("expected IN after tuple");
+      if (!ConsumeKeyword("ANSWER")) {
+        return ErrS("tuple membership requires an ANSWER relation");
+      }
+      EQ_RETURN_NOT_OK(ExpectIdent(&pc.answer_table));
+      stmt->postconditions.push_back(std::move(pc));
+      return Status::OK();
+    }
+
+    SqlTerm lhs;
+    EQ_RETURN_NOT_OK(ParseTerm(&lhs));
+
+    if (ConsumeKeyword("IN")) {
+      if (ConsumeKeyword("ANSWER")) {
+        InAnswer pc;
+        pc.tuple.push_back(std::move(lhs));
+        EQ_RETURN_NOT_OK(ExpectIdent(&pc.answer_table));
+        stmt->postconditions.push_back(std::move(pc));
+        return Status::OK();
+      }
+      if (!Consume(TokenKind::kLParen)) {
+        return ErrS("expected '(' or ANSWER after IN");
+      }
+      if (lhs.kind != SqlTerm::Kind::kColumnRef || !lhs.qualifier.empty()) {
+        return ErrS("IN-subquery target must be an unqualified column");
+      }
+      InSubquery member;
+      member.outer_column = lhs.text;
+      EQ_RETURN_NOT_OK(ParseSubquery(&member.subquery));
+      if (!Consume(TokenKind::kRParen)) {
+        return ErrS("expected ')' after subquery");
+      }
+      stmt->memberships.push_back(std::move(member));
+      return Status::OK();
+    }
+
+    ir::CompareOp op;
+    if (!ConsumeCompareOp(&op)) return ErrS("expected IN or comparison");
+    SqlComparison cmp;
+    cmp.lhs = std::move(lhs);
+    cmp.op = op;
+    EQ_RETURN_NOT_OK(ParseTerm(&cmp.rhs));
+    stmt->filters.push_back(std::move(cmp));
+    return Status::OK();
+  }
+
+  /// subselect := SELECT expr FROM table [alias] [, table [alias]]*
+  ///              [WHERE cmp [AND cmp]*]
+  Status ParseSubquery(SubquerySelect* out) {
+    if (!ConsumeKeyword("SELECT")) return ErrS("expected SELECT in subquery");
+    EQ_RETURN_NOT_OK(ParseTerm(&out->select));
+    if (out->select.kind != SqlTerm::Kind::kColumnRef) {
+      return ErrS("subquery must select a column");
+    }
+    if (!ConsumeKeyword("FROM")) return ErrS("expected FROM in subquery");
+    do {
+      TableRef ref;
+      EQ_RETURN_NOT_OK(ExpectIdent(&ref.table));
+      // Optional alias: a bare identifier that is not a clause keyword.
+      if (Peek().kind == TokenKind::kIdent && !Peek().IsKeyword("WHERE") &&
+          !Peek().IsKeyword("AND") && !Peek().IsKeyword("CHOOSE")) {
+        ref.alias = Peek().text;
+        Advance();
+      }
+      out->from.push_back(std::move(ref));
+    } while (Consume(TokenKind::kComma));
+
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        EQ_RETURN_NOT_OK(CheckUnsupported());
+        SqlComparison cmp;
+        EQ_RETURN_NOT_OK(ParseTerm(&cmp.lhs));
+        if (!ConsumeCompareOp(&cmp.op)) {
+          return ErrS("expected comparison in subquery WHERE");
+        }
+        EQ_RETURN_NOT_OK(ParseTerm(&cmp.rhs));
+        out->where.push_back(std::move(cmp));
+      } while (ConsumeKeyword("AND"));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+#undef EQ_RETURN_ERR
+
+}  // namespace
+
+Result<EntangledSelect> ParseSql(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace eq::sql

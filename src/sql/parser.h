@@ -1,0 +1,29 @@
+#ifndef EQ_SQL_PARSER_H_
+#define EQ_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace eq::sql {
+
+/// Parses one entangled-SQL statement (paper §2.1 grammar):
+///
+///   SELECT select_expr
+///   INTO ANSWER tbl_name [, ANSWER tbl_name] ...
+///   [WHERE where_answer_condition]
+///   CHOOSE 1
+///
+/// Supported WHERE conjuncts:
+///   col IN (SELECT col FROM tbl [alias] [, tbl [alias]]... [WHERE conj])
+///   (expr [, expr]...) IN ANSWER tbl      -- also: expr IN ANSWER tbl
+///   expr op expr                           -- op ∈ {=, !=, <>, <, <=, >, >=}
+///
+/// Unsupported constructs from the paper's §6 future-work list (OR, UNION,
+/// aggregation/COUNT, NOT IN) are rejected with a descriptive ParseError.
+Result<EntangledSelect> ParseSql(std::string_view text);
+
+}  // namespace eq::sql
+
+#endif  // EQ_SQL_PARSER_H_

@@ -1,0 +1,46 @@
+#ifndef EQ_SQL_TRANSLATOR_H_
+#define EQ_SQL_TRANSLATOR_H_
+
+#include "db/database.h"
+#include "ir/query.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace eq::sql {
+
+/// Translates entangled SQL (paper §2.1) to the intermediate representation
+/// {C} H ⊃ B (paper §2.2):
+///
+///  - the SELECT ... INTO ANSWER clause becomes the head H (one atom per
+///    listed ANSWER relation);
+///  - `(…) IN ANSWER t` conditions become postcondition atoms C;
+///  - `col IN (SELECT … FROM … WHERE …)` memberships become body atoms B
+///    (one atom per FROM entry, with equality conditions folded in by
+///    substitution) — this is where variables get range-restricted;
+///  - remaining scalar comparisons become body filters.
+///
+/// The translator resolves column names through the database catalog (to
+/// map them to atom argument positions) and type-checks literals against
+/// column types.
+class Translator {
+ public:
+  /// `ctx` receives interned symbols and fresh variables; `db` supplies
+  /// table schemas. Both must outlive the translator.
+  Translator(ir::QueryContext* ctx, const db::Database* db)
+      : ctx_(ctx), db_(db) {}
+
+  /// Translates one parsed statement. The result uses fresh variables and
+  /// can be submitted to the engine directly.
+  Result<ir::EntangledQuery> Translate(const EntangledSelect& stmt);
+
+  /// Convenience: parse + translate.
+  Result<ir::EntangledQuery> TranslateSql(std::string_view text);
+
+ private:
+  ir::QueryContext* ctx_;
+  const db::Database* db_;
+};
+
+}  // namespace eq::sql
+
+#endif  // EQ_SQL_TRANSLATOR_H_

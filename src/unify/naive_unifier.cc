@@ -1,0 +1,125 @@
+#include "unify/naive_unifier.h"
+
+#include <algorithm>
+
+namespace eq::unify {
+
+using ir::Term;
+using ir::Value;
+using ir::VarId;
+
+std::optional<size_t> NaiveUnifier::FindClass(VarId v) const {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    const auto& vars = classes_[i].vars;
+    if (std::find(vars.begin(), vars.end(), v) != vars.end()) return i;
+  }
+  return std::nullopt;
+}
+
+bool NaiveUnifier::MergeClasses(size_t i, size_t j) {
+  Cls& a = classes_[i];
+  Cls& b = classes_[j];
+  if (a.constant && b.constant && *a.constant != *b.constant) return false;
+  if (!a.constant) a.constant = b.constant;
+  a.vars.insert(a.vars.end(), b.vars.begin(), b.vars.end());
+  classes_.erase(classes_.begin() + static_cast<ptrdiff_t>(j));
+  return true;
+}
+
+bool NaiveUnifier::UnionVars(VarId a, VarId b) {
+  auto ia = FindClass(a);
+  if (!ia) {
+    classes_.push_back(Cls{{a}, std::nullopt});
+    ia = classes_.size() - 1;
+  }
+  auto ib = FindClass(b);
+  if (!ib) {
+    classes_[*ia].vars.push_back(b);
+    return true;
+  }
+  if (*ia == *ib) return true;
+  size_t lo = std::min(*ia, *ib), hi = std::max(*ia, *ib);
+  return MergeClasses(lo, hi);
+}
+
+bool NaiveUnifier::BindConst(VarId v, const Value& c) {
+  auto i = FindClass(v);
+  if (!i) {
+    classes_.push_back(Cls{{v}, c});
+    return true;
+  }
+  Cls& cls = classes_[*i];
+  if (cls.constant) return *cls.constant == c;
+  cls.constant = c;
+  return true;
+}
+
+bool NaiveUnifier::UnifyTerms(const Term& a, const Term& b) {
+  if (a.is_const() && b.is_const()) return a.value() == b.value();
+  if (a.is_var() && b.is_var()) return UnionVars(a.var(), b.var());
+  if (a.is_var()) return BindConst(a.var(), b.value());
+  return BindConst(b.var(), a.value());
+}
+
+MergeResult NaiveUnifier::MergeFrom(const NaiveUnifier& other) {
+  // Capture the constraint fingerprint before merging to report change.
+  auto before = Classes();
+  for (const Cls& cls : other.classes_) {
+    if (cls.vars.size() < 2 && !cls.constant) continue;
+    for (size_t i = 1; i < cls.vars.size(); ++i) {
+      if (!UnionVars(cls.vars[0], cls.vars[i])) return MergeResult::kConflict;
+    }
+    if (cls.constant) {
+      if (!BindConst(cls.vars[0], *cls.constant)) {
+        return MergeResult::kConflict;
+      }
+    }
+  }
+  // Compare canonical forms, ignoring unconstrained singletons, so the
+  // changed/unchanged verdict matches Unifier::MergeFrom exactly.
+  auto strip = [](std::vector<Unifier::Class> cs) {
+    cs.erase(std::remove_if(cs.begin(), cs.end(),
+                            [](const Unifier::Class& c) {
+                              return c.vars.size() < 2 && !c.constant;
+                            }),
+             cs.end());
+    return cs;
+  };
+  auto after = Classes();
+  auto sb = strip(before), sa = strip(after);
+  bool same = sb.size() == sa.size();
+  for (size_t i = 0; same && i < sb.size(); ++i) {
+    same = sb[i].vars == sa[i].vars && sb[i].constant == sa[i].constant;
+  }
+  return same ? MergeResult::kUnchanged : MergeResult::kChanged;
+}
+
+std::optional<Value> NaiveUnifier::BindingOf(VarId v) const {
+  auto i = FindClass(v);
+  if (!i) return std::nullopt;
+  return classes_[*i].constant;
+}
+
+bool NaiveUnifier::SameClass(VarId a, VarId b) const {
+  auto ia = FindClass(a);
+  auto ib = FindClass(b);
+  return ia && ib && *ia == *ib;
+}
+
+std::vector<Unifier::Class> NaiveUnifier::Classes() const {
+  std::vector<Unifier::Class> out;
+  out.reserve(classes_.size());
+  for (const Cls& c : classes_) {
+    Unifier::Class cls;
+    cls.vars = c.vars;
+    std::sort(cls.vars.begin(), cls.vars.end());
+    cls.constant = c.constant;
+    out.push_back(std::move(cls));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.vars.front() < b.vars.front();
+  });
+  return out;
+}
+
+}  // namespace eq::unify

@@ -1,0 +1,180 @@
+#include "unify/unifier.h"
+
+#include <algorithm>
+#include <map>
+
+namespace eq::unify {
+
+using ir::Term;
+using ir::Value;
+using ir::VarId;
+
+uint32_t Unifier::SlotOf(VarId v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  uint32_t slot = dsu_.Add();
+  index_.emplace(v, slot);
+  vars_.push_back(v);
+  root_const_.push_back(Value());  // null = unbound
+  root_min_.push_back(v);
+  return slot;
+}
+
+std::optional<uint32_t> Unifier::FindSlot(VarId v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Unifier::UnionSlots(uint32_t a, uint32_t b, bool* changed) {
+  uint32_t ra = dsu_.Find(a);
+  uint32_t rb = dsu_.Find(b);
+  if (ra == rb) return true;
+  const Value& ca = root_const_[ra];
+  const Value& cb = root_const_[rb];
+  if (!ca.is_null() && !cb.is_null() && ca != cb) return false;
+  Value merged_const = ca.is_null() ? cb : ca;
+  VarId merged_min = std::min(root_min_[ra], root_min_[rb]);
+  uint32_t r = dsu_.Union(ra, rb);
+  root_const_[r] = merged_const;
+  root_min_[r] = merged_min;
+  *changed = true;
+  return true;
+}
+
+bool Unifier::UnionVars(VarId a, VarId b) {
+  bool changed = false;
+  return UnionSlots(SlotOf(a), SlotOf(b), &changed);
+}
+
+bool Unifier::BindConst(VarId v, const Value& c) {
+  uint32_t r = dsu_.Find(SlotOf(v));
+  if (!root_const_[r].is_null()) return root_const_[r] == c;
+  root_const_[r] = c;
+  return true;
+}
+
+bool Unifier::UnifyTerms(const Term& a, const Term& b) {
+  if (a.is_const() && b.is_const()) return a.value() == b.value();
+  if (a.is_var() && b.is_var()) return UnionVars(a.var(), b.var());
+  if (a.is_var()) return BindConst(a.var(), b.value());
+  return BindConst(b.var(), a.value());
+}
+
+MergeResult Unifier::MergeFrom(const Unifier& other) {
+  if (&other == this) return MergeResult::kUnchanged;
+  bool changed = false;
+  // Only classes that impose constraints (>= 2 members, or a constant
+  // binding) are imported; unconstrained singletons do not restrict
+  // valuations. This walks other's slots directly instead of materializing
+  // Classes() — MergeFrom is the inner loop of unifier propagation and its
+  // cost bounds the O(k·α(k)) MGU guarantee of §4.1.5.
+  const size_t k = other.vars_.size();
+  std::vector<uint32_t> class_size(k, 0);
+  for (uint32_t s = 0; s < k; ++s) ++class_size[other.dsu_.Find(s)];
+
+  for (uint32_t s = 0; s < k; ++s) {
+    uint32_t root = other.dsu_.Find(s);
+    bool constrained =
+        class_size[root] >= 2 || !other.root_const_[root].is_null();
+    if (!constrained) continue;
+    if (s != root) {
+      if (!UnionSlots(SlotOf(other.vars_[s]), SlotOf(other.vars_[root]),
+                      &changed)) {
+        return MergeResult::kConflict;
+      }
+    } else {
+      const Value& c = other.root_const_[root];
+      if (!c.is_null()) {
+        uint32_t r = dsu_.Find(SlotOf(other.vars_[root]));
+        const Value& existing = root_const_[r];
+        if (existing.is_null()) {
+          root_const_[r] = c;
+          changed = true;
+        } else if (existing != c) {
+          return MergeResult::kConflict;
+        }
+      }
+    }
+  }
+  return changed ? MergeResult::kChanged : MergeResult::kUnchanged;
+}
+
+std::optional<Value> Unifier::BindingOf(VarId v) const {
+  auto slot = FindSlot(v);
+  if (!slot) return std::nullopt;
+  const Value& c = root_const_[dsu_.Find(*slot)];
+  if (c.is_null()) return std::nullopt;
+  return c;
+}
+
+bool Unifier::SameClass(VarId a, VarId b) const {
+  auto sa = FindSlot(a);
+  auto sb = FindSlot(b);
+  if (!sa || !sb) return false;
+  return dsu_.Find(*sa) == dsu_.Find(*sb);
+}
+
+VarId Unifier::Representative(VarId v) const {
+  auto slot = FindSlot(v);
+  if (!slot) return v;
+  return root_min_[dsu_.Find(*slot)];
+}
+
+std::vector<Unifier::Class> Unifier::Classes() const {
+  std::map<uint32_t, Class> by_root;
+  for (size_t slot = 0; slot < vars_.size(); ++slot) {
+    uint32_t r = dsu_.Find(static_cast<uint32_t>(slot));
+    Class& cls = by_root[r];
+    cls.vars.push_back(vars_[slot]);
+    if (!root_const_[r].is_null()) cls.constant = root_const_[r];
+  }
+  std::vector<Class> out;
+  out.reserve(by_root.size());
+  for (auto& [root, cls] : by_root) {
+    std::sort(cls.vars.begin(), cls.vars.end());
+    out.push_back(std::move(cls));
+  }
+  std::sort(out.begin(), out.end(), [](const Class& a, const Class& b) {
+    return a.vars.front() < b.vars.front();
+  });
+  return out;
+}
+
+std::string Unifier::ToString(const ir::QueryContext& ctx) const {
+  std::string out = "{";
+  bool first_class = true;
+  for (const Class& cls : Classes()) {
+    if (!first_class) out += ", ";
+    first_class = false;
+    out += "{";
+    bool first = true;
+    for (VarId v : cls.vars) {
+      if (!first) out += ", ";
+      first = false;
+      out += ctx.VarName(v);
+    }
+    if (cls.constant.has_value()) {
+      if (!first) out += ", ";
+      out += cls.constant->ToString(ctx.interner());
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+bool UnifyAtoms(const ir::Atom& h, const ir::Atom& p, Unifier* out) {
+  if (h.relation != p.relation || h.arity() != p.arity()) return false;
+  for (size_t i = 0; i < h.args.size(); ++i) {
+    if (!out->UnifyTerms(h.args[i], p.args[i])) return false;
+  }
+  return true;
+}
+
+bool Unifiable(const ir::Atom& h, const ir::Atom& p) {
+  Unifier u;
+  return UnifyAtoms(h, p, &u);
+}
+
+}  // namespace eq::unify

@@ -1,0 +1,116 @@
+#ifndef EQ_UNIFY_UNIFIER_H_
+#define EQ_UNIFY_UNIFIER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/atom.h"
+#include "ir/query.h"
+#include "util/disjoint_set.h"
+
+namespace eq::unify {
+
+/// Outcome of merging one unifier into another (the MGU operation).
+enum class MergeResult {
+  kUnchanged,  ///< mgu exists and equals the target (no new constraints)
+  kChanged,    ///< mgu exists and strictly tightened the target
+  kConflict,   ///< no mgu exists (a variable would need two constants)
+};
+
+/// A unifier: a partition of a subset of Val (variables and constants) with
+/// at most one constant per class (paper §4.1.3).
+///
+/// Example: {{x, 3}, {y, z}} — x must equal 3; y and z must be equal.
+///
+/// Implementation: disjoint-set forest over the variables this unifier has
+/// seen, with an optional constant binding per class root. This realizes the
+/// paper's O(k·α(k)) MGU bound (§4.1.5): merging two unifiers that jointly
+/// contain k variables performs O(k) finds/unions.
+///
+/// "Change" tracking follows the paper's termination argument: a merge counts
+/// as a change only if it (a) newly binds a constant to some class or
+/// (b) merges two constraint classes — i.e. only if the set of permitted
+/// valuations strictly shrinks. Importing an unconstrained singleton variable
+/// is not a change.
+class Unifier {
+ public:
+  Unifier() = default;
+
+  /// Imposes term equality a = b. Returns false on constant conflict
+  /// (in which case the unifier is left in an unspecified-but-valid state
+  /// and should be discarded).
+  bool UnifyTerms(const ir::Term& a, const ir::Term& b);
+
+  /// Imposes variable equality.
+  bool UnionVars(ir::VarId a, ir::VarId b);
+
+  /// Binds a variable's class to a constant.
+  bool BindConst(ir::VarId v, const ir::Value& c);
+
+  /// Computes mgu(*this, other) in place: *this becomes the combined
+  /// unifier. On kConflict, *this must be discarded.
+  MergeResult MergeFrom(const Unifier& other);
+
+  /// True iff the variable occurs in this unifier.
+  bool HasVar(ir::VarId v) const { return index_.count(v) > 0; }
+
+  /// The constant bound to v's class, if any.
+  std::optional<ir::Value> BindingOf(ir::VarId v) const;
+
+  /// True iff a and b are both present and in the same class.
+  bool SameClass(ir::VarId a, ir::VarId b) const;
+
+  /// Canonical member (smallest VarId) of v's class; v itself if absent.
+  /// Used when rewriting the combined query to representative variables
+  /// (paper §4.2 simplification).
+  ir::VarId Representative(ir::VarId v) const;
+
+  /// One equivalence class: member variables (sorted) plus the optional
+  /// bound constant.
+  struct Class {
+    std::vector<ir::VarId> vars;
+    std::optional<ir::Value> constant;
+  };
+
+  /// All classes, sorted by smallest member variable — deterministic for
+  /// tests and for building the φU equality conjunction (§4.2).
+  std::vector<Class> Classes() const;
+
+  /// Number of variables tracked.
+  size_t var_count() const { return vars_.size(); }
+
+  /// Renders e.g. "{{x, 3}, {y, z}}".
+  std::string ToString(const ir::QueryContext& ctx) const;
+
+ private:
+  uint32_t SlotOf(ir::VarId v);            // adds v if absent
+  std::optional<uint32_t> FindSlot(ir::VarId v) const;
+
+  /// Union two slots; returns false on constant conflict, sets *changed when
+  /// two distinct classes were merged.
+  bool UnionSlots(uint32_t a, uint32_t b, bool* changed);
+
+  std::unordered_map<ir::VarId, uint32_t> index_;  // var -> slot
+  std::vector<ir::VarId> vars_;                    // slot -> var
+  mutable DisjointSetForest dsu_;                  // over slots
+  std::vector<ir::Value> root_const_;  // slot -> binding (valid at roots);
+                                       // null Value = unbound
+  std::vector<ir::VarId> root_min_;    // slot -> min VarId in class (at roots)
+};
+
+/// Computes the most general unifier of two atoms into *out (which must be
+/// empty). Returns false if the atoms do not unify — different relations,
+/// different arities, or clashing constants (directly or through repeated
+/// variables). Atoms from different queries never share variables, so this
+/// is plain first-order unification without occurs-check concerns (terms are
+/// flat).
+bool UnifyAtoms(const ir::Atom& h, const ir::Atom& p, Unifier* out);
+
+/// Cheap test: do the atoms unify? (No unifier is materialized.)
+bool Unifiable(const ir::Atom& h, const ir::Atom& p);
+
+}  // namespace eq::unify
+
+#endif  // EQ_UNIFY_UNIFIER_H_

@@ -1,0 +1,72 @@
+#ifndef EQ_UTIL_DISJOINT_SET_H_
+#define EQ_UTIL_DISJOINT_SET_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace eq {
+
+/// Disjoint-set forest with union by rank and path halving.
+///
+/// This is the data structure behind both the O(k·α(k)) MGU procedure
+/// (paper §4.1.3/§4.1.5) and connected-component partitioning (§4.1.2).
+class DisjointSetForest {
+ public:
+  DisjointSetForest() = default;
+  explicit DisjointSetForest(size_t n) { Reset(n); }
+
+  /// Discards all state and re-creates `n` singleton sets.
+  void Reset(size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    rank_.assign(n, 0);
+    count_ = n;
+  }
+
+  /// Adds one new singleton set; returns its element index.
+  uint32_t Add() {
+    uint32_t id = static_cast<uint32_t>(parent_.size());
+    parent_.push_back(id);
+    rank_.push_back(0);
+    ++count_;
+    return id;
+  }
+
+  /// Returns the representative of x's set (with path halving).
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b. Returns the new representative.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return a;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --count_;
+    return a;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets.
+  size_t set_count() const { return count_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t count_ = 0;
+};
+
+}  // namespace eq
+
+#endif  // EQ_UTIL_DISJOINT_SET_H_

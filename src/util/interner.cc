@@ -1,0 +1,19 @@
+#include "util/interner.h"
+
+namespace eq {
+
+SymbolId StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId StringInterner::Lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace eq

@@ -1,0 +1,44 @@
+#ifndef EQ_UTIL_INTERNER_H_
+#define EQ_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace eq {
+
+/// Dense integer id of an interned string (relation name, constant, ...).
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
+
+/// Maps strings to dense uint32 ids and back.
+///
+/// All symbolic data in the system — relation names, string constants,
+/// variable names — is interned once so that unification, index lookups and
+/// join keys reduce to integer comparisons. Not thread-safe; each workload
+/// owns its interner (usually via ir::QueryContext).
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it on first use.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalidSymbol if never interned.
+  SymbolId Lookup(std::string_view s) const;
+
+  /// Returns the string for a valid id.
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace eq
+
+#endif  // EQ_UTIL_INTERNER_H_

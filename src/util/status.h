@@ -1,0 +1,129 @@
+#ifndef EQ_UTIL_STATUS_H_
+#define EQ_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eq {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Arrow convention: library code never throws; fallible operations return a
+/// Status (or Result<T>) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< malformed input (bad query, bad schema, ...)
+  kNotFound,         ///< named entity does not exist
+  kAlreadyExists,    ///< duplicate registration
+  kUnsafe,           ///< entangled-query safety violation (paper §3.1.1)
+  kUnsatisfiable,    ///< no coordinating set can exist (MGU failure)
+  kParseError,       ///< SQL / IR text could not be parsed
+  kTimeout,          ///< query became stale before coordination (paper §5.1)
+  kInternal,         ///< invariant violation; indicates a bug
+};
+
+/// Returns a short human-readable name for a code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+/// Typical use:
+///
+///     Status s = table.Insert(row);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsafe(std::string msg) {
+    return Status(StatusCode::kUnsafe, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error holder, analogous to arrow::Result.
+///
+///     Result<int> r = ParseCount(text);
+///     if (!r.ok()) return r.status();
+///     Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define EQ_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::eq::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace eq
+
+#endif  // EQ_UTIL_STATUS_H_

@@ -1,0 +1,47 @@
+#ifndef EQ_UTIL_THREAD_POOL_H_
+#define EQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eq {
+
+/// Fixed-size worker pool used to evaluate independent unifiability-graph
+/// partitions in parallel (paper §4.1.2: components "can subsequently be
+/// processed independently and in parallel").
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (>= 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers: work available / stop
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace eq
+
+#endif  // EQ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,317 @@
+#include "workload/flight_workload.h"
+
+#include <algorithm>
+
+namespace eq::workload {
+
+using ir::Atom;
+using ir::EntangledQuery;
+using ir::Term;
+using ir::Value;
+using ir::ValueType;
+using ir::VarId;
+
+FlightWorkload::FlightWorkload(const SocialGraph* graph,
+                               ir::QueryContext* ctx)
+    : graph_(graph), ctx_(ctx) {
+  reserve_ = ctx_->Intern("Reserve");
+  friends_ = ctx_->Intern("Friends");
+  user_ = ctx_->Intern("User");
+  ctx_->DeclareAnswerRelation(reserve_);
+  user_values_.resize(graph_->num_users());
+  airport_values_.resize(graph_->num_airports());
+}
+
+Value FlightWorkload::UserValue(uint32_t u) const {
+  if (user_values_[u].is_null()) {
+    user_values_[u] = Value::Str(ctx_->Intern(graph_->UserName(u)));
+  }
+  return user_values_[u];
+}
+
+Value FlightWorkload::AirportValue(uint32_t a) const {
+  if (airport_values_[a].is_null()) {
+    airport_values_[a] = Value::Str(ctx_->Intern(graph_->AirportName(a)));
+  }
+  return airport_values_[a];
+}
+
+Status FlightWorkload::PopulateDatabase(db::Database* db) const {
+  EQ_RETURN_NOT_OK(db->CreateTable(
+      "Friends", {{"u1", ValueType::kString}, {"u2", ValueType::kString}}));
+  EQ_RETURN_NOT_OK(db->CreateTable(
+      "User", {{"name", ValueType::kString}, {"hometown", ValueType::kString}}));
+  db::Table* friends = db->GetTable("Friends");
+  db::Table* user = db->GetTable("User");
+  // Build indexes first so inserts maintain them in one pass.
+  EQ_RETURN_NOT_OK(friends->BuildIndex(0));
+  EQ_RETURN_NOT_OK(friends->BuildIndex(1));
+  EQ_RETURN_NOT_OK(user->BuildIndex(0));
+  for (uint32_t u = 0; u < graph_->num_users(); ++u) {
+    EQ_RETURN_NOT_OK(user->Insert(
+        {UserValue(u), AirportValue(graph_->Hometown(u))}));
+    for (uint32_t v : graph_->Friends(u)) {
+      // Both directions are materialized (u < v and u > v both occur here).
+      EQ_RETURN_NOT_OK(friends->Insert({UserValue(u), UserValue(v)}));
+    }
+  }
+  return Status::OK();
+}
+
+EntangledQuery FlightWorkload::WildcardPartnerQuery(uint32_t u,
+                                                    uint32_t dest) const {
+  EntangledQuery q;
+  q.label = graph_->UserName(u);
+  Value me = UserValue(u);
+  Value d = AirportValue(dest);
+  Term x = Term::Var(ctx_->NewVar("x"));
+  Term c = Term::Var(ctx_->NewVar("c"));
+  q.postconditions.push_back(Atom(reserve_, {x, Term::Const(d)}));
+  q.head.push_back(Atom(reserve_, {Term::Const(me), Term::Const(d)}));
+  q.body.push_back(Atom(friends_, {Term::Const(me), x}));
+  q.body.push_back(Atom(user_, {Term::Const(me), c}));
+  q.body.push_back(Atom(user_, {x, c}));
+  return q;
+}
+
+EntangledQuery FlightWorkload::NamedPartnerQuery(uint32_t u, uint32_t v,
+                                                 uint32_t dest) const {
+  EntangledQuery q;
+  q.label = graph_->UserName(u);
+  Value me = UserValue(u);
+  Value partner = UserValue(v);
+  Value d = AirportValue(dest);
+  Term c = Term::Var(ctx_->NewVar("c"));
+  q.postconditions.push_back(
+      Atom(reserve_, {Term::Const(partner), Term::Const(d)}));
+  q.head.push_back(Atom(reserve_, {Term::Const(me), Term::Const(d)}));
+  q.body.push_back(
+      Atom(friends_, {Term::Const(me), Term::Const(partner)}));
+  q.body.push_back(Atom(user_, {Term::Const(me), c}));
+  q.body.push_back(Atom(user_, {Term::Const(partner), c}));
+  return q;
+}
+
+std::vector<EntangledQuery> FlightWorkload::TwoWayRandom(size_t pairs,
+                                                         Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  out.reserve(pairs * 2);
+  for (size_t i = 0; i < pairs; ++i) {
+    auto [u, v] = graph_->RandomFriendPair(rng);
+    uint32_t dest =
+        static_cast<uint32_t>(rng->Below(graph_->num_airports()));
+    out.push_back(WildcardPartnerQuery(u, dest));
+    out.push_back(WildcardPartnerQuery(v, dest));
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::TwoWayBestCase(size_t pairs,
+                                                           Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  out.reserve(pairs * 2);
+  for (size_t i = 0; i < pairs; ++i) {
+    auto [u, v] = graph_->RandomFriendPair(rng);
+    uint32_t dest =
+        static_cast<uint32_t>(rng->Below(graph_->num_airports()));
+    out.push_back(NamedPartnerQuery(u, v, dest));
+    out.push_back(NamedPartnerQuery(v, u, dest));
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::ThreeWay(size_t triples,
+                                                     Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  out.reserve(triples * 3);
+  for (size_t i = 0; i < triples; ++i) {
+    auto tri = graph_->RandomTriangle(rng);
+    if (!tri) continue;
+    uint32_t dest =
+        static_cast<uint32_t>(rng->Below(graph_->num_airports()));
+    auto [u, v, w] = *tri;
+    // Cycle: u needs v, v needs w, w needs u (§5.3.2).
+    out.push_back(NamedPartnerQuery(u, v, dest));
+    out.push_back(NamedPartnerQuery(v, w, dest));
+    out.push_back(NamedPartnerQuery(w, u, dest));
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::CliqueCoordination(
+    size_t groups, size_t w, Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  for (size_t g = 0; g < groups; ++g) {
+    auto clique = graph_->RandomClique(w + 1, rng);
+    if (!clique) continue;
+    uint32_t dest =
+        static_cast<uint32_t>(rng->Below(graph_->num_airports()));
+    Value d = AirportValue(dest);
+    // Each member posts on every other member and joins on a shared city
+    // (§5.3.3 example with w = 2).
+    for (size_t i = 0; i < clique->size(); ++i) {
+      EntangledQuery q;
+      uint32_t me = (*clique)[i];
+      q.label = graph_->UserName(me);
+      Term c = Term::Var(ctx_->NewVar("c"));
+      q.head.push_back(
+          Atom(reserve_, {Term::Const(UserValue(me)), Term::Const(d)}));
+      q.body.push_back(Atom(user_, {Term::Const(UserValue(me)), c}));
+      for (size_t j = 0; j < clique->size(); ++j) {
+        if (j == i) continue;
+        uint32_t other = (*clique)[j];
+        q.postconditions.push_back(
+            Atom(reserve_, {Term::Const(UserValue(other)), Term::Const(d)}));
+        q.body.push_back(Atom(friends_, {Term::Const(UserValue(me)),
+                                         Term::Const(UserValue(other))}));
+        q.body.push_back(Atom(user_, {Term::Const(UserValue(other)), c}));
+      }
+      out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::NoUnification(size_t n,
+                                                          Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [u, v] = graph_->RandomFriendPair(rng);
+    // Tag destinations with disjoint integers: postcondition tag 2i never
+    // equals any head tag 2j+1, so nothing unifies with anything.
+    EntangledQuery q;
+    q.label = graph_->UserName(u);
+    Term c = Term::Var(ctx_->NewVar("c"));
+    q.postconditions.push_back(
+        Atom(reserve_, {Term::Const(UserValue(v)),
+                        Term::Const(Value::Int(static_cast<int64_t>(2 * i)))}));
+    q.head.push_back(Atom(
+        reserve_, {Term::Const(UserValue(u)),
+                   Term::Const(Value::Int(static_cast<int64_t>(2 * i + 1)))}));
+    q.body.push_back(Atom(user_, {Term::Const(UserValue(u)), c}));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::Chains(size_t n, size_t chain_len,
+                                                   Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  out.reserve(n);
+  size_t made = 0;
+  uint64_t chain_id = 0;
+  while (made < n) {
+    // Random friendship walk of chain_len users sharing one destination.
+    uint32_t u = static_cast<uint32_t>(rng->Below(graph_->num_users()));
+    uint32_t dest =
+        static_cast<uint32_t>(rng->Below(graph_->num_airports()));
+    ++chain_id;
+    std::vector<uint32_t> walk{u};
+    while (walk.size() < chain_len) {
+      const auto& nbrs = graph_->Friends(walk.back());
+      if (nbrs.empty()) break;
+      // Avoid revisits: a repeated user would duplicate a head and make the
+      // predecessor's postcondition ambiguous (unsafe).
+      uint32_t next = UINT32_MAX;
+      for (int tries = 0; tries < 10; ++tries) {
+        uint32_t cand = nbrs[rng->Below(nbrs.size())];
+        if (std::find(walk.begin(), walk.end(), cand) == walk.end()) {
+          next = cand;
+          break;
+        }
+      }
+      if (next == UINT32_MAX) break;
+      walk.push_back(next);
+    }
+    // Query j waits for member j+1's reservation; the head of the last
+    // member is never required, and the last member's postcondition (on a
+    // sentinel) is never satisfied — a pure chain, no cycle. The chain id
+    // keeps different chains from unifying with each other.
+    Value d = AirportValue(dest);
+    Value tag = Value::Int(static_cast<int64_t>(chain_id));
+    for (size_t j = 0; j + 1 < walk.size() && made < n; ++j) {
+      EntangledQuery q;
+      q.label = graph_->UserName(walk[j]);
+      Term c = Term::Var(ctx_->NewVar("c"));
+      q.postconditions.push_back(
+          Atom(reserve_, {Term::Const(UserValue(walk[j + 1])), Term::Const(d),
+                          Term::Const(tag)}));
+      q.head.push_back(Atom(reserve_, {Term::Const(UserValue(walk[j])),
+                                       Term::Const(d), Term::Const(tag)}));
+      q.body.push_back(Atom(user_, {Term::Const(UserValue(walk[j])), c}));
+      out.push_back(std::move(q));
+      ++made;
+    }
+    if (walk.size() >= 2 && made < n) {
+      // Terminal member: unsatisfiable postcondition keeps the chain open.
+      EntangledQuery q;
+      q.label = graph_->UserName(walk.back());
+      Term c = Term::Var(ctx_->NewVar("c"));
+      q.postconditions.push_back(Atom(
+          reserve_, {Term::Const(ctx_->StrValue("nobody")), Term::Const(d),
+                     Term::Const(Value::Int(-static_cast<int64_t>(chain_id)))}));
+      q.head.push_back(Atom(reserve_, {Term::Const(UserValue(walk.back())),
+                                       Term::Const(d), Term::Const(tag)}));
+      q.body.push_back(Atom(user_, {Term::Const(UserValue(walk.back())), c}));
+      out.push_back(std::move(q));
+      ++made;
+    }
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::MassiveCluster(size_t n,
+                                                           Rng* rng) const {
+  (void)rng;  // deterministic chain; rng kept for interface uniformity
+  std::vector<uint32_t> cluster = graph_->UsersInLargestCity();
+  std::vector<EntangledQuery> out;
+  out.reserve(n);
+  if (cluster.empty()) return out;
+  // One long cycle across the cluster: every arrival extends a single huge
+  // partition, and the final arrival closes the cycle so the whole cluster
+  // coordinates together (§5.3.4's stress case). Heads and postconditions
+  // are ground, so the cost that dominates is matching bookkeeping over an
+  // ever-growing partition — the regime where the paper observes that
+  // incremental evaluation degrades and set-at-a-time wins.
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t me = cluster[i % cluster.size()];
+    size_t next_idx = (i + 1) % n;
+    uint32_t next = cluster[next_idx % cluster.size()];
+    EntangledQuery q;
+    q.label = graph_->UserName(me);
+    Term c = Term::Var(ctx_->NewVar("c"));
+    q.postconditions.push_back(Atom(
+        reserve_, {Term::Const(UserValue(next)),
+                   Term::Const(Value::Int(static_cast<int64_t>(next_idx)))}));
+    q.head.push_back(
+        Atom(reserve_, {Term::Const(UserValue(me)),
+                        Term::Const(Value::Int(static_cast<int64_t>(i)))}));
+    q.body.push_back(Atom(user_, {Term::Const(UserValue(me)), c}));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<EntangledQuery> FlightWorkload::UnsafeSet(size_t n,
+                                                      Rng* rng) const {
+  std::vector<EntangledQuery> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t u = static_cast<uint32_t>(rng->Below(graph_->num_users()));
+    // Wildcard postcondition R(x, y): unifies with every resident head —
+    // guaranteed safety violation once two heads exist (§5.3.5).
+    EntangledQuery q;
+    q.label = graph_->UserName(u);
+    Term x = Term::Var(ctx_->NewVar("x"));
+    Term y = Term::Var(ctx_->NewVar("y"));
+    q.postconditions.push_back(Atom(reserve_, {x, y}));
+    q.head.push_back(Atom(
+        reserve_, {Term::Const(UserValue(u)), Term::Const(AirportValue(0))}));
+    q.body.push_back(Atom(friends_, {x, y}));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace eq::workload

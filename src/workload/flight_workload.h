@@ -1,0 +1,100 @@
+#ifndef EQ_WORKLOAD_FLIGHT_WORKLOAD_H_
+#define EQ_WORKLOAD_FLIGHT_WORKLOAD_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "ir/query.h"
+#include "util/rng.h"
+#include "workload/social_graph.h"
+
+namespace eq::workload {
+
+/// Generates the flight-booking coordination workloads of paper §5.2–5.3
+/// over a SocialGraph.
+///
+/// Schema (paper §5.2):
+///   Reserve(UserName, Destination)   — the ANSWER relation R
+///   Friends(UserName1, UserName2)    — F
+///   User(UserName, HomeTown)         — U
+///
+/// Every generator returns queries with fresh variables from the shared
+/// QueryContext, ready for CoordinationEngine::Submit.
+class FlightWorkload {
+ public:
+  /// `graph` and `ctx` must outlive the workload.
+  FlightWorkload(const SocialGraph* graph, ir::QueryContext* ctx);
+
+  /// Creates and fills Friends/User (with hash indexes on the join columns).
+  Status PopulateDatabase(db::Database* db) const;
+
+  // --------------------------------------------------------- generators --
+
+  /// §5.3.1 "random" two-way coordination: for each pair of friends (u, v),
+  ///   {R(x, D)} R(u, D) ⊃ F(u, x) ∧ U(u, c) ∧ U(x, c)
+  ///   {R(y, D)} R(v, D) ⊃ F(v, y) ∧ U(v, c') ∧ U(y, c')
+  /// Friendship is guaranteed; same-city is not ("a realistic – not too
+  /// small and not too large – chance to coordinate"). D is a random
+  /// destination per pair.
+  std::vector<ir::EntangledQuery> TwoWayRandom(size_t pairs, Rng* rng) const;
+
+  /// §5.3.1 "best-case": the fully specified variant,
+  ///   {R(v, D)} R(u, D) ⊃ F(u, v) ∧ U(u, c) ∧ U(v, c)
+  /// which "eliminates the join required to ground x".
+  std::vector<ir::EntangledQuery> TwoWayBestCase(size_t pairs,
+                                                 Rng* rng) const;
+
+  /// §5.3.2 three-way coordination over social-graph triangles:
+  ///   {R(v, D)} R(u, D),  {R(w, D)} R(v, D),  {R(u, D)} R(w, D).
+  std::vector<ir::EntangledQuery> ThreeWay(size_t triples, Rng* rng) const;
+
+  /// §5.3.3: groups of w+1 clique members, each query carrying w
+  /// postconditions ("they all travel together from the same city").
+  /// Groups whose clique cannot be found in the graph are skipped.
+  std::vector<ir::EntangledQuery> CliqueCoordination(size_t groups, size_t w,
+                                                     Rng* rng) const;
+
+  /// §5.3.4 stress: queries whose postconditions unify with no head —
+  /// the unifiability graph stays edge-free. Tag constants make every
+  /// postcondition/head pair disjoint.
+  std::vector<ir::EntangledQuery> NoUnification(size_t n, Rng* rng) const;
+
+  /// §5.3.4 "usual partitions": chains of queries that unify heavily but
+  /// never close a cycle, so no coordination ever completes. Chain length
+  /// bounds the partition size (the role the social clustering plays in
+  /// the paper).
+  std::vector<ir::EntangledQuery> Chains(size_t n, size_t chain_len,
+                                         Rng* rng) const;
+
+  /// §5.3.4 massive cluster: one long chain over the users of the largest
+  /// city — a single huge partition with heavy unification.
+  std::vector<ir::EntangledQuery> MassiveCluster(size_t n, Rng* rng) const;
+
+  /// §5.3.5: queries that fail the safety check against a resident set —
+  /// wildcard postconditions R(x, y) unify with every resident head.
+  std::vector<ir::EntangledQuery> UnsafeSet(size_t n, Rng* rng) const;
+
+  // ------------------------------------------------------------ helpers --
+
+  ir::Value UserValue(uint32_t u) const;
+  ir::Value AirportValue(uint32_t a) const;
+
+  const SocialGraph& graph() const { return *graph_; }
+
+ private:
+  /// {R(x, D)} R(u, D) ⊃ F(u, x) ∧ U(u, c) ∧ U(x, c)  (partner as variable)
+  ir::EntangledQuery WildcardPartnerQuery(uint32_t u, uint32_t dest) const;
+  /// {R(v, D)} R(u, D) ⊃ F(u, v) ∧ U(u, c) ∧ U(v, c)  (partner named)
+  ir::EntangledQuery NamedPartnerQuery(uint32_t u, uint32_t v,
+                                       uint32_t dest) const;
+
+  const SocialGraph* graph_;
+  ir::QueryContext* ctx_;
+  SymbolId reserve_, friends_, user_;
+  mutable std::vector<ir::Value> user_values_;     // symbol cache
+  mutable std::vector<ir::Value> airport_values_;  // symbol cache
+};
+
+}  // namespace eq::workload
+
+#endif  // EQ_WORKLOAD_FLIGHT_WORKLOAD_H_

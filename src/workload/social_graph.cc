@@ -1,0 +1,342 @@
+#include "workload/social_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eq::workload {
+
+namespace {
+
+/// Builder state: adjacency sets plus a flat endpoint list for O(1)
+/// preferential-attachment sampling (picking a uniform endpoint of a
+/// uniform edge is degree-proportional).
+struct Builder {
+  std::vector<std::unordered_set<uint32_t>> adj;
+  std::vector<uint32_t> endpoints;
+
+  bool AddEdge(uint32_t a, uint32_t b) {
+    if (a == b) return false;
+    if (!adj[a].insert(b).second) return false;
+    adj[b].insert(a);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    return true;
+  }
+};
+
+}  // namespace
+
+SocialGraph SocialGraph::Generate(const SocialGraphOptions& opts) {
+  Rng rng(opts.seed);
+  uint32_t n = std::max<uint32_t>(opts.num_users, 2);
+  uint32_t m = std::max<uint32_t>(opts.attach_edges, 1);
+
+  Builder b;
+  b.adj.resize(n);
+
+  // Seed: a small clique of m+1 nodes.
+  uint32_t seed_size = std::min(n, m + 1);
+  for (uint32_t i = 0; i < seed_size; ++i) {
+    for (uint32_t j = i + 1; j < seed_size; ++j) b.AddEdge(i, j);
+  }
+
+  // Holme–Kim growth: each arriving node makes m connections; the first is
+  // preferential, later ones close a triangle through the previous target
+  // with probability triangle_prob.
+  for (uint32_t v = seed_size; v < n; ++v) {
+    uint32_t last_target = UINT32_MAX;
+    uint32_t made = 0;
+    int guard = 0;
+    while (made < m && guard < 200) {
+      ++guard;
+      uint32_t target;
+      if (made > 0 && last_target != UINT32_MAX &&
+          rng.Chance(opts.triangle_prob) && !b.adj[last_target].empty()) {
+        // Triad closure: a random neighbour of the previous target.
+        const auto& nbrs = b.adj[last_target];
+        uint32_t skip = static_cast<uint32_t>(rng.Below(nbrs.size()));
+        auto it = nbrs.begin();
+        std::advance(it, skip);
+        target = *it;
+      } else {
+        target = b.endpoints[rng.Below(b.endpoints.size())];
+      }
+      if (target == v) continue;
+      if (b.AddEdge(v, target)) {
+        last_target = target;
+        ++made;
+      }
+    }
+  }
+
+  SocialGraph g;
+  g.adj_.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.adj_[v].assign(b.adj[v].begin(), b.adj[v].end());
+    std::sort(g.adj_[v].begin(), g.adj_[v].end());
+    g.num_edges_ += g.adj_[v].size();
+  }
+  g.num_edges_ /= 2;
+  g.num_airports_ = std::max<uint32_t>(opts.num_airports, 1);
+
+  // Hometowns: multi-source BFS region growing from one random seed per
+  // airport, producing contiguous communities, then majority-repair passes
+  // so that most users co-locate with at least half of their friends.
+  g.hometown_.assign(n, UINT32_MAX);
+  std::vector<std::deque<uint32_t>> frontiers(g.num_airports_);
+  for (uint32_t a = 0; a < g.num_airports_; ++a) {
+    for (int tries = 0; tries < 64; ++tries) {
+      uint32_t seed_user = static_cast<uint32_t>(rng.Below(n));
+      if (g.hometown_[seed_user] == UINT32_MAX) {
+        g.hometown_[seed_user] = a;
+        frontiers[a].push_back(seed_user);
+        break;
+      }
+    }
+  }
+  size_t assigned = 0;
+  for (uint32_t h : g.hometown_) assigned += (h != UINT32_MAX) ? 1 : 0;
+  bool progress = true;
+  while (assigned < n && progress) {
+    progress = false;
+    for (uint32_t a = 0; a < g.num_airports_; ++a) {
+      // Grow each region by a small burst per round to keep sizes balanced.
+      for (int burst = 0; burst < 8 && !frontiers[a].empty(); ++burst) {
+        uint32_t u = frontiers[a].front();
+        frontiers[a].pop_front();
+        for (uint32_t w : g.adj_[u]) {
+          if (g.hometown_[w] == UINT32_MAX) {
+            g.hometown_[w] = a;
+            frontiers[a].push_back(w);
+            ++assigned;
+            progress = true;
+          }
+        }
+        if (!g.adj_[u].empty()) {
+          // Requeue u until all its neighbours are taken.
+          bool open = false;
+          for (uint32_t w : g.adj_[u]) {
+            if (g.hometown_[w] == UINT32_MAX) open = true;
+          }
+          if (open) frontiers[a].push_back(u);
+        }
+      }
+    }
+  }
+  // Isolated leftovers (disconnected nodes): random city.
+  for (uint32_t u = 0; u < n; ++u) {
+    if (g.hometown_[u] == UINT32_MAX) {
+      g.hometown_[u] = static_cast<uint32_t>(rng.Below(g.num_airports_));
+    }
+  }
+  // Plant cliques among same-city users (the §5.3.3 workload substrate).
+  if (opts.plant_cliques > 0 && opts.planted_clique_size >= 2) {
+    uint32_t k = opts.planted_clique_size;
+    std::vector<std::pair<uint32_t, uint32_t>> extra;
+    for (uint32_t p = 0; p < opts.plant_cliques; ++p) {
+      // Grow a same-city group around a random anchor.
+      uint32_t anchor = static_cast<uint32_t>(rng.Below(n));
+      std::vector<uint32_t> members{anchor};
+      std::unordered_set<uint32_t> taken{anchor};
+      for (int tries = 0; tries < 400 && members.size() < k; ++tries) {
+        uint32_t cand = static_cast<uint32_t>(rng.Below(n));
+        if (g.hometown_[cand] == g.hometown_[anchor] && taken.insert(cand).second) {
+          members.push_back(cand);
+        }
+      }
+      if (members.size() < k) continue;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          extra.emplace_back(members[i], members[j]);
+        }
+      }
+      g.planted_.push_back(std::move(members));
+    }
+    size_t added = 0;
+    for (auto [a, e] : extra) {
+      auto& na = g.adj_[a];
+      if (!std::binary_search(na.begin(), na.end(), e)) {
+        na.insert(std::upper_bound(na.begin(), na.end(), e), e);
+        auto& ne = g.adj_[e];
+        ne.insert(std::upper_bound(ne.begin(), ne.end(), a), a);
+        ++added;
+      }
+    }
+    g.num_edges_ += added;
+  }
+
+  // Majority repair: adopt the plurality city among friends when fewer than
+  // half of them share ours.
+  for (int pass = 0; pass < opts.hometown_repair_passes; ++pass) {
+    for (uint32_t u = 0; u < n; ++u) {
+      const auto& friends = g.adj_[u];
+      if (friends.empty()) continue;
+      std::unordered_map<uint32_t, uint32_t> counts;
+      for (uint32_t w : friends) ++counts[g.hometown_[w]];
+      uint32_t same = counts.count(g.hometown_[u]) ? counts[g.hometown_[u]] : 0;
+      if (same * 2 >= friends.size()) continue;
+      uint32_t best_city = g.hometown_[u];
+      uint32_t best = same;
+      for (const auto& [city, cnt] : counts) {
+        if (cnt > best || (cnt == best && city < best_city)) {
+          best = cnt;
+          best_city = city;
+        }
+      }
+      g.hometown_[u] = best_city;
+    }
+  }
+  return g;
+}
+
+bool SocialGraph::AreFriends(uint32_t u, uint32_t v) const {
+  const auto& nbrs = adj_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::string SocialGraph::AirportName(uint32_t a) const {
+  static const char* kNamed[] = {"ITH", "JFK", "IAH", "SBN"};
+  if (a < 4) return kNamed[a];
+  return "AP" + std::to_string(a);
+}
+
+std::pair<uint32_t, uint32_t> SocialGraph::RandomFriendPair(Rng* rng) const {
+  for (int tries = 0; tries < 1000; ++tries) {
+    uint32_t u = static_cast<uint32_t>(rng->Below(num_users()));
+    if (adj_[u].empty()) continue;
+    uint32_t v = adj_[u][rng->Below(adj_[u].size())];
+    return {u, v};
+  }
+  return {0, adj_[0].empty() ? 0 : adj_[0][0]};
+}
+
+std::optional<std::array<uint32_t, 3>> SocialGraph::RandomTriangle(
+    Rng* rng, int max_tries) const {
+  for (int t = 0; t < max_tries; ++t) {
+    uint32_t u = static_cast<uint32_t>(rng->Below(num_users()));
+    if (adj_[u].size() < 2) continue;
+    uint32_t v = adj_[u][rng->Below(adj_[u].size())];
+    uint32_t w = adj_[u][rng->Below(adj_[u].size())];
+    if (v == w) continue;
+    if (AreFriends(v, w)) return std::array<uint32_t, 3>{u, v, w};
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint32_t>> SocialGraph::RandomClique(
+    size_t k, Rng* rng, int max_tries) const {
+  // Planted cliques first: cheap and guaranteed for the §5.3.3 sweep.
+  if (!planted_.empty()) {
+    const auto& clique = planted_[rng->Below(planted_.size())];
+    if (clique.size() >= k) {
+      std::vector<uint32_t> out = clique;
+      for (size_t i = out.size(); i > 1; --i) {
+        std::swap(out[i - 1], out[rng->Below(i)]);
+      }
+      out.resize(k);
+      return out;
+    }
+  }
+  if (k <= 2) {
+    auto [u, v] = RandomFriendPair(rng);
+    return std::vector<uint32_t>{u, v};
+  }
+  for (int t = 0; t < max_tries; ++t) {
+    auto tri = RandomTriangle(rng, 50);
+    if (!tri) continue;
+    std::vector<uint32_t> clique(tri->begin(), tri->end());
+    // Greedy growth: try extending with common neighbours of the clique.
+    while (clique.size() < k) {
+      const auto& base = adj_[clique[0]];
+      bool grown = false;
+      for (int attempt = 0; attempt < 50 && !grown; ++attempt) {
+        uint32_t cand = base[rng->Below(base.size())];
+        if (std::find(clique.begin(), clique.end(), cand) != clique.end()) {
+          continue;
+        }
+        bool connected = true;
+        for (uint32_t member : clique) {
+          if (!AreFriends(cand, member)) {
+            connected = false;
+            break;
+          }
+        }
+        if (connected) {
+          clique.push_back(cand);
+          grown = true;
+        }
+      }
+      if (!grown) break;
+    }
+    if (clique.size() >= k) {
+      clique.resize(k);
+      return clique;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<uint32_t> SocialGraph::UsersInLargestCity() const {
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (uint32_t h : hometown_) ++counts[h];
+  uint32_t best_city = 0, best = 0;
+  for (const auto& [city, cnt] : counts) {
+    if (cnt > best) {
+      best = cnt;
+      best_city = city;
+    }
+  }
+  std::vector<uint32_t> out;
+  out.reserve(best);
+  for (uint32_t u = 0; u < num_users(); ++u) {
+    if (hometown_[u] == best_city) out.push_back(u);
+  }
+  return out;
+}
+
+double SocialGraph::AverageDegree() const {
+  return num_users() == 0
+             ? 0.0
+             : 2.0 * static_cast<double>(num_edges_) / num_users();
+}
+
+double SocialGraph::HometownCohesion(Rng* rng, int samples) const {
+  int ok = 0, total = 0;
+  for (int i = 0; i < samples; ++i) {
+    uint32_t u = static_cast<uint32_t>(rng->Below(num_users()));
+    if (adj_[u].empty()) continue;
+    size_t same = 0;
+    for (uint32_t w : adj_[u]) same += hometown_[w] == hometown_[u] ? 1 : 0;
+    ++total;
+    if (same * 2 >= adj_[u].size()) ++ok;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(ok) / total;
+}
+
+double SocialGraph::SampleClustering(Rng* rng, int samples) const {
+  double sum = 0;
+  int counted = 0;
+  for (int i = 0; i < samples; ++i) {
+    uint32_t u = static_cast<uint32_t>(rng->Below(num_users()));
+    const auto& nbrs = adj_[u];
+    if (nbrs.size() < 2) continue;
+    // Sample neighbour pairs rather than enumerating (hubs are huge).
+    int pairs = 30, closed = 0;
+    for (int p = 0; p < pairs; ++p) {
+      uint32_t a = nbrs[rng->Below(nbrs.size())];
+      uint32_t bnode = nbrs[rng->Below(nbrs.size())];
+      if (a == bnode) {
+        --p;
+        continue;
+      }
+      if (AreFriends(a, bnode)) ++closed;
+    }
+    sum += static_cast<double>(closed) / pairs;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+}  // namespace eq::workload

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/combiner.h"
+#include "core/matcher.h"
+#include "core/partitioner.h"
+#include "core/unifiability_graph.h"
+#include "ir/parser.h"
+
+namespace eq::core {
+namespace {
+
+using ir::GroundAtom;
+using ir::QueryContext;
+using ir::QueryId;
+using ir::QuerySet;
+using ir::Value;
+using ir::ValueType;
+
+class CombinerTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& program) {
+    ir::Parser parser(&ctx_);
+    auto r = parser.ParseProgram(program);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    qs_ = std::move(r).value();
+    graph_ = std::make_unique<UnifiabilityGraph>(&qs_);
+    ASSERT_TRUE(graph_->Build().ok());
+  }
+
+  std::vector<QueryId> MatchAll() {
+    Matcher matcher(graph_.get());
+    std::vector<QueryId> all(qs_.queries.size());
+    for (QueryId i = 0; i < all.size(); ++i) all[i] = i;
+    return matcher.MatchComponent(all);
+  }
+
+  Value S(const char* s) { return Value::Str(ctx_.Intern(s)); }
+
+  QueryContext ctx_;
+  QuerySet qs_;
+  std::unique_ptr<UnifiabilityGraph> graph_;
+};
+
+// §4.2's worked example: the combined query must simplify to
+//   T(1) ∧ R(x1) ∧ S(x2)  ⊃  D1(x1, x2, 1) ∧ D2(x1) ∧ D3(1, x2).
+TEST_F(CombinerTest, RunningExampleCombinedQueryIsSimplified) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(z1)} S(z2) :- D3(z1, z2)");
+  auto survivors = MatchAll();
+  ASSERT_EQ(survivors.size(), 3u);
+
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+
+  // Global unifier: {{x1, y1}, {x2, z2}, {x3, z1, 1}}.
+  EXPECT_EQ(cq->global.ToString(ctx_), "{{x1, y1}, {x2, z2}, {x3, z1, 1}}");
+
+  // Heads: T(1) (x3 substituted), R(x1) (y1 → x1), S(x2) (z2 → x2).
+  ASSERT_EQ(cq->head_templates.size(), 3u);
+  EXPECT_EQ(cq->head_templates[0][0].ToString(ctx_), "T(1)");
+  EXPECT_EQ(cq->head_templates[1][0].ToString(ctx_), "R(x1)");
+  EXPECT_EQ(cq->head_templates[2][0].ToString(ctx_), "S(x2)");
+
+  // Body: D1(x1, x2, 1), D2(x1), D3(1, x2).
+  ASSERT_EQ(cq->body.atoms.size(), 3u);
+  EXPECT_EQ(cq->body.atoms[0].ToString(ctx_), "D1(x1, x2, 1)");
+  EXPECT_EQ(cq->body.atoms[1].ToString(ctx_), "D2(x1)");
+  EXPECT_EQ(cq->body.atoms[2].ToString(ctx_), "D3(1, x2)");
+}
+
+TEST_F(CombinerTest, RunningExampleEvaluates) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(z1)} S(z2) :- D3(z1, z2)");
+  auto survivors = MatchAll();
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  ASSERT_TRUE(cq.ok());
+
+  db::Database db(&ctx_.interner());
+  ASSERT_TRUE(db.CreateTable("D1", {{"a", ValueType::kInt},
+                                    {"b", ValueType::kInt},
+                                    {"c", ValueType::kInt}})
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("D2", {{"a", ValueType::kInt}}).ok());
+  ASSERT_TRUE(
+      db.CreateTable("D3", {{"a", ValueType::kInt}, {"b", ValueType::kInt}})
+          .ok());
+  ASSERT_TRUE(
+      db.Insert("D1", {Value::Int(10), Value::Int(20), Value::Int(1)}).ok());
+  ASSERT_TRUE(db.Insert("D2", {Value::Int(10)}).ok());
+  ASSERT_TRUE(db.Insert("D3", {Value::Int(1), Value::Int(20)}).ok());
+
+  auto answers = combiner.Evaluate(*cq, &db);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 1u);
+  const CoordinatedAnswer& a = (*answers)[0];
+  ASSERT_EQ(a.answers.size(), 3u);
+  EXPECT_EQ(a.answers[0][0].ToString(ctx_.interner()), "T(1)");
+  EXPECT_EQ(a.answers[1][0].ToString(ctx_.interner()), "R(10)");
+  EXPECT_EQ(a.answers[2][0].ToString(ctx_.interner()), "S(20)");
+}
+
+TEST_F(CombinerTest, NoDataMeansNoAnswers) {
+  Load(
+      "{T(1)} R(y1) :- D2(y1);"
+      "{R(w)} T(1) :- D2(w)");
+  auto survivors = MatchAll();
+  ASSERT_EQ(survivors.size(), 2u);
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  ASSERT_TRUE(cq.ok());
+  db::Database db(&ctx_.interner());
+  ASSERT_TRUE(db.CreateTable("D2", {{"a", ValueType::kInt}}).ok());
+  auto answers = combiner.Evaluate(*cq, &db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+// The introduction's Kramer & Jerry scenario over the Figure 1 database:
+// the coordinated choice must be a United flight to Paris (122 or 123).
+TEST_F(CombinerTest, KramerAndJerryEndToEnd) {
+  Load(
+      "kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "jerry: {R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)");
+  auto survivors = MatchAll();
+  ASSERT_EQ(survivors.size(), 2u);
+
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  ASSERT_TRUE(cq.ok());
+  // §3.2: the combined query asks for a United flight to Paris.
+  ASSERT_EQ(cq->body.atoms.size(), 3u);  // F (Kramer), F, A (Jerry)
+
+  db::Database db(&ctx_.interner());
+  ASSERT_TRUE(db.CreateTable(
+                    "F", {{"fno", ValueType::kInt}, {"dest", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("A", {{"fno", ValueType::kInt},
+                                   {"airline", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db.Insert("F", {Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(db.Insert("F", {Value::Int(123), S("Paris")}).ok());
+  ASSERT_TRUE(db.Insert("F", {Value::Int(134), S("Paris")}).ok());
+  ASSERT_TRUE(db.Insert("F", {Value::Int(136), S("Rome")}).ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Int(122), S("United")}).ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Int(123), S("United")}).ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Int(134), S("Lufthansa")}).ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Int(136), S("Alitalia")}).ok());
+
+  auto answers = combiner.Evaluate(*cq, &db);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  const CoordinatedAnswer& a = (*answers)[0];
+  // Kramer's tuple and Jerry's tuple share a flight number ∈ {122, 123}.
+  const GroundAtom& kramer = a.answers[0][0];
+  const GroundAtom& jerry = a.answers[1][0];
+  EXPECT_EQ(kramer.args[0], S("Kramer"));
+  EXPECT_EQ(jerry.args[0], S("Jerry"));
+  EXPECT_EQ(kramer.args[1], jerry.args[1]);
+  int64_t fno = kramer.args[1].AsInt();
+  EXPECT_TRUE(fno == 122 || fno == 123) << "got flight " << fno;
+}
+
+TEST_F(CombinerTest, ChooseKReturnsMultipleCoordinatedOutcomes) {
+  Load(
+      "kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "jerry: {R(Kramer, y)} R(Jerry, y) :- F(y, Paris)");
+  auto survivors = MatchAll();
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  ASSERT_TRUE(cq.ok());
+  db::Database db(&ctx_.interner());
+  ASSERT_TRUE(db.CreateTable(
+                    "F", {{"fno", ValueType::kInt}, {"dest", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db.Insert("F", {Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(db.Insert("F", {Value::Int(123), S("Paris")}).ok());
+  auto answers = combiner.Evaluate(*cq, &db, /*k=*/2);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 2u);
+  std::set<int64_t> flights;
+  for (const auto& a : *answers) flights.insert(a.answers[0][0].args[1].AsInt());
+  EXPECT_EQ(flights, (std::set<int64_t>{122, 123}));
+}
+
+TEST_F(CombinerTest, GlobalMguConflictIsUnsatisfiable) {
+  // Two disconnected pairs whose unifiers are individually fine; force a
+  // conflict by combining queries that were never matched together. This
+  // guards the "evaluation fails for Q' and all queries are rejected" path.
+  Load(
+      "{K(a, 1)} K(a, 2) :- B(a);"    // q0: needs K(a,1)
+      "{K(b, 2)} K(b, 1) :- B(b)");   // q1: needs K(b,2)
+  // Edges: q0→q1 (K(a,2)~K(b,2): a~b) and q1→q0 (K(b,1)~K(a,1): a~b).
+  // Initial unifiers are consistent; matching succeeds.
+  auto survivors = MatchAll();
+  ASSERT_EQ(survivors.size(), 2u);
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  EXPECT_TRUE(cq.ok());
+
+  // Now inject an artificial conflict: bind q0's variable to one constant
+  // and q1's (same-class) variable to another, then re-combine.
+  ir::VarId a = qs_.queries[0].head[0].args[0].var();
+  ir::VarId b = qs_.queries[1].head[0].args[0].var();
+  ASSERT_TRUE(graph_->node(0).unifier.BindConst(a, Value::Int(7)));
+  ASSERT_TRUE(graph_->node(1).unifier.BindConst(b, Value::Int(8)));
+  auto bad = combiner.Combine(*graph_, survivors);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsatisfiable);
+}
+
+TEST_F(CombinerTest, FiltersAreRewrittenIntoCombinedBody) {
+  // q0 contributes Q(y), needs P(x), and insists x != y; q1 contributes
+  // P(v), needs Q(w). Classes after matching: {x, v} and {y, w}.
+  Load(
+      "{P(x)} Q(y) :- B(x, y), x != y;"
+      "{Q(w)} P(v) :- B(v, w)");
+  auto survivors = MatchAll();
+  ASSERT_EQ(survivors.size(), 2u);
+  Combiner combiner(&qs_);
+  auto cq = combiner.Combine(*graph_, survivors);
+  ASSERT_TRUE(cq.ok());
+  ASSERT_EQ(cq->body.filters.size(), 1u);
+
+  db::Database db(&ctx_.interner());
+  ASSERT_TRUE(
+      db.CreateTable("B", {{"a", ValueType::kInt}, {"b", ValueType::kInt}})
+          .ok());
+  // B(5,5) would satisfy the joins but violates x != y.
+  ASSERT_TRUE(db.Insert("B", {Value::Int(5), Value::Int(5)}).ok());
+  auto none = combiner.Evaluate(*cq, &db);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // B(5,6): x = 5, y = 6 satisfies both bodies and the filter.
+  ASSERT_TRUE(db.Insert("B", {Value::Int(5), Value::Int(6)}).ok());
+  auto some = combiner.Evaluate(*cq, &db);
+  ASSERT_TRUE(some.ok());
+  ASSERT_EQ(some->size(), 1u);
+  EXPECT_EQ((*some)[0].answers[0][0].ToString(ctx_.interner()), "Q(6)");
+  EXPECT_EQ((*some)[0].answers[1][0].ToString(ctx_.interner()), "P(5)");
+}
+
+}  // namespace
+}  // namespace eq::core

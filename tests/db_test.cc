@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/table.h"
+#include "ir/query.h"
+#include "util/rng.h"
+
+namespace eq::db {
+namespace {
+
+using ir::Atom;
+using ir::CompareOp;
+using ir::Filter;
+using ir::QueryContext;
+using ir::Term;
+using ir::Value;
+using ir::ValueType;
+using ir::VarId;
+
+// ------------------------------------------------------------------ Table --
+
+TEST(TableTest, InsertChecksArity) {
+  Table t({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, InsertChecksTypes) {
+  StringInterner in;
+  Table t({{"name", ValueType::kString}});
+  EXPECT_TRUE(t.Insert({Value::Str(in.Intern("Jerry"))}).ok());
+  EXPECT_FALSE(t.Insert({Value::Int(3)}).ok());
+}
+
+TEST(TableTest, IndexProbeFindsAllMatches) {
+  Table t({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i % 3), Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  ASSERT_TRUE(t.HasIndex(0));
+  EXPECT_FALSE(t.HasIndex(1));
+  const auto* rows = t.Probe(0, Value::Int(1));
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 3u);  // rows 1, 4, 7
+  for (uint32_t rid : *rows) EXPECT_EQ(t.row(rid)[0], Value::Int(1));
+  // Probing a missing key returns the empty postings list, not nullptr.
+  const auto* none = t.Probe(0, Value::Int(99));
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(TableTest, IndexMaintainedAcrossInserts) {
+  Table t({{"a", ValueType::kInt}});
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(5)}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(5)}).ok());
+  const auto* rows = t.Probe(0, Value::Int(5));
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(TableTest, BuildIndexOnBadColumnFails) {
+  Table t({{"a", ValueType::kInt}});
+  EXPECT_FALSE(t.BuildIndex(3).ok());
+}
+
+TEST(SchemaTest, ColumnIndexByName) {
+  Schema s{{"fno", ValueType::kInt}, {"dest", ValueType::kString}};
+  EXPECT_EQ(s.ColumnIndex("fno"), 0);
+  EXPECT_EQ(s.ColumnIndex("dest"), 1);
+  EXPECT_EQ(s.ColumnIndex("nope"), -1);
+}
+
+// --------------------------------------------------------------- Database --
+
+TEST(DatabaseTest, CreateAndLookup) {
+  StringInterner in;
+  Database db(&in);
+  ASSERT_TRUE(db.CreateTable("Flights", {{"fno", ValueType::kInt},
+                                         {"dest", ValueType::kString}})
+                  .ok());
+  EXPECT_NE(db.GetTable("Flights"), nullptr);
+  EXPECT_EQ(db.GetTable("Nope"), nullptr);
+  EXPECT_EQ(db.CreateTable("Flights", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.Insert("Nope", {}).code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- Executor --
+
+/// Fixture with the paper's Figure 1 flight database.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("Flights", {{"fno", ValueType::kInt},
+                                            {"dest", ValueType::kString}})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("Airlines", {{"fno", ValueType::kInt},
+                                             {"airline", ValueType::kString}})
+                    .ok());
+    auto S = [&](const char* s) { return Value::Str(ctx_.Intern(s)); };
+    ASSERT_TRUE(db_.Insert("Flights", {Value::Int(122), S("Paris")}).ok());
+    ASSERT_TRUE(db_.Insert("Flights", {Value::Int(123), S("Paris")}).ok());
+    ASSERT_TRUE(db_.Insert("Flights", {Value::Int(134), S("Paris")}).ok());
+    ASSERT_TRUE(db_.Insert("Flights", {Value::Int(136), S("Rome")}).ok());
+    ASSERT_TRUE(db_.Insert("Airlines", {Value::Int(122), S("United")}).ok());
+    ASSERT_TRUE(db_.Insert("Airlines", {Value::Int(123), S("United")}).ok());
+    ASSERT_TRUE(
+        db_.Insert("Airlines", {Value::Int(134), S("Lufthansa")}).ok());
+    ASSERT_TRUE(db_.Insert("Airlines", {Value::Int(136), S("Alitalia")}).ok());
+    ASSERT_TRUE(db_.GetTable("Flights")->BuildIndex(1).ok());
+    ASSERT_TRUE(db_.GetTable("Airlines")->BuildIndex(0).ok());
+  }
+
+  Term C(const char* s) { return Term::Const(ctx_.StrValue(s)); }
+  Term Ci(int64_t i) { return Term::Const(Value::Int(i)); }
+  Term V(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return Term::Var(it->second);
+    VarId v = ctx_.NewVar(name);
+    vars_.emplace(name, v);
+    return Term::Var(v);
+  }
+  Atom MakeAtom(const char* rel, std::vector<Term> args) {
+    return Atom(ctx_.Intern(rel), std::move(args));
+  }
+
+  std::set<int64_t> CollectInts(const ConjunctiveQuery& q,
+                                const std::string& var,
+                                const ExecOptions& opts = ExecOptions()) {
+    Executor exec(&db_);
+    std::set<int64_t> out;
+    Status st = exec.Execute(q, opts, [&](const Valuation& v) {
+      out.insert(v.ValueOf(vars_.at(var)).AsInt());
+      return true;
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  QueryContext ctx_;
+  Database db_{&ctx_.interner()};
+  std::unordered_map<std::string, VarId> vars_;
+};
+
+TEST_F(ExecutorTest, SelectionByConstant) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  EXPECT_EQ(CollectInts(q, "x"), (std::set<int64_t>{122, 123, 134}));
+}
+
+TEST_F(ExecutorTest, JoinAcrossTables) {
+  // United flights to Paris: the combined Kramer⊕Jerry query body (§3.2).
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  q.atoms.push_back(MakeAtom("Airlines", {V("x"), C("United")}));
+  EXPECT_EQ(CollectInts(q, "x"), (std::set<int64_t>{122, 123}));
+}
+
+TEST_F(ExecutorTest, NoIndexFallsBackToScan) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  q.atoms.push_back(MakeAtom("Airlines", {V("x"), C("United")}));
+  ExecOptions opts;
+  opts.use_indexes = false;
+  EXPECT_EQ(CollectInts(q, "x", opts), (std::set<int64_t>{122, 123}));
+}
+
+TEST_F(ExecutorTest, FixedOrderMatchesReordered) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Airlines", {V("x"), C("United")}));
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  ExecOptions opts;
+  opts.reorder_atoms = false;
+  EXPECT_EQ(CollectInts(q, "x", opts), (std::set<int64_t>{122, 123}));
+}
+
+TEST_F(ExecutorTest, LimitStopsEarly) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  q.limit = 1;
+  Executor exec(&db_);
+  int count = 0;
+  ExecStats stats;
+  ASSERT_TRUE(exec.Execute(q, ExecOptions(),
+                           [&](const Valuation&) {
+                             ++count;
+                             return true;
+                           },
+                           &stats)
+                  .ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(stats.output_rows, 1u);
+}
+
+TEST_F(ExecutorTest, CallbackCanStopScan) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), V("d")}));
+  Executor exec(&db_);
+  int count = 0;
+  ASSERT_TRUE(exec.Execute(q, ExecOptions(), [&](const Valuation&) {
+                    ++count;
+                    return count < 2;
+                  }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(ExecutorTest, FiltersApply) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  q.filters.push_back(Filter{V("x"), CompareOp::kGt, Ci(122)});
+  EXPECT_EQ(CollectInts(q, "x"), (std::set<int64_t>{123, 134}));
+  q.filters[0] = Filter{V("x"), CompareOp::kNe, Ci(123)};
+  EXPECT_EQ(CollectInts(q, "x"), (std::set<int64_t>{122, 134}));
+}
+
+TEST_F(ExecutorTest, ConstantOnlyFilterShortCircuits) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  q.filters.push_back(Filter{Ci(1), CompareOp::kEq, Ci(2)});
+  EXPECT_TRUE(CollectInts(q, "x").empty());
+}
+
+TEST_F(ExecutorTest, EmptyQueryYieldsOneEmptyRow) {
+  ConjunctiveQuery q;  // no atoms: one trivial valuation
+  Executor exec(&db_);
+  int count = 0;
+  ASSERT_TRUE(exec.Execute(q, ExecOptions(), [&](const Valuation& v) {
+                    EXPECT_TRUE(v.vars().empty());
+                    ++count;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(ExecutorTest, MissingTableIsNotFound) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Ghost", {V("x")}));
+  Executor exec(&db_);
+  Status st = exec.Execute(q, ExecOptions(), [](const Valuation&) {
+    return true;
+  });
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, ArityMismatchIsInvalid) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x")}));
+  Executor exec(&db_);
+  Status st = exec.Execute(q, ExecOptions(), [](const Valuation&) {
+    return true;
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, ScanBudgetTriggersTimeout) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), V("d")}));
+  q.atoms.push_back(MakeAtom("Airlines", {V("y"), V("a")}));  // cross product
+  ExecOptions opts;
+  opts.use_indexes = false;
+  opts.max_scanned_rows = 5;
+  Executor exec(&db_);
+  Status st = exec.Execute(q, opts, [](const Valuation&) { return true; });
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+}
+
+TEST_F(ExecutorTest, RepeatedVariableInAtom) {
+  // Self-equality: Airlines rows where fno == fno is trivial, so use a
+  // two-column pattern P(x, x) on a fresh table.
+  ASSERT_TRUE(db_.CreateTable("P", {{"a", ValueType::kInt},
+                                    {"b", ValueType::kInt}})
+                  .ok());
+  ASSERT_TRUE(db_.Insert("P", {Value::Int(1), Value::Int(1)}).ok());
+  ASSERT_TRUE(db_.Insert("P", {Value::Int(1), Value::Int(2)}).ok());
+  ASSERT_TRUE(db_.Insert("P", {Value::Int(3), Value::Int(3)}).ok());
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("P", {V("x"), V("x")}));
+  EXPECT_EQ(CollectInts(q, "x"), (std::set<int64_t>{1, 3}));
+}
+
+TEST_F(ExecutorTest, ExecuteAllMaterializes) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(MakeAtom("Flights", {V("x"), C("Paris")}));
+  Executor exec(&db_);
+  auto rows = exec.ExecuteAll(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+// --------------------------------------- Property: vs brute-force oracle --
+
+/// Brute-force reference: enumerate the full cross product of candidate rows
+/// and keep consistent assignments.
+std::set<std::vector<int64_t>> BruteForce(const Database& db,
+                                          const ConjunctiveQuery& q,
+                                          const std::vector<VarId>& out_vars) {
+  std::set<std::vector<int64_t>> results;
+  std::vector<const Table*> tables;
+  for (const auto& a : q.atoms) tables.push_back(db.GetTable(a.relation));
+
+  std::vector<size_t> pick(q.atoms.size(), 0);
+  auto consistent = [&]() -> bool {
+    std::unordered_map<VarId, Value> env;
+    for (size_t i = 0; i < q.atoms.size(); ++i) {
+      const Row& row = tables[i]->row(pick[i]);
+      const Atom& atom = q.atoms[i];
+      for (size_t j = 0; j < atom.args.size(); ++j) {
+        const Term& t = atom.args[j];
+        if (t.is_const()) {
+          if (t.value() != row[j]) return false;
+        } else {
+          auto [it, inserted] = env.emplace(t.var(), row[j]);
+          if (!inserted && it->second != row[j]) return false;
+        }
+      }
+    }
+    std::vector<int64_t> key;
+    for (VarId v : out_vars) key.push_back(env.at(v).AsInt());
+    results.insert(key);
+    return true;
+  };
+
+  // Odometer over row choices.
+  if (q.atoms.empty()) return results;
+  for (;;) {
+    bool any_empty = false;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i]->row_count() == 0) any_empty = true;
+    }
+    if (any_empty) break;
+    consistent();
+    size_t d = 0;
+    while (d < pick.size()) {
+      if (++pick[d] < tables[d]->row_count()) break;
+      pick[d] = 0;
+      ++d;
+    }
+    if (d == pick.size()) break;
+  }
+  return results;
+}
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorPropertyTest, MatchesBruteForceOnRandomQueries) {
+  Rng rng(GetParam());
+  QueryContext ctx;
+  Database db(&ctx.interner());
+  // Three small integer tables with random content.
+  const char* names[] = {"T0", "T1", "T2"};
+  for (const char* n : names) {
+    ASSERT_TRUE(
+        db.CreateTable(n, {{"a", ValueType::kInt}, {"b", ValueType::kInt}})
+            .ok());
+    Table* t = db.GetTable(n);
+    size_t rows = 3 + rng.Below(6);
+    for (size_t i = 0; i < rows; ++i) {
+      ASSERT_TRUE(t->Insert({Value::Int(static_cast<int64_t>(rng.Below(4))),
+                             Value::Int(static_cast<int64_t>(rng.Below(4)))})
+                      .ok());
+    }
+    if (rng.Chance(0.5)) {
+      ASSERT_TRUE(t->BuildIndex(rng.Below(2)).ok());
+    }
+  }
+
+  // Random conjunctive query: 1-3 atoms over 0-3 shared variables.
+  std::vector<VarId> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(ctx.NewVar("v" + std::to_string(i)));
+  ConjunctiveQuery q;
+  size_t natoms = 1 + rng.Below(3);
+  std::set<VarId> used_set;
+  for (size_t i = 0; i < natoms; ++i) {
+    std::vector<Term> args;
+    for (int j = 0; j < 2; ++j) {
+      if (rng.Chance(0.3)) {
+        args.push_back(Term::Const(Value::Int(static_cast<int64_t>(rng.Below(4)))));
+      } else {
+        VarId v = vars[rng.Below(vars.size())];
+        used_set.insert(v);
+        args.push_back(Term::Var(v));
+      }
+    }
+    q.atoms.push_back(Atom(ctx.Intern(names[rng.Below(3)]), std::move(args)));
+  }
+  std::vector<VarId> used(used_set.begin(), used_set.end());
+
+  auto expected = BruteForce(db, q, used);
+
+  for (bool use_indexes : {true, false}) {
+    for (bool reorder : {true, false}) {
+      ExecOptions opts;
+      opts.use_indexes = use_indexes;
+      opts.reorder_atoms = reorder;
+      Executor exec(&db);
+      std::set<std::vector<int64_t>> got;
+      Status st = exec.Execute(q, opts, [&](const Valuation& v) {
+        std::vector<int64_t> key;
+        for (VarId var : used) key.push_back(v.ValueOf(var).AsInt());
+        got.insert(key);
+        return true;
+      });
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(got, expected)
+          << "seed " << GetParam() << " idx=" << use_indexes
+          << " reorder=" << reorder;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{33}));
+
+}  // namespace
+}  // namespace eq::db

@@ -1,0 +1,287 @@
+// Cross-module integration tests: the paper's §1.1 motivating scenarios
+// end-to-end, plus order-independence properties of graph construction and
+// engine submission.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/partitioner.h"
+#include "core/unifiability_graph.h"
+#include "engine/engine.h"
+#include "ir/parser.h"
+#include "util/rng.h"
+
+namespace eq {
+namespace {
+
+using engine::CoordinationEngine;
+using engine::EvalMode;
+using engine::QueryOutcome;
+using ir::QueryContext;
+using ir::QueryId;
+using ir::QuerySet;
+using ir::Value;
+using ir::ValueType;
+
+// ------------------------------------------------ §1.1 scenario: meetings --
+
+TEST(ScenarioTest, BusyProfessionalsScheduleAJointMeeting) {
+  // Two professionals pick a shared meeting slot from their free slots.
+  QueryContext ctx;
+  db::Database db(&ctx.interner());
+  ASSERT_TRUE(db.CreateTable("Free", {{"person", ValueType::kString},
+                                      {"slot", ValueType::kInt}})
+                  .ok());
+  auto S = [&](const char* s) { return Value::Str(ctx.Intern(s)); };
+  for (int slot : {9, 11, 14}) {
+    ASSERT_TRUE(db.Insert("Free", {S("Ann"), Value::Int(slot)}).ok());
+  }
+  for (int slot : {10, 11, 16}) {
+    ASSERT_TRUE(db.Insert("Free", {S("Ben"), Value::Int(slot)}).ok());
+  }
+
+  ir::Parser parser(&ctx);
+  CoordinationEngine eng(&ctx, &db, {.mode = EvalMode::kIncremental});
+  auto ann = parser.ParseQuery(
+      "ann: {Meet(Ben, s)} Meet(Ann, s) :- Free(Ann, s)");
+  auto ben = parser.ParseQuery(
+      "ben: {Meet(Ann, t)} Meet(Ben, t) :- Free(Ben, t)");
+  ASSERT_TRUE(ann.ok() && ben.ok());
+  auto a = eng.Submit(std::move(ann).value());
+  auto b = eng.Submit(std::move(ben).value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& ao = eng.outcome(*a);
+  ASSERT_EQ(ao.state, QueryOutcome::State::kAnswered);
+  // 11 is the only common free slot.
+  EXPECT_EQ(ao.tuples[0].args[1], Value::Int(11));
+  EXPECT_EQ(eng.outcome(*b).tuples[0].args[1], Value::Int(11));
+}
+
+// -------------------------------------------- §1.1 scenario: wedding gift --
+
+TEST(ScenarioTest, WeddingGuestsAvoidDuplicateGifts) {
+  // Two guests each buy a *different* gift from the registry. Coordination
+  // on inequality: guest 1 posts that guest 2 takes some gift, with a
+  // filter g1 != g2 in the body.
+  QueryContext ctx;
+  db::Database db(&ctx.interner());
+  ASSERT_TRUE(
+      db.CreateTable("Registry", {{"gift", ValueType::kString}}).ok());
+  auto S = [&](const char* s) { return Value::Str(ctx.Intern(s)); };
+  for (const char* g : {"Toaster", "Blender"}) {
+    ASSERT_TRUE(db.Insert("Registry", {S(g)}).ok());
+  }
+
+  ir::Parser parser(&ctx);
+  CoordinationEngine eng(&ctx, &db, {.mode = EvalMode::kIncremental});
+  auto g1 = parser.ParseQuery(
+      "elaine: {Buys(George, h)} Buys(Elaine, g) :- "
+      "Registry(g), Registry(h), g != h");
+  auto g2 = parser.ParseQuery(
+      "george: {Buys(Elaine, p)} Buys(George, q) :- "
+      "Registry(q), Registry(p), q != p");
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  auto a = eng.Submit(std::move(g1).value());
+  auto b = eng.Submit(std::move(g2).value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& ao = eng.outcome(*a);
+  const auto& bo = eng.outcome(*b);
+  ASSERT_EQ(ao.state, QueryOutcome::State::kAnswered);
+  ASSERT_EQ(bo.state, QueryOutcome::State::kAnswered);
+  // Distinct gifts.
+  EXPECT_NE(ao.tuples[0].args[1], bo.tuples[0].args[1]);
+}
+
+// ----------------------------------------------- multi-ANSWER-relation ----
+
+TEST(ScenarioTest, QueryContributingToTwoAnswerRelations) {
+  // One query contributes to both Reservation and Manifest; its partner
+  // posts on Manifest only.
+  QueryContext ctx;
+  db::Database db(&ctx.interner());
+  ASSERT_TRUE(db.CreateTable("Flights", {{"fno", ValueType::kInt}}).ok());
+  ASSERT_TRUE(db.Insert("Flights", {Value::Int(7)}).ok());
+
+  ir::Parser parser(&ctx);
+  CoordinationEngine eng(&ctx, &db, {.mode = EvalMode::kIncremental});
+  auto q1 = parser.ParseQuery(
+      "{Manifest(Jerry, f)} Reservation(Kramer, f), Manifest(Kramer, f) "
+      ":- Flights(f)");
+  auto q2 = parser.ParseQuery(
+      "{Manifest(Kramer, g)} Manifest(Jerry, g) :- Flights(g)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  auto a = eng.Submit(std::move(q1).value());
+  auto b = eng.Submit(std::move(q2).value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& ao = eng.outcome(*a);
+  ASSERT_EQ(ao.state, QueryOutcome::State::kAnswered);
+  ASSERT_EQ(ao.tuples.size(), 2u);  // one tuple per head atom
+  EXPECT_EQ(ao.tuples[0].ToString(ctx.interner()), "Reservation(Kramer, 7)");
+  EXPECT_EQ(ao.tuples[1].ToString(ctx.interner()), "Manifest(Kramer, 7)");
+}
+
+// -------------------------------------------------- order independence ----
+
+class OrderIndependenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderIndependenceTest, GraphEdgesIndependentOfInsertionOrder) {
+  QueryContext ctx;
+  ir::Parser parser(&ctx);
+  // A mix of cycles and chains over shared tokens.
+  auto qs = parser.ParseProgram(
+      "{K(1)} K(2) :- B(a);"
+      "{K(2)} K(1) :- B(b);"
+      "{K(3)} K(4) :- B(c);"
+      "{K(4)} K(3) :- B(d);"
+      "{K(2)} K(5) :- B(e);"
+      "{M(x)} M(1) :- B(x);"
+      "{} M(9) :- B(f)");
+  ASSERT_TRUE(qs.ok());
+
+  auto edge_set = [](const core::UnifiabilityGraph& g) {
+    std::set<std::tuple<QueryId, QueryId, uint32_t, uint32_t>> out;
+    for (uint32_t i = 0; i < g.edge_count(); ++i) {
+      const core::Edge& e = g.edge(i);
+      if (e.alive) out.insert({e.from, e.to, e.head_idx, e.pc_idx});
+    }
+    return out;
+  };
+
+  core::UnifiabilityGraph reference(&*qs);
+  ASSERT_TRUE(reference.Build().ok());
+  auto expected = edge_set(reference);
+
+  // Insert in a random permutation; the live edge set must be identical.
+  Rng rng(GetParam());
+  std::vector<QueryId> order(qs->queries.size());
+  for (QueryId i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  core::UnifiabilityGraph shuffled(&*qs);
+  for (QueryId q : order) ASSERT_TRUE(shuffled.AddQuery(q).ok());
+  EXPECT_EQ(edge_set(shuffled), expected) << "seed " << GetParam();
+
+  // Partitions must agree as well.
+  EXPECT_EQ(core::Partitioner::Components(shuffled),
+            core::Partitioner::Components(reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderIndependenceTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+class SubmissionOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubmissionOrderTest, BatchOutcomesIndependentOfSubmissionOrder) {
+  // Three coordination groups; shuffle submission order; after Flush the
+  // per-label outcome states must match the unshuffled run.
+  auto run = [&](uint64_t shuffle_seed) {
+    QueryContext ctx;
+    db::Database db(&ctx.interner());
+    EXPECT_TRUE(db.CreateTable("B", {{"a", ValueType::kInt}}).ok());
+    EXPECT_TRUE(db.Insert("B", {Value::Int(1)}).ok());
+    ir::Parser parser(&ctx);
+    auto qs = parser.ParseProgram(
+        "g1a: {K(12)} K(11) :- B(v1);"
+        "g1b: {K(11)} K(12) :- B(v2);"
+        "g2a: {K(22)} K(21) :- B(v3);"
+        "g2b: {K(21)} K(22) :- B(v4);"
+        "lone: {K(99)} K(31) :- B(v5)");
+    EXPECT_TRUE(qs.ok());
+    std::vector<size_t> order(qs->queries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (shuffle_seed != 0) {
+      Rng rng(shuffle_seed);
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.Below(i)]);
+      }
+    }
+    CoordinationEngine eng(&ctx, &db, {.mode = EvalMode::kSetAtATime});
+    std::map<std::string, QueryId> ids;
+    for (size_t i : order) {
+      auto& q = qs->queries[i];
+      std::string label = q.label;
+      auto r = eng.Submit(std::move(q));
+      EXPECT_TRUE(r.ok());
+      ids[label] = *r;
+    }
+    EXPECT_TRUE(eng.Flush().ok());
+    std::map<std::string, int> outcome;
+    for (const auto& [label, id] : ids) {
+      outcome[label] = static_cast<int>(eng.outcome(id).state);
+    }
+    return outcome;
+  };
+
+  auto baseline = run(0);
+  EXPECT_EQ(baseline.at("g1a"),
+            static_cast<int>(QueryOutcome::State::kAnswered));
+  EXPECT_EQ(baseline.at("lone"),
+            static_cast<int>(QueryOutcome::State::kFailed));
+  EXPECT_EQ(run(GetParam()), baseline) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubmissionOrderTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// ---------------------------------------------------------- flush safety --
+
+TEST(EngineRobustnessTest, FlushTwiceAndInterleavedSubmissions) {
+  QueryContext ctx;
+  db::Database db(&ctx.interner());
+  ASSERT_TRUE(db.CreateTable("B", {{"a", ValueType::kInt}}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Int(1)}).ok());
+  ir::Parser parser(&ctx);
+  CoordinationEngine eng(&ctx, &db, {.mode = EvalMode::kSetAtATime});
+
+  auto q1 = parser.ParseQuery("{K(2)} K(1) :- B(v1)");
+  auto q2 = parser.ParseQuery("{K(1)} K(2) :- B(v2)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  auto a = eng.Submit(std::move(q1).value());
+  ASSERT_TRUE(eng.Flush().ok());  // a fails (no partner yet)
+  EXPECT_EQ(eng.outcome(*a).state, QueryOutcome::State::kFailed);
+
+  // Submitting the partner later cannot resurrect a failed query...
+  auto b = eng.Submit(std::move(q2).value());
+  ASSERT_TRUE(eng.Flush().ok());
+  EXPECT_EQ(eng.outcome(*b).state, QueryOutcome::State::kFailed);
+  EXPECT_EQ(eng.outcome(*a).state, QueryOutcome::State::kFailed);
+
+  // ...but a fresh pair coordinates fine afterwards.
+  auto q3 = parser.ParseQuery("{K(4)} K(3) :- B(v3)");
+  auto q4 = parser.ParseQuery("{K(3)} K(4) :- B(v4)");
+  ASSERT_TRUE(q3.ok() && q4.ok());
+  auto c = eng.Submit(std::move(q3).value());
+  auto d = eng.Submit(std::move(q4).value());
+  ASSERT_TRUE(eng.Flush().ok());
+  EXPECT_EQ(eng.outcome(*c).state, QueryOutcome::State::kAnswered);
+  EXPECT_EQ(eng.outcome(*d).state, QueryOutcome::State::kAnswered);
+  // And flushing an empty engine is a no-op.
+  ASSERT_TRUE(eng.Flush().ok());
+}
+
+TEST(EngineRobustnessTest, DegradedExecutorOptionsStillCoordinate) {
+  QueryContext ctx;
+  db::Database db(&ctx.interner());
+  ASSERT_TRUE(db.CreateTable("B", {{"a", ValueType::kInt}}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Int(1)}).ok());
+  ir::Parser parser(&ctx);
+  engine::EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  opts.exec.use_indexes = false;
+  opts.exec.reorder_atoms = false;
+  CoordinationEngine eng(&ctx, &db, opts);
+  auto q1 = parser.ParseQuery("{K(2)} K(1) :- B(v1)");
+  auto q2 = parser.ParseQuery("{K(1)} K(2) :- B(v2)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  auto a = eng.Submit(std::move(q1).value());
+  auto b = eng.Submit(std::move(q2).value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(eng.outcome(*a).state, QueryOutcome::State::kAnswered);
+  EXPECT_EQ(eng.outcome(*b).state, QueryOutcome::State::kAnswered);
+}
+
+}  // namespace
+}  // namespace eq

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "core/partitioner.h"
+#include "core/unifiability_graph.h"
+#include "ir/parser.h"
+
+namespace eq::core {
+namespace {
+
+using ir::QueryContext;
+using ir::QueryId;
+using ir::QuerySet;
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& program) {
+    ir::Parser parser(&ctx_);
+    auto r = parser.ParseProgram(program);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    qs_ = std::move(r).value();
+    graph_ = std::make_unique<UnifiabilityGraph>(&qs_);
+    ASSERT_TRUE(graph_->Build().ok());
+  }
+
+  std::vector<QueryId> AllQueries() const {
+    std::vector<QueryId> out(qs_.queries.size());
+    for (QueryId i = 0; i < out.size(); ++i) out[i] = i;
+    return out;
+  }
+
+  QueryContext ctx_;
+  QuerySet qs_;
+  std::unique_ptr<UnifiabilityGraph> graph_;
+};
+
+// The paper's §4.1.4 running example (Figure 4): after propagation, all
+// three queries survive and share the unifier {{x1,y1},{x2,z2},{x3,z1,1}}.
+TEST_F(MatcherTest, RunningExampleConverges) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(z1)} S(z2) :- D3(z1, z2)");
+  Matcher matcher(graph_.get(), &ctx_);
+  MatchStats stats;
+  auto survivors = matcher.MatchComponent(AllQueries(), &stats);
+  EXPECT_EQ(survivors, (std::vector<QueryId>{0, 1, 2}));
+  EXPECT_EQ(stats.removed, 0u);
+  // Final unifiers (Figure 4 (h)): all nodes carry the same constraints.
+  EXPECT_EQ(graph_->node(0).unifier.ToString(ctx_),
+            "{{x1, y1}, {x2, z2}, {x3, z1, 1}}");
+  EXPECT_EQ(graph_->node(1).unifier.ToString(ctx_),
+            "{{x1, y1}, {x2, z2}, {x3, z1, 1}}");
+  EXPECT_EQ(graph_->node(2).unifier.ToString(ctx_),
+            "{{x1, y1}, {x2, z2}, {x3, z1, 1}}");
+}
+
+// The paper's failing variant: q3's postcondition is T(2) instead of T(z1).
+// x3 would need to equal both 1 and 2; the matcher must eliminate q1 and
+// its children q2 and q3.
+TEST_F(MatcherTest, RunningExampleVariantFails) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(2)} S(z2) :- D3(z1, z2)");
+  Matcher matcher(graph_.get(), &ctx_);
+  MatchStats stats;
+  auto survivors = matcher.MatchComponent(AllQueries(), &stats);
+  EXPECT_TRUE(survivors.empty());
+  EXPECT_EQ(stats.removed, 3u);
+  EXPECT_GE(stats.cleanups, 1u);
+}
+
+TEST_F(MatcherTest, TraceFollowsFigure4) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(z1)} S(z2) :- D3(z1, z2)");
+  Matcher matcher(graph_.get(), &ctx_);
+  MatchTrace trace;
+  matcher.MatchComponent(AllQueries(), nullptr, &trace);
+
+  // Figure 4 (c)–(h): q1 processed (updates q2, q3), q2 processed (updates
+  // q1), q3 processed (updates q1), q1 reprocessed (updates q2, q3 — their
+  // unifiers absorb the full constraint set), q2 and q3 reprocessed with no
+  // further change.
+  std::vector<std::pair<MatchTrace::Kind, QueryId>> got;
+  for (const auto& ev : trace.events) got.emplace_back(ev.kind, ev.node);
+
+  using K = MatchTrace::Kind;
+  std::vector<std::pair<K, QueryId>> expected = {
+      {K::kProcess, 0},         // (c) process q1
+      {K::kUnifierChanged, 1},  //     q2 learns {x1,y1},{x2,z2}
+      {K::kUnifierChanged, 2},
+      {K::kProcess, 1},         // (d) process q2: q1 learns {x3,1}
+      {K::kUnifierChanged, 0},
+      {K::kProcess, 2},         // (e) process q3: q1 learns {x3,z1}
+      {K::kUnifierChanged, 0},
+      {K::kProcess, 0},         // (f) reprocess q1: push to q2, q3
+      {K::kUnifierChanged, 1},
+      {K::kUnifierChanged, 2},
+      {K::kProcess, 1},         // (g) reprocess q2: no change
+      {K::kProcess, 2},         // (h) reprocess q3: no change
+  };
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(MatcherTest, IntroductionPairSurvives) {
+  Load(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)");
+  Matcher matcher(graph_.get());
+  auto survivors = matcher.MatchComponent(AllQueries());
+  EXPECT_EQ(survivors, (std::vector<QueryId>{0, 1}));
+  // Kramer's x and Jerry's y are linked.
+  EXPECT_TRUE(graph_->node(0).unifier.SameClass(
+      qs_.queries[0].head[0].args[1].var(),
+      qs_.queries[1].head[0].args[1].var()));
+}
+
+TEST_F(MatcherTest, UnmatchedPostconditionIsRemoved) {
+  // Kramer posts on Jerry, but Jerry never arrives.
+  Load("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)");
+  Matcher matcher(graph_.get());
+  MatchStats stats;
+  auto survivors = matcher.MatchComponent(AllQueries(), &stats);
+  EXPECT_TRUE(survivors.empty());
+  EXPECT_EQ(stats.initial_removals, 1u);
+}
+
+TEST_F(MatcherTest, InitialRemovalCascades) {
+  // q0 is unanswerable (postcondition X(9) matches nothing); q1 depends on
+  // q0's head, q2 on q1's. CLEANUP must remove the whole chain.
+  Load(
+      "{X(9)} K(1) :- B(a);"
+      "{K(1)} K(2) :- B(b);"
+      "{K(2)} K(3) :- B(c)");
+  Matcher matcher(graph_.get());
+  MatchStats stats;
+  auto survivors = matcher.MatchComponent(AllQueries(), &stats);
+  EXPECT_TRUE(survivors.empty());
+  EXPECT_EQ(stats.removed, 3u);
+  EXPECT_EQ(stats.initial_removals, 1u);  // one CLEANUP seed, three removals
+}
+
+TEST_F(MatcherTest, IndependentSubchainsSurviveCleanup) {
+  // q0 unanswerable, q1 depends on it; q2+q3 form an independent cycle in
+  // the same component? No — different component. Process both components.
+  Load(
+      "{X(9)} K(1) :- B(a);"
+      "{K(1)} K(2) :- B(b);"
+      "{M(1)} M(2) :- B(c);"
+      "{M(2)} M(1) :- B(d)");
+  Matcher matcher(graph_.get());
+  auto parts = Partitioner::Components(*graph_);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_TRUE(matcher.MatchComponent(parts[0]).empty());
+  EXPECT_EQ(matcher.MatchComponent(parts[1]),
+            (std::vector<QueryId>{2, 3}));
+}
+
+TEST_F(MatcherTest, SelfSatisfyingQuerySurvivesWithSelfEdges) {
+  ir::Parser parser(&ctx_);
+  auto r = parser.ParseProgram("{R(Kramer, x)} R(Kramer, x) :- F(x, Paris)");
+  ASSERT_TRUE(r.ok());
+  qs_ = std::move(r).value();
+  graph_ = std::make_unique<UnifiabilityGraph>(
+      &qs_, GraphOptions{.allow_self_edges = true});
+  ASSERT_TRUE(graph_->Build().ok());
+  Matcher matcher(graph_.get());
+  auto survivors = matcher.MatchComponent(AllQueries());
+  EXPECT_EQ(survivors, (std::vector<QueryId>{0}));
+}
+
+TEST_F(MatcherTest, SelfSatisfyingQueryRemovedByDefault) {
+  // Default graph options exclude self-edges (paper §5.3 workloads), so a
+  // lone self-referential query is unanswerable in batch mode.
+  Load("{R(Kramer, x)} R(Kramer, x) :- F(x, Paris)");
+  Matcher matcher(graph_.get());
+  EXPECT_TRUE(matcher.MatchComponent(AllQueries()).empty());
+}
+
+TEST_F(MatcherTest, GroundMismatchRemovedAtConstruction) {
+  // q1's postcondition K(1, 2) unifies with q0's head K(1, y) binding y=2,
+  // but q0's postcondition needs M(y) = M(2) while q1 provides M(3):
+  // initial unifier of q0 gets {y,2} from edge q1... let's make it simpler:
+  // the pair's own pc/head constants conflict through shared variables.
+  Load(
+      "{M(y)} K(1, y) :- B(y);"   // q0: contributes K(1,y), needs M(y)
+      "{K(1, 2)} M(3) :- B(b)");  // q1: needs K(1,2) (forces y=2), provides M(3)
+  // Edge q0→q1 imposes {y,2} on q1. Edge q1→q0 imposes {y,3} on q0.
+  // Propagation merges them: conflict; everyone is removed.
+  Matcher matcher(graph_.get());
+  auto survivors = matcher.MatchComponent(AllQueries());
+  EXPECT_TRUE(survivors.empty());
+}
+
+// ------------------------------------------------- incremental Propagate --
+
+TEST_F(MatcherTest, PropagateKeepsPendingQueries) {
+  // Incremental mode: Kramer is waiting for Jerry. Propagate must NOT
+  // remove him (batch MatchComponent would).
+  Load("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)");
+  Matcher matcher(graph_.get());
+  auto conflict = matcher.Propagate({0});
+  EXPECT_FALSE(conflict.has_value());
+  EXPECT_TRUE(graph_->node(0).alive);
+}
+
+TEST_F(MatcherTest, PropagateReportsConflictWithoutRemoval) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(2)} S(z2) :- D3(z1, z2)");
+  Matcher matcher(graph_.get());
+  auto conflict = matcher.Propagate({0, 1, 2});
+  ASSERT_TRUE(conflict.has_value());
+  EXPECT_EQ(*conflict, 0u);  // q1 is where {x3,1} meets {x3,2}
+  // Propagate leaves removal policy to the engine.
+  EXPECT_TRUE(graph_->node(0).alive);
+  EXPECT_TRUE(graph_->node(1).alive);
+  EXPECT_TRUE(graph_->node(2).alive);
+}
+
+TEST_F(MatcherTest, PropagateConvergesOnRunningExample) {
+  Load(
+      "{R(x1), S(x2)} T(x3) :- D1(x1, x2, x3);"
+      "{T(1)} R(y1) :- D2(y1);"
+      "{T(z1)} S(z2) :- D3(z1, z2)");
+  Matcher matcher(graph_.get(), &ctx_);
+  auto conflict = matcher.Propagate({0, 1, 2});
+  EXPECT_FALSE(conflict.has_value());
+  EXPECT_EQ(graph_->node(0).unifier.ToString(ctx_),
+            "{{x1, y1}, {x2, z2}, {x3, z1, 1}}");
+}
+
+TEST_F(MatcherTest, CleanupRemovesDescendantsOnly) {
+  Load(
+      "{K(1)} K(2) :- B(a);"   // q0: needs K(1), provides K(2)
+      "{K(2)} K(3) :- B(b);"   // q1: needs K(2) (from q0)
+      "{} K(1) :- B(c)");      // q2: provides K(1), needs nothing
+  Matcher matcher(graph_.get());
+  auto removed = matcher.Cleanup(0);
+  // q0 and its descendant q1 die; q2 (a predecessor) survives.
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_FALSE(graph_->node(0).alive);
+  EXPECT_FALSE(graph_->node(1).alive);
+  EXPECT_TRUE(graph_->node(2).alive);
+}
+
+}  // namespace
+}  // namespace eq::core

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/naive_evaluator.h"
+#include "ir/parser.h"
+
+namespace eq::core {
+namespace {
+
+using ir::QueryContext;
+using ir::QueryId;
+using ir::QuerySet;
+using ir::Value;
+using ir::ValueType;
+
+class NaiveEvaluatorTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& program) {
+    ir::Parser parser(&ctx_);
+    auto r = parser.ParseProgram(program);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    qs_ = std::move(r).value();
+  }
+
+  /// Creates the Figure 1 (a) flight database.
+  void LoadFlightDb() {
+    db_ = std::make_unique<db::Database>(&ctx_.interner());
+    ASSERT_TRUE(db_->CreateTable("F", {{"fno", ValueType::kInt},
+                                       {"dest", ValueType::kString}})
+                    .ok());
+    ASSERT_TRUE(db_->CreateTable("A", {{"fno", ValueType::kInt},
+                                       {"airline", ValueType::kString}})
+                    .ok());
+    ASSERT_TRUE(db_->Insert("F", {Value::Int(122), S("Paris")}).ok());
+    ASSERT_TRUE(db_->Insert("F", {Value::Int(123), S("Paris")}).ok());
+    ASSERT_TRUE(db_->Insert("F", {Value::Int(134), S("Paris")}).ok());
+    ASSERT_TRUE(db_->Insert("F", {Value::Int(136), S("Rome")}).ok());
+    ASSERT_TRUE(db_->Insert("A", {Value::Int(122), S("United")}).ok());
+    ASSERT_TRUE(db_->Insert("A", {Value::Int(123), S("United")}).ok());
+    ASSERT_TRUE(db_->Insert("A", {Value::Int(134), S("Lufthansa")}).ok());
+    ASSERT_TRUE(db_->Insert("A", {Value::Int(136), S("Alitalia")}).ok());
+  }
+
+  Value S(const char* s) { return Value::Str(ctx_.Intern(s)); }
+
+  QueryContext ctx_;
+  QuerySet qs_;
+  std::unique_ptr<db::Database> db_;
+};
+
+// Figure 2 (b): Kramer's query has three groundings (flights 122, 123, 134),
+// Jerry's two (122, 123 — United only).
+TEST_F(NaiveEvaluatorTest, GroundingsMatchFigure2b) {
+  Load(
+      "kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "jerry: {R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)");
+  LoadFlightDb();
+  NaiveEvaluator eval(&qs_, db_.get());
+
+  auto kramer = eval.Groundings(0);
+  ASSERT_TRUE(kramer.ok());
+  EXPECT_EQ(kramer->size(), 3u);
+  std::set<int64_t> kramer_flights;
+  for (const Grounding& g : *kramer) {
+    ASSERT_EQ(g.head.size(), 1u);
+    EXPECT_EQ(g.head[0].args[0], S("Kramer"));
+    kramer_flights.insert(g.head[0].args[1].AsInt());
+  }
+  EXPECT_EQ(kramer_flights, (std::set<int64_t>{122, 123, 134}));
+
+  auto jerry = eval.Groundings(1);
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_EQ(jerry->size(), 2u);
+}
+
+TEST_F(NaiveEvaluatorTest, IsCoordinatingSetChecksMutualSatisfaction) {
+  Load(
+      "kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "jerry: {R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)");
+  LoadFlightDb();
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto kramer = eval.Groundings(0);
+  auto jerry = eval.Groundings(1);
+  ASSERT_TRUE(kramer.ok() && jerry.ok());
+
+  // Figure 1 (b): groundings on flight 122 mutually satisfy each other.
+  const Grounding* k122 = nullptr;
+  const Grounding* k134 = nullptr;
+  for (const Grounding& g : *kramer) {
+    if (g.head[0].args[1] == Value::Int(122)) k122 = &g;
+    if (g.head[0].args[1] == Value::Int(134)) k134 = &g;
+  }
+  const Grounding* j122 = nullptr;
+  for (const Grounding& g : *jerry) {
+    if (g.head[0].args[1] == Value::Int(122)) j122 = &g;
+  }
+  ASSERT_NE(k122, nullptr);
+  ASSERT_NE(k134, nullptr);
+  ASSERT_NE(j122, nullptr);
+  EXPECT_TRUE(NaiveEvaluator::IsCoordinatingSet({k122, j122}));
+  // Mismatched flights do not satisfy each other.
+  EXPECT_FALSE(NaiveEvaluator::IsCoordinatingSet({k134, j122}));
+  // A lone grounding with an unmet postcondition is not coordinating.
+  EXPECT_FALSE(NaiveEvaluator::IsCoordinatingSet({k122}));
+  // The empty set vacuously coordinates.
+  EXPECT_TRUE(NaiveEvaluator::IsCoordinatingSet({}));
+}
+
+TEST_F(NaiveEvaluatorTest, FindsCoordinatingSetForIntroPair) {
+  Load(
+      "kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "jerry: {R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)");
+  LoadFlightDb();
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto result = eval.FindCoordinatingSet({0, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+  EXPECT_EQ(result->included, 2u);
+  // The selected groundings must share a United flight (122 or 123).
+  auto kramer = eval.Groundings(0);
+  ASSERT_TRUE(kramer.ok());
+  int64_t fno = (*kramer)[result->selection[0]].head[0].args[1].AsInt();
+  EXPECT_TRUE(fno == 122 || fno == 123);
+}
+
+TEST_F(NaiveEvaluatorTest, ReportsFailureWhenNoPartnerExists) {
+  Load("kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris)");
+  LoadFlightDb();
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto result = eval.FindCoordinatingSet({0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->found);
+  EXPECT_EQ(result->included, 0u);
+}
+
+TEST_F(NaiveEvaluatorTest, MaximalSetPreferred) {
+  // Figure 3 (b)-style: Jerry+Kramer can coordinate on any Paris flight;
+  // Frank additionally needs United. All three can share 122; the maximum
+  // coordinating set includes all of them.
+  Load(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris);"
+      "{R(Jerry, z)} R(Frank, z) :- F(z, Paris), A(z, United)");
+  LoadFlightDb();
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto result = eval.FindCoordinatingSet({0, 1, 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+  EXPECT_EQ(result->included, 3u);
+}
+
+TEST_F(NaiveEvaluatorTest, PartialSetWhenSubsetMustCoordinateLocally) {
+  // Same scenario, but no United flights: Frank cannot be satisfied, yet
+  // Jerry and Kramer still can (the §3.1.2 "local coordination" issue).
+  Load(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris);"
+      "{R(Jerry, z)} R(Frank, z) :- F(z, Paris), A(z, United)");
+  db_ = std::make_unique<db::Database>(&ctx_.interner());
+  ASSERT_TRUE(db_->CreateTable("F", {{"fno", ValueType::kInt},
+                                     {"dest", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db_->CreateTable("A", {{"fno", ValueType::kInt},
+                                     {"airline", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db_->Insert("F", {Value::Int(134), S("Paris")}).ok());
+  ASSERT_TRUE(db_->Insert("A", {Value::Int(134), S("Lufthansa")}).ok());
+
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto result = eval.FindCoordinatingSet({0, 1, 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+  EXPECT_EQ(result->included, 2u);
+  EXPECT_GE(result->selection[0], 0);
+  EXPECT_GE(result->selection[1], 0);
+  EXPECT_EQ(result->selection[2], -1);
+
+  // Under require_all, the same workload reports failure.
+  NaiveEvaluator::Options opts;
+  opts.require_all = true;
+  auto strict = eval.FindCoordinatingSet({0, 1, 2}, opts);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->found);
+}
+
+// Theorem 2.1: entangled queries encode CSP. We encode 2-coloring of a
+// triangle (odd cycle — unsatisfiable) and of a 4-cycle (satisfiable).
+// Each vertex query picks a color c for itself and posts that its clockwise
+// neighbour holds the complementary color; Colors(c, d) lists valid
+// (mine, neighbour) color pairs.
+TEST_F(NaiveEvaluatorTest, EncodesGraphTwoColoring) {
+  // 4-cycle: v0→v1→v2→v3→v0. Satisfiable.
+  Load(
+      "{Col(1, d0)} Col(0, c0) :- Colors(c0, d0);"
+      "{Col(2, d1)} Col(1, c1) :- Colors(c1, d1);"
+      "{Col(3, d2)} Col(2, c2) :- Colors(c2, d2);"
+      "{Col(0, d3)} Col(3, c3) :- Colors(c3, d3)");
+  db_ = std::make_unique<db::Database>(&ctx_.interner());
+  ASSERT_TRUE(db_->CreateTable("Colors", {{"mine", ValueType::kString},
+                                          {"neighbour", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db_->Insert("Colors", {S("red"), S("blue")}).ok());
+  ASSERT_TRUE(db_->Insert("Colors", {S("blue"), S("red")}).ok());
+
+  NaiveEvaluator eval(&qs_, db_.get());
+  NaiveEvaluator::Options opts;
+  opts.require_all = true;
+  auto result = eval.FindCoordinatingSet({0, 1, 2, 3}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found) << "even cycles are 2-colorable";
+
+  // Triangle: v0→v1→v2→v0. Unsatisfiable.
+  QueryContext ctx2;
+  ir::Parser parser2(&ctx2);
+  auto r = parser2.ParseProgram(
+      "{Col(1, d0)} Col(0, c0) :- Colors(c0, d0);"
+      "{Col(2, d1)} Col(1, c1) :- Colors(c1, d1);"
+      "{Col(0, d2)} Col(2, c2) :- Colors(c2, d2)");
+  ASSERT_TRUE(r.ok());
+  QuerySet triangle = std::move(r).value();
+  db::Database db2(&ctx2.interner());
+  ASSERT_TRUE(db2.CreateTable("Colors", {{"mine", ValueType::kString},
+                                         {"neighbour", ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(
+      db2.Insert("Colors", {Value::Str(ctx2.Intern("red")),
+                            Value::Str(ctx2.Intern("blue"))})
+          .ok());
+  ASSERT_TRUE(
+      db2.Insert("Colors", {Value::Str(ctx2.Intern("blue")),
+                            Value::Str(ctx2.Intern("red"))})
+          .ok());
+  NaiveEvaluator eval2(&triangle, &db2);
+  auto hard = eval2.FindCoordinatingSet({0, 1, 2}, opts);
+  ASSERT_TRUE(hard.ok());
+  EXPECT_FALSE(hard->found) << "odd cycles are not 2-colorable";
+}
+
+TEST_F(NaiveEvaluatorTest, BodylessQueryHasSingleGrounding) {
+  Load("{R(Jerry, 122)} R(Kramer, 122)");
+  db_ = std::make_unique<db::Database>(&ctx_.interner());
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto g = eval.Groundings(0);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->size(), 1u);
+  EXPECT_EQ((*g)[0].head[0].ToString(ctx_.interner()), "R(Kramer, 122)");
+}
+
+TEST_F(NaiveEvaluatorTest, GroundingCapRespected) {
+  Load("{} R(x) :- F(x, d)");
+  LoadFlightDb();
+  NaiveEvaluator eval(&qs_, db_.get());
+  auto g = eval.Groundings(0, /*max=*/2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->size(), 2u);
+}
+
+}  // namespace
+}  // namespace eq::core

@@ -1,0 +1,173 @@
+// Tests for the §6 "ranking function on preferred query groundings"
+// extension: the engine favors coordinated outcomes that maximize the
+// members' total preference score, without changing which queries can
+// coordinate at all.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "ir/parser.h"
+
+namespace eq::engine {
+namespace {
+
+using ir::QueryContext;
+using ir::Value;
+using ir::ValueType;
+
+class PreferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<db::Database>(&ctx_.interner());
+    ASSERT_TRUE(db_->CreateTable("F", {{"fno", ValueType::kInt},
+                                       {"dest", ValueType::kString}})
+                    .ok());
+    for (int fno : {122, 123, 134}) {
+      ASSERT_TRUE(
+          db_->Insert("F", {Value::Int(fno),
+                            Value::Str(ctx_.Intern("Paris"))})
+              .ok());
+    }
+  }
+
+  ir::EntangledQuery Parse(const std::string& text) {
+    ir::Parser parser(&ctx_);
+    auto r = parser.ParseQuery(text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  QueryContext ctx_;
+  std::unique_ptr<db::Database> db_;
+};
+
+TEST_F(PreferenceTest, HighestScoredOutcomeWins) {
+  EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  // Prefer the largest flight number.
+  opts.preference = [](ir::QueryId, const std::vector<ir::GroundAtom>& ts) {
+    return ts.empty() ? 0.0 : static_cast<double>(ts[0].args[1].AsInt());
+  };
+  CoordinationEngine engine(&ctx_, db_.get(), opts);
+  auto a = engine.Submit(Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"));
+  auto b = engine.Submit(Parse("{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& outcome = engine.outcome(*a);
+  ASSERT_EQ(outcome.state, QueryOutcome::State::kAnswered);
+  EXPECT_EQ(outcome.tuples[0].args[1], Value::Int(134));
+  EXPECT_EQ(engine.outcome(*b).tuples[0].args[1], Value::Int(134));
+}
+
+TEST_F(PreferenceTest, LowestScoredWhenNegated) {
+  EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  opts.preference = [](ir::QueryId, const std::vector<ir::GroundAtom>& ts) {
+    return ts.empty() ? 0.0 : -static_cast<double>(ts[0].args[1].AsInt());
+  };
+  CoordinationEngine engine(&ctx_, db_.get(), opts);
+  auto a = engine.Submit(Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"));
+  auto b = engine.Submit(Parse("{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(engine.outcome(*a).tuples[0].args[1], Value::Int(122));
+}
+
+TEST_F(PreferenceTest, ChooseKReturnsRankedPrefix) {
+  EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  opts.preference = [](ir::QueryId, const std::vector<ir::GroundAtom>& ts) {
+    return ts.empty() ? 0.0 : static_cast<double>(ts[0].args[1].AsInt());
+  };
+  CoordinationEngine engine(&ctx_, db_.get(), opts);
+  auto a = engine.Submit(
+      Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris) choose 2"));
+  auto b = engine.Submit(
+      Parse("{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) choose 2"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& outcome = engine.outcome(*a);
+  ASSERT_EQ(outcome.tuples.size(), 2u);
+  // Top two by preference, best first: 134 then 123.
+  EXPECT_EQ(outcome.tuples[0].args[1], Value::Int(134));
+  EXPECT_EQ(outcome.tuples[1].args[1], Value::Int(123));
+}
+
+TEST_F(PreferenceTest, PreferenceCannotResurrectImpossibleCoordination) {
+  EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  opts.preference = [](ir::QueryId, const std::vector<ir::GroundAtom>&) {
+    return 1e9;  // enthusiastic but irrelevant
+  };
+  CoordinationEngine engine(&ctx_, db_.get(), opts);
+  auto a = engine.Submit(Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Oslo)"));
+  auto b = engine.Submit(Parse("{R(Kramer, y)} R(Jerry, y) :- F(y, Oslo)"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(engine.outcome(*a).state, QueryOutcome::State::kPending);
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.outcome(*a).state, QueryOutcome::State::kFailed);
+}
+
+TEST_F(PreferenceTest, CandidateCapBoundsTheSearch) {
+  // With preference_candidates = 1, ranking degenerates to paper-core
+  // first-answer semantics regardless of scores.
+  EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  opts.preference_candidates = 1;
+  opts.preference = [](ir::QueryId, const std::vector<ir::GroundAtom>& ts) {
+    return ts.empty() ? 0.0 : static_cast<double>(ts[0].args[1].AsInt());
+  };
+  CoordinationEngine engine(&ctx_, db_.get(), opts);
+  auto a = engine.Submit(Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"));
+  auto b = engine.Submit(Parse("{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& outcome = engine.outcome(*a);
+  ASSERT_EQ(outcome.state, QueryOutcome::State::kAnswered);
+  // First enumerated flight, not the preferred one.
+  EXPECT_EQ(outcome.tuples[0].args[1], Value::Int(122));
+}
+
+TEST_F(PreferenceTest, PerQueryPreferencesAreSummed) {
+  // Kramer prefers low flight numbers, Jerry strongly prefers high ones;
+  // the engine maximizes the sum, so Jerry's stronger preference wins.
+  EngineOptions opts;
+  opts.mode = EvalMode::kIncremental;
+  CoordinationEngine engine(&ctx_, db_.get(), opts);
+  auto a = engine.Submit(Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"));
+  ASSERT_TRUE(a.ok());
+  ir::QueryId kramer_id = *a;
+  // Install the preference after learning Kramer's id (callback-free test).
+  EngineOptions opts2;
+  opts2.mode = EvalMode::kIncremental;
+  opts2.preference = [kramer_id](ir::QueryId q,
+                                 const std::vector<ir::GroundAtom>& ts) {
+    if (ts.empty()) return 0.0;
+    double fno = static_cast<double>(ts[0].args[1].AsInt());
+    return q == kramer_id ? -fno : 10 * fno;
+  };
+  // Rebuild the engine with both queries (preferences are engine-level).
+  QueryContext ctx2;
+  db::Database db2(&ctx2.interner());
+  ASSERT_TRUE(db2.CreateTable("F", {{"fno", ValueType::kInt},
+                                    {"dest", ValueType::kString}})
+                  .ok());
+  for (int fno : {122, 134}) {
+    ASSERT_TRUE(db2.Insert("F", {Value::Int(fno),
+                                 Value::Str(ctx2.Intern("Paris"))})
+                    .ok());
+  }
+  ir::Parser parser2(&ctx2);
+  opts2.preference = [](ir::QueryId q, const std::vector<ir::GroundAtom>& ts) {
+    if (ts.empty()) return 0.0;
+    double fno = static_cast<double>(ts[0].args[1].AsInt());
+    return q == 0 ? -fno : 10 * fno;  // query 0 = Kramer, 1 = Jerry
+  };
+  CoordinationEngine engine2(&ctx2, &db2, opts2);
+  auto k = engine2.Submit(
+      *parser2.ParseQuery("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"));
+  auto j = engine2.Submit(
+      *parser2.ParseQuery("{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"));
+  ASSERT_TRUE(k.ok() && j.ok());
+  // Sum at 134: -134 + 1340 = 1206 > sum at 122: -122 + 1220 = 1098.
+  EXPECT_EQ(engine2.outcome(*k).tuples[0].args[1], Value::Int(134));
+}
+
+}  // namespace
+}  // namespace eq::engine

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/safety.h"
+#include "ir/parser.h"
+
+namespace eq::core {
+namespace {
+
+using ir::QueryContext;
+using ir::QueryId;
+using ir::QuerySet;
+
+class SafetyTest : public ::testing::Test {
+ protected:
+  QuerySet Parse(const std::string& program) {
+    ir::Parser parser(&ctx_);
+    auto r = parser.ParseProgram(program);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  QueryContext ctx_;
+};
+
+// Figure 3 (a): Kramer↔Jerry, Elaine↔Jerry, Jerry happy to fly with any
+// friend. Jerry's postcondition R(f, z) unifies with both other heads —
+// the set is unsafe.
+constexpr const char* kFigure3a =
+    "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+    "{R(Jerry, y)} R(Elaine, y) :- F(y, Athens);"
+    "{R(f, z)} R(Jerry, z) :- F(z, w), Friend(Jerry, f)";
+
+TEST_F(SafetyTest, Figure3aIsUnsafe) {
+  QuerySet qs = Parse(kFigure3a);
+  auto violations = SafetyChecker::FindViolations(qs);
+  ASSERT_FALSE(violations.empty());
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.query, 2u);  // Jerry's query is the unsafe one
+    EXPECT_EQ(v.pc_idx, 0u);
+  }
+}
+
+TEST_F(SafetyTest, IntroductionExampleIsSafe) {
+  QuerySet qs = Parse(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)");
+  EXPECT_TRUE(SafetyChecker::FindViolations(qs).empty());
+}
+
+TEST_F(SafetyTest, TwoHeadsOfSameQueryCountAsViolationInStrictMode) {
+  // A single query whose two head atoms both unify with its postcondition:
+  // "two head atoms of the same query" (§3.1.1). Only the strict reading
+  // (count_self_matches) flags this; the default ignores same-query pairs.
+  QuerySet qs = Parse("{R(u)} R(a), R(b) :- B(a, b), B(u, u)");
+  SafetyOptions strict{.count_self_matches = true};
+  auto violations = SafetyChecker::FindViolations(qs, strict);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].query, 0u);
+  EXPECT_TRUE(SafetyChecker::FindViolations(qs).empty());
+}
+
+TEST_F(SafetyTest, EnforceSafetyRemovesViolatorAndConverges) {
+  QuerySet qs = Parse(kFigure3a);
+  auto removed = SafetyChecker::EnforceSafety(&qs);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 2u);
+  EXPECT_EQ(qs.queries.size(), 2u);
+  EXPECT_TRUE(SafetyChecker::FindViolations(qs).empty());
+}
+
+TEST_F(SafetyTest, EnforceSafetyCascades) {
+  // q0's postcondition is ambiguous (two W heads). Removing q0 takes its
+  // head K(1) away, which is what made q3's postcondition unambiguous...
+  // here we build the chain the other way: q3 is ambiguous only while both
+  // q0 and q4 are present; q0's removal resolves it — EnforceSafety must
+  // re-check after removals (fixpoint).
+  QuerySet qs = Parse(
+      "{W(p)} K(1) :- B(p);"   // q0: ambiguous pc (W heads of q1, q2)
+      "{} W(a) :- B(a);"       // q1
+      "{} W(b) :- B(b);"       // q2
+      "{K(t)} M(2) :- B(t)");  // q3: K(t) matches only q0's K(1)
+  auto removed = SafetyChecker::EnforceSafety(&qs);
+  // q0 removed (ambiguous). q3's postcondition then has zero matches —
+  // zero is safe (just unanswerable), so q3 survives.
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 0u);
+  EXPECT_EQ(qs.queries.size(), 3u);
+  EXPECT_TRUE(SafetyChecker::FindViolations(qs).empty());
+}
+
+TEST_F(SafetyTest, SafeWorkloadSurvivesEnforcement) {
+  QuerySet qs = Parse(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)");
+  auto removed = SafetyChecker::EnforceSafety(&qs);
+  EXPECT_TRUE(removed.empty());
+  EXPECT_EQ(qs.queries.size(), 2u);
+}
+
+// -------------------------------------------------- incremental admission --
+
+TEST_F(SafetyTest, AdmitAcceptsSafePairs) {
+  QuerySet qs = Parse(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)");
+  SafetyChecker checker(&qs);
+  EXPECT_TRUE(checker.Admit(0).ok());
+  EXPECT_TRUE(checker.Admit(1).ok());
+  EXPECT_EQ(checker.admitted_count(), 2u);
+}
+
+TEST_F(SafetyTest, AdmitRejectsAmbiguousPostcondition) {
+  QuerySet qs = Parse(kFigure3a);
+  SafetyChecker checker(&qs);
+  ASSERT_TRUE(checker.Admit(0).ok());
+  ASSERT_TRUE(checker.Admit(1).ok());
+  // Jerry's wildcard postcondition sees both admitted heads: rejected.
+  Status st = checker.Admit(2);
+  EXPECT_EQ(st.code(), StatusCode::kUnsafe);
+  EXPECT_EQ(checker.admitted_count(), 2u);
+}
+
+TEST_F(SafetyTest, AdmitRejectsHeadThatAmbiguatesResidentPc) {
+  // Resident: q0 posts on K(5); q1 heads K(5). Newcomer q2 also heads K(c)
+  // with a wildcard — its head would give q0's postcondition a second match.
+  QuerySet qs = Parse(
+      "{K(5)} M(1) :- B(x);"
+      "{} K(5) :- B(y);"
+      "{} K(z) :- B(z)");
+  SafetyChecker checker(&qs);
+  ASSERT_TRUE(checker.Admit(0).ok());
+  ASSERT_TRUE(checker.Admit(1).ok());
+  Status st = checker.Admit(2);
+  EXPECT_EQ(st.code(), StatusCode::kUnsafe);
+}
+
+TEST_F(SafetyTest, AdmitRejectsTwinHeadsAgainstOwnPostcondition) {
+  QuerySet qs = Parse("{R(u)} R(a), R(b) :- B(a, b), B(u, u)");
+  SafetyChecker checker(&qs, SafetyOptions{.count_self_matches = true});
+  EXPECT_EQ(checker.Admit(0).code(), StatusCode::kUnsafe);
+  EXPECT_EQ(checker.admitted_count(), 0u);
+}
+
+TEST_F(SafetyTest, AdmitRejectsTwinOwnHeadsForResidentPc) {
+  // Newcomer's own two heads both match a resident postcondition.
+  QuerySet qs = Parse(
+      "{K(7)} M(1) :- B(x);"
+      "{} K(a), K(b) :- B(a, b)");
+  SafetyChecker checker(&qs);
+  ASSERT_TRUE(checker.Admit(0).ok());
+  EXPECT_EQ(checker.Admit(1).code(), StatusCode::kUnsafe);
+  // Rejection must leave no staged counts behind: admitting a single
+  // matching head afterwards is still allowed.
+  QuerySet qs2 = Parse(
+      "{K(7)} M(1) :- B(x);"
+      "{} K(a), K(b) :- B(a, b);"
+      "{} K(c) :- B(c)");
+  SafetyChecker checker2(&qs2);
+  ASSERT_TRUE(checker2.Admit(0).ok());
+  EXPECT_EQ(checker2.Admit(1).code(), StatusCode::kUnsafe);
+  EXPECT_TRUE(checker2.Admit(2).ok());
+}
+
+TEST_F(SafetyTest, RemoveReleasesHeads) {
+  // After removing the query whose head matched the resident postcondition,
+  // an equivalent newcomer is admissible again.
+  QuerySet qs = Parse(
+      "{K(9)} M(1) :- B(x);"
+      "{} K(9) :- B(y);"
+      "{} K(9) :- B(z)");
+  SafetyChecker checker(&qs);
+  ASSERT_TRUE(checker.Admit(0).ok());
+  ASSERT_TRUE(checker.Admit(1).ok());
+  EXPECT_EQ(checker.Admit(2).code(), StatusCode::kUnsafe);
+  checker.Remove(1);
+  EXPECT_EQ(checker.admitted_count(), 1u);
+  EXPECT_TRUE(checker.Admit(2).ok());
+}
+
+TEST_F(SafetyTest, RemoveUnknownIsNoOp) {
+  QuerySet qs = Parse("{} R(x) :- B(x)");
+  SafetyChecker checker(&qs);
+  checker.Remove(0);  // never admitted
+  EXPECT_EQ(checker.admitted_count(), 0u);
+  EXPECT_TRUE(checker.Admit(0).ok());
+}
+
+TEST_F(SafetyTest, BatchAndIncrementalAgreeOnPrefixes) {
+  // Admitting queries one by one must accept exactly those whose addition
+  // keeps the prefix set safe.
+  QuerySet qs = Parse(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris);"
+      "{R(f, z)} R(Newman, z) :- F(z, w)");  // wildcard pc: sees 2 heads
+  SafetyChecker checker(&qs);
+  ASSERT_TRUE(checker.Admit(0).ok());
+  ASSERT_TRUE(checker.Admit(1).ok());
+  EXPECT_EQ(checker.Admit(2).code(), StatusCode::kUnsafe);
+
+  QuerySet full = Parse(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris);"
+      "{R(f, z)} R(Newman, z) :- F(z, w)");
+  auto violations = SafetyChecker::FindViolations(full);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].query, 2u);
+}
+
+}  // namespace
+}  // namespace eq::core

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "engine/engine.h"
+#include "ir/query.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/translator.h"
+
+namespace eq::sql {
+namespace {
+
+using ir::QueryContext;
+using ir::Value;
+using ir::ValueType;
+
+// ------------------------------------------------------------------ lexer --
+
+TEST(LexerTest, TokenizesPunctuationAndLiterals) {
+  auto tokens = Tokenize("SELECT 'Kramer', fno != 42 <= >= <> F.dest (x)");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kString, TokenKind::kComma,
+                TokenKind::kIdent, TokenKind::kNe, TokenKind::kInt,
+                TokenKind::kLe, TokenKind::kGe, TokenKind::kNe,
+                TokenKind::kIdent, TokenKind::kDot, TokenKind::kIdent,
+                TokenKind::kLParen, TokenKind::kIdent, TokenKind::kRParen,
+                TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[1].text, "Kramer");
+  EXPECT_EQ((*tokens)[5].number, 42);
+}
+
+TEST(LexerTest, KeywordMatchIsCaseInsensitive) {
+  auto tokens = Tokenize("select Select SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsKeyword("SELECT"));
+    EXPECT_FALSE((*tokens)[i].IsKeyword("SELECTS"));
+  }
+}
+
+TEST(LexerTest, RejectsBadInput) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+// ----------------------------------------------------------------- parser --
+
+// Kramer's query, verbatim from the paper's introduction.
+constexpr const char* kKramerSql =
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation "
+    "CHOOSE 1";
+
+// Jerry's query with the Airlines join.
+constexpr const char* kJerrySql =
+    "SELECT 'Jerry', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights F, Airlines A WHERE "
+    "F.dest='Paris' AND F.fno = A.fno AND A.airline = 'United') "
+    "AND ('Kramer', fno) IN ANSWER Reservation "
+    "CHOOSE 1";
+
+TEST(SqlParserTest, ParsesKramersQuery) {
+  auto stmt = ParseSql(kKramerSql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->select_list.size(), 2u);
+  EXPECT_EQ(stmt->select_list[0].kind, SqlTerm::Kind::kStringLit);
+  EXPECT_EQ(stmt->select_list[0].text, "Kramer");
+  EXPECT_EQ(stmt->select_list[1].text, "fno");
+  ASSERT_EQ(stmt->answer_tables.size(), 1u);
+  EXPECT_EQ(stmt->answer_tables[0], "Reservation");
+  ASSERT_EQ(stmt->memberships.size(), 1u);
+  EXPECT_EQ(stmt->memberships[0].outer_column, "fno");
+  EXPECT_EQ(stmt->memberships[0].subquery.from[0].table, "Flights");
+  ASSERT_EQ(stmt->postconditions.size(), 1u);
+  EXPECT_EQ(stmt->postconditions[0].answer_table, "Reservation");
+  ASSERT_EQ(stmt->postconditions[0].tuple.size(), 2u);
+  EXPECT_EQ(stmt->postconditions[0].tuple[0].text, "Jerry");
+  EXPECT_EQ(stmt->choose_k, 1);
+}
+
+TEST(SqlParserTest, ParsesJerrysJoinQuery) {
+  auto stmt = ParseSql(kJerrySql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SubquerySelect& sub = stmt->memberships[0].subquery;
+  ASSERT_EQ(sub.from.size(), 2u);
+  EXPECT_EQ(sub.from[0].table, "Flights");
+  EXPECT_EQ(sub.from[0].alias, "F");
+  EXPECT_EQ(sub.from[1].alias, "A");
+  ASSERT_EQ(sub.where.size(), 3u);
+  EXPECT_EQ(sub.where[1].lhs.qualifier, "F");
+  EXPECT_EQ(sub.where[1].rhs.qualifier, "A");
+}
+
+TEST(SqlParserTest, MultipleAnswerTables) {
+  auto stmt = ParseSql(
+      "SELECT 'Jerry' INTO ANSWER Reservation, ANSWER Manifest CHOOSE 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->answer_tables,
+            (std::vector<std::string>{"Reservation", "Manifest"}));
+}
+
+TEST(SqlParserTest, ChooseKAndScalarFilter) {
+  auto stmt = ParseSql(
+      "SELECT fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights) "
+      "AND fno > 100 CHOOSE 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->choose_k, 3);
+  ASSERT_EQ(stmt->filters.size(), 1u);
+  EXPECT_EQ(stmt->filters[0].op, ir::CompareOp::kGt);
+}
+
+TEST(SqlParserTest, SingleExprInAnswer) {
+  auto stmt = ParseSql(
+      "SELECT x INTO ANSWER R WHERE x IN (SELECT a FROM T) "
+      "AND x IN ANSWER S CHOOSE 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->postconditions.size(), 1u);
+  EXPECT_EQ(stmt->postconditions[0].answer_table, "S");
+}
+
+TEST(SqlParserTest, RejectsMalformedStatements) {
+  for (const char* bad : {
+           "SELECT",                                     // truncated
+           "SELECT 'x' CHOOSE 1",                        // missing INTO
+           "SELECT 'x' INTO Reservation CHOOSE 1",       // missing ANSWER
+           "SELECT 'x' INTO ANSWER R",                   // missing CHOOSE
+           "SELECT 'x' INTO ANSWER R CHOOSE 0",          // bad k
+           "SELECT 'x' INTO ANSWER R CHOOSE 1 garbage",  // trailing
+           "SELECT 'x' INTO ANSWER R WHERE IN (SELECT a FROM T) CHOOSE 1",
+       }) {
+    auto r = ParseSql(bad);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << bad;
+  }
+}
+
+TEST(SqlParserTest, FutureWorkConstructsGetDescriptiveErrors) {
+  // §6 extensions: aggregation, disjunction, union.
+  auto agg = ParseSql(
+      "SELECT party_id, 'Jerry' INTO ANSWER Attendance WHERE "
+      "(SELECT COUNT(*) FROM ANSWER Attendance) > 5 CHOOSE 1");
+  ASSERT_FALSE(agg.ok());
+  auto disj = ParseSql(
+      "SELECT 'x' INTO ANSWER R WHERE a IN (SELECT a FROM T) OR "
+      "b IN (SELECT b FROM T) CHOOSE 1");
+  ASSERT_FALSE(disj.ok());
+  EXPECT_NE(disj.status().message().find("future-work"), std::string::npos);
+}
+
+// ------------------------------------------------------------- translator --
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<db::Database>(&ctx_.interner());
+    ASSERT_TRUE(db_->CreateTable("Flights", {{"fno", ValueType::kInt},
+                                             {"dest", ValueType::kString}})
+                    .ok());
+    ASSERT_TRUE(db_->CreateTable("Airlines",
+                                 {{"fno", ValueType::kInt},
+                                  {"airline", ValueType::kString}})
+                    .ok());
+  }
+
+  QueryContext ctx_;
+  std::unique_ptr<db::Database> db_;
+};
+
+TEST_F(TranslatorTest, KramersQueryMatchesPaperIr) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(kKramerSql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // Figure 2 (a): {R(Jerry, x)} R(Kramer, x) ⊃ F(x, Paris) — with R =
+  // Reservation, F = Flights, and the unused flight column as a variable.
+  ASSERT_EQ(q->head.size(), 1u);
+  ASSERT_EQ(q->postconditions.size(), 1u);
+  ASSERT_EQ(q->body.size(), 1u);
+  EXPECT_EQ(q->head[0].ToString(ctx_), "Reservation(Kramer, Flights.fno)");
+  EXPECT_EQ(q->postconditions[0].ToString(ctx_),
+            "Reservation(Jerry, Flights.fno)");
+  EXPECT_EQ(q->body[0].ToString(ctx_), "Flights(Flights.fno, Paris)");
+  EXPECT_TRUE(ir::ValidateQuery(*q, &ctx_).ok());
+  EXPECT_TRUE(ctx_.IsAnswerRelation(ctx_.Intern("Reservation")));
+}
+
+TEST_F(TranslatorTest, JerrysJoinProducesTwoBodyAtoms) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(kJerrySql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->body.size(), 2u);
+  // F.fno = A.fno: the two atoms share the flight-number variable.
+  EXPECT_EQ(q->body[0].args[0], q->body[1].args[0]);
+  // Constants folded in: dest = Paris, airline = United.
+  EXPECT_EQ(q->body[0].args[1], ir::Term::Const(ctx_.StrValue("Paris")));
+  EXPECT_EQ(q->body[1].args[1], ir::Term::Const(ctx_.StrValue("United")));
+  // Head selects the same shared variable.
+  EXPECT_EQ(q->head[0].args[1], q->body[0].args[0]);
+}
+
+TEST_F(TranslatorTest, MultipleAnswerTablesYieldMultipleHeads) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation, ANSWER Manifest "
+      "WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->head.size(), 2u);
+  EXPECT_EQ(q->head[0].relation, ctx_.Intern("Reservation"));
+  EXPECT_EQ(q->head[1].relation, ctx_.Intern("Manifest"));
+  EXPECT_EQ(q->head[0].args, q->head[1].args);
+}
+
+TEST_F(TranslatorTest, ScalarFiltersSurvive) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(
+      "SELECT fno INTO ANSWER R "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE fno != 136) "
+      "AND fno > 100 CHOOSE 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 2u);
+}
+
+TEST_F(TranslatorTest, UnboundSelectColumnIsRejected) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql("SELECT fno INTO ANSWER R CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("range restriction"),
+            std::string::npos);
+}
+
+TEST_F(TranslatorTest, UnknownTableIsRejected) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(
+      "SELECT x INTO ANSWER R WHERE x IN (SELECT a FROM Ghost) CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TranslatorTest, UnknownColumnIsRejected) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(
+      "SELECT x INTO ANSWER R "
+      "WHERE x IN (SELECT ghost FROM Flights) CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+}
+
+TEST_F(TranslatorTest, AmbiguousColumnRequiresQualifier) {
+  Translator tr(&ctx_, db_.get());
+  // fno exists in both Flights and Airlines.
+  auto q = tr.TranslateSql(
+      "SELECT x INTO ANSWER R "
+      "WHERE x IN (SELECT fno FROM Flights, Airlines) CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, ContradictoryEqualityRejected) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(
+      "SELECT x INTO ANSWER R WHERE x IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris' AND dest='Rome') CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+}
+
+TEST_F(TranslatorTest, AstRoundTripsThroughToSql) {
+  for (const char* sql : {kKramerSql, kJerrySql}) {
+    auto stmt1 = ParseSql(sql);
+    ASSERT_TRUE(stmt1.ok());
+    std::string printed = ToSql(*stmt1);
+    auto stmt2 = ParseSql(printed);
+    ASSERT_TRUE(stmt2.ok()) << "reparse failed: " << printed;
+    EXPECT_EQ(printed, ToSql(*stmt2));
+    // Both parse trees translate to structurally equal IR.
+    Translator tr(&ctx_, db_.get());
+    auto q1 = tr.Translate(*stmt1);
+    auto q2 = tr.Translate(*stmt2);
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    EXPECT_EQ(q1->ToString(ctx_).size(), q2->ToString(ctx_).size());
+  }
+}
+
+// ---------------------------------------------------------- end-to-end ----
+
+TEST_F(TranslatorTest, PaperIntroductionScenarioEndToEnd) {
+  // Figure 1 (a) data.
+  auto S = [&](const char* s) { return Value::Str(ctx_.Intern(s)); };
+  ASSERT_TRUE(db_->Insert("Flights", {Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(db_->Insert("Flights", {Value::Int(123), S("Paris")}).ok());
+  ASSERT_TRUE(db_->Insert("Flights", {Value::Int(134), S("Paris")}).ok());
+  ASSERT_TRUE(db_->Insert("Flights", {Value::Int(136), S("Rome")}).ok());
+  ASSERT_TRUE(db_->Insert("Airlines", {Value::Int(122), S("United")}).ok());
+  ASSERT_TRUE(db_->Insert("Airlines", {Value::Int(123), S("United")}).ok());
+  ASSERT_TRUE(db_->Insert("Airlines", {Value::Int(134), S("Lufthansa")}).ok());
+  ASSERT_TRUE(db_->Insert("Airlines", {Value::Int(136), S("Alitalia")}).ok());
+
+  Translator tr(&ctx_, db_.get());
+  auto kramer = tr.TranslateSql(kKramerSql);
+  auto jerry = tr.TranslateSql(kJerrySql);
+  ASSERT_TRUE(kramer.ok() && jerry.ok());
+
+  engine::CoordinationEngine engine(
+      &ctx_, db_.get(), {.mode = engine::EvalMode::kIncremental});
+  auto k_id = engine.Submit(*kramer);
+  ASSERT_TRUE(k_id.ok());
+  EXPECT_EQ(engine.outcome(*k_id).state,
+            engine::QueryOutcome::State::kPending);
+  auto j_id = engine.Submit(*jerry);
+  ASSERT_TRUE(j_id.ok());
+
+  const auto& ko = engine.outcome(*k_id);
+  const auto& jo = engine.outcome(*j_id);
+  ASSERT_EQ(ko.state, engine::QueryOutcome::State::kAnswered);
+  ASSERT_EQ(jo.state, engine::QueryOutcome::State::kAnswered);
+  // "The system non-deterministically chooses either flight 122 or 123 and
+  // returns appropriate answer tuples."
+  EXPECT_EQ(ko.tuples[0].args[0], S("Kramer"));
+  EXPECT_EQ(jo.tuples[0].args[0], S("Jerry"));
+  EXPECT_EQ(ko.tuples[0].args[1], jo.tuples[0].args[1]);
+  int64_t fno = ko.tuples[0].args[1].AsInt();
+  EXPECT_TRUE(fno == 122 || fno == 123);
+}
+
+}  // namespace
+}  // namespace eq::sql

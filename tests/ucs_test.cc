@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/ucs.h"
+#include "core/unifiability_graph.h"
+#include "ir/parser.h"
+
+namespace eq::core {
+namespace {
+
+using ir::QueryContext;
+using ir::QuerySet;
+
+class UcsTest : public ::testing::Test {
+ protected:
+  UcsChecker::Report Check(const std::string& program) {
+    ir::Parser parser(&ctx_);
+    auto r = parser.ParseProgram(program);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    qs_ = std::move(r).value();
+    graph_ = std::make_unique<UnifiabilityGraph>(&qs_);
+    EXPECT_TRUE(graph_->Build().ok());
+    return UcsChecker::Check(*graph_);
+  }
+
+  QueryContext ctx_;
+  QuerySet qs_;
+  std::unique_ptr<UnifiabilityGraph> graph_;
+};
+
+TEST_F(UcsTest, IntroductionPairIsUcs) {
+  auto report = Check(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)");
+  EXPECT_TRUE(report.ucs);
+  EXPECT_TRUE(report.cross_edges.empty());
+  // Both queries share one SCC.
+  EXPECT_EQ(report.scc_of[0], report.scc_of[1]);
+}
+
+// Figure 3 (b): Jerry and Kramer coordinate mutually; Frank additionally
+// wants Jerry, but nothing requires Frank. The Jerry→Frank edge leaves
+// Jerry's SCC — a proper subset (Jerry, Kramer) may coordinate "locally".
+TEST_F(UcsTest, Figure3bIsNotUcs) {
+  auto report = Check(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris);"
+      "{R(Jerry, z)} R(Frank, z) :- F(z, Paris), A(z, United)");
+  EXPECT_FALSE(report.ucs);
+  ASSERT_FALSE(report.cross_edges.empty());
+  // Jerry and Kramer in one SCC; Frank in his own.
+  EXPECT_EQ(report.scc_of[0], report.scc_of[1]);
+  EXPECT_NE(report.scc_of[0], report.scc_of[2]);
+  // The offending edge points from the pair's SCC into Frank's.
+  for (uint32_t id : report.cross_edges) {
+    const Edge& e = graph_->edge(id);
+    EXPECT_EQ(e.to, 2u);
+  }
+}
+
+// Figure 3 (a) satisfies UCS even though it is unsafe: all three queries
+// lie in one SCC ("an interesting property", §3.1.2).
+TEST_F(UcsTest, Figure3aIsUcsDespiteBeingUnsafe) {
+  auto report = Check(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Jerry, y)} R(Elaine, y) :- F(y, Athens);"
+      "{R(f, z)} R(Jerry, z) :- F(z, w), Friend(Jerry, f)");
+  EXPECT_TRUE(report.ucs);
+  EXPECT_EQ(report.scc_of[0], report.scc_of[1]);
+  EXPECT_EQ(report.scc_of[1], report.scc_of[2]);
+}
+
+TEST_F(UcsTest, IsolatedQueriesAreUcs) {
+  auto report = Check(
+      "{} R(Jerry, x) :- F(x, Paris);"
+      "{} S(Kramer, y) :- F(y, Rome)");
+  EXPECT_TRUE(report.ucs);
+  EXPECT_NE(report.scc_of[0], report.scc_of[1]);
+  EXPECT_EQ(report.scc_count, 2u);
+}
+
+TEST_F(UcsTest, SelfLoopIsUcs) {
+  auto report = Check("{R(Kramer, x)} R(Kramer, x) :- F(x, Paris)");
+  EXPECT_TRUE(report.ucs);
+  EXPECT_EQ(report.scc_count, 1u);
+}
+
+TEST_F(UcsTest, ChainIsNotUcs) {
+  // q0 → q1 → q2 without back edges: every edge crosses SCCs.
+  auto report = Check(
+      "{} K(1) :- B(a);"
+      "{K(1)} K(2) :- B(b);"
+      "{K(2)} K(3) :- B(c)");
+  EXPECT_FALSE(report.ucs);
+  EXPECT_EQ(report.cross_edges.size(), 2u);
+  EXPECT_EQ(report.scc_count, 3u);
+}
+
+TEST_F(UcsTest, ThreeCycleIsUcs) {
+  auto report = Check(
+      "{K(3)} K(1) :- B(a);"
+      "{K(1)} K(2) :- B(b);"
+      "{K(2)} K(3) :- B(c)");
+  EXPECT_TRUE(report.ucs);
+  EXPECT_EQ(report.scc_count, 1u);
+}
+
+TEST_F(UcsTest, DeadNodesAreIgnored) {
+  ir::Parser parser(&ctx_);
+  auto r = parser.ParseProgram(
+      "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris);"
+      "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris);"
+      "{R(Jerry, z)} R(Frank, z) :- F(z, Paris)");
+  ASSERT_TRUE(r.ok());
+  qs_ = std::move(r).value();
+  graph_ = std::make_unique<UnifiabilityGraph>(&qs_);
+  ASSERT_TRUE(graph_->Build().ok());
+  // With Frank present: not UCS. After removing Frank: UCS again.
+  EXPECT_FALSE(UcsChecker::Check(*graph_).ucs);
+  graph_->RemoveNode(2);
+  auto report = UcsChecker::Check(*graph_);
+  EXPECT_TRUE(report.ucs);
+  EXPECT_EQ(report.scc_of[2], -1);
+}
+
+}  // namespace
+}  // namespace eq::core

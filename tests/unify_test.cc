@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/query.h"
+#include "unify/naive_unifier.h"
+#include "unify/unifier.h"
+#include "util/rng.h"
+
+namespace eq::unify {
+namespace {
+
+using ir::Atom;
+using ir::QueryContext;
+using ir::Term;
+using ir::Value;
+using ir::VarId;
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  QueryContext ctx_;
+
+  Atom MakeAtom(const std::string& rel, std::vector<Term> args) {
+    return Atom(ctx_.Intern(rel), std::move(args));
+  }
+  Term C(const std::string& s) { return Term::Const(ctx_.StrValue(s)); }
+  Term Ci(int64_t i) { return Term::Const(Value::Int(i)); }
+  Term V(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return Term::Var(it->second);
+    VarId v = ctx_.NewVar(name);
+    vars_.emplace(name, v);
+    return Term::Var(v);
+  }
+  VarId Vid(const std::string& name) { return V(name).var(); }
+
+  std::unordered_map<std::string, VarId> vars_;
+};
+
+// Paper §3.1.1: "R(x, y) and R(z, z) are unifiable whereas R(2, y) and
+// R(3, z) are not."
+TEST_F(UnifyTest, PaperUnifiabilityExamples) {
+  EXPECT_TRUE(Unifiable(MakeAtom("R", {V("x"), V("y")}),
+                        MakeAtom("R", {V("z"), V("z")})));
+  EXPECT_FALSE(Unifiable(MakeAtom("R", {Ci(2), V("y")}),
+                         MakeAtom("R", {Ci(3), V("z")})));
+}
+
+TEST_F(UnifyTest, DifferentRelationsDoNotUnify) {
+  EXPECT_FALSE(
+      Unifiable(MakeAtom("R", {V("x")}), MakeAtom("S", {V("y")})));
+}
+
+TEST_F(UnifyTest, DifferentAritiesDoNotUnify) {
+  EXPECT_FALSE(Unifiable(MakeAtom("R", {V("x")}),
+                         MakeAtom("R", {V("y"), V("z")})));
+}
+
+TEST_F(UnifyTest, RepeatedVariableForcesTransitiveConflict) {
+  // R(x, x) vs R(2, 3): positionwise fine, but x cannot be both 2 and 3.
+  EXPECT_FALSE(Unifiable(MakeAtom("R", {V("x"), V("x")}),
+                         MakeAtom("R", {Ci(2), Ci(3)})));
+  // R(x, x) vs R(2, 2) is fine.
+  EXPECT_TRUE(Unifiable(MakeAtom("R", {V("y"), V("y")}),
+                        MakeAtom("R", {Ci(2), Ci(2)})));
+}
+
+TEST_F(UnifyTest, ConstantsMustMatchExactly) {
+  EXPECT_TRUE(Unifiable(MakeAtom("R", {C("Jerry")}),
+                        MakeAtom("R", {C("Jerry")})));
+  EXPECT_FALSE(Unifiable(MakeAtom("R", {C("Jerry")}),
+                         MakeAtom("R", {C("Kramer")})));
+  // Int 1 and string "1" are different constants.
+  EXPECT_FALSE(Unifiable(MakeAtom("R", {Ci(1)}), MakeAtom("R", {C("1")})));
+}
+
+TEST_F(UnifyTest, UnifyAtomsProducesBindings) {
+  // Reserve(Kramer, x) ~ Reserve(y, 122): y=Kramer, x=122.
+  Unifier u;
+  ASSERT_TRUE(UnifyAtoms(MakeAtom("Reserve", {C("Kramer"), V("x")}),
+                         MakeAtom("Reserve", {V("y"), Ci(122)}), &u));
+  EXPECT_EQ(u.BindingOf(Vid("x")), Value::Int(122));
+  EXPECT_EQ(u.BindingOf(Vid("y")), ctx_.StrValue("Kramer"));
+}
+
+TEST_F(UnifyTest, VariableChainsShareClass) {
+  Unifier u;
+  ASSERT_TRUE(u.UnionVars(Vid("a"), Vid("b")));
+  ASSERT_TRUE(u.UnionVars(Vid("b"), Vid("c")));
+  EXPECT_TRUE(u.SameClass(Vid("a"), Vid("c")));
+  ASSERT_TRUE(u.BindConst(Vid("c"), Value::Int(5)));
+  EXPECT_EQ(u.BindingOf(Vid("a")), Value::Int(5));
+}
+
+TEST_F(UnifyTest, ConstantConflictFails) {
+  Unifier u;
+  ASSERT_TRUE(u.BindConst(Vid("x"), Value::Int(3)));
+  EXPECT_FALSE(u.BindConst(Vid("x"), Value::Int(4)));
+  // Indirect conflict through a union.
+  Unifier u2;
+  ASSERT_TRUE(u2.BindConst(Vid("p"), Value::Int(1)));
+  ASSERT_TRUE(u2.BindConst(Vid("q"), Value::Int(2)));
+  EXPECT_FALSE(u2.UnionVars(Vid("p"), Vid("q")));
+}
+
+// Paper §4.1.3: "there is no most general unifier for {{x, 3}} and {{x, 4}}".
+TEST_F(UnifyTest, MguOfConflictingUnifiersDoesNotExist) {
+  Unifier u1, u2;
+  ASSERT_TRUE(u1.BindConst(Vid("x"), Value::Int(3)));
+  ASSERT_TRUE(u2.BindConst(Vid("x"), Value::Int(4)));
+  EXPECT_EQ(u1.MergeFrom(u2), MergeResult::kConflict);
+}
+
+TEST_F(UnifyTest, MergeChangeDetection) {
+  Unifier u1, u2;
+  ASSERT_TRUE(u2.UnionVars(Vid("y"), Vid("z")));
+  // First merge introduces constraint {y, z}: changed.
+  EXPECT_EQ(u1.MergeFrom(u2), MergeResult::kChanged);
+  // Re-merging the same information: unchanged.
+  EXPECT_EQ(u1.MergeFrom(u2), MergeResult::kUnchanged);
+  // A singleton without constant imposes nothing: unchanged.
+  Unifier u3;
+  ASSERT_TRUE(u3.UnionVars(Vid("w"), Vid("w")));
+  EXPECT_EQ(u1.MergeFrom(u3), MergeResult::kUnchanged);
+  // New constant on an existing class: changed.
+  Unifier u4;
+  ASSERT_TRUE(u4.BindConst(Vid("y"), Value::Int(9)));
+  EXPECT_EQ(u1.MergeFrom(u4), MergeResult::kChanged);
+  EXPECT_EQ(u1.BindingOf(Vid("z")), Value::Int(9));
+}
+
+TEST_F(UnifyTest, MergeIsIdempotent) {
+  Unifier u1, u2;
+  ASSERT_TRUE(u2.UnionVars(Vid("a"), Vid("b")));
+  ASSERT_TRUE(u2.BindConst(Vid("c"), Value::Int(1)));
+  ASSERT_EQ(u1.MergeFrom(u2), MergeResult::kChanged);
+  ASSERT_EQ(u1.MergeFrom(u2), MergeResult::kUnchanged);
+  ASSERT_EQ(u1.MergeFrom(u1), MergeResult::kUnchanged);
+}
+
+TEST_F(UnifyTest, ClassesAreCanonical) {
+  Unifier u;
+  VarId a = Vid("a"), b = Vid("b"), c = Vid("c");
+  ASSERT_TRUE(u.UnionVars(c, b));
+  ASSERT_TRUE(u.BindConst(a, Value::Int(7)));
+  auto classes = u.Classes();
+  ASSERT_EQ(classes.size(), 2u);
+  // Sorted by smallest member: a's class first (a < b < c by creation).
+  EXPECT_EQ(classes[0].vars, std::vector<VarId>({a}));
+  ASSERT_TRUE(classes[0].constant.has_value());
+  EXPECT_EQ(*classes[0].constant, Value::Int(7));
+  EXPECT_EQ(classes[1].vars, std::vector<VarId>({b, c}));
+  EXPECT_FALSE(classes[1].constant.has_value());
+}
+
+TEST_F(UnifyTest, RepresentativeIsSmallestVar) {
+  Unifier u;
+  VarId a = Vid("a"), b = Vid("b"), c = Vid("c");
+  ASSERT_TRUE(u.UnionVars(c, b));
+  EXPECT_EQ(u.Representative(c), b);
+  EXPECT_EQ(u.Representative(b), b);
+  ASSERT_TRUE(u.UnionVars(b, a));
+  EXPECT_EQ(u.Representative(c), a);
+  // Unknown variable is its own representative.
+  VarId d = Vid("d");
+  EXPECT_EQ(u.Representative(d), d);
+}
+
+TEST_F(UnifyTest, ToStringMatchesPaperNotation) {
+  // The running example unifier {{x1, y1}, {x2, z2}, {x3, z1, 1}} (§4.2).
+  // Create variables in declaration order (function-argument evaluation
+  // order is unspecified in C++).
+  VarId x1 = Vid("x1"), x2 = Vid("x2"), x3 = Vid("x3");
+  VarId y1 = Vid("y1"), z1 = Vid("z1"), z2 = Vid("z2");
+  Unifier u;
+  ASSERT_TRUE(u.UnionVars(x1, y1));
+  ASSERT_TRUE(u.UnionVars(x2, z2));
+  ASSERT_TRUE(u.UnionVars(x3, z1));
+  ASSERT_TRUE(u.BindConst(x3, Value::Int(1)));
+  EXPECT_EQ(u.ToString(ctx_), "{{x1, y1}, {x2, z2}, {x3, z1, 1}}");
+}
+
+// ----------------------------------------------------- Property: vs naive --
+
+// Random operation sequences must produce identical results in the
+// disjoint-set unifier and the textbook set-of-sets unifier.
+class UnifierEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnifierEquivalenceTest, DsuMatchesNaive) {
+  Rng rng(GetParam());
+  const int kVars = 24;
+  const int kConsts = 4;
+
+  Unifier fast;
+  NaiveUnifier naive;
+  bool alive = true;
+
+  for (int step = 0; step < 120 && alive; ++step) {
+    int op = static_cast<int>(rng.Below(3));
+    if (op == 0) {
+      VarId a = static_cast<VarId>(rng.Below(kVars));
+      VarId b = static_cast<VarId>(rng.Below(kVars));
+      bool okf = fast.UnionVars(a, b);
+      bool okn = naive.UnionVars(a, b);
+      ASSERT_EQ(okf, okn) << "UnionVars(" << a << "," << b << ") seed "
+                          << GetParam() << " step " << step;
+      alive = okf;
+    } else if (op == 1) {
+      VarId v = static_cast<VarId>(rng.Below(kVars));
+      Value c = Value::Int(static_cast<int64_t>(rng.Below(kConsts)));
+      bool okf = fast.BindConst(v, c);
+      bool okn = naive.BindConst(v, c);
+      ASSERT_EQ(okf, okn) << "BindConst seed " << GetParam() << " step "
+                          << step;
+      alive = okf;
+    } else {
+      // Verify canonical forms agree (ignoring unconstrained singletons the
+      // DSU may have materialized from failed probes — both track the same).
+      auto cf = fast.Classes();
+      auto cn = naive.Classes();
+      ASSERT_EQ(cf.size(), cn.size()) << "seed " << GetParam();
+      for (size_t i = 0; i < cf.size(); ++i) {
+        EXPECT_EQ(cf[i].vars, cn[i].vars);
+        EXPECT_EQ(cf[i].constant, cn[i].constant);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifierEquivalenceTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// Merging random unifiers agrees between implementations, including the
+// changed/unchanged/conflict verdict.
+class MergeEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeEquivalenceTest, MergeVerdictsAgree) {
+  Rng rng(GetParam());
+  const int kVars = 12;
+
+  auto build = [&](Unifier* f, NaiveUnifier* n, int ops) {
+    for (int i = 0; i < ops; ++i) {
+      VarId a = static_cast<VarId>(rng.Below(kVars));
+      VarId b = static_cast<VarId>(rng.Below(kVars));
+      if (rng.Chance(0.7)) {
+        if (!f->UnionVars(a, b)) return false;
+        n->UnionVars(a, b);
+      } else {
+        Value c = Value::Int(static_cast<int64_t>(rng.Below(3)));
+        if (!f->BindConst(a, c)) return false;
+        n->BindConst(a, c);
+      }
+    }
+    return true;
+  };
+
+  Unifier f1, f2;
+  NaiveUnifier n1, n2;
+  if (!build(&f1, &n1, 6)) return;  // conflict during construction: skip
+  if (!build(&f2, &n2, 6)) return;
+
+  MergeResult rf = f1.MergeFrom(f2);
+  MergeResult rn = n1.MergeFrom(n2);
+  ASSERT_EQ(rf, rn) << "seed " << GetParam();
+  if (rf == MergeResult::kConflict) return;
+
+  auto cf = f1.Classes();
+  auto cn = n1.Classes();
+  ASSERT_EQ(cf.size(), cn.size());
+  for (size_t i = 0; i < cf.size(); ++i) {
+    EXPECT_EQ(cf[i].vars, cn[i].vars);
+    EXPECT_EQ(cf[i].constant, cn[i].constant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeEquivalenceTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{140}));
+
+}  // namespace
+}  // namespace eq::unify

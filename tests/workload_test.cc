@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "core/matcher.h"
+#include "core/partitioner.h"
+#include "core/safety.h"
+#include "core/unifiability_graph.h"
+#include "engine/engine.h"
+#include "workload/flight_workload.h"
+#include "workload/social_graph.h"
+
+namespace eq::workload {
+namespace {
+
+using ir::QueryId;
+using ir::QuerySet;
+
+SocialGraphOptions SmallGraph(uint64_t seed = 7) {
+  SocialGraphOptions opts;
+  opts.num_users = 600;
+  opts.num_airports = 8;
+  opts.attach_edges = 6;
+  opts.seed = seed;
+  return opts;
+}
+
+// ------------------------------------------------------------ SocialGraph --
+
+TEST(SocialGraphTest, GeneratesRequestedScale) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  EXPECT_EQ(g.num_users(), 600u);
+  EXPECT_EQ(g.num_airports(), 8u);
+  EXPECT_GT(g.num_edges(), 600u * 3);  // ~m edges per node
+  EXPECT_GT(g.AverageDegree(), 6.0);
+}
+
+TEST(SocialGraphTest, DeterministicForSeed) {
+  SocialGraph a = SocialGraph::Generate(SmallGraph(5));
+  SocialGraph b = SocialGraph::Generate(SmallGraph(5));
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (uint32_t u = 0; u < a.num_users(); ++u) {
+    ASSERT_EQ(a.Friends(u), b.Friends(u));
+    ASSERT_EQ(a.Hometown(u), b.Hometown(u));
+  }
+  SocialGraph c = SocialGraph::Generate(SmallGraph(6));
+  bool any_diff = c.num_edges() != a.num_edges();
+  for (uint32_t u = 0; !any_diff && u < a.num_users(); ++u) {
+    any_diff = a.Friends(u) != c.Friends(u);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SocialGraphTest, FriendshipIsSymmetric) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  for (uint32_t u = 0; u < g.num_users(); ++u) {
+    for (uint32_t v : g.Friends(u)) {
+      ASSERT_TRUE(g.AreFriends(v, u)) << u << " " << v;
+      ASSERT_NE(u, v) << "self-loop";
+    }
+  }
+}
+
+TEST(SocialGraphTest, GraphIsClustered) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  Rng rng(1);
+  // Triangle closure should give a clustering coefficient far above an
+  // Erdős–Rényi graph of the same density (~degree/n ≈ 0.02).
+  EXPECT_GT(g.SampleClustering(&rng, 300), 0.05);
+}
+
+TEST(SocialGraphTest, HometownsAreCohesive) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  Rng rng(2);
+  // Paper: "as far as possible, each user has at least half of his or her
+  // friends living in the same city".
+  EXPECT_GT(g.HometownCohesion(&rng, 600), 0.5);
+}
+
+TEST(SocialGraphTest, SamplersProduceValidStructures) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto [u, v] = g.RandomFriendPair(&rng);
+    EXPECT_TRUE(g.AreFriends(u, v));
+  }
+  int triangles = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto tri = g.RandomTriangle(&rng);
+    if (!tri) continue;
+    ++triangles;
+    auto [a, b, c] = *tri;
+    EXPECT_TRUE(g.AreFriends(a, b));
+    EXPECT_TRUE(g.AreFriends(b, c));
+    EXPECT_TRUE(g.AreFriends(a, c));
+  }
+  EXPECT_GT(triangles, 0);
+  auto clique = g.RandomClique(4, &rng);
+  if (clique) {
+    for (size_t i = 0; i < clique->size(); ++i) {
+      for (size_t j = i + 1; j < clique->size(); ++j) {
+        EXPECT_TRUE(g.AreFriends((*clique)[i], (*clique)[j]));
+      }
+    }
+  }
+}
+
+TEST(SocialGraphTest, LargestCityIsLargeEnoughForStressTests) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  auto cluster = g.UsersInLargestCity();
+  EXPECT_GE(cluster.size(), g.num_users() / g.num_airports());
+  for (size_t i = 1; i < cluster.size(); ++i) {
+    EXPECT_EQ(g.Hometown(cluster[i]), g.Hometown(cluster[0]));
+  }
+}
+
+TEST(SocialGraphTest, AirportNamesAreStable) {
+  SocialGraph g = SocialGraph::Generate(SmallGraph());
+  EXPECT_EQ(g.AirportName(0), "ITH");
+  EXPECT_EQ(g.AirportName(3), "SBN");
+  EXPECT_EQ(g.AirportName(7), "AP7");
+}
+
+// -------------------------------------------------------- FlightWorkload --
+
+class FlightWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = SocialGraph::Generate(SmallGraph());
+    workload_ = std::make_unique<FlightWorkload>(&graph_, &ctx_);
+    db_ = std::make_unique<db::Database>(&ctx_.interner());
+    ASSERT_TRUE(workload_->PopulateDatabase(db_.get()).ok());
+  }
+
+  /// Validates a generated batch as a QuerySet (fresh context arities).
+  void ExpectValid(std::vector<ir::EntangledQuery> queries) {
+    QuerySet qs;
+    qs.queries = std::move(queries);
+    qs.AssignIds();
+    Status st = ir::ValidateQuerySet(qs, &ctx_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  ir::QueryContext ctx_;
+  SocialGraph graph_;
+  std::unique_ptr<FlightWorkload> workload_;
+  std::unique_ptr<db::Database> db_;
+};
+
+TEST_F(FlightWorkloadTest, DatabaseMatchesGraph) {
+  const db::Table* user = db_->GetTable("User");
+  const db::Table* friends = db_->GetTable("Friends");
+  ASSERT_NE(user, nullptr);
+  ASSERT_NE(friends, nullptr);
+  EXPECT_EQ(user->row_count(), graph_.num_users());
+  EXPECT_EQ(friends->row_count(), graph_.num_edges() * 2);
+  EXPECT_TRUE(friends->HasIndex(0));
+  EXPECT_TRUE(user->HasIndex(0));
+}
+
+TEST_F(FlightWorkloadTest, GeneratorsProduceValidQuerySets) {
+  Rng rng(11);
+  ExpectValid(workload_->TwoWayRandom(20, &rng));
+  ExpectValid(workload_->TwoWayBestCase(20, &rng));
+  ExpectValid(workload_->ThreeWay(10, &rng));
+  ExpectValid(workload_->NoUnification(20, &rng));
+  ExpectValid(workload_->UnsafeSet(10, &rng));
+}
+
+TEST_F(FlightWorkloadTest, TwoWayPairsHaveExpectedShape) {
+  Rng rng(12);
+  auto queries = workload_->TwoWayRandom(5, &rng);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.postconditions.size(), 1u);
+    EXPECT_EQ(q.head.size(), 1u);
+    EXPECT_EQ(q.body.size(), 3u);  // F(me,x), U(me,c), U(x,c)
+    EXPECT_TRUE(q.head[0].IsGround());
+    EXPECT_TRUE(q.postconditions[0].args[0].is_var());  // wildcard partner
+  }
+  auto best = workload_->TwoWayBestCase(5, &rng);
+  for (const auto& q : best) {
+    EXPECT_TRUE(q.postconditions[0].IsGround());  // named partner
+  }
+}
+
+TEST_F(FlightWorkloadTest, NoUnificationBuildsEdgeFreeGraph) {
+  Rng rng(13);
+  QuerySet qs;
+  qs.queries = workload_->NoUnification(50, &rng);
+  qs.AssignIds();
+  core::UnifiabilityGraph g(&qs);
+  ASSERT_TRUE(g.Build().ok());
+  EXPECT_EQ(g.live_edge_count(), 0u);
+}
+
+TEST_F(FlightWorkloadTest, ChainsUnifyWithoutCycles) {
+  Rng rng(14);
+  QuerySet qs;
+  qs.queries = workload_->Chains(60, /*chain_len=*/6, &rng);
+  qs.AssignIds();
+  core::UnifiabilityGraph g(&qs);
+  ASSERT_TRUE(g.Build().ok());
+  EXPECT_GT(g.live_edge_count(), 0u);
+  EXPECT_TRUE(g.safety_violations().empty());
+  // No coordination ever completes: every component has an unanswerable
+  // query, so batch matching leaves nothing.
+  core::Matcher matcher(&g);
+  std::vector<QueryId> all(qs.queries.size());
+  for (QueryId i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_TRUE(matcher.MatchComponent(all).empty());
+}
+
+TEST_F(FlightWorkloadTest, MassiveClusterFormsOnePartition) {
+  Rng rng(15);
+  QuerySet qs;
+  qs.queries = workload_->MassiveCluster(100, &rng);
+  qs.AssignIds();
+  core::UnifiabilityGraph g(&qs);
+  ASSERT_TRUE(g.Build().ok());
+  auto parts = core::Partitioner::Components(g);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 100u);
+}
+
+TEST_F(FlightWorkloadTest, UnsafeSetIsRejectedAgainstResidents) {
+  Rng rng(16);
+  QuerySet qs;
+  qs.queries = workload_->NoUnification(30, &rng);
+  auto unsafe = workload_->UnsafeSet(10, &rng);
+  for (auto& q : unsafe) qs.queries.push_back(std::move(q));
+  qs.AssignIds();
+
+  core::SafetyChecker checker(&qs);
+  for (QueryId q = 0; q < 30; ++q) {
+    ASSERT_TRUE(checker.Admit(q).ok()) << q;
+  }
+  for (QueryId q = 30; q < 40; ++q) {
+    EXPECT_EQ(checker.Admit(q).code(), StatusCode::kUnsafe) << q;
+  }
+}
+
+// End-to-end: generated pairs submitted through the engine coordinate
+// exactly when the two users share a hometown (§5.3.1 semantics).
+TEST_F(FlightWorkloadTest, TwoWayPairsCoordinateIffSameCity) {
+  Rng rng(17);
+  engine::CoordinationEngine engine(
+      &ctx_, db_.get(), {.mode = engine::EvalMode::kIncremental});
+  int answered_pairs = 0, tried = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto pair = workload_->TwoWayBestCase(1, &rng);
+    ASSERT_EQ(pair.size(), 2u);
+    // Identify the two users from the head constants.
+    auto a = engine.Submit(pair[0]);
+    auto b = engine.Submit(pair[1]);
+    if (!a.ok() || !b.ok()) continue;  // transient safety rejection
+    ++tried;
+    const auto& oa = engine.outcome(*a);
+    const auto& ob = engine.outcome(*b);
+    bool answered = oa.state == engine::QueryOutcome::State::kAnswered;
+    if (answered) {
+      ++answered_pairs;
+      EXPECT_EQ(ob.state, engine::QueryOutcome::State::kAnswered);
+      EXPECT_EQ(oa.tuples[0].args[1], ob.tuples[0].args[1]);
+    }
+  }
+  // With cohesive hometowns, a healthy fraction of friend pairs share a
+  // city; neither zero nor all.
+  EXPECT_GT(answered_pairs, 0);
+  EXPECT_GT(tried, 20);
+}
+
+TEST_F(FlightWorkloadTest, ThreeWayTrianglesCoordinate) {
+  Rng rng(18);
+  engine::CoordinationEngine engine(
+      &ctx_, db_.get(), {.mode = engine::EvalMode::kIncremental});
+  int answered = 0;
+  for (int i = 0; i < 30 && answered == 0; ++i) {
+    auto triple = workload_->ThreeWay(1, &rng);
+    if (triple.size() != 3) continue;
+    std::vector<QueryId> ids;
+    bool all_ok = true;
+    for (auto& q : triple) {
+      auto r = engine.Submit(q);
+      if (!r.ok()) {
+        all_ok = false;
+        break;
+      }
+      ids.push_back(*r);
+    }
+    if (!all_ok) continue;
+    bool all_answered = true;
+    for (QueryId id : ids) {
+      all_answered &= engine.outcome(id).state ==
+                      engine::QueryOutcome::State::kAnswered;
+    }
+    if (all_answered) ++answered;
+  }
+  EXPECT_GT(answered, 0) << "no triangle coordinated in 30 attempts";
+}
+
+TEST_F(FlightWorkloadTest, CliqueQueriesCarryWPostconditions) {
+  Rng rng(19);
+  auto queries = workload_->CliqueCoordination(5, /*w=*/2, &rng);
+  EXPECT_EQ(queries.size() % 3, 0u);  // groups of w+1 = 3 queries
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.postconditions.size(), 2u);
+    EXPECT_EQ(q.body.size(), 1u + 2u * 2u);  // own U + per-partner F and U
+  }
+}
+
+}  // namespace
+}  // namespace eq::workload
