@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stopwatch.h"
@@ -18,12 +20,14 @@ namespace eq::bench {
 ///   --runs=N      repetitions per point (default 3, as in §5.2)
 ///   --users=N     social-graph size (default 82168 = Slashdot scale)
 ///   --seed=N      RNG seed
+///   --json=PATH   also write machine-readable results (see JsonReporter)
 struct BenchFlags {
   bool full = false;
   int runs = 3;
   uint32_t users = 82168;
   uint32_t airports = 102;
   uint64_t seed = 42;
+  std::string json_path;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
@@ -37,6 +41,8 @@ struct BenchFlags {
         f.users = static_cast<uint32_t>(std::atoll(a + 8));
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         f.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        f.json_path = a + 7;
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", a);
       }
@@ -44,6 +50,93 @@ struct BenchFlags {
     if (f.runs < 1) f.runs = 1;
     return f;
   }
+};
+
+/// Collects benchmark results as flat rows and writes them as a JSON array
+/// (`BENCH_*.json` trajectory tracking). Values are numbers or strings:
+///
+///     JsonReporter json;
+///     auto& row = json.NewRow("service_scaling");
+///     row.Set("shards", 8).Set("qps", 123456.0);
+///     json.WriteFile("BENCH_service.json");
+class JsonReporter {
+ public:
+  class Row {
+   public:
+    explicit Row(std::string bench) {
+      Set("bench", std::move(bench));
+    }
+    Row& Set(const std::string& key, double value) {
+      char buf[64];
+      // Trim trailing zeros so integers render as integers.
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      fields_.emplace_back(key, std::string(buf));
+      return *this;
+    }
+    Row& Set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + Escaped(value) + "\"");
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    static std::string Escaped(const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& NewRow(std::string bench) {
+    rows_.emplace_back(std::move(bench));
+    return rows_.back();
+  }
+
+  /// Writes `[{...}, ...]`; returns false (with a note on stderr) on I/O
+  /// failure. A no-op when `path` is empty.
+  bool WriteFile(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fputs("  {", f);
+      const auto& fields = rows_[r].fields_;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "\"%s\": %s%s", fields[i].first.c_str(),
+                     fields[i].second.c_str(),
+                     i + 1 < fields.size() ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("# json results written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::deque<Row> rows_;  // deque: NewRow references stay valid as it grows
 };
 
 /// Mean and standard deviation over repeated timed runs. The paper reports

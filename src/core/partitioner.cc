@@ -7,6 +7,31 @@
 
 namespace eq::core {
 
+namespace {
+
+/// Collects the queries in [0, n) that `alive` admits into one component
+/// per DSU set, components ordered by smallest member (std::map iterates
+/// roots in ascending order, but a root is an arbitrary member, so an
+/// explicit sort keeps the order deterministic).
+template <typename AliveFn>
+std::vector<std::vector<ir::QueryId>> ComponentsByRoot(DisjointSetForest& dsu,
+                                                       size_t n,
+                                                       AliveFn alive) {
+  std::map<uint32_t, std::vector<ir::QueryId>> by_root;
+  for (ir::QueryId q = 0; q < n; ++q) {
+    if (!alive(q)) continue;
+    by_root[dsu.Find(q)].push_back(q);
+  }
+  std::vector<std::vector<ir::QueryId>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, members] : by_root) out.push_back(std::move(members));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+}  // namespace
+
 std::vector<std::vector<ir::QueryId>> Partitioner::Components(
     const UnifiabilityGraph& graph) {
   const size_t n = graph.node_count();
@@ -16,19 +41,34 @@ std::vector<std::vector<ir::QueryId>> Partitioner::Components(
     if (!e.alive) continue;
     dsu.Union(e.from, e.to);
   }
-  std::map<uint32_t, std::vector<ir::QueryId>> by_root;
+  return ComponentsByRoot(dsu, n,
+                          [&](ir::QueryId q) { return graph.node(q).alive; });
+}
+
+std::vector<SymbolId> Partitioner::EntangledRelations(
+    const ir::EntangledQuery& q) {
+  std::vector<SymbolId> rels;
+  rels.reserve(q.postconditions.size() + q.head.size());
+  for (const ir::Atom& a : q.postconditions) rels.push_back(a.relation);
+  for (const ir::Atom& a : q.head) rels.push_back(a.relation);
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  return rels;
+}
+
+std::vector<std::vector<ir::QueryId>> Partitioner::RelationComponents(
+    const ir::QuerySet& qs) {
+  const size_t n = qs.queries.size();
+  DisjointSetForest dsu(n);
+  // Union each query with the first query seen per entangled relation.
+  std::map<SymbolId, uint32_t> first_user;
   for (ir::QueryId q = 0; q < n; ++q) {
-    if (!graph.node(q).alive) continue;
-    by_root[dsu.Find(q)].push_back(q);
+    for (SymbolId rel : EntangledRelations(qs.queries[q])) {
+      auto [it, inserted] = first_user.emplace(rel, q);
+      if (!inserted) dsu.Union(it->second, q);
+    }
   }
-  std::vector<std::vector<ir::QueryId>> out;
-  out.reserve(by_root.size());
-  for (auto& [root, members] : by_root) out.push_back(std::move(members));
-  // std::map iteration gives roots in ascending order, but the root is an
-  // arbitrary member; order components by smallest member for determinism.
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.front() < b.front(); });
-  return out;
+  return ComponentsByRoot(dsu, n, [](ir::QueryId) { return true; });
 }
 
 }  // namespace eq::core

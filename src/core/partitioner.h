@@ -19,6 +19,22 @@ class Partitioner {
   /// ordered by their smallest member. Dead queries appear in no component.
   static std::vector<std::vector<ir::QueryId>> Components(
       const UnifiabilityGraph& graph);
+
+  /// The entangled-relation signature of a query: the sorted, de-duplicated
+  /// ANSWER relation symbols of its postconditions and head — the only
+  /// relations through which it can coordinate with other queries.
+  static std::vector<SymbolId> EntangledRelations(const ir::EntangledQuery& q);
+
+  /// Coarse static partitioning that needs no unifiability graph: connected
+  /// components of the "shares an entangled relation" relation over the
+  /// query set. Two queries can only grow a unifiability edge on atoms of a
+  /// common ANSWER relation, so every graph component (Components above) is
+  /// contained in exactly one relation component. This over-approximation is
+  /// what the service router uses to shard the query stream: routing whole
+  /// relation components to one shard guarantees potential coordination
+  /// partners are never separated.
+  static std::vector<std::vector<ir::QueryId>> RelationComponents(
+      const ir::QuerySet& qs);
 };
 
 }  // namespace eq::core

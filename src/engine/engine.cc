@@ -160,8 +160,13 @@ void CoordinationEngine::SplitPartition(PartitionId pid) {
 }
 
 void CoordinationEngine::Resolve(QueryId q, QueryOutcome outcome) {
+  // A query leaves the pending state exactly once; a second resolution (e.g.
+  // via a stale deadline-heap entry) must neither overwrite the recorded
+  // outcome nor re-fire the application callback.
+  if (outcomes_[q].state != QueryOutcome::State::kPending) return;
   outcomes_[q] = std::move(outcome);
   pending_.erase(q);
+  deadlines_[q] = 0;  // eagerly invalidate any deadline-heap entry
   if (outcomes_[q].state == QueryOutcome::State::kAnswered) {
     ++metrics_.answered;
   } else {
@@ -499,7 +504,10 @@ void CoordinationEngine::AdvanceTime(uint64_t now) {
   while (!deadline_heap_.empty() && deadline_heap_.top().first <= now_) {
     auto [deadline, q] = deadline_heap_.top();
     deadline_heap_.pop();
-    if (!pending_.count(q)) continue;  // already resolved
+    // Lazy invalidation: skip entries for queries that were resolved since
+    // (Resolve zeroes deadlines_[q]) — expiring through a stale entry would
+    // double-fire the callback of an already-answered query.
+    if (!pending_.count(q) || deadlines_[q] != deadline) continue;
     ++metrics_.expired;
     auto it = partition_of_.find(q);
     if (it != partition_of_.end()) affected.push_back(it->second);
@@ -518,19 +526,54 @@ void CoordinationEngine::AdvanceTime(uint64_t now) {
   }
 
   if (opts_.mode == EvalMode::kIncremental) {
-    // Expiry can unblock a partition (the stale query was the only
-    // unmatched one); re-examine survivors.
-    std::sort(affected.begin(), affected.end());
-    affected.erase(std::unique(affected.begin(), affected.end()),
-                   affected.end());
-    for (PartitionId pid : affected) {
-      auto pit = partitions_.find(pid);
-      if (pit == partitions_.end()) continue;
-      const std::vector<QueryId> members = pit->second.members;
-      if (PartitionReady(members)) {
-        ++metrics_.partitions_evaluated;
-        EvaluateMembers(members, /*fail_on_no_data=*/false);
-      }
+    ReexaminePartitions(affected);
+  }
+}
+
+Status CoordinationEngine::Cancel(ir::QueryId q) {
+  if (q >= outcomes_.size()) {
+    return Status::NotFound("no query with id " + std::to_string(q));
+  }
+  if (!pending_.count(q)) {
+    return Status::NotFound("query " + std::to_string(q) +
+                            " is not pending (already resolved?)");
+  }
+  ++metrics_.cancelled;
+  std::vector<PartitionId> affected;
+  auto it = partition_of_.find(q);
+  if (it != partition_of_.end()) affected.push_back(it->second);
+  QueryOutcome outcome;
+  outcome.state = QueryOutcome::State::kFailed;
+  outcome.status = Status::Cancelled("query " + std::to_string(q) +
+                                     " was withdrawn by its submitter");
+  Resolve(q, std::move(outcome));
+  // Retiring may split the partition; re-check the fragments too (same
+  // watermark scheme as expiry in AdvanceTime).
+  PartitionId watermark = next_partition_;
+  Retire(q);
+  for (PartitionId pid = watermark; pid < next_partition_; ++pid) {
+    affected.push_back(pid);
+  }
+  if (opts_.mode == EvalMode::kIncremental) {
+    ReexaminePartitions(affected);
+  }
+  return Status::OK();
+}
+
+void CoordinationEngine::ReexaminePartitions(
+    std::vector<PartitionId> affected) {
+  // Removing a query can unblock a partition (it was the only unmatched
+  // member); re-examine survivors.
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (PartitionId pid : affected) {
+    auto pit = partitions_.find(pid);
+    if (pit == partitions_.end()) continue;
+    const std::vector<QueryId> members = pit->second.members;
+    if (PartitionReady(members)) {
+      ++metrics_.partitions_evaluated;
+      EvaluateMembers(members, /*fail_on_no_data=*/false);
     }
   }
 }

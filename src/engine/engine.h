@@ -86,6 +86,7 @@ struct EngineMetrics {
   uint64_t answered = 0;
   uint64_t failed = 0;
   uint64_t expired = 0;
+  uint64_t cancelled = 0;
   uint64_t rejected_unsafe = 0;
   uint64_t partitions_evaluated = 0;
   uint64_t combined_queries = 0;
@@ -137,6 +138,13 @@ class CoordinationEngine {
   void AdvanceTime(uint64_t now);
   uint64_t now() const { return now_; }
 
+  /// Withdraws a still-pending query: resolves it as failed (kCancelled) and
+  /// retires it from graph/safety/partition state, so a disconnected client
+  /// stops pinning its partition. In incremental mode the affected partition
+  /// is re-examined — removing the canceller can unblock the survivors.
+  /// Fails with NotFound for ids that are out of range or no longer pending.
+  Status Cancel(ir::QueryId q);
+
   /// Invoked once per query when it leaves the pending state. Callbacks run
   /// synchronously inside Submit/Flush/AdvanceTime.
   void SetCallback(AnswerCallback cb) { callback_ = std::move(cb); }
@@ -164,6 +172,10 @@ class CoordinationEngine {
 
   /// Removes a resolved query from graph/safety/partition bookkeeping.
   void Retire(ir::QueryId q);
+
+  /// Incremental mode: evaluates any of `affected` partitions whose members
+  /// all became fully matched after a removal (expiry / cancellation).
+  void ReexaminePartitions(std::vector<PartitionId> affected);
 
   /// Bulk Retire: one partition fix-up per touched partition instead of a
   /// scan-and-split per query (a whole component retires together when it

@@ -1,0 +1,124 @@
+#include "service/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace eq::service {
+
+void LatencyHistogram::Record(double micros) {
+  uint64_t us = micros <= 0 ? 0 : static_cast<uint64_t>(micros);
+  size_t bucket = us == 0 ? 0 : static_cast<size_t>(std::bit_width(us));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, LatencyHistogram::kBuckets> LatencyHistogram::Snapshot()
+    const {
+  std::array<uint64_t, kBuckets> out{};
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double HistogramPercentileMs(
+    const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets,
+    double pct) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0;
+  // Rank of the requested percentile (1-based, clamped).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(pct / 100.0 * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i in microseconds: 2^i (bucket 0: 1us).
+      double upper_us = std::ldexp(1.0, static_cast<int>(i));
+      return upper_us / 1000.0;
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(buckets.size())) / 1000.0;
+}
+
+ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
+                                        const ShardStats& stats) {
+  ShardMetricsSnapshot s;
+  s.shard_id = shard_id;
+  s.submitted = stats.submitted.load(std::memory_order_relaxed);
+  s.answered = stats.answered.load(std::memory_order_relaxed);
+  s.failed = stats.failed.load(std::memory_order_relaxed);
+  s.expired = stats.expired.load(std::memory_order_relaxed);
+  s.cancelled = stats.cancelled.load(std::memory_order_relaxed);
+  s.rejected_unsafe = stats.rejected_unsafe.load(std::memory_order_relaxed);
+  s.parse_errors = stats.parse_errors.load(std::memory_order_relaxed);
+  s.migrated_in = stats.migrated_in.load(std::memory_order_relaxed);
+  s.migrated_out = stats.migrated_out.load(std::memory_order_relaxed);
+  s.flushes = stats.flushes.load(std::memory_order_relaxed);
+  s.pending = stats.pending.load(std::memory_order_relaxed);
+  s.match_seconds = stats.match_seconds.load(std::memory_order_relaxed);
+  s.db_seconds = stats.db_seconds.load(std::memory_order_relaxed);
+  s.latency_buckets = stats.latency.Snapshot();
+  return s;
+}
+
+ServiceMetrics AggregateMetrics(std::vector<ShardMetricsSnapshot> shards,
+                                double elapsed_seconds) {
+  ServiceMetrics m;
+  std::array<uint64_t, LatencyHistogram::kBuckets> merged{};
+  for (const ShardMetricsSnapshot& s : shards) {
+    m.submitted += s.submitted;
+    m.answered += s.answered;
+    m.failed += s.failed;
+    m.expired += s.expired;
+    m.cancelled += s.cancelled;
+    m.rejected_unsafe += s.rejected_unsafe;
+    m.parse_errors += s.parse_errors;
+    m.migrations += s.migrated_out;
+    m.flushes += s.flushes;
+    m.pending += s.pending;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += s.latency_buckets[i];
+    }
+  }
+  m.elapsed_seconds = elapsed_seconds;
+  m.answered_per_second =
+      elapsed_seconds > 0 ? m.answered / elapsed_seconds : 0;
+  m.p50_latency_ms = HistogramPercentileMs(merged, 50);
+  m.p95_latency_ms = HistogramPercentileMs(merged, 95);
+  m.p99_latency_ms = HistogramPercentileMs(merged, 99);
+  m.shards = std::move(shards);
+  return m;
+}
+
+std::string ServiceMetrics::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "service: submitted=%llu answered=%llu failed=%llu "
+                "expired=%llu cancelled=%llu unsafe=%llu migrations=%llu "
+                "pending=%llu qps=%.0f p50=%.3fms p95=%.3fms p99=%.3fms\n",
+                (unsigned long long)submitted, (unsigned long long)answered,
+                (unsigned long long)failed, (unsigned long long)expired,
+                (unsigned long long)cancelled,
+                (unsigned long long)rejected_unsafe,
+                (unsigned long long)migrations, (unsigned long long)pending,
+                answered_per_second, p50_latency_ms, p95_latency_ms,
+                p99_latency_ms);
+  out += line;
+  for (const ShardMetricsSnapshot& s : shards) {
+    std::snprintf(line, sizeof(line),
+                  "  shard %u: submitted=%llu answered=%llu failed=%llu "
+                  "flushes=%llu match=%.3fs db=%.3fs\n",
+                  s.shard_id, (unsigned long long)s.submitted,
+                  (unsigned long long)s.answered, (unsigned long long)s.failed,
+                  (unsigned long long)s.flushes, s.match_seconds,
+                  s.db_seconds);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace eq::service

@@ -1,0 +1,115 @@
+#ifndef EQ_SERVICE_METRICS_H_
+#define EQ_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eq::service {
+
+/// Log-scale latency histogram: bucket i counts samples in
+/// [2^(i-1), 2^i) microseconds (bucket 0: < 1us). Lock-free recording from
+/// the owning shard thread; any thread may snapshot.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // up to ~2^39 us ≈ 6.4 days
+
+  void Record(double micros);
+
+  /// Point-in-time copy of the bucket counts.
+  std::array<uint64_t, kBuckets> Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Approximate percentile (0..100) over merged bucket counts, reported as
+/// the upper bound of the bucket containing the target rank, in
+/// milliseconds. Returns 0 when empty.
+double HistogramPercentileMs(const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets,
+                             double pct);
+
+/// Live per-shard counters, written by the shard thread (relaxed atomics)
+/// and snapshotted by CoordinationService::Metrics() from any thread.
+struct ShardStats {
+  /// Queries handed to this shard's engine. Migration re-submissions count
+  /// again here (and in migrated_in), so across shards
+  /// submitted == client submissions + migrations.
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> failed{0};         ///< all non-answered resolutions
+  std::atomic<uint64_t> expired{0};        ///< failed via staleness timeout
+  std::atomic<uint64_t> cancelled{0};      ///< failed via client cancel
+  std::atomic<uint64_t> rejected_unsafe{0};
+  std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> migrated_in{0};    ///< arrived via group-merge re-route
+  std::atomic<uint64_t> migrated_out{0};   ///< silently extracted for re-route
+  std::atomic<uint64_t> flushes{0};        ///< batched engine flushes
+  std::atomic<uint64_t> pending{0};        ///< engine pending count (gauge)
+  /// Engine time split, mirrored after each op batch (seconds, as doubles
+  /// stored via atomic<double>).
+  std::atomic<double> match_seconds{0};
+  std::atomic<double> db_seconds{0};
+  LatencyHistogram latency;  ///< submit→resolution wall latency
+};
+
+/// Read-only copy of one shard's stats.
+struct ShardMetricsSnapshot {
+  uint32_t shard_id = 0;
+  uint64_t submitted = 0;
+  uint64_t answered = 0;
+  uint64_t failed = 0;
+  uint64_t expired = 0;
+  uint64_t cancelled = 0;
+  uint64_t rejected_unsafe = 0;
+  uint64_t parse_errors = 0;
+  uint64_t migrated_in = 0;
+  uint64_t migrated_out = 0;
+  uint64_t flushes = 0;
+  uint64_t pending = 0;
+  double match_seconds = 0;
+  double db_seconds = 0;
+  std::array<uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
+};
+
+/// Aggregated service-wide view plus the per-shard breakdown (tentpole
+/// requirement: per-shard + global throughput, latency percentiles,
+/// expired/rejected counts).
+struct ServiceMetrics {
+  uint64_t submitted = 0;
+  uint64_t answered = 0;
+  uint64_t failed = 0;
+  uint64_t expired = 0;
+  uint64_t cancelled = 0;
+  uint64_t rejected_unsafe = 0;
+  uint64_t parse_errors = 0;
+  uint64_t migrations = 0;  ///< completed migrated_out extractions
+  uint64_t flushes = 0;
+  uint64_t pending = 0;
+
+  double elapsed_seconds = 0;       ///< since service start
+  double answered_per_second = 0;   ///< global throughput
+  double p50_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double p99_latency_ms = 0;
+
+  std::vector<ShardMetricsSnapshot> shards;
+
+  /// Multi-line human-readable rendering (one line per shard + totals).
+  std::string ToString() const;
+};
+
+/// Copies one shard's live stats.
+ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
+                                        const ShardStats& stats);
+
+/// Sums per-shard snapshots into the global view and computes percentiles
+/// over the merged latency histogram.
+ServiceMetrics AggregateMetrics(std::vector<ShardMetricsSnapshot> shards,
+                                double elapsed_seconds);
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_METRICS_H_

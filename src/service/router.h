@@ -1,0 +1,80 @@
+#ifndef EQ_SERVICE_ROUTER_H_
+#define EQ_SERVICE_ROUTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/disjoint_set.h"
+#include "util/status.h"
+
+namespace eq::service {
+
+inline constexpr uint32_t kInvalidShard = UINT32_MAX;
+
+/// Routes the query stream across engine shards by entangled-relation
+/// signature, the service-level analogue of core::Partitioner: two queries
+/// can only coordinate if they share an ANSWER relation (§4.1.2 — edges of
+/// the unifiability graph connect a head and a postcondition of the same
+/// relation), so colocating every "shares an entangled relation" component
+/// on one shard guarantees potential partners are never separated.
+///
+/// Assignment is sticky per relation group: the first query naming a group
+/// picks the least-loaded shard; later queries follow. When one query
+/// bridges two groups that were already pinned to different shards, the
+/// groups merge onto the shard of the larger group and RouteDecision reports
+/// merged_groups so the service can migrate the stranded minority.
+///
+/// Routing works on the raw IR query text (a cheap lexical scan of the
+/// `{C} H` prefix) — the full parse happens later, on the owning shard,
+/// against that shard's private QueryContext.
+///
+/// Thread-safe: any number of client threads may route concurrently.
+class QueryRouter {
+ public:
+  struct RouteDecision {
+    uint32_t shard = 0;
+    /// This query united >= 2 relation groups already pinned to different
+    /// shards; queries of the losing groups must migrate to `shard`.
+    bool merged_groups = false;
+    /// The query's entangled relation names (sorted, unique).
+    std::vector<std::string> relations;
+  };
+
+  explicit QueryRouter(uint32_t num_shards);
+
+  /// Lexically extracts the entangled relation names of an IR query: every
+  /// relation occurring in the `{...}` postcondition block or in head
+  /// position (before `:-`). Fails on text with no entangled atoms.
+  static Result<std::vector<std::string>> EntangledRelationsOf(
+      std::string_view text);
+
+  /// Routes one query, updating group state.
+  Result<RouteDecision> RouteQuery(std::string_view text);
+
+  /// Current shard of `rel`'s group, or kInvalidShard if never seen.
+  uint32_t ShardOfRelation(const std::string& rel) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Number of distinct relation groups currently tracked.
+  size_t group_count() const;
+
+ private:
+  const uint32_t num_shards_;
+
+  mutable std::mutex mu_;
+  mutable DisjointSetForest dsu_;  // Find() path-halves; logically const
+  std::unordered_map<std::string, uint32_t> rel_elem_;
+  /// Indexed by DSU element; authoritative only at a set's root.
+  std::vector<uint32_t> shard_of_group_;
+  std::vector<uint64_t> group_size_;  // queries routed through the group
+  std::vector<uint64_t> shard_load_;  // queries routed per shard
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_ROUTER_H_

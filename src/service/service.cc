@@ -1,0 +1,330 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace eq::service {
+
+CoordinationService::CoordinationService(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      router_(opts_.num_shards),
+      started_(std::chrono::steady_clock::now()) {
+  shards_.reserve(router_.num_shards());
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    ShardOptions sopts;
+    sopts.shard_id = s;
+    sopts.max_batch = opts_.max_batch;
+    sopts.max_delay_ticks = opts_.max_delay_ticks;
+    sopts.mode = opts_.mode;
+    sopts.enforce_safety = opts_.enforce_safety;
+    sopts.worker_threads = opts_.shard_worker_threads;
+    sopts.bootstrap = opts_.bootstrap;
+    shards_.push_back(std::make_unique<ShardRunner>(
+        std::move(sopts),
+        [this](ShardRunner::Event ev) { OnShardEvent(std::move(ev)); }));
+  }
+  if (opts_.tick_interval.count() > 0) {
+    ticker_ = std::thread([this] { TickerLoop(); });
+  }
+}
+
+CoordinationService::~CoordinationService() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    stopping_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  // Stop shards before tearing down inflight_ — queued ops still drain and
+  // deliver events into OnShardEvent.
+  for (auto& shard : shards_) shard->Stop();
+  // Resolve whatever is still pending so no thread stays blocked in
+  // Ticket::Wait() past the service's lifetime. (Callbacks fire on this
+  // thread.)
+  std::vector<Ticket> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    orphaned.reserve(inflight_.size());
+    for (auto& [id, entry] : inflight_) orphaned.push_back(entry.ticket);
+    inflight_.clear();
+    migrating_count_ = 0;
+  }
+  FailTickets(std::move(orphaned),
+              Status::Cancelled("coordination service shut down before the "
+                                "query resolved"));
+}
+
+Result<Ticket> CoordinationService::SubmitAsync(std::string query_text,
+                                                uint64_t ttl_ticks,
+                                                TicketCallback callback) {
+  auto route = router_.RouteQuery(query_text);
+  if (!route.ok()) return route.status();
+
+  auto state = std::make_shared<Ticket::SharedState>();
+  state->id = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  state->callback = std::move(callback);
+  Ticket ticket(std::move(state));
+
+  std::vector<Ticket> dropped;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    // Re-read the group's shard under the lock: a concurrent group-merging
+    // submit may have moved it between RouteQuery and here, and its
+    // migration sweep (also under submit_mu_) cannot see this query until
+    // the inflight entry exists. Either our read observes the merge, or the
+    // sweep observes our entry — both keep partners colocated.
+    uint32_t shard = router_.ShardOfRelation(route->relations.front());
+    if (shard == kInvalidShard) shard = route->shard;
+
+    Inflight entry;
+    entry.shard = shard;
+    entry.deadline_tick = ttl_ticks == 0 ? 0 : now_ticks() + ttl_ticks;
+    entry.text = query_text;
+    entry.relations = std::move(route->relations);
+    entry.ticket = ticket;
+    inflight_.emplace(ticket.id(), std::move(entry));
+
+    if (route->merged_groups) MigrateStrandedLocked(&dropped);
+
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kSubmit;
+    op.ticket = ticket.id();
+    op.text = std::move(query_text);
+    op.ttl_ticks = ttl_ticks;
+    if (!shards_[shard]->Enqueue(std::move(op))) {
+      inflight_.erase(ticket.id());
+      return Status::Cancelled("service is shutting down");
+    }
+  }
+  FailTickets(std::move(dropped),
+              Status::Cancelled("service is shutting down"));
+  return ticket;
+}
+
+Status CoordinationService::Cancel(const Ticket& ticket) {
+  if (!ticket.valid()) {
+    return Status::InvalidArgument("cancel of an invalid (empty) ticket");
+  }
+  Ticket dropped;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    auto it = inflight_.find(ticket.id());
+    if (it == inflight_.end()) {
+      return Status::NotFound("ticket " + std::to_string(ticket.id()) +
+                              " is no longer in flight");
+    }
+    if (it->second.migrating) {
+      // The old shard has already extracted (or is about to extract) this
+      // query, so a kCancel op sent there would be lost; resolve the cancel
+      // when the extraction event lands instead of re-submitting.
+      it->second.cancel_requested = true;
+      return Status::OK();
+    }
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kCancel;
+    op.ticket = ticket.id();
+    if (shards_[it->second.shard]->Enqueue(std::move(op))) {
+      return Status::OK();
+    }
+    // Shard already stopped (service shutting down): resolve here so the
+    // caller's Wait() cannot hang on a dropped op.
+    dropped = it->second.ticket;
+    inflight_.erase(it);
+  }
+  ServiceOutcome outcome;
+  outcome.state = ServiceOutcome::State::kFailed;
+  outcome.status = Status::Cancelled("service is shutting down");
+  CompleteTicket(dropped, std::move(outcome));
+  return Status::OK();
+}
+
+void CoordinationService::AdvanceTicks(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t t = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (auto& shard : shards_) {
+      ShardRunner::Op op;
+      op.kind = ShardRunner::Op::Kind::kTick;
+      op.tick = t;
+      shard->Enqueue(std::move(op));
+    }
+  }
+}
+
+void CoordinationService::FlushAll() {
+  auto latch =
+      std::make_shared<std::latch>(static_cast<ptrdiff_t>(shards_.size()));
+  for (auto& shard : shards_) {
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kFlush;
+    op.latch = latch;
+    if (!shard->Enqueue(std::move(op))) latch->count_down();
+  }
+  latch->wait();
+}
+
+bool CoordinationService::Drain(int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    {
+      // Let in-flight migrations land before flushing: the extracted query
+      // must be re-submitted (FIFO: ahead of our flush op) or its partners
+      // would be failed as partnerless.
+      std::unique_lock<std::mutex> lock(submit_mu_);
+      migration_cv_.wait_for(lock, std::chrono::seconds(5),
+                             [this] { return migrating_count_ == 0; });
+    }
+    FlushAll();
+    if (inflight_count() == 0) return true;
+  }
+  return inflight_count() == 0;
+}
+
+size_t CoordinationService::inflight_count() const {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  return inflight_.size();
+}
+
+ServiceMetrics CoordinationService::Metrics() const {
+  std::vector<ShardMetricsSnapshot> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snaps.push_back(SnapshotShardStats(shard->shard_id(), shard->stats()));
+  }
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started_)
+                       .count();
+  return AggregateMetrics(std::move(snaps), elapsed);
+}
+
+void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
+  if (ev.kind == ShardRunner::Event::Kind::kMigratedOut) {
+    Ticket resolved;
+    bool was_cancel = false;
+    {
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      auto it = inflight_.find(ev.ticket);
+      if (it == inflight_.end()) return;  // cancelled/raced away meanwhile
+      Inflight& entry = it->second;
+      uint32_t target = router_.ShardOfRelation(entry.relations.front());
+      if (target == kInvalidShard) target = entry.shard;
+      entry.shard = target;
+      if (entry.migrating) {
+        entry.migrating = false;
+        --migrating_count_;
+        migration_cv_.notify_all();
+      }
+      was_cancel = entry.cancel_requested;
+      if (!was_cancel) {
+        uint64_t remaining = 0;
+        if (entry.deadline_tick != 0) {
+          uint64_t now = now_ticks();
+          // An already-overdue query gets one tick of grace and expires on
+          // the next AdvanceTime instead of being silently dropped.
+          remaining =
+              entry.deadline_tick > now ? entry.deadline_tick - now : 1;
+        }
+        ShardRunner::Op op;
+        op.kind = ShardRunner::Op::Kind::kSubmit;
+        op.ticket = ev.ticket;
+        op.text = entry.text;
+        op.ttl_ticks = remaining;
+        op.migrated_in = true;
+        op.submitted_at = ev.submitted_at;
+        if (shards_[target]->Enqueue(std::move(op))) return;
+        // Target shard already stopped (service shutting down): fall
+        // through and resolve the ticket rather than leaving it pending.
+      }
+      resolved = entry.ticket;
+      inflight_.erase(it);
+    }
+    ServiceOutcome outcome;
+    outcome.state = ServiceOutcome::State::kFailed;
+    outcome.status = was_cancel
+                         ? Status::Cancelled(
+                               "query was withdrawn while migrating "
+                               "between shards")
+                         : Status::Cancelled("service is shutting down");
+    CompleteTicket(resolved, std::move(outcome));
+    return;
+  }
+
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    auto it = inflight_.find(ev.ticket);
+    if (it == inflight_.end()) return;  // duplicate delivery guard
+    if (it->second.migrating) {
+      // Resolution won the race against extraction; the queued kMigrate op
+      // will find nothing and no re-submission follows.
+      --migrating_count_;
+      migration_cv_.notify_all();
+    }
+    ticket = it->second.ticket;
+    inflight_.erase(it);
+  }
+  CompleteTicket(ticket, std::move(ev.outcome));
+}
+
+void CoordinationService::MigrateStrandedLocked(std::vector<Ticket>* dropped) {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    Inflight& entry = it->second;
+    if (entry.migrating) {
+      ++it;
+      continue;
+    }
+    uint32_t current = router_.ShardOfRelation(entry.relations.front());
+    if (current == kInvalidShard || current == entry.shard) {
+      ++it;
+      continue;
+    }
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kMigrate;
+    op.ticket = it->first;
+    if (shards_[entry.shard]->Enqueue(std::move(op))) {
+      entry.migrating = true;
+      ++migrating_count_;
+      ++it;
+    } else {
+      // Old shard already stopped (shutdown): no extraction event will ever
+      // come, so resolve the ticket here instead of leaking it.
+      dropped->push_back(entry.ticket);
+      it = inflight_.erase(it);
+    }
+  }
+}
+
+void CoordinationService::FailTickets(std::vector<Ticket> tickets,
+                                      const Status& status) {
+  for (Ticket& t : tickets) {
+    ServiceOutcome outcome;
+    outcome.state = ServiceOutcome::State::kFailed;
+    outcome.status = status;
+    CompleteTicket(t, std::move(outcome));
+  }
+}
+
+void CoordinationService::CompleteTicket(const Ticket& ticket,
+                                         ServiceOutcome outcome) {
+  auto& state = *ticket.state_;
+  TicketCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.done) return;
+    state.outcome = std::move(outcome);
+    state.done = true;
+    callback = std::move(state.callback);
+  }
+  state.cv.notify_all();
+  if (callback) callback(state.id, state.outcome);
+}
+
+void CoordinationService::TickerLoop() {
+  std::unique_lock<std::mutex> lock(ticker_mu_);
+  while (!stopping_) {
+    if (ticker_cv_.wait_for(lock, opts_.tick_interval,
+                            [this] { return stopping_; })) {
+      break;
+    }
+    AdvanceTicks(1);
+  }
+}
+
+}  // namespace eq::service

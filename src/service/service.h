@@ -1,0 +1,155 @@
+#ifndef EQ_SERVICE_SERVICE_H_
+#define EQ_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/router.h"
+#include "service/shard.h"
+#include "service/ticket.h"
+
+namespace eq::service {
+
+struct ServiceOptions {
+  /// Number of independent engine shards (threads). Queries that can
+  /// coordinate always land on the same shard; disjoint workloads scale
+  /// across shards.
+  uint32_t num_shards = 4;
+
+  /// Batched flush scheduling, per shard: flush when `max_batch` queries
+  /// accumulated or `max_delay_ticks` logical ticks elapsed with pending
+  /// work — bounded coordination latency under light load, amortized batch
+  /// matching under heavy load.
+  size_t max_batch = 64;
+  uint64_t max_delay_ticks = 2;
+
+  /// Wall-clock duration of one logical staleness tick. Zero disables the
+  /// ticker thread; tests then drive time via AdvanceTicks().
+  std::chrono::milliseconds tick_interval{0};
+
+  engine::EvalMode mode = engine::EvalMode::kSetAtATime;
+  bool enforce_safety = true;
+  /// Intra-shard partition-evaluation threads (0 = sequential flush).
+  size_t shard_worker_threads = 0;
+
+  /// Builds each shard's private database snapshot (required).
+  SnapshotBootstrap bootstrap;
+};
+
+/// Thread-safe, sharded front-end to N CoordinationEngines — the paper's
+/// single-threaded evaluator (§5.1) scaled out by partitioning the query
+/// stream on entangled-relation signatures, so the per-partition
+/// independence result (§4.1.2) becomes cross-engine parallelism.
+///
+/// Life cycle of a query: SubmitAsync routes the IR text to its shard and
+/// returns a Ticket immediately; the shard thread parses, runs the engine,
+/// and resolves the ticket (callback + future) when coordination succeeds,
+/// fails, expires, or is cancelled. If a later query entangles two
+/// previously independent relation groups, the service transparently
+/// migrates the stranded minority group between shards — the colocation
+/// invariant (potential partners share a shard) holds at every quiescent
+/// point.
+class CoordinationService {
+ public:
+  explicit CoordinationService(ServiceOptions opts);
+  ~CoordinationService();
+
+  CoordinationService(const CoordinationService&) = delete;
+  CoordinationService& operator=(const CoordinationService&) = delete;
+
+  /// Submits one query (IR text form, see ir::Parser). `ttl_ticks` = 0
+  /// means never stale. `callback`, if set, fires exactly once on the
+  /// owning shard's thread. Fails synchronously only on unroutable text;
+  /// parse/validation errors resolve the ticket asynchronously.
+  Result<Ticket> SubmitAsync(std::string query_text, uint64_t ttl_ticks = 0,
+                             TicketCallback callback = nullptr);
+
+  /// Withdraws a pending query; its ticket resolves as Cancelled. A no-op
+  /// if the query already resolved (the resolution wins the race).
+  Status Cancel(const Ticket& ticket);
+
+  /// Advances the logical staleness clock by `n` ticks on every shard (the
+  /// ticker thread calls this once per tick_interval).
+  void AdvanceTicks(uint64_t n = 1);
+
+  /// Forces one batch flush on every shard and blocks until all complete
+  /// (including delivery of the outcomes they produced).
+  void FlushAll();
+
+  /// FlushAll until no tickets are in flight (migration re-submissions can
+  /// need a second round). Returns false if still non-empty after `rounds`.
+  bool Drain(int rounds = 8);
+
+  /// Aggregated per-shard + global counters, throughput and latency
+  /// percentiles.
+  ServiceMetrics Metrics() const;
+
+  const QueryRouter& router() const { return router_; }
+  uint64_t now_ticks() const {
+    return tick_.load(std::memory_order_relaxed);
+  }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  size_t inflight_count() const;
+
+ private:
+  struct Inflight {
+    uint32_t shard = 0;
+    uint64_t deadline_tick = 0;  ///< 0 = no TTL
+    bool migrating = false;      ///< a kMigrate op is queued for this ticket
+    /// Cancel() arrived while the query was mid-migration; honoured when the
+    /// extraction lands instead of being re-submitted.
+    bool cancel_requested = false;
+    std::string text;            ///< original IR text, kept for migration
+    std::vector<std::string> relations;
+    Ticket ticket;
+  };
+
+  void OnShardEvent(ShardRunner::Event ev);
+  /// After a group merge: extract every in-flight ticket now routed away
+  /// from its recorded shard. Caller holds submit_mu_. Tickets whose shard
+  /// already stopped are erased and appended to `dropped` for the caller to
+  /// fail once the lock is released.
+  void MigrateStrandedLocked(std::vector<Ticket>* dropped);
+  void CompleteTicket(const Ticket& ticket, ServiceOutcome outcome);
+  /// Completes each ticket as kFailed with `status` (no locks held).
+  void FailTickets(std::vector<Ticket> tickets, const Status& status);
+  void TickerLoop();
+
+  ServiceOptions opts_;
+  QueryRouter router_;
+  std::vector<std::unique_ptr<ShardRunner>> shards_;
+
+  /// Serializes route→record→enqueue so a shard's op queue always sees a
+  /// ticket's Submit before any Migrate that targets it.
+  mutable std::mutex submit_mu_;
+  std::unordered_map<TicketId, Inflight> inflight_;
+  /// Tickets with a kMigrate op issued but not yet re-submitted; Drain waits
+  /// for this to reach zero before flushing, so a batch flush cannot fail a
+  /// query whose coordination partner is mid-migration.
+  uint64_t migrating_count_ = 0;
+  std::condition_variable migration_cv_;
+  std::atomic<uint64_t> next_ticket_{1};
+  std::atomic<uint64_t> tick_{0};
+
+  std::chrono::steady_clock::time_point started_;
+
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool stopping_ = false;
+  std::thread ticker_;
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_SERVICE_H_

@@ -1,0 +1,227 @@
+#include "service/shard.h"
+
+#include <utility>
+#include <vector>
+
+#include "ir/parser.h"
+
+namespace eq::service {
+
+ShardRunner::ShardRunner(ShardOptions opts, EventFn event_fn)
+    : opts_(std::move(opts)),
+      event_fn_(std::move(event_fn)),
+      thread_([this] { Run(); }) {}
+
+ShardRunner::~ShardRunner() { Stop(); }
+
+bool ShardRunner::Enqueue(Op op) { return queue_.Push(std::move(op)); }
+
+void ShardRunner::Stop() {
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardRunner::Run() {
+  ctx_ = std::make_unique<ir::QueryContext>();
+  db_ = std::make_unique<db::Database>(&ctx_->interner());
+  if (opts_.bootstrap) opts_.bootstrap(ctx_.get(), db_.get());
+
+  engine::EngineOptions eopts;
+  eopts.mode = opts_.mode;
+  eopts.enforce_safety = opts_.enforce_safety;
+  eopts.worker_threads = opts_.worker_threads;
+  engine_ = std::make_unique<engine::CoordinationEngine>(ctx_.get(), db_.get(),
+                                                         eopts);
+  engine_->SetCallback(
+      [this](ir::QueryId q, const engine::QueryOutcome& outcome) {
+        OnEngineResolve(q, outcome);
+      });
+
+  std::vector<Op> ops;
+  while (queue_.DrainWait(&ops) > 0) {
+    for (Op& op : ops) Dispatch(op);
+    ops.clear();
+    MirrorEngineMetrics();
+  }
+}
+
+void ShardRunner::Dispatch(Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kSubmit:
+      HandleSubmit(op);
+      MaybeFlush(/*force=*/false);
+      break;
+    case Op::Kind::kCancel: {
+      ir::QueryId q = QueryOfTicket(op.ticket);
+      // Unknown ticket: already resolved (the resolution event is on its
+      // way to the client); cancellation is a no-op.
+      if (q == ir::kInvalidQuery) break;
+      engine_->Cancel(q);  // fires OnEngineResolve synchronously
+      break;
+    }
+    case Op::Kind::kMigrate: {
+      ir::QueryId q = QueryOfTicket(op.ticket);
+      if (q == ir::kInvalidQuery) break;  // resolved before extraction: keep
+      migrating_ = op.ticket;
+      engine_->Cancel(q);
+      migrating_ = 0;
+      stats_.migrated_out.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    case Op::Kind::kTick:
+      // Ticks can arrive out of order when AdvanceTicks races the ticker;
+      // keep the clock monotone (mirrors engine AdvanceTime) or the
+      // unsigned overdue arithmetic in MaybeFlush would wrap.
+      tick_ = std::max(tick_, op.tick);
+      engine_->AdvanceTime(op.tick);
+      MaybeFlush(/*force=*/false);
+      break;
+    case Op::Kind::kFlush:
+      MaybeFlush(/*force=*/true);
+      MirrorEngineMetrics();
+      if (op.latch) op.latch->count_down();
+      break;
+  }
+}
+
+void ShardRunner::HandleSubmit(Op& op) {
+  TicketInfo info;
+  info.ticket = op.ticket;
+  // A migrated query keeps its original submit time so the latency
+  // histogram spans the whole journey, not just the winning shard.
+  info.submitted =
+      op.migrated_in && op.submitted_at != std::chrono::steady_clock::time_point{}
+          ? op.submitted_at
+          : std::chrono::steady_clock::now();
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (op.migrated_in) {
+    stats_.migrated_in.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ir::Parser parser(ctx_.get());
+  auto parsed = parser.ParseQuery(op.text);
+  if (!parsed.ok()) {
+    stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    Event ev;
+    ev.kind = Event::Kind::kResolved;
+    ev.ticket = op.ticket;
+    ev.outcome.state = ServiceOutcome::State::kFailed;
+    ev.outcome.status = parsed.status();
+    event_fn_(std::move(ev));
+    return;
+  }
+
+  // Engine callbacks may fire inside Submit (safety rejection, incremental
+  // coordination) before we can record the id↔ticket mapping; stash the
+  // ticket where OnEngineResolve can find it.
+  current_submit_ = info;
+  current_submit_active_ = true;
+  auto id = engine_->Submit(std::move(*parsed), op.ttl_ticks);
+  current_submit_active_ = false;
+
+  if (!id.ok()) {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    Event ev;
+    ev.kind = Event::Kind::kResolved;
+    ev.ticket = op.ticket;
+    ev.outcome.state = ServiceOutcome::State::kFailed;
+    ev.outcome.status = id.status();
+    event_fn_(std::move(ev));
+    return;
+  }
+  ++submitted_since_flush_;
+  if (engine_->outcome(*id).state == engine::QueryOutcome::State::kPending) {
+    inflight_[*id] = info;
+    qid_of_ticket_[info.ticket] = *id;
+  }
+}
+
+ir::QueryId ShardRunner::QueryOfTicket(TicketId ticket) const {
+  auto it = qid_of_ticket_.find(ticket);
+  return it == qid_of_ticket_.end() ? ir::kInvalidQuery : it->second;
+}
+
+void ShardRunner::MaybeFlush(bool force) {
+  bool batch_full = submitted_since_flush_ >= opts_.max_batch;
+  bool overdue = !inflight_.empty() &&
+                 tick_ - last_flush_tick_ >= opts_.max_delay_ticks;
+  // Batched flushing drives set-at-a-time resolution; in incremental mode
+  // the engine resolves on arrival and a flush would fail partner-less
+  // waiters, so only a forced flush (service drain) runs one.
+  if (opts_.mode == engine::EvalMode::kIncremental && !force) return;
+  if (!force && !batch_full && !overdue) return;
+  if (!force && submitted_since_flush_ == 0 && inflight_.empty()) return;
+  engine_->Flush();
+  submitted_since_flush_ = 0;
+  last_flush_tick_ = tick_;
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardRunner::OnEngineResolve(ir::QueryId q,
+                                  const engine::QueryOutcome& outcome) {
+  TicketInfo info;
+  auto it = inflight_.find(q);
+  if (it != inflight_.end()) {
+    info = it->second;
+    inflight_.erase(it);
+    qid_of_ticket_.erase(info.ticket);
+  } else if (current_submit_active_) {
+    info = current_submit_;
+  } else {
+    return;  // engine-internal resolution with no service ticket (shouldn't happen)
+  }
+
+  if (info.ticket == migrating_) {
+    Event ev;
+    ev.kind = Event::Kind::kMigratedOut;
+    ev.ticket = info.ticket;
+    ev.submitted_at = info.submitted;
+    event_fn_(std::move(ev));
+    return;
+  }
+
+  double micros = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - info.submitted)
+                      .count();
+  stats_.latency.Record(micros);
+
+  Event ev;
+  ev.kind = Event::Kind::kResolved;
+  ev.ticket = info.ticket;
+  if (outcome.state == engine::QueryOutcome::State::kAnswered) {
+    stats_.answered.fetch_add(1, std::memory_order_relaxed);
+    ev.outcome.state = ServiceOutcome::State::kAnswered;
+    ev.outcome.tuples.reserve(outcome.tuples.size());
+    for (const ir::GroundAtom& tuple : outcome.tuples) {
+      ev.outcome.tuples.push_back(tuple.ToString(ctx_->interner()));
+    }
+  } else {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    switch (outcome.status.code()) {
+      case StatusCode::kTimeout:
+        stats_.expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kCancelled:
+        stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kUnsafe:
+        stats_.rejected_unsafe.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
+    ev.outcome.state = ServiceOutcome::State::kFailed;
+    ev.outcome.status = outcome.status;
+  }
+  event_fn_(std::move(ev));
+}
+
+void ShardRunner::MirrorEngineMetrics() {
+  const engine::EngineMetrics& m = engine_->metrics();
+  stats_.match_seconds.store(m.match_seconds, std::memory_order_relaxed);
+  stats_.db_seconds.store(m.db_seconds, std::memory_order_relaxed);
+  stats_.pending.store(engine_->pending_count(), std::memory_order_relaxed);
+}
+
+}  // namespace eq::service

@@ -1,0 +1,147 @@
+#ifndef EQ_SERVICE_SHARD_H_
+#define EQ_SERVICE_SHARD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <latch>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "db/database.h"
+#include "engine/engine.h"
+#include "ir/query.h"
+#include "service/metrics.h"
+#include "service/ticket.h"
+#include "util/mpsc_queue.h"
+
+namespace eq::service {
+
+/// Populates one shard's private catalog: called once per shard, on the
+/// shard's own thread, before any query is accepted. Every shard gets an
+/// identical snapshot (§2.3: the database must be unchanged during
+/// coordinated answering), built against the shard's private interner.
+using SnapshotBootstrap =
+    std::function<void(ir::QueryContext* ctx, db::Database* db)>;
+
+struct ShardOptions {
+  uint32_t shard_id = 0;
+
+  /// Batched flush scheduling (set-at-a-time mode): flush when this many
+  /// submissions accumulated since the last flush...
+  size_t max_batch = 64;
+  /// ...or when this many logical ticks elapsed with work pending.
+  uint64_t max_delay_ticks = 2;
+
+  /// Engine evaluation mode. In kIncremental the engine resolves on arrival
+  /// and the batch knobs above are ignored (Flush only forces stragglers).
+  engine::EvalMode mode = engine::EvalMode::kSetAtATime;
+  bool enforce_safety = true;
+  /// Intra-shard partition-evaluation threads (engine Flush parallelism).
+  size_t worker_threads = 0;
+
+  SnapshotBootstrap bootstrap;
+};
+
+/// One shard of the coordination service: a dedicated thread owning a
+/// private QueryContext + Database snapshot + CoordinationEngine, fed
+/// through an MPSC operation queue. All engine state is confined to the
+/// shard thread — the only cross-thread traffic is the op queue in and the
+/// event function out, so the single-threaded engine needs no locks.
+class ShardRunner {
+ public:
+  struct Op {
+    enum class Kind : uint8_t {
+      kSubmit,   ///< parse text, hand to engine
+      kCancel,   ///< client withdrawal; resolves the ticket as Cancelled
+      kMigrate,  ///< silent extraction; emits kMigratedOut, no resolution
+      kTick,     ///< advance the engine's logical clock
+      kFlush,    ///< force a batch flush, then count down `latch`
+    };
+    Kind kind = Kind::kSubmit;
+    TicketId ticket = 0;
+    std::string text;
+    uint64_t ttl_ticks = 0;
+    bool migrated_in = false;  ///< kSubmit caused by a migration
+    /// For migrated_in: when the query was first submitted on the losing
+    /// shard, so latency spans the whole journey (zero = use now).
+    std::chrono::steady_clock::time_point submitted_at{};
+    uint64_t tick = 0;         ///< kTick payload
+    std::shared_ptr<std::latch> latch;  ///< kFlush barrier
+  };
+
+  /// An event leaving the shard, delivered on the shard thread.
+  struct Event {
+    enum class Kind : uint8_t {
+      kResolved,     ///< the ticket's query left the pending state
+      kMigratedOut,  ///< extracted for re-routing; resubmit elsewhere
+    };
+    Kind kind = Kind::kResolved;
+    TicketId ticket = 0;
+    ServiceOutcome outcome;  // kResolved only
+    /// kMigratedOut: original submit time, for the re-submission to carry.
+    std::chrono::steady_clock::time_point submitted_at{};
+  };
+  using EventFn = std::function<void(Event)>;
+
+  /// Starts the shard thread. `event_fn` must be thread-safe with respect
+  /// to the other shards' threads and outlive the runner.
+  ShardRunner(ShardOptions opts, EventFn event_fn);
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  /// Enqueues an operation (any thread). False after Stop().
+  bool Enqueue(Op op);
+
+  /// Closes the queue and joins the thread; queued ops are drained first.
+  void Stop();
+
+  const ShardStats& stats() const { return stats_; }
+  uint32_t shard_id() const { return opts_.shard_id; }
+
+ private:
+  struct TicketInfo {
+    TicketId ticket = 0;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void Run();
+  void Dispatch(Op& op);
+  void HandleSubmit(Op& op);
+  /// Engine query id for a still-inflight ticket, or kInvalidQuery.
+  ir::QueryId QueryOfTicket(TicketId ticket) const;
+  void MaybeFlush(bool force);
+  void OnEngineResolve(ir::QueryId q, const engine::QueryOutcome& outcome);
+  void MirrorEngineMetrics();
+
+  const ShardOptions opts_;
+  const EventFn event_fn_;
+  ShardStats stats_;
+  MpscQueue<Op> queue_;
+
+  // --- shard-thread-only state below ---
+  std::unique_ptr<ir::QueryContext> ctx_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<engine::CoordinationEngine> engine_;
+  std::unordered_map<ir::QueryId, TicketInfo> inflight_;
+  std::unordered_map<TicketId, ir::QueryId> qid_of_ticket_;
+  /// Ticket of the Submit currently executing (engine callbacks can fire
+  /// inside Submit, before the id↔ticket mapping exists).
+  TicketInfo current_submit_;
+  bool current_submit_active_ = false;
+  /// Ticket being silently extracted by a kMigrate op, if any.
+  TicketId migrating_ = 0;
+  size_t submitted_since_flush_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t last_flush_tick_ = 0;
+
+  std::thread thread_;  // last member: starts after everything is ready
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_SHARD_H_

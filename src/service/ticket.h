@@ -1,0 +1,112 @@
+#ifndef EQ_SERVICE_TICKET_H_
+#define EQ_SERVICE_TICKET_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace eq::service {
+
+/// Service-global id of one submitted query (never reused; 0 is invalid).
+using TicketId = uint64_t;
+
+/// The client-facing result of one entangled query.
+///
+/// Unlike engine::QueryOutcome, answer tuples are rendered to strings: each
+/// shard owns a private interner, so raw SymbolIds would be meaningless
+/// outside the shard thread — exactly the translation a network service
+/// boundary would perform.
+struct ServiceOutcome {
+  enum class State { kPending, kAnswered, kFailed };
+
+  State state = State::kPending;
+  /// For kFailed: why (Unsafe / Unsatisfiable / Timeout / Cancelled / ...).
+  Status status;
+  /// For kAnswered: rendered coordinated answer tuples, e.g. "R(Kramer, 122)".
+  std::vector<std::string> tuples;
+};
+
+class CoordinationService;
+
+/// Invoked exactly once when the query leaves the pending state. Runs on the
+/// owning shard's thread; keep it cheap and do not call back into the
+/// service from it.
+using TicketCallback =
+    std::function<void(TicketId, const ServiceOutcome&)>;
+
+/// Future-style handle to an in-flight query: poll with Done(), block with
+/// Wait()/WaitFor(), or register a TicketCallback at submission. Copyable;
+/// all copies share one outcome. A default-constructed (invalid) ticket is
+/// "done" with a kFailed/InvalidArgument outcome — accessors never block on
+/// or dereference an empty handle.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  TicketId id() const { return state_ ? state_->id : 0; }
+
+  bool Done() const {
+    if (!state_) return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the outcome is available, then returns it.
+  const ServiceOutcome& Wait() const {
+    if (!state_) return InvalidOutcome();
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->outcome;
+  }
+
+  /// Like Wait() with a timeout; false if still pending when it elapses.
+  bool WaitFor(std::chrono::milliseconds timeout) const {
+    if (!state_) return true;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(lock, timeout, [&] { return state_->done; });
+  }
+
+  /// The resolved outcome; only call after Done()/Wait() reported completion.
+  const ServiceOutcome& outcome() const {
+    return state_ ? state_->outcome : InvalidOutcome();
+  }
+
+ private:
+  friend class CoordinationService;
+
+  static const ServiceOutcome& InvalidOutcome() {
+    static const ServiceOutcome outcome = [] {
+      ServiceOutcome o;
+      o.state = ServiceOutcome::State::kFailed;
+      o.status = Status::InvalidArgument("empty ticket");
+      return o;
+    }();
+    return outcome;
+  }
+
+  struct SharedState {
+    TicketId id = 0;
+    TicketCallback callback;  // may be null; fired once on completion
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+    ServiceOutcome outcome;
+  };
+
+  explicit Ticket(std::shared_ptr<SharedState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<SharedState> state_;
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_TICKET_H_

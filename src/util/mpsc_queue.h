@@ -1,0 +1,88 @@
+#ifndef EQ_UTIL_MPSC_QUEUE_H_
+#define EQ_UTIL_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace eq {
+
+/// Unbounded multi-producer / single-consumer queue.
+///
+/// The service layer runs one consumer thread per shard; any number of
+/// client threads (and the staleness ticker) push operations concurrently.
+/// The consumer drains in batches — one lock acquisition hands over every
+/// queued item, which is what makes the shard runner's batched flush cheap
+/// under load.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues one item. Returns false (dropping the item) after Close().
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until items are available or the queue is closed, then moves
+  /// every queued item into `*out` (appending). Returns the number of items
+  /// taken; 0 means closed-and-empty, i.e. the consumer should exit.
+  size_t DrainWait(std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return DrainLocked(out);
+  }
+
+  /// Non-blocking drain. Returns the number of items taken.
+  size_t DrainNow(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return DrainLocked(out);
+  }
+
+  /// Rejects further pushes and wakes the consumer. Already-queued items
+  /// remain drainable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  size_t DrainLocked(std::vector<T>* out) {
+    size_t n = items_.size();
+    if (n == 0) return 0;
+    if (out->empty()) {
+      *out = std::move(items_);
+      items_.clear();
+    } else {
+      for (T& item : items_) out->push_back(std::move(item));
+      items_.clear();
+    }
+    return n;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace eq
+
+#endif  // EQ_UTIL_MPSC_QUEUE_H_

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnsatisfiable,    ///< no coordinating set can exist (MGU failure)
   kParseError,       ///< SQL / IR text could not be parsed
   kTimeout,          ///< query became stale before coordination (paper §5.1)
+  kCancelled,        ///< query was withdrawn by its submitter / the service
   kInternal,         ///< invariant violation; indicates a bug
 };
 
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -339,6 +339,86 @@ TEST_F(EngineTest, ExpiryUnblocksPartition) {
   EXPECT_EQ(engine->outcome(*bob).state, QueryOutcome::State::kAnswered);
 }
 
+TEST_F(EngineTest, AdvanceTimeAfterFlushDoesNotRefireCallback) {
+  // Regression: queries resolved by Flush leave stale entries in the
+  // deadline heap; expiring those entries later must neither re-fire the
+  // answer callback nor count as an expiry.
+  auto engine = MakeEngine({.mode = EvalMode::kSetAtATime});
+  std::map<QueryId, int> calls;
+  engine->SetCallback(
+      [&](QueryId q, const QueryOutcome&) { ++calls[q]; });
+  auto a = engine->Submit(
+      Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"), /*ttl_ticks=*/5);
+  auto b = engine->Submit(
+      Parse("{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"), /*ttl_ticks=*/5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_EQ(engine->outcome(*a).state, QueryOutcome::State::kAnswered);
+  ASSERT_EQ(calls[*a], 1);
+  ASSERT_EQ(calls[*b], 1);
+
+  engine->AdvanceTime(100);  // pops both stale heap entries
+  EXPECT_EQ(calls[*a], 1);
+  EXPECT_EQ(calls[*b], 1);
+  EXPECT_EQ(engine->outcome(*a).state, QueryOutcome::State::kAnswered);
+  EXPECT_EQ(engine->outcome(*b).state, QueryOutcome::State::kAnswered);
+  EXPECT_EQ(engine->metrics().expired, 0u);
+}
+
+// ---------------------------------------------------------- cancellation --
+
+TEST_F(EngineTest, CancelResolvesPendingQuery) {
+  auto engine = MakeEngine({.mode = EvalMode::kSetAtATime});
+  int calls = 0;
+  engine->SetCallback([&](QueryId, const QueryOutcome&) { ++calls; });
+  auto kramer = engine->Submit(
+      Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"));
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(engine->Cancel(*kramer).ok());
+  EXPECT_EQ(engine->outcome(*kramer).state, QueryOutcome::State::kFailed);
+  EXPECT_EQ(engine->outcome(*kramer).status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine->pending_count(), 0u);
+  EXPECT_EQ(engine->metrics().cancelled, 1u);
+  EXPECT_EQ(calls, 1);
+  // A second cancel (and cancel of an unknown id) reports NotFound.
+  EXPECT_EQ(engine->Cancel(*kramer).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine->Cancel(9999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(EngineTest, CancelledQueryDoesNotPinPartition) {
+  auto engine = MakeEngine({.mode = EvalMode::kIncremental});
+  // Same shape as ExpiryUnblocksPartition, but the blocker disconnects
+  // instead of going stale: cancelling Carol must let Alice/Bob coordinate.
+  auto alice = engine->Submit(
+      Parse("{R(Bob, x)} R(Alice, x) :- F(x, Paris)"));
+  auto carol = engine->Submit(
+      Parse("{R(Dan, w), R(Alice, w)} R(Carol, w) :- F(w, Paris)"));
+  auto bob = engine->Submit(
+      Parse("{R(Alice, y)} R(Bob, y) :- F(y, Paris)"));
+  ASSERT_TRUE(alice.ok() && bob.ok() && carol.ok());
+  EXPECT_EQ(engine->outcome(*alice).state, QueryOutcome::State::kPending);
+
+  ASSERT_TRUE(engine->Cancel(*carol).ok());
+  EXPECT_EQ(engine->outcome(*carol).status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine->outcome(*alice).state, QueryOutcome::State::kAnswered);
+  EXPECT_EQ(engine->outcome(*bob).state, QueryOutcome::State::kAnswered);
+}
+
+TEST_F(EngineTest, CancelledQueryDoesNotExpireLater) {
+  auto engine = MakeEngine({.mode = EvalMode::kIncremental});
+  int calls = 0;
+  engine->SetCallback([&](QueryId, const QueryOutcome&) { ++calls; });
+  auto kramer = engine->Submit(
+      Parse("{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"), /*ttl_ticks=*/5);
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(engine->Cancel(*kramer).ok());
+  engine->AdvanceTime(10);  // stale heap entry must not re-fire
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(engine->outcome(*kramer).status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine->metrics().expired, 0u);
+}
+
 // ------------------------------------------------------------ callbacks --
 
 TEST_F(EngineTest, CallbackFiresExactlyOncePerQuery) {

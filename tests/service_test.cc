@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "ir/parser.h"
+#include "service/router.h"
+#include "service/service.h"
+#include "util/rng.h"
+
+namespace eq::service {
+namespace {
+
+using engine::EvalMode;
+
+/// Every shard gets the Figure 1 flight database (plus a generic relation
+/// pool for the routing tests).
+void FlightBootstrap(ir::QueryContext* ctx, db::Database* db) {
+  ASSERT_TRUE(db->CreateTable("F", {{"fno", ir::ValueType::kInt},
+                                    {"dest", ir::ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db->CreateTable("A", {{"fno", ir::ValueType::kInt},
+                                    {"airline", ir::ValueType::kString}})
+                  .ok());
+  auto S = [&](const char* s) { return ir::Value::Str(ctx->Intern(s)); };
+  ASSERT_TRUE(db->Insert("F", {ir::Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(db->Insert("F", {ir::Value::Int(123), S("Paris")}).ok());
+  ASSERT_TRUE(db->Insert("F", {ir::Value::Int(134), S("Paris")}).ok());
+  ASSERT_TRUE(db->Insert("F", {ir::Value::Int(136), S("Rome")}).ok());
+  ASSERT_TRUE(db->Insert("A", {ir::Value::Int(122), S("United")}).ok());
+  ASSERT_TRUE(db->Insert("A", {ir::Value::Int(123), S("United")}).ok());
+  ASSERT_TRUE(db->Insert("A", {ir::Value::Int(134), S("Lufthansa")}).ok());
+  ASSERT_TRUE(db->Insert("A", {ir::Value::Int(136), S("Alitalia")}).ok());
+}
+
+ServiceOptions Opts(uint32_t shards, EvalMode mode = EvalMode::kSetAtATime) {
+  ServiceOptions o;
+  o.num_shards = shards;
+  o.mode = mode;
+  o.max_batch = 16;
+  o.max_delay_ticks = 1;
+  o.bootstrap = FlightBootstrap;
+  return o;
+}
+
+/// A mutually-coordinating pair entangled through relation `rel`, tagged
+/// with distinct users so pairs with distinct relations never unify.
+std::pair<std::string, std::string> PairFor(const std::string& rel, int i) {
+  std::string a = "K" + std::to_string(i);
+  std::string b = "J" + std::to_string(i);
+  return {"{" + rel + "(" + b + ", x)} " + rel + "(" + a +
+              ", x) :- F(x, Paris)",
+          "{" + rel + "(" + a + ", y)} " + rel + "(" + b +
+              ", y) :- F(y, Paris)"};
+}
+
+// ---------------------------------------------------------------- router --
+
+TEST(QueryRouterTest, ExtractsEntangledRelations) {
+  auto rels = QueryRouter::EntangledRelationsOf(
+      "kramer: {R(Jerry, x), Gift(Elaine, g)} R(Kramer, x) "
+      ":- F(x, Paris), A(x, United)");
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(*rels, (std::vector<std::string>{"Gift", "R"}));
+  // Body relations (F, A) and the label are not entangled relations.
+}
+
+TEST(QueryRouterTest, ExtractionIgnoresQuotedText) {
+  auto rels = QueryRouter::EntangledRelationsOf(
+      "{R('weird :- Rel(', x)} R(Kramer, x) :- F(x, 'dest (odd)')");
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(*rels, (std::vector<std::string>{"R"}));
+}
+
+TEST(QueryRouterTest, RejectsTextWithoutEntangledAtoms) {
+  auto rels = QueryRouter::EntangledRelationsOf("   choose 2");
+  EXPECT_FALSE(rels.ok());
+  EXPECT_EQ(rels.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryRouterTest, SharedRelationMeansSameShard) {
+  QueryRouter router(8);
+  auto a = router.RouteQuery("{R(J, x)} R(K, x) :- F(x, Paris)");
+  auto b = router.RouteQuery("{R(K, y)} R(J, y) :- F(y, Paris)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->shard, b->shard);
+  auto c = router.RouteQuery("{Gift(E, g)} Gift(G, g) :- F(g, Rome)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(router.group_count(), 2u);
+}
+
+TEST(QueryRouterTest, DisjointGroupsBalanceAcrossShards) {
+  QueryRouter router(4);
+  std::set<uint32_t> used;
+  for (int i = 0; i < 16; ++i) {
+    auto r = router.RouteQuery(PairFor("Rel" + std::to_string(i), i).first);
+    ASSERT_TRUE(r.ok());
+    used.insert(r->shard);
+  }
+  // 16 independent groups over 4 shards, least-loaded placement: all used.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+/// Property test: any two queries sharing an entangled relation are routed
+/// to the same shard, on randomized multi-relation workloads, checked
+/// against the ground truth of core::Partitioner::RelationComponents.
+TEST(QueryRouterTest, ColocationMatchesRelationComponents) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    QueryRouter router(1 + rng.Below(7));
+    ir::QueryContext ctx;
+    ir::QuerySet qs;
+    std::vector<uint32_t> shard_of;
+    const int num_rels = 2 + static_cast<int>(rng.Below(10));
+    const int num_queries = 1 + static_cast<int>(rng.Below(40));
+    ir::Parser parser(&ctx);
+    for (int q = 0; q < num_queries; ++q) {
+      // 1-3 entangled relations drawn from a small pool → frequent overlap
+      // and occasional multi-group merges.
+      std::set<int> picks;
+      int k = 1 + static_cast<int>(rng.Below(std::min(3, num_rels)));
+      while (static_cast<int>(picks.size()) < k) {
+        picks.insert(static_cast<int>(rng.Below(num_rels)));
+      }
+      std::string pc, head;
+      int idx = 0;
+      for (int rel : picks) {
+        std::string r = "Rel" + std::to_string(rel);
+        if (idx == 0) {
+          head = r + "(U" + std::to_string(q) + ", x)";
+        } else {
+          if (!pc.empty()) pc += ", ";
+          pc += r + "(V" + std::to_string(q) + "_" + std::to_string(idx) +
+                ", x)";
+        }
+        ++idx;
+      }
+      if (pc.empty()) {
+        pc = "Rel" + std::to_string(*picks.begin()) + "(W" +
+             std::to_string(q) + ", x)";
+      }
+      std::string text = "{" + pc + "} " + head + " :- F(x, Paris)";
+      auto decision = router.RouteQuery(text);
+      ASSERT_TRUE(decision.ok()) << text;
+      shard_of.push_back(decision->shard);
+      auto parsed = parser.ParseQuery(text);
+      ASSERT_TRUE(parsed.ok()) << text;
+      qs.queries.push_back(std::move(*parsed));
+    }
+    qs.AssignIds();
+    // Ground truth: after all merges, every relation component must sit on
+    // one shard. (Current router state — earlier placements may have been
+    // migrated, which the service layer handles; the router's final answer
+    // is what governs placement.)
+    for (const auto& component : core::Partitioner::RelationComponents(qs)) {
+      std::set<uint32_t> shards;
+      for (ir::QueryId q : component) {
+        for (SymbolId rel :
+             core::Partitioner::EntangledRelations(qs.queries[q])) {
+          shards.insert(
+              router.ShardOfRelation(ctx.interner().Name(rel)));
+        }
+      }
+      EXPECT_EQ(shards.size(), 1u)
+          << "round " << round << ": relation component spans shards";
+    }
+    (void)shard_of;
+  }
+}
+
+// --------------------------------------------------------------- service --
+
+TEST(CoordinationServiceTest, PairCoordinatesAcrossSubmissions) {
+  CoordinationService svc(Opts(4));
+  auto [qa, qb] = PairFor("R", 0);
+  auto ta = svc.SubmitAsync(qa);
+  auto tb = svc.SubmitAsync(qb);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  ASSERT_TRUE(svc.Drain());
+  ASSERT_TRUE(ta->Done() && tb->Done());
+  EXPECT_EQ(ta->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(tb->outcome().state, ServiceOutcome::State::kAnswered);
+  ASSERT_EQ(ta->outcome().tuples.size(), 1u);
+  // Coordinated: both sides name the same flight.
+  std::string fa = ta->outcome().tuples[0];
+  std::string fb = tb->outcome().tuples[0];
+  EXPECT_EQ(fa.substr(fa.find(',')), fb.substr(fb.find(',')));
+}
+
+TEST(CoordinationServiceTest, CallbackDeliveryAndFutureAgree) {
+  CoordinationService svc(Opts(2));
+  std::atomic<int> calls{0};
+  ServiceOutcome via_callback;
+  auto [qa, qb] = PairFor("R", 1);
+  auto ta = svc.SubmitAsync(qa, 0, [&](TicketId, const ServiceOutcome& o) {
+    via_callback = o;
+    calls.fetch_add(1);
+  });
+  auto tb = svc.SubmitAsync(qb);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  ASSERT_TRUE(svc.Drain());
+  ta->Wait();
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(via_callback.state, ServiceOutcome::State::kAnswered);
+}
+
+TEST(CoordinationServiceTest, DisjointPairsSpreadOverShardsAndAllAnswer) {
+  const int kPairs = 32;
+  CoordinationService svc(Opts(4));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kPairs; ++i) {
+    auto [qa, qb] = PairFor("Rel" + std::to_string(i), i);
+    auto ta = svc.SubmitAsync(qa);
+    auto tb = svc.SubmitAsync(qb);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    tickets.push_back(*ta);
+    tickets.push_back(*tb);
+  }
+  ASSERT_TRUE(svc.Drain());
+  for (const Ticket& t : tickets) {
+    ASSERT_TRUE(t.Done());
+    EXPECT_EQ(t.outcome().state, ServiceOutcome::State::kAnswered)
+        << t.outcome().status.ToString();
+  }
+  ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.answered, 2u * kPairs);
+  EXPECT_EQ(m.pending, 0u);
+  // Every shard took part of the load.
+  for (const auto& shard : m.shards) {
+    EXPECT_GT(shard.submitted, 0u) << "shard " << shard.shard_id;
+  }
+}
+
+TEST(CoordinationServiceTest, PartnerlessQueryFailsOnFlush) {
+  CoordinationService svc(Opts(2));
+  auto t = svc.SubmitAsync("{R(Ghost, x)} R(Newman, x) :- F(x, Rome)");
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(svc.Drain());
+  EXPECT_EQ(t->outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(t->outcome().status.code(), StatusCode::kUnsatisfiable);
+}
+
+TEST(CoordinationServiceTest, ParseErrorResolvesTicketAsync) {
+  CoordinationService svc(Opts(2));
+  auto t = svc.SubmitAsync("{R(J, x)} R(K, x :- F(x,");  // malformed
+  ASSERT_TRUE(t.ok());  // routable (R appears applied) but unparsable
+  t->Wait();
+  EXPECT_EQ(t->outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(t->outcome().status.code(), StatusCode::kParseError);
+  EXPECT_EQ(svc.Metrics().parse_errors, 1u);
+}
+
+TEST(CoordinationServiceTest, UnroutableTextFailsSynchronously) {
+  CoordinationService svc(Opts(2));
+  auto t = svc.SubmitAsync("not a query at all");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoordinationServiceTest, CancelResolvesAsCancelled) {
+  CoordinationService svc(Opts(2));
+  auto t = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Paris)");
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(svc.Cancel(*t).ok());
+  t->Wait();
+  EXPECT_EQ(t->outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(t->outcome().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(svc.inflight_count(), 0u);
+  // Cancelling again: the ticket already left the inflight table.
+  EXPECT_EQ(svc.Cancel(*t).code(), StatusCode::kNotFound);
+}
+
+TEST(CoordinationServiceTest, ManualTicksExpireStaleQueries) {
+  // Incremental mode: a partnerless query waits (no batch flush to fail
+  // it), so the staleness clock is what resolves it.
+  CoordinationService svc(Opts(2, EvalMode::kIncremental));
+  auto t = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Paris)",
+                           /*ttl_ticks=*/3);
+  ASSERT_TRUE(t.ok());
+  svc.AdvanceTicks(5);
+  ASSERT_TRUE(t->WaitFor(std::chrono::milliseconds(2000)));
+  EXPECT_EQ(t->outcome().status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(svc.Metrics().expired, 1u);
+}
+
+TEST(CoordinationServiceTest, WallClockTickerExpiresStaleQueries) {
+  ServiceOptions o = Opts(2, EvalMode::kIncremental);
+  o.tick_interval = std::chrono::milliseconds(5);
+  CoordinationService svc(o);
+  auto t = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Paris)",
+                           /*ttl_ticks=*/3);
+  ASSERT_TRUE(t.ok());
+  // ~15ms of wall clock; give the ticker ample slack.
+  ASSERT_TRUE(t->WaitFor(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(t->outcome().status.code(), StatusCode::kTimeout);
+}
+
+TEST(CoordinationServiceTest, GroupMergeMigratesStrandedQueries) {
+  // Force two groups onto different shards, then bridge them: the stranded
+  // side must migrate so the three-way cycle coordinates on one shard.
+  CoordinationService svc(Opts(2));
+  // Group Ra → shard A (least-loaded placement), group Rb → shard B.
+  auto t1 = svc.SubmitAsync("{Ra(Bob, x)} Ra(Alice, x) :- F(x, Paris)");
+  auto t2 = svc.SubmitAsync("{Rb(Carol, y)} Rb(Dan, y) :- F(y, Paris)");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_NE(svc.router().ShardOfRelation("Ra"),
+            svc.router().ShardOfRelation("Rb"));
+  // Bridge: answers Alice's postcondition, needs Dan's head relation.
+  auto t3 = svc.SubmitAsync(
+      "{Ra(Alice, z), Rb(Dan, z)} Ra(Bob, z), Rb(Carol, z) :- F(z, Paris)");
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(svc.router().ShardOfRelation("Ra"),
+            svc.router().ShardOfRelation("Rb"));
+  ASSERT_TRUE(svc.Drain());
+  ServiceMetrics m = svc.Metrics();
+  EXPECT_GE(m.migrations, 1u);
+  EXPECT_EQ(t1->outcome().state, ServiceOutcome::State::kAnswered)
+      << t1->outcome().status.ToString();
+  EXPECT_EQ(t2->outcome().state, ServiceOutcome::State::kAnswered)
+      << t2->outcome().status.ToString();
+  EXPECT_EQ(t3->outcome().state, ServiceOutcome::State::kAnswered)
+      << t3->outcome().status.ToString();
+}
+
+TEST(CoordinationServiceTest, CancelDuringMigrationStillResolves) {
+  // Regression: a cancel racing a group-merge migration used to be sent to
+  // the old shard (which had already extracted the query) and get lost,
+  // leaving the ticket pending forever.
+  CoordinationService svc(Opts(2));
+  auto t1 = svc.SubmitAsync("{Ra(Bob, x)} Ra(Alice, x) :- F(x, Paris)");
+  auto t2 = svc.SubmitAsync("{Rb(Carol, y)} Rb(Dan, y) :- F(y, Paris)");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  auto t3 = svc.SubmitAsync(
+      "{Ra(Alice, z), Rb(Dan, z)} Ra(Bob, z), Rb(Carol, z) :- F(z, Paris)");
+  ASSERT_TRUE(t3.ok());
+  // One of t1/t2 is now stranded and mid-migration; withdraw both sides —
+  // each must resolve (as Cancelled) whichever path its cancel takes.
+  EXPECT_TRUE(svc.Cancel(*t1).ok());
+  EXPECT_TRUE(svc.Cancel(*t2).ok());
+  ASSERT_TRUE(svc.Drain());
+  ASSERT_TRUE(t1->WaitFor(std::chrono::milliseconds(5000)));
+  ASSERT_TRUE(t2->WaitFor(std::chrono::milliseconds(5000)));
+  ASSERT_TRUE(t3->WaitFor(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(t1->outcome().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(t2->outcome().status.code(), StatusCode::kCancelled);
+  // The bridge query lost both partners: failed, not hung.
+  EXPECT_EQ(t3->outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(svc.inflight_count(), 0u);
+}
+
+TEST(CoordinationServiceTest, DestructorResolvesPendingTickets) {
+  // Regression: destroying the service with unresolved queries must fail
+  // their tickets, not leave waiters blocked forever.
+  Ticket t;
+  {
+    CoordinationService svc(Opts(2));
+    auto r = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Paris)");
+    ASSERT_TRUE(r.ok());
+    t = *r;
+  }  // no Drain
+  ASSERT_TRUE(t.Done());
+  EXPECT_EQ(t.outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(t.outcome().status.code(), StatusCode::kCancelled);
+}
+
+TEST(CoordinationServiceTest, InvalidTicketAccessorsAreSafe) {
+  Ticket empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(empty.id(), 0u);
+  EXPECT_TRUE(empty.Done());
+  EXPECT_TRUE(empty.WaitFor(std::chrono::milliseconds(1)));
+  EXPECT_EQ(empty.Wait().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(empty.outcome().status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoordinationServiceTest, IncrementalModeAnswersWithoutFlush) {
+  CoordinationService svc(Opts(2, EvalMode::kIncremental));
+  auto [qa, qb] = PairFor("R", 2);
+  auto ta = svc.SubmitAsync(qa);
+  auto tb = svc.SubmitAsync(qb);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  // No Drain: incremental engines answer on partner arrival.
+  ASSERT_TRUE(ta->WaitFor(std::chrono::milliseconds(5000)));
+  ASSERT_TRUE(tb->WaitFor(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(ta->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(tb->outcome().state, ServiceOutcome::State::kAnswered);
+}
+
+TEST(CoordinationServiceTest, MetricsAggregateAcrossShards) {
+  CoordinationService svc(Opts(3));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 12; ++i) {
+    auto [qa, qb] = PairFor("Rel" + std::to_string(i), i);
+    tickets.push_back(*svc.SubmitAsync(qa));
+    tickets.push_back(*svc.SubmitAsync(qb));
+  }
+  // One partnerless straggler and one cancel.
+  auto lone = svc.SubmitAsync("{Lone(Ghost, x)} Lone(Newman, x) :- F(x, Rome)");
+  auto gone = svc.SubmitAsync("{Gone(A, x)} Gone(B, x) :- F(x, Rome)");
+  ASSERT_TRUE(lone.ok() && gone.ok());
+  ASSERT_TRUE(svc.Cancel(*gone).ok());
+  ASSERT_TRUE(svc.Drain());
+
+  ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.submitted, 26u);
+  EXPECT_EQ(m.answered, 24u);
+  EXPECT_EQ(m.failed, 2u);
+  EXPECT_EQ(m.cancelled, 1u);
+  EXPECT_EQ(m.pending, 0u);
+  EXPECT_EQ(m.shards.size(), 3u);
+  uint64_t per_shard_sum = 0;
+  for (const auto& s : m.shards) per_shard_sum += s.submitted;
+  EXPECT_EQ(per_shard_sum, m.submitted);
+  EXPECT_GT(m.p50_latency_ms, 0.0);
+  EXPECT_GE(m.p99_latency_ms, m.p50_latency_ms);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+// The ThreadSanitizer workhorse: many client threads submitting and
+// cancelling against a live staleness ticker, across shards.
+TEST(CoordinationServiceTest, ConcurrentSubmitCancelAndTicker) {
+  // Incremental mode: coordination fires on partner arrival, so batch
+  // windows cannot split a pair and the exact answered count is stable.
+  ServiceOptions o = Opts(4, EvalMode::kIncremental);
+  o.tick_interval = std::chrono::milliseconds(1);
+  o.max_delay_ticks = 2;
+  CoordinationService svc(o);
+
+  constexpr int kThreads = 4;
+  constexpr int kPairsPerThread = 25;
+  std::atomic<int> cancelled_ok{0};
+  std::vector<std::thread> clients;
+  std::vector<std::vector<Ticket>> per_thread(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        std::string rel =
+            "T" + std::to_string(t) + "_" + std::to_string(i);
+        auto [qa, qb] = PairFor(rel, t * 1000 + i);
+        auto ta = svc.SubmitAsync(qa, /*ttl_ticks=*/1000000);
+        auto tb = svc.SubmitAsync(qb, /*ttl_ticks=*/1000000);
+        ASSERT_TRUE(ta.ok() && tb.ok());
+        per_thread[t].push_back(*ta);
+        per_thread[t].push_back(*tb);
+        // Sprinkle cancellations on a partnerless extra query.
+        if (i % 5 == 0) {
+          auto tc = svc.SubmitAsync("{X" + rel + "(A, x)} X" + rel +
+                                    "(B, x) :- F(x, Rome)");
+          ASSERT_TRUE(tc.ok());
+          if (svc.Cancel(*tc).ok()) cancelled_ok.fetch_add(1);
+          per_thread[t].push_back(*tc);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  ASSERT_TRUE(svc.Drain());
+  for (const auto& tickets : per_thread) {
+    for (const Ticket& t : tickets) {
+      ASSERT_TRUE(t.WaitFor(std::chrono::milliseconds(10000)));
+    }
+  }
+  ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.pending, 0u);
+  EXPECT_EQ(m.submitted, m.answered + m.failed + m.migrations);
+  // Every coordinating pair answered (TTL is generous; ticks only flush).
+  EXPECT_GE(m.answered, 2u * kThreads * kPairsPerThread);
+}
+
+}  // namespace
+}  // namespace eq::service
