@@ -1,8 +1,11 @@
-// Service mode: the quickstart scenario through the sharded front-end.
+// Service mode: the quickstart scenario through the sharded front-end,
+// driven by the typed client API.
 //
 // Instead of driving a CoordinationEngine directly (examples/quickstart),
-// clients submit entangled-query text to a CoordinationService: a router
-// fingerprints each query's entangled relations and hands it to one of N
+// clients open a Session over a CoordinationService and submit typed
+// eq::client::Query values in any dialect — IR text, entangled SQL, or a
+// QueryBuilder program (no parsing at all). A router fingerprints each
+// query's translated entangled-relation signature and hands it to one of N
 // shard threads, each owning a private engine + database snapshot. Clients
 // get a future-style Ticket; coordination, staleness and cancellation all
 // happen asynchronously behind it.
@@ -12,13 +15,14 @@
 #include <chrono>
 #include <cstdio>
 
-#include "service/service.h"
+#include "client/session.h"
 
 using namespace eq;
 
 int main() {
   // Each shard bootstraps an identical snapshot of the Figure 1 (a) flight
-  // database against its own private interner.
+  // database against its own private interner; the service keeps one more
+  // copy as the edge catalog for SQL translation.
   service::ServiceOptions opts;
   opts.num_shards = 4;
   opts.mode = engine::EvalMode::kIncremental;  // answer on partner arrival
@@ -40,23 +44,40 @@ int main() {
   };
   service::CoordinationService svc(opts);
 
-  std::printf("Kramer submits (and waits for a partner)...\n");
-  auto kramer = svc.SubmitAsync(
+  // A session with defaults: every query from this client carries a 500-tick
+  // TTL and prefers the highest flight number unless it says otherwise.
+  client::Session session(
+      &svc, {.default_ttl_ticks = 500,
+             .default_preference = client::PreferenceSpec::MaximizeArg(1)});
+
+  std::printf("Kramer submits IR text (and waits for a partner)...\n");
+  auto kramer = session.SubmitIr(
       "kramer: {R(Jerry, x)} R(Kramer, x) :- F(x, Paris)",
-      /*ttl_ticks=*/500,
-      [](service::TicketId id, const service::ServiceOutcome& outcome) {
+      {.callback = [](service::TicketId id,
+                      const service::ServiceOutcome& outcome) {
         std::printf("  [callback] ticket %llu resolved: %s\n",
                     (unsigned long long)id,
                     outcome.state == service::ServiceOutcome::State::kAnswered
                         ? outcome.tuples[0].c_str()
                         : outcome.status.ToString().c_str());
-      });
-  std::printf("Jerry submits (coordination fires on his shard)...\n");
-  auto jerry = svc.SubmitAsync(
-      "jerry: {R(Kramer, y)} R(Jerry, y) :- F(y, Paris), A(y, United)",
-      /*ttl_ticks=*/500);
+      }});
+
+  std::printf("Jerry submits a builder program (no parsing on its path)...\n");
+  auto jerry = session.Submit(client::QueryBuilder()
+                                  .Label("jerry")
+                                  .Postcondition("R", {client::Str("Kramer"),
+                                                       client::Var("y")})
+                                  .Head("R", {client::Str("Jerry"),
+                                              client::Var("y")})
+                                  .Body("F", {client::Var("y"),
+                                              client::Str("Paris")})
+                                  .Body("A", {client::Var("y"),
+                                              client::Str("United")})
+                                  .Build());
   if (!kramer.ok() || !jerry.ok()) {
-    std::fprintf(stderr, "submission failed\n");
+    std::fprintf(stderr, "submission failed: %s / %s\n",
+                 kramer.status().ToString().c_str(),
+                 jerry.status().ToString().c_str());
     return 1;
   }
 
@@ -68,17 +89,18 @@ int main() {
                  ko.status.ToString().c_str(), jo.status.ToString().c_str());
     return 1;
   }
-  std::printf("\nCoordinated booking:\n  Kramer -> %s\n  Jerry  -> %s\n",
+  std::printf("\nCoordinated booking (session prefers the latest flight):\n"
+              "  Kramer -> %s\n  Jerry  -> %s\n",
               ko.tuples[0].c_str(), jo.tuples[0].c_str());
 
-  // A third user books, changes their mind, and cancels.
-  auto newman = svc.SubmitAsync(
-      "newman: {R(Ghost, z)} R(Newman, z) :- F(z, Rome)");
-  if (newman.ok()) {
-    svc.Cancel(*newman);
-    newman->Wait();
+  // A third user books via a batch, changes their mind, and cancels.
+  auto batch = session.SubmitBatch(
+      {client::Query::Ir("newman: {R(Ghost, z)} R(Newman, z) :- F(z, Rome)")});
+  if (batch.size() == 1 && batch[0].ok()) {
+    session.Cancel(*batch[0]);
+    (*batch[0]).Wait();
     std::printf("\nNewman cancelled: %s\n",
-                newman->outcome().status.ToString().c_str());
+                (*batch[0]).outcome().status.ToString().c_str());
   }
 
   std::printf("\n%s", svc.Metrics().ToString().c_str());

@@ -1,0 +1,83 @@
+#ifndef EQ_CLIENT_SESSION_H_
+#define EQ_CLIENT_SESSION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/query.h"
+#include "service/service.h"
+
+namespace eq::client {
+
+/// Session-wide defaults, merged into each submission's SubmitOptions.
+struct SessionOptions {
+  /// Applied when a submission leaves ttl_ticks at 0.
+  uint64_t default_ttl_ticks = 0;
+  /// Applied when a submission carries no preference spec of its own
+  /// (preference-aware sessions: "this user always prefers the earliest
+  /// flight" becomes one line at session creation).
+  PreferenceSpec default_preference;
+};
+
+/// The client-facing facade over a CoordinationService: typed queries in
+/// any dialect, per-submission knobs, batching, and session-level defaults.
+///
+///   client::Session session(&svc, {.default_ttl_ticks = 500});
+///   auto t = session.SubmitSql(
+///       "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE ... CHOOSE 1");
+///   const auto& outcome = t->Wait();
+///
+/// A Session is a cheap handle (pointer + defaults): create one per logical
+/// client. Thread-safe to the same extent as the underlying service.
+class Session {
+ public:
+  /// `svc` must outlive the session.
+  explicit Session(service::CoordinationService* svc,
+                   SessionOptions opts = {})
+      : svc_(svc), opts_(std::move(opts)) {}
+
+  /// Submits one typed query (see CoordinationService::Submit for the
+  /// synchronous-failure contract).
+  Result<service::Ticket> Submit(Query query,
+                                 service::SubmitOptions opts = {}) {
+    return svc_->Submit(std::move(query), Merge(std::move(opts)));
+  }
+
+  /// Convenience per-dialect submission.
+  Result<service::Ticket> SubmitSql(std::string text,
+                                    service::SubmitOptions opts = {}) {
+    return Submit(Query::Sql(std::move(text)), std::move(opts));
+  }
+  Result<service::Ticket> SubmitIr(std::string text,
+                                   service::SubmitOptions opts = {}) {
+    return Submit(Query::Ir(std::move(text)), std::move(opts));
+  }
+
+  /// Submits a whole batch under one service lock acquisition; one Result
+  /// per query, in order.
+  std::vector<Result<service::Ticket>> SubmitBatch(
+      std::vector<Query> queries, service::SubmitOptions opts = {}) {
+    return svc_->SubmitBatch(std::move(queries), Merge(std::move(opts)));
+  }
+
+  /// Withdraws a pending query (see CoordinationService::Cancel).
+  Status Cancel(const service::Ticket& ticket) { return svc_->Cancel(ticket); }
+
+  service::CoordinationService& service() { return *svc_; }
+  const SessionOptions& options() const { return opts_; }
+
+ private:
+  service::SubmitOptions Merge(service::SubmitOptions opts) const {
+    if (opts.ttl_ticks == 0) opts.ttl_ticks = opts_.default_ttl_ticks;
+    if (!opts.preference.active()) opts.preference = opts_.default_preference;
+    return opts;
+  }
+
+  service::CoordinationService* svc_;
+  SessionOptions opts_;
+};
+
+}  // namespace eq::client
+
+#endif  // EQ_CLIENT_SESSION_H_

@@ -149,6 +149,14 @@ class CoordinationEngine {
   /// synchronously inside Submit/Flush/AdvanceTime.
   void SetCallback(AnswerCallback cb) { callback_ = std::move(cb); }
 
+  /// Replaces the grounding-preference function (§6). Takes effect on the
+  /// next evaluation; the service layer uses this to start ranking lazily,
+  /// once the first per-query preference spec arrives. Call from the
+  /// engine's owning thread only (not during Flush).
+  void SetPreference(PreferenceFn preference) {
+    opts_.preference = std::move(preference);
+  }
+
   const QueryOutcome& outcome(ir::QueryId q) const { return outcomes_[q]; }
   size_t pending_count() const { return pending_.size(); }
   const EngineMetrics& metrics() const { return metrics_; }

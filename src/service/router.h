@@ -42,6 +42,11 @@ class QueryRouter {
     bool merged_groups = false;
     /// The query's entangled relation names (sorted, unique).
     std::vector<std::string> relations;
+    /// Every relation whose group's shard assignment changed because of
+    /// this route (the losing groups' full relation lists). In-flight
+    /// queries keyed under these relations are exactly the stranded set —
+    /// the service migrates them without scanning all in-flight queries.
+    std::vector<std::string> moved_relations;
   };
 
   explicit QueryRouter(uint32_t num_shards);
@@ -52,8 +57,19 @@ class QueryRouter {
   static Result<std::vector<std::string>> EntangledRelationsOf(
       std::string_view text);
 
-  /// Routes one query, updating group state.
+  /// Routes one query by its raw IR text (lexical relation scan, then
+  /// RouteRelations).
   Result<RouteDecision> RouteQuery(std::string_view text);
+
+  /// Routes one query by its (already translated) entangled-relation
+  /// signature, updating group state. `relations` must be non-empty.
+  Result<RouteDecision> RouteRelations(std::vector<std::string> relations);
+
+  /// The shard RouteRelations would pick for this signature, with no state
+  /// change (pre-route admission checks reject overloaded shards before
+  /// the group merge is committed). Total: falls back to the least-loaded
+  /// shard for unseen signatures, exactly as RouteRelations would.
+  uint32_t PeekShard(const std::vector<std::string>& relations) const;
 
   /// Current shard of `rel`'s group, or kInvalidShard if never seen.
   uint32_t ShardOfRelation(const std::string& rel) const;
@@ -72,6 +88,9 @@ class QueryRouter {
   /// Indexed by DSU element; authoritative only at a set's root.
   std::vector<uint32_t> shard_of_group_;
   std::vector<uint64_t> group_size_;  // queries routed through the group
+  /// Relation names of each group, authoritative only at a set's root;
+  /// merged small-into-large on Union so a merge costs O(smaller group).
+  std::vector<std::vector<std::string>> group_rels_;
   std::vector<uint64_t> shard_load_;  // queries routed per shard
 };
 

@@ -1,13 +1,31 @@
 #include "service/service.h"
 
+#include <algorithm>
+#include <cctype>
 #include <utility>
 
+#include "sql/translator.h"
+
 namespace eq::service {
+
+namespace {
+
+bool IsBlank(const std::string& text) {
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+}  // namespace
 
 CoordinationService::CoordinationService(ServiceOptions opts)
     : opts_(std::move(opts)),
       router_(opts_.num_shards),
       started_(std::chrono::steady_clock::now()) {
+  // Edge catalog: the same snapshot every shard bootstraps, owned by the
+  // service for pre-route SQL translation and builder validation.
+  RecycleEdgeCatalogLocked();  // no contention yet: shards don't exist
+
   shards_.reserve(router_.num_shards());
   for (uint32_t s = 0; s < router_.num_shards(); ++s) {
     ShardOptions sopts;
@@ -17,6 +35,8 @@ CoordinationService::CoordinationService(ServiceOptions opts)
     sopts.mode = opts_.mode;
     sopts.enforce_safety = opts_.enforce_safety;
     sopts.worker_threads = opts_.shard_worker_threads;
+    sopts.preference = opts_.preference;
+    sopts.preference_candidates = opts_.preference_candidates;
     sopts.bootstrap = opts_.bootstrap;
     shards_.push_back(std::make_unique<ShardRunner>(
         std::move(sopts),
@@ -46,6 +66,7 @@ CoordinationService::~CoordinationService() {
     orphaned.reserve(inflight_.size());
     for (auto& [id, entry] : inflight_) orphaned.push_back(entry.ticket);
     inflight_.clear();
+    rel_tickets_.clear();
     migrating_count_ = 0;
   }
   FailTickets(std::move(orphaned),
@@ -53,51 +74,205 @@ CoordinationService::~CoordinationService() {
                                 "query resolved"));
 }
 
-Result<Ticket> CoordinationService::SubmitAsync(std::string query_text,
-                                                uint64_t ttl_ticks,
-                                                TicketCallback callback) {
-  auto route = router_.RouteQuery(query_text);
+Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
+    const client::Query& query) {
+  Prepared p;
+  p.dialect = query.dialect();
+  switch (query.dialect()) {
+    case client::Dialect::kIr: {
+      if (IsBlank(query.text())) {
+        return Status::InvalidArgument("empty query text (ir dialect)");
+      }
+      auto rels = QueryRouter::EntangledRelationsOf(query.text());
+      if (!rels.ok()) return rels.status();
+      p.text = query.text();
+      p.relations = std::move(*rels);
+      return p;
+    }
+    case client::Dialect::kSql: {
+      if (IsBlank(query.text())) {
+        return Status::InvalidArgument("empty query text (sql dialect)");
+      }
+      auto canonical = CanonicalizeSql(query.text());
+      if (!canonical.ok()) return canonical.status();
+      p.relations = canonical->EntangledRelations();
+      // Initial submission ships the SQL text (the owning shard translates
+      // it against its own catalog view); the canonical program is kept for
+      // migration re-submission.
+      p.text = query.text();
+      p.program = std::make_shared<const client::PortableQuery>(
+          std::move(*canonical));
+      return p;
+    }
+    case client::Dialect::kBuilder: {
+      if (!query.program()) {
+        return Status::InvalidArgument("builder query carries no program");
+      }
+      {
+        // Validate eagerly against the edge catalog so malformed programs
+        // fail synchronously instead of on the shard.
+        std::lock_guard<std::mutex> lock(edge_mu_);
+        auto validated = query.program()->Instantiate(edge_ctx_.get());
+        if (++edge_uses_ >= kEdgeCatalogRecycleUses) {
+          RecycleEdgeCatalogLocked();
+        }
+        if (!validated.ok()) return validated.status();
+      }
+      p.program = query.program();
+      p.relations = p.program->EntangledRelations();
+      if (p.relations.empty()) {
+        return Status::InvalidArgument(
+            "builder query has no entangled atoms to route on");
+      }
+      return p;
+    }
+  }
+  return Status::InvalidArgument("unknown query dialect");
+}
+
+Result<client::PortableQuery> CoordinationService::CanonicalizeSql(
+    const std::string& text) {
+  std::lock_guard<std::mutex> lock(edge_mu_);
+  sql::Translator translator(edge_ctx_.get(), edge_db_.get());
+  auto q = translator.TranslateSql(text);
+  if (!q.ok()) {
+    if (++edge_uses_ >= kEdgeCatalogRecycleUses) RecycleEdgeCatalogLocked();
+    return q.status();
+  }
+  auto canonical = client::FromIr(*q, *edge_ctx_);
+  if (++edge_uses_ >= kEdgeCatalogRecycleUses) RecycleEdgeCatalogLocked();
+  return canonical;
+}
+
+void CoordinationService::RecycleEdgeCatalogLocked() {
+  edge_ctx_ = std::make_unique<ir::QueryContext>();
+  edge_db_ = std::make_unique<db::Database>(&edge_ctx_->interner());
+  if (opts_.bootstrap) opts_.bootstrap(edge_ctx_.get(), edge_db_.get());
+  edge_uses_ = 0;
+}
+
+Result<Ticket> CoordinationService::SubmitPreparedLocked(
+    Prepared p, const SubmitOptions& opts, std::vector<Ticket>* dropped) {
+  if (opts_.max_queue_depth != 0) {
+    // The single admission point, BEFORE routing commits: a rejected
+    // submission must not merge groups, migrate stranded partners onto a
+    // saturated shard, or skew the router's load accounting. All routing
+    // mutations happen under submit_mu_ (held here), so the peeked shard
+    // is the one RouteRelations would pick; once the check passes, the
+    // enqueue below is unconditional (control ops pushed concurrently may
+    // transiently exceed the bound — the depth limit is an admission
+    // threshold, not a hard queue capacity).
+    uint32_t target = router_.PeekShard(p.relations);
+    if (shards_[target]->queue_depth() >= opts_.max_queue_depth) {
+      return Status::ResourceExhausted(
+          "shard " + std::to_string(target) +
+          " is overloaded: op queue at max_queue_depth=" +
+          std::to_string(opts_.max_queue_depth));
+    }
+  }
+
+  auto route = router_.RouteRelations(std::move(p.relations));
   if (!route.ok()) return route.status();
 
   auto state = std::make_shared<Ticket::SharedState>();
   state->id = next_ticket_.fetch_add(1, std::memory_order_relaxed);
-  state->callback = std::move(callback);
+  state->callback = opts.callback;
   Ticket ticket(std::move(state));
 
+  ShardRunner::Op op;
+  op.kind = ShardRunner::Op::Kind::kSubmit;
+  op.ticket = ticket.id();
+  op.dialect = p.dialect;
+  op.preference = opts.preference;
+  op.ttl_ticks = opts.ttl_ticks;
+
+  Inflight entry;
+  entry.shard = route->shard;
+  entry.deadline_tick =
+      opts.ttl_ticks == 0 ? 0 : now_ticks() + opts.ttl_ticks;
+  entry.dialect = p.dialect;
+  // Payloads: builder programs ship as-is (the shard instantiates, no
+  // parsing); SQL ships as text for the shard's own translator, while the
+  // canonical program alone is kept for migration; IR text is both the
+  // initial payload and the canonical form.
+  if (p.dialect == client::Dialect::kBuilder) op.program = p.program;
+  if (p.dialect == client::Dialect::kIr) {
+    op.text = p.text;
+    entry.text = std::move(p.text);
+  } else {
+    op.text = std::move(p.text);
+  }
+  entry.program = std::move(p.program);
+  entry.preference = opts.preference;
+  entry.relations = std::move(route->relations);
+  entry.ticket = ticket;
+  const std::string& primary = entry.relations.front();
+  rel_tickets_[primary].insert(ticket.id());
+  inflight_.emplace(ticket.id(), std::move(entry));
+
+  if (!route->moved_relations.empty()) {
+    MigrateRelationsLocked(route->moved_relations, dropped);
+  }
+
+  if (!shards_[route->shard]->Enqueue(std::move(op))) {
+    EraseInflightLocked(inflight_.find(ticket.id()));
+    return Status::Cancelled("service is shutting down");
+  }
+  return ticket;
+}
+
+Result<Ticket> CoordinationService::Submit(client::Query query,
+                                           SubmitOptions opts) {
+  auto prepared = PrepareQuery(query);
+  if (!prepared.ok()) return prepared.status();
+
+  std::vector<Ticket> dropped;
+  Result<Ticket> out = Status::Internal("unreachable");
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    out = SubmitPreparedLocked(std::move(*prepared), opts, &dropped);
+  }
+  FailTickets(std::move(dropped),
+              Status::Cancelled("service is shutting down"));
+  return out;
+}
+
+std::vector<Result<Ticket>> CoordinationService::SubmitBatch(
+    std::vector<client::Query> queries, SubmitOptions opts) {
+  // Phase 1, outside the submit lock: dialect normalization (SQL
+  // translation, builder validation, relation extraction) for the whole
+  // batch. SQL/builder preparation still serializes on edge_mu_.
+  std::vector<Result<Prepared>> prepared;
+  prepared.reserve(queries.size());
+  for (const client::Query& q : queries) prepared.push_back(PrepareQuery(q));
+
+  // Phase 2: route→record→enqueue everything under one submit_mu_
+  // acquisition, with a single stranded-group sweep per merge.
+  std::vector<Result<Ticket>> out;
+  out.reserve(prepared.size());
   std::vector<Ticket> dropped;
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    // Re-read the group's shard under the lock: a concurrent group-merging
-    // submit may have moved it between RouteQuery and here, and its
-    // migration sweep (also under submit_mu_) cannot see this query until
-    // the inflight entry exists. Either our read observes the merge, or the
-    // sweep observes our entry — both keep partners colocated.
-    uint32_t shard = router_.ShardOfRelation(route->relations.front());
-    if (shard == kInvalidShard) shard = route->shard;
-
-    Inflight entry;
-    entry.shard = shard;
-    entry.deadline_tick = ttl_ticks == 0 ? 0 : now_ticks() + ttl_ticks;
-    entry.text = query_text;
-    entry.relations = std::move(route->relations);
-    entry.ticket = ticket;
-    inflight_.emplace(ticket.id(), std::move(entry));
-
-    if (route->merged_groups) MigrateStrandedLocked(&dropped);
-
-    ShardRunner::Op op;
-    op.kind = ShardRunner::Op::Kind::kSubmit;
-    op.ticket = ticket.id();
-    op.text = std::move(query_text);
-    op.ttl_ticks = ttl_ticks;
-    if (!shards_[shard]->Enqueue(std::move(op))) {
-      inflight_.erase(ticket.id());
-      return Status::Cancelled("service is shutting down");
+    for (Result<Prepared>& p : prepared) {
+      if (!p.ok()) {
+        out.push_back(p.status());
+        continue;
+      }
+      out.push_back(SubmitPreparedLocked(std::move(*p), opts, &dropped));
     }
   }
   FailTickets(std::move(dropped),
               Status::Cancelled("service is shutting down"));
-  return ticket;
+  return out;
+}
+
+Result<Ticket> CoordinationService::SubmitAsync(std::string query_text,
+                                                uint64_t ttl_ticks,
+                                                TicketCallback callback) {
+  SubmitOptions opts;
+  opts.ttl_ticks = ttl_ticks;
+  opts.callback = std::move(callback);
+  return Submit(client::Query::Ir(std::move(query_text)), std::move(opts));
 }
 
 Status CoordinationService::Cancel(const Ticket& ticket) {
@@ -128,7 +303,7 @@ Status CoordinationService::Cancel(const Ticket& ticket) {
     // Shard already stopped (service shutting down): resolve here so the
     // caller's Wait() cannot hang on a dropped op.
     dropped = it->second.ticket;
-    inflight_.erase(it);
+    EraseInflightLocked(it);
   }
   ServiceOutcome outcome;
   outcome.state = ServiceOutcome::State::kFailed;
@@ -224,7 +399,16 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         ShardRunner::Op op;
         op.kind = ShardRunner::Op::Kind::kSubmit;
         op.ticket = ev.ticket;
-        op.text = entry.text;
+        // Re-submit the canonical form regardless of the input dialect:
+        // IR text as-is, SQL and builder programs as the canonical
+        // portable program (the winning shard never re-translates SQL).
+        op.dialect = entry.dialect;
+        if (entry.program) {
+          op.program = entry.program;
+        } else {
+          op.text = entry.text;
+        }
+        op.preference = entry.preference;
         op.ttl_ticks = remaining;
         op.migrated_in = true;
         op.submitted_at = ev.submitted_at;
@@ -233,7 +417,7 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         // through and resolve the ticket rather than leaving it pending.
       }
       resolved = entry.ticket;
-      inflight_.erase(it);
+      EraseInflightLocked(it);
     }
     ServiceOutcome outcome;
     outcome.state = ServiceOutcome::State::kFailed;
@@ -258,37 +442,50 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
       migration_cv_.notify_all();
     }
     ticket = it->second.ticket;
-    inflight_.erase(it);
+    EraseInflightLocked(it);
   }
   CompleteTicket(ticket, std::move(ev.outcome));
 }
 
-void CoordinationService::MigrateStrandedLocked(std::vector<Ticket>* dropped) {
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    Inflight& entry = it->second;
-    if (entry.migrating) {
-      ++it;
-      continue;
-    }
-    uint32_t current = router_.ShardOfRelation(entry.relations.front());
-    if (current == kInvalidShard || current == entry.shard) {
-      ++it;
-      continue;
-    }
-    ShardRunner::Op op;
-    op.kind = ShardRunner::Op::Kind::kMigrate;
-    op.ticket = it->first;
-    if (shards_[entry.shard]->Enqueue(std::move(op))) {
-      entry.migrating = true;
-      ++migrating_count_;
-      ++it;
-    } else {
-      // Old shard already stopped (shutdown): no extraction event will ever
-      // come, so resolve the ticket here instead of leaking it.
-      dropped->push_back(entry.ticket);
-      it = inflight_.erase(it);
+void CoordinationService::MigrateRelationsLocked(
+    const std::vector<std::string>& rels, std::vector<Ticket>* dropped) {
+  for (const std::string& rel : rels) {
+    auto rit = rel_tickets_.find(rel);
+    if (rit == rel_tickets_.end()) continue;
+    // Copy the ids: a failed enqueue erases from the set being walked.
+    std::vector<TicketId> ids(rit->second.begin(), rit->second.end());
+    for (TicketId id : ids) {
+      auto it = inflight_.find(id);
+      if (it == inflight_.end()) continue;
+      Inflight& entry = it->second;
+      if (entry.migrating) continue;
+      uint32_t current = router_.ShardOfRelation(entry.relations.front());
+      if (current == kInvalidShard || current == entry.shard) continue;
+      ShardRunner::Op op;
+      op.kind = ShardRunner::Op::Kind::kMigrate;
+      op.ticket = id;
+      if (shards_[entry.shard]->Enqueue(std::move(op))) {
+        entry.migrating = true;
+        ++migrating_count_;
+      } else {
+        // Old shard already stopped (shutdown): no extraction event will
+        // ever come, so resolve the ticket here instead of leaking it.
+        dropped->push_back(entry.ticket);
+        EraseInflightLocked(it);
+      }
     }
   }
+}
+
+std::unordered_map<TicketId, CoordinationService::Inflight>::iterator
+CoordinationService::EraseInflightLocked(
+    std::unordered_map<TicketId, Inflight>::iterator it) {
+  auto rit = rel_tickets_.find(it->second.relations.front());
+  if (rit != rel_tickets_.end()) {
+    rit->second.erase(it->first);
+    if (rit->second.empty()) rel_tickets_.erase(rit);
+  }
+  return inflight_.erase(it);
 }
 
 void CoordinationService::FailTickets(std::vector<Ticket> tickets,

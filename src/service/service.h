@@ -10,8 +10,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "client/query.h"
 #include "service/metrics.h"
 #include "service/router.h"
 #include "service/shard.h"
@@ -41,8 +43,39 @@ struct ServiceOptions {
   /// Intra-shard partition-evaluation threads (0 = sequential flush).
   size_t shard_worker_threads = 0;
 
-  /// Builds each shard's private database snapshot (required).
+  /// Service-wide grounding preference (§6 ranking extension), threaded
+  /// into every shard engine's EngineOptions. QueryIds passed to the
+  /// function are shard-local; service clients typically score on the
+  /// tuples alone, or use per-query SubmitOptions::preference instead.
+  engine::PreferenceFn preference;
+  /// How many coordinated outcomes each shard enumerates when ranking.
+  size_t preference_candidates = 16;
+
+  /// Admission control: a fresh client submission is rejected
+  /// synchronously with kResourceExhausted when its target shard's op
+  /// queue already holds this many ops, before any routing state is
+  /// committed. 0 = unlimited. An admission threshold, not a hard queue
+  /// capacity: control traffic (ticks, flushes, cancellations) and
+  /// in-flight migrations always pass and may transiently exceed it.
+  size_t max_queue_depth = 0;
+
+  /// Builds each shard's private database snapshot (required). Also run
+  /// once at service construction to build the *edge catalog* — the
+  /// service-side schema snapshot that entangled SQL is translated against
+  /// before routing.
   SnapshotBootstrap bootstrap;
+};
+
+/// Per-submission knobs for CoordinationService::Submit / SubmitBatch.
+struct SubmitOptions {
+  /// Logical-tick TTL; 0 = never stale.
+  uint64_t ttl_ticks = 0;
+  /// Fires exactly once on the owning shard's thread when the query
+  /// resolves.
+  TicketCallback callback;
+  /// Per-query grounding preference (§6), summed across a coordination
+  /// partition with ServiceOptions::preference.
+  client::PreferenceSpec preference;
 };
 
 /// Thread-safe, sharded front-end to N CoordinationEngines — the paper's
@@ -50,14 +83,17 @@ struct ServiceOptions {
 /// stream on entangled-relation signatures, so the per-partition
 /// independence result (§4.1.2) becomes cross-engine parallelism.
 ///
-/// Life cycle of a query: SubmitAsync routes the IR text to its shard and
-/// returns a Ticket immediately; the shard thread parses, runs the engine,
-/// and resolves the ticket (callback + future) when coordination succeeds,
-/// fails, expires, or is cancelled. If a later query entangles two
-/// previously independent relation groups, the service transparently
-/// migrates the stranded minority group between shards — the colocation
-/// invariant (potential partners share a shard) holds at every quiescent
-/// point.
+/// Life cycle of a query: Submit normalizes the typed client::Query
+/// (translating SQL against the edge catalog, validating builder
+/// programs), routes it by its translated entangled-relation signature and
+/// returns a Ticket immediately; the shard thread realizes the query
+/// against its private context (parse IR / translate SQL / instantiate a
+/// program), runs the engine, and resolves the ticket (callback + future)
+/// when coordination succeeds, fails, expires, or is cancelled. If a later
+/// query entangles two previously independent relation groups, the service
+/// transparently migrates the stranded minority group between shards,
+/// re-submitting each query's canonical form — the colocation invariant
+/// (potential partners share a shard) holds at every quiescent point.
 class CoordinationService {
  public:
   explicit CoordinationService(ServiceOptions opts);
@@ -66,10 +102,25 @@ class CoordinationService {
   CoordinationService(const CoordinationService&) = delete;
   CoordinationService& operator=(const CoordinationService&) = delete;
 
-  /// Submits one query (IR text form, see ir::Parser). `ttl_ticks` = 0
-  /// means never stale. `callback`, if set, fires exactly once on the
-  /// owning shard's thread. Fails synchronously only on unroutable text;
-  /// parse/validation errors resolve the ticket asynchronously.
+  /// Submits one typed query in any dialect.
+  ///
+  /// Synchronous failures: empty/unroutable text (kInvalidArgument), SQL
+  /// parse/translation errors against the edge catalog, malformed builder
+  /// programs, and admission-control rejection (kResourceExhausted). IR
+  /// text is only routed here; its full parse happens on the owning shard,
+  /// so IR parse errors still resolve the ticket asynchronously.
+  Result<Ticket> Submit(client::Query query, SubmitOptions opts = {});
+
+  /// Submits a whole batch under one acquisition of the submit lock:
+  /// every query is routed, recorded and enqueued before any shard sees a
+  /// flush boundary between them, and the per-submission locking cost is
+  /// paid once. Returns one Result per query, in order (`opts` applies to
+  /// each).
+  std::vector<Result<Ticket>> SubmitBatch(std::vector<client::Query> queries,
+                                          SubmitOptions opts = {});
+
+  /// Back-compat shim for the original IR-text API: equivalent to
+  /// Submit(client::Query::Ir(query_text), {ttl_ticks, callback, {}}).
   Result<Ticket> SubmitAsync(std::string query_text, uint64_t ttl_ticks = 0,
                              TicketCallback callback = nullptr);
 
@@ -110,17 +161,50 @@ class CoordinationService {
     /// Cancel() arrived while the query was mid-migration; honoured when the
     /// extraction lands instead of being re-submitted.
     bool cancel_requested = false;
-    std::string text;            ///< original IR text, kept for migration
+    client::Dialect dialect = client::Dialect::kIr;
+    /// Canonical form for migration re-submission: IR text for the kIr
+    /// dialect, the canonical portable program otherwise.
+    std::string text;
+    std::shared_ptr<const client::PortableQuery> program;
+    client::PreferenceSpec preference;
     std::vector<std::string> relations;
     Ticket ticket;
   };
 
+  /// A dialect-normalized query, ready to route: the canonical payloads
+  /// plus the translated entangled-relation fingerprint.
+  struct Prepared {
+    client::Dialect dialect = client::Dialect::kIr;
+    std::string text;
+    std::shared_ptr<const client::PortableQuery> program;
+    std::vector<std::string> relations;
+  };
+
+  /// Normalizes one query: blank-text rejection, SQL translation against
+  /// the edge catalog, builder-program validation, relation extraction.
+  /// Takes edge_mu_ for SQL/builder dialects; never takes submit_mu_.
+  Result<Prepared> PrepareQuery(const client::Query& query);
+  /// Translates entangled SQL against the edge catalog into the canonical
+  /// portable form.
+  Result<client::PortableQuery> CanonicalizeSql(const std::string& text);
+  /// Routes, records and enqueues one prepared query. Caller holds
+  /// submit_mu_.
+  Result<Ticket> SubmitPreparedLocked(Prepared p, const SubmitOptions& opts,
+                                      std::vector<Ticket>* dropped);
+
   void OnShardEvent(ShardRunner::Event ev);
-  /// After a group merge: extract every in-flight ticket now routed away
-  /// from its recorded shard. Caller holds submit_mu_. Tickets whose shard
-  /// already stopped are erased and appended to `dropped` for the caller to
-  /// fail once the lock is released.
-  void MigrateStrandedLocked(std::vector<Ticket>* dropped);
+  /// After a group merge: extract the in-flight tickets keyed under
+  /// `rels` (the relations whose group assignment just changed) that are
+  /// now routed away from their recorded shard — O(stranded group), not
+  /// O(all in-flight). Caller holds submit_mu_. Tickets whose shard
+  /// already stopped are erased and appended to `dropped` for the caller
+  /// to fail once the lock is released.
+  void MigrateRelationsLocked(const std::vector<std::string>& rels,
+                              std::vector<Ticket>* dropped);
+  /// Erases one in-flight entry and its relation-index slot; returns the
+  /// next iterator. Caller holds submit_mu_.
+  std::unordered_map<TicketId, Inflight>::iterator EraseInflightLocked(
+      std::unordered_map<TicketId, Inflight>::iterator it);
   void CompleteTicket(const Ticket& ticket, ServiceOutcome outcome);
   /// Completes each ticket as kFailed with `status` (no locks held).
   void FailTickets(std::vector<Ticket> tickets, const Status& status);
@@ -130,10 +214,31 @@ class CoordinationService {
   QueryRouter router_;
   std::vector<std::unique_ptr<ShardRunner>> shards_;
 
+  /// Rebuilds the edge catalog from the bootstrap. Caller holds edge_mu_.
+  void RecycleEdgeCatalogLocked();
+
+  /// Edge catalog: the service-side schema snapshot (same bootstrap as the
+  /// shards) that SQL is translated against and builder programs are
+  /// validated against, before routing. Guarded by edge_mu_, which
+  /// serializes the prepare phase across client threads (a per-thread
+  /// context pool is an open item). The context accumulates interned
+  /// symbols and fresh variables, so it is recycled every
+  /// kEdgeCatalogRecycleUses uses to bound memory over a long-lived
+  /// service.
+  static constexpr size_t kEdgeCatalogRecycleUses = 4096;
+  std::mutex edge_mu_;
+  std::unique_ptr<ir::QueryContext> edge_ctx_;
+  std::unique_ptr<db::Database> edge_db_;
+  size_t edge_uses_ = 0;
+
   /// Serializes route→record→enqueue so a shard's op queue always sees a
   /// ticket's Submit before any Migrate that targets it.
   mutable std::mutex submit_mu_;
   std::unordered_map<TicketId, Inflight> inflight_;
+  /// Relation-group index: primary entangled relation → in-flight tickets,
+  /// maintained on submit/complete/migrate-drop. A group merge migrates
+  /// exactly the tickets under the moved relations.
+  std::unordered_map<std::string, std::unordered_set<TicketId>> rel_tickets_;
   /// Tickets with a kMigrate op issued but not yet re-submitted; Drain waits
   /// for this to reach zero before flushing, so a batch flush cannot fail a
   /// query whose coordination partner is mid-migration.

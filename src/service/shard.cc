@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ir/parser.h"
+#include "sql/translator.h"
 
 namespace eq::service {
 
@@ -30,12 +31,17 @@ void ShardRunner::Run() {
   eopts.mode = opts_.mode;
   eopts.enforce_safety = opts_.enforce_safety;
   eopts.worker_threads = opts_.worker_threads;
+  eopts.preference_candidates = opts_.preference_candidates;
   engine_ = std::make_unique<engine::CoordinationEngine>(ctx_.get(), db_.get(),
                                                          eopts);
   engine_->SetCallback(
       [this](ir::QueryId q, const engine::QueryOutcome& outcome) {
         OnEngineResolve(q, outcome);
       });
+  // A service-wide preference ranks from the first query on; per-query
+  // specs otherwise install the composite lazily, so preference-free
+  // workloads keep the paper-core first-outcome fast path.
+  if (opts_.preference) EnsurePreferenceInstalled();
 
   std::vector<Op> ops;
   while (queue_.DrainWait(&ops) > 0) {
@@ -98,10 +104,11 @@ void ShardRunner::HandleSubmit(Op& op) {
     stats_.migrated_in.fetch_add(1, std::memory_order_relaxed);
   }
 
-  ir::Parser parser(ctx_.get());
-  auto parsed = parser.ParseQuery(op.text);
+  auto parsed = RealizeQuery(op);
   if (!parsed.ok()) {
-    stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    if (parsed.status().code() == StatusCode::kParseError) {
+      stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    }
     stats_.failed.fetch_add(1, std::memory_order_relaxed);
     Event ev;
     ev.kind = Event::Kind::kResolved;
@@ -110,6 +117,17 @@ void ShardRunner::HandleSubmit(Op& op) {
     ev.outcome.status = parsed.status();
     event_fn_(std::move(ev));
     return;
+  }
+
+  // The engine hands out dense sequential ids and consumes one only on a
+  // successful Submit, so the next id is known here — which lets the
+  // per-query preference spec be visible to the preference function even
+  // when coordination fires inside Submit (incremental mode).
+  ir::QueryId predicted =
+      static_cast<ir::QueryId>(engine_->queries().queries.size());
+  if (op.preference.active()) {
+    EnsurePreferenceInstalled();
+    pref_of_qid_[predicted] = op.preference;
   }
 
   // Engine callbacks may fire inside Submit (safety rejection, incremental
@@ -121,6 +139,7 @@ void ShardRunner::HandleSubmit(Op& op) {
   current_submit_active_ = false;
 
   if (!id.ok()) {
+    pref_of_qid_.erase(predicted);
     stats_.failed.fetch_add(1, std::memory_order_relaxed);
     Event ev;
     ev.kind = Event::Kind::kResolved;
@@ -134,7 +153,31 @@ void ShardRunner::HandleSubmit(Op& op) {
   if (engine_->outcome(*id).state == engine::QueryOutcome::State::kPending) {
     inflight_[*id] = info;
     qid_of_ticket_[info.ticket] = *id;
+  } else {
+    pref_of_qid_.erase(*id);  // resolved inside Submit
   }
+}
+
+Result<ir::EntangledQuery> ShardRunner::RealizeQuery(const Op& op) {
+  if (op.program) return op.program->Instantiate(ctx_.get());
+  if (op.dialect == client::Dialect::kSql) {
+    sql::Translator translator(ctx_.get(), db_.get());
+    return translator.TranslateSql(op.text);
+  }
+  ir::Parser parser(ctx_.get());
+  return parser.ParseQuery(op.text);
+}
+
+void ShardRunner::EnsurePreferenceInstalled() {
+  if (preference_installed_) return;
+  preference_installed_ = true;
+  engine_->SetPreference(
+      [this](ir::QueryId q, const std::vector<ir::GroundAtom>& tuples) {
+        double score = opts_.preference ? opts_.preference(q, tuples) : 0.0;
+        auto it = pref_of_qid_.find(q);
+        if (it != pref_of_qid_.end()) score += it->second.Score(tuples);
+        return score;
+      });
 }
 
 ir::QueryId ShardRunner::QueryOfTicket(TicketId ticket) const {
@@ -166,6 +209,7 @@ void ShardRunner::OnEngineResolve(ir::QueryId q,
     info = it->second;
     inflight_.erase(it);
     qid_of_ticket_.erase(info.ticket);
+    pref_of_qid_.erase(q);
   } else if (current_submit_active_) {
     info = current_submit_;
   } else {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "client/query.h"
 #include "db/database.h"
 #include "engine/engine.h"
 #include "ir/query.h"
@@ -42,6 +43,11 @@ struct ShardOptions {
   /// Intra-shard partition-evaluation threads (engine Flush parallelism).
   size_t worker_threads = 0;
 
+  /// Service-wide grounding preference (§6), threaded into the shard
+  /// engine's EngineOptions; summed with per-query PreferenceSpecs.
+  engine::PreferenceFn preference;
+  size_t preference_candidates = 16;
+
   SnapshotBootstrap bootstrap;
 };
 
@@ -62,7 +68,16 @@ class ShardRunner {
     };
     Kind kind = Kind::kSubmit;
     TicketId ticket = 0;
+    /// kSubmit payload: either `program` (canonical portable form — builder
+    /// submissions and all migration re-submissions) or `text` interpreted
+    /// per `dialect` (kIr: parsed by ir::Parser; kSql: translated by the
+    /// shard's own sql::Translator against its private catalog).
+    client::Dialect dialect = client::Dialect::kIr;
     std::string text;
+    std::shared_ptr<const client::PortableQuery> program;
+    /// Per-query grounding preference (kSubmit), summed with the
+    /// service-wide preference function.
+    client::PreferenceSpec preference;
     uint64_t ttl_ticks = 0;
     bool migrated_in = false;  ///< kSubmit caused by a migration
     /// For migrated_in: when the query was first submitted on the losing
@@ -102,6 +117,8 @@ class ShardRunner {
 
   const ShardStats& stats() const { return stats_; }
   uint32_t shard_id() const { return opts_.shard_id; }
+  /// Current op-queue depth (any thread; admission pre-check).
+  size_t queue_depth() const { return queue_.size(); }
 
  private:
   struct TicketInfo {
@@ -112,6 +129,13 @@ class ShardRunner {
   void Run();
   void Dispatch(Op& op);
   void HandleSubmit(Op& op);
+  /// Builds the ir::EntangledQuery for a submit op against this shard's
+  /// private context: instantiate the portable program, translate SQL, or
+  /// parse IR text.
+  Result<ir::EntangledQuery> RealizeQuery(const Op& op);
+  /// Installs the composite engine preference (service-wide fn + per-query
+  /// specs) the first time it is needed.
+  void EnsurePreferenceInstalled();
   /// Engine query id for a still-inflight ticket, or kInvalidQuery.
   ir::QueryId QueryOfTicket(TicketId ticket) const;
   void MaybeFlush(bool force);
@@ -129,6 +153,12 @@ class ShardRunner {
   std::unique_ptr<engine::CoordinationEngine> engine_;
   std::unordered_map<ir::QueryId, TicketInfo> inflight_;
   std::unordered_map<TicketId, ir::QueryId> qid_of_ticket_;
+  /// Active per-query preference specs. Written only between ops on the
+  /// shard thread; read (possibly from the engine's Flush worker pool,
+  /// which runs while the shard thread is blocked in Flush) never
+  /// concurrently with writes.
+  std::unordered_map<ir::QueryId, client::PreferenceSpec> pref_of_qid_;
+  bool preference_installed_ = false;
   /// Ticket of the Submit currently executing (engine callbacks can fire
   /// inside Submit, before the id↔ticket mapping exists).
   TicketInfo current_submit_;

@@ -1,5 +1,6 @@
 #include "sql/translator.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "sql/parser.h"
@@ -81,7 +82,7 @@ class Translation {
       f.lhs = Rewrite(f.lhs);
       f.rhs = Rewrite(f.rhs);
     }
-    return Status::OK();
+    return CheckTypes(*out);
   }
 
  private:
@@ -273,6 +274,68 @@ class Translation {
     }
     body_filters_.push_back(ir::Filter{lhs, cmp.op, rhs});
     return Status::OK();
+  }
+
+  /// Type-checks literals against column types after constant folding:
+  /// every constant sitting in a body-atom argument must match the column's
+  /// declared type (body atoms map positionally to table columns — one atom
+  /// per FROM entry), and scalar comparisons must compare like types.
+  Status CheckTypes(const EntangledQuery& out) const {
+    std::unordered_map<VarId, ir::ValueType> var_types;
+    for (size_t i = 0; i < out.body.size() && i < instances_.size(); ++i) {
+      const auto& cols = instances_[i].table->schema().columns;
+      const Atom& atom = out.body[i];
+      for (size_t j = 0; j < atom.args.size() && j < cols.size(); ++j) {
+        const Term& t = atom.args[j];
+        if (t.is_var()) {
+          // An equality may have unified columns of different tables into
+          // one variable; they must agree on type.
+          auto [it, inserted] = var_types.emplace(t.var(), cols[j].type);
+          if (!inserted && it->second != cols[j].type) {
+            return Status::InvalidArgument(
+                "type mismatch: column '" + instances_[i].alias + "." +
+                cols[j].name + "' (" + TypeName(cols[j].type) +
+                ") is equated with a " + TypeName(it->second) + " column");
+          }
+          continue;
+        }
+        if (t.value().type() != cols[j].type) {
+          return Status::InvalidArgument(
+              "type mismatch: column '" + instances_[i].alias + "." +
+              cols[j].name + "' is " + TypeName(cols[j].type) +
+              " but the query compares it with a " +
+              TypeName(t.value().type()) + " literal");
+        }
+      }
+    }
+    auto type_of = [&](const Term& t) -> std::optional<ir::ValueType> {
+      if (t.is_const()) return t.value().type();
+      auto it = var_types.find(t.var());
+      if (it == var_types.end()) return std::nullopt;
+      return it->second;
+    };
+    for (const ir::Filter& f : out.filters) {
+      auto lt = type_of(f.lhs);
+      auto rt = type_of(f.rhs);
+      if (lt && rt && *lt != *rt) {
+        return Status::InvalidArgument(
+            "type mismatch: comparison '" + std::string(CompareOpName(f.op)) +
+            "' between " + TypeName(*lt) + " and " + TypeName(*rt));
+      }
+    }
+    return Status::OK();
+  }
+
+  static const char* TypeName(ir::ValueType t) {
+    switch (t) {
+      case ir::ValueType::kInt:
+        return "INT";
+      case ir::ValueType::kString:
+        return "STRING";
+      case ir::ValueType::kNull:
+        break;
+    }
+    return "NULL";
   }
 
   ir::QueryContext* ctx_;

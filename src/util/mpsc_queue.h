@@ -14,7 +14,9 @@ namespace eq {
 /// client threads (and the staleness ticker) push operations concurrently.
 /// The consumer drains in batches — one lock acquisition hands over every
 /// queued item, which is what makes the shard runner's batched flush cheap
-/// under load.
+/// under load. Admission control lives above this queue (the service
+/// checks size() before routing a fresh submission), so control traffic
+/// (ticks, flush barriers, migrations, cancellations) is never dropped.
 template <typename T>
 class MpscQueue {
  public:

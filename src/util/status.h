@@ -21,6 +21,7 @@ enum class StatusCode {
   kParseError,       ///< SQL / IR text could not be parsed
   kTimeout,          ///< query became stale before coordination (paper §5.1)
   kCancelled,        ///< query was withdrawn by its submitter / the service
+  kResourceExhausted,  ///< admission control rejected the request (queue full)
   kInternal,         ///< invariant violation; indicates a bug
 };
 
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -75,6 +75,12 @@ TEST(QueryRouterTest, ExtractionIgnoresQuotedText) {
       "{R('weird :- Rel(', x)} R(Kramer, x) :- F(x, 'dest (odd)')");
   ASSERT_TRUE(rels.ok());
   EXPECT_EQ(*rels, (std::vector<std::string>{"R"}));
+  // Double-quoted literals (also accepted by ir::Parser, and emitted by
+  // PortableQuery::ToIrText for payloads containing a single quote).
+  auto rels2 = QueryRouter::EntangledRelationsOf(
+      "{R(\"it's :- Odd(\", x)} R(Kramer, x) :- F(x, \"y'know\")");
+  ASSERT_TRUE(rels2.ok());
+  EXPECT_EQ(*rels2, (std::vector<std::string>{"R"}));
 }
 
 TEST(QueryRouterTest, RejectsTextWithoutEntangledAtoms) {
@@ -104,6 +110,39 @@ TEST(QueryRouterTest, DisjointGroupsBalanceAcrossShards) {
   }
   // 16 independent groups over 4 shards, least-loaded placement: all used.
   EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(QueryRouterTest, MergeReportsMovedRelations) {
+  QueryRouter router(2);
+  // Two groups pinned to distinct shards (least-loaded placement).
+  auto a = router.RouteQuery("{Ra(J, x)} Ra(K, x) :- F(x, Paris)");
+  auto b = router.RouteQuery("{Rb(J, y), Rc(E, y)} Rb(K, y) :- F(y, Paris)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_NE(a->shard, b->shard);
+  EXPECT_TRUE(a->moved_relations.empty());
+  EXPECT_TRUE(b->moved_relations.empty());
+  // Grow group Ra so it wins the merge.
+  ASSERT_TRUE(router.RouteQuery("{Ra(K, z)} Ra(J, z) :- F(z, Paris)").ok());
+  // Bridge: the Rb/Rc group loses and every one of its relations moves.
+  auto bridge =
+      router.RouteQuery("{Ra(J, w), Rb(K, w)} Ra(K, w) :- F(w, Paris)");
+  ASSERT_TRUE(bridge.ok());
+  EXPECT_TRUE(bridge->merged_groups);
+  EXPECT_EQ(bridge->shard, a->shard);
+  std::vector<std::string> moved = bridge->moved_relations;
+  std::sort(moved.begin(), moved.end());
+  EXPECT_EQ(moved, (std::vector<std::string>{"Rb", "Rc"}));
+  EXPECT_EQ(router.ShardOfRelation("Rc"), a->shard);
+}
+
+TEST(QueryRouterTest, RouteRelationsMatchesRouteQuery) {
+  QueryRouter by_text(4), by_rels(4);
+  auto a = by_text.RouteQuery("{R(J, x), Gift(E, g)} R(K, x) :- F(x, P)");
+  auto b = by_rels.RouteRelations({"Gift", "R"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->shard, b->shard);
+  EXPECT_EQ(a->relations, b->relations);
+  EXPECT_FALSE(by_rels.RouteRelations({}).ok());
 }
 
 /// Property test: any two queries sharing an entangled relation are routed

@@ -260,6 +260,63 @@ TEST_F(TranslatorTest, AmbiguousColumnRequiresQualifier) {
   EXPECT_NE(q.status().message().find("ambiguous"), std::string::npos);
 }
 
+TEST_F(TranslatorTest, TypeMismatchLiteralInWhereRejected) {
+  Translator tr(&ctx_, db_.get());
+  // dest is a STRING column; 42 is an INT literal.
+  auto q = tr.TranslateSql(
+      "SELECT x INTO ANSWER R "
+      "WHERE x IN (SELECT fno FROM Flights WHERE dest=42) CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("type mismatch"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, TypeMismatchInScalarFilterRejected) {
+  Translator tr(&ctx_, db_.get());
+  // fno is an INT column compared against a string literal.
+  auto q = tr.TranslateSql(
+      "SELECT fno INTO ANSWER R "
+      "WHERE fno IN (SELECT fno FROM Flights) AND fno > 'Paris' CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("type mismatch"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, TypeMismatchAcrossEquatedColumnsRejected) {
+  Translator tr(&ctx_, db_.get());
+  // F.fno (INT) joined to A.airline (STRING): the equality unifies two
+  // columns of different types into one variable.
+  auto q = tr.TranslateSql(
+      "SELECT x INTO ANSWER R "
+      "WHERE x IN (SELECT F.fno FROM Flights F, Airlines A "
+      "WHERE F.fno = A.airline) CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("type mismatch"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, WellTypedLiteralsStillTranslate) {
+  Translator tr(&ctx_, db_.get());
+  auto q = tr.TranslateSql(
+      "SELECT fno INTO ANSWER R "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND fno > 100 CHOOSE 1");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST_F(TranslatorTest, UnboundPostconditionColumnIsRejected) {
+  Translator tr(&ctx_, db_.get());
+  // `ghost` appears only in the postcondition tuple: range restriction.
+  auto q = tr.TranslateSql(
+      "SELECT fno INTO ANSWER R "
+      "WHERE fno IN (SELECT fno FROM Flights) "
+      "AND ('Jerry', ghost) IN ANSWER R CHOOSE 1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("range restriction"),
+            std::string::npos);
+}
+
 TEST_F(TranslatorTest, ContradictoryEqualityRejected) {
   Translator tr(&ctx_, db_.get());
   auto q = tr.TranslateSql(
