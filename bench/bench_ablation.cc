@@ -8,6 +8,7 @@
 //     vs degraded configurations.
 //  D. Parallel per-partition evaluation (§4.1.2) vs sequential flush.
 
+#include "db/database.h"
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -134,11 +135,12 @@ void AblateExecutor(const SocialGraph& graph, const BenchFlags& flags) {
         Config{"no-indexes", no_index},
         Config{"no-reordering", no_reorder}}) {
     size_t timeouts = 0;
+    db::Snapshot snap = db.snapshot();
     RunStats stats = Repeat(flags.runs, [&] {
       timeouts = 0;
       Stopwatch sw;
       for (const auto& cq : combined) {
-        auto answers = combiner.Evaluate(cq, &db, 1, cfg.opts);
+        auto answers = combiner.Evaluate(cq, snap, 1, cfg.opts);
         if (!answers.ok() &&
             answers.status().code() == StatusCode::kTimeout) {
           ++timeouts;

@@ -13,6 +13,7 @@
 // composition (answered / failed / rejected-unsafe / pending) so the curves
 // stay interpretable.
 
+#include "db/database.h"
 #include <cstdio>
 
 #include "bench/bench_common.h"

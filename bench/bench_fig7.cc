@@ -13,6 +13,7 @@
 // reordering, bounded scan budget — that reproduces the blow-up shape of
 // the paper's MySQL 4.1 substrate (see DESIGN.md §4 substitutions).
 
+#include "db/database.h"
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -85,9 +86,10 @@ Fig7Row RunOnce(const SocialGraph& graph, size_t w, size_t num_queries,
   }
 
   // ---- database phase, production path (indexed, reordered) ----
+  db::Snapshot snap = db.snapshot();  // one freeze for the whole phase
   Stopwatch db_sw;
   for (const auto& cq : combined) {
-    auto answers = combiner.Evaluate(cq, &db, 1);
+    auto answers = combiner.Evaluate(cq, snap, 1);
     (void)answers;
   }
   row.db_indexed_ms = db_sw.ElapsedMillis();
@@ -100,7 +102,7 @@ Fig7Row RunOnce(const SocialGraph& graph, size_t w, size_t num_queries,
   size_t sample = std::min<size_t>(combined.size(), 10);
   Stopwatch naive_sw;
   for (size_t i = 0; i < sample; ++i) {
-    auto answers = combiner.Evaluate(combined[i], &db, 1, naive);
+    auto answers = combiner.Evaluate(combined[i], snap, 1, naive);
     if (!answers.ok() && answers.status().code() == StatusCode::kTimeout) {
       ++row.naive_timeouts;
     }

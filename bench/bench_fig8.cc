@@ -16,6 +16,7 @@
 //     extremely huge coordinating groups, evaluating the queries
 //     set-at-a-time is definitely a better approach").
 
+#include "db/database.h"
 #include <cstdio>
 
 #include "bench/bench_common.h"

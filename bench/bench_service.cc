@@ -17,6 +17,7 @@
 // sweep mostly measures sharding overhead; run on >= 8 cores to see the
 // near-linear regime.
 
+#include "db/database.h"
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -70,6 +71,59 @@ struct RunResult {
   double ms = 0;
   ServiceMetrics metrics;
 };
+
+/// A heavier bootstrap for the startup benchmark (--full: 64k rows), so
+/// the shared-vs-copied difference is dominated by data, not thread spawn.
+void BigBootstrap(size_t rows, ir::QueryContext* ctx, db::Database* db) {
+  db->CreateTable("F", {{"fno", ir::ValueType::kInt},
+                        {"dest", ir::ValueType::kString}});
+  db->CreateTable("A", {{"fno", ir::ValueType::kInt},
+                        {"airline", ir::ValueType::kString}});
+  const char* dests[] = {"Paris", "Rome", "Ithaca", "Oslo"};
+  const char* airlines[] = {"United", "Lufthansa", "Alitalia"};
+  for (size_t fno = 0; fno < rows; ++fno) {
+    db->Insert("F", {ir::Value::Int(static_cast<int64_t>(fno)),
+                     ir::Value::Str(ctx->Intern(dests[fno % 4]))});
+    db->Insert("A", {ir::Value::Int(static_cast<int64_t>(fno)),
+                     ir::Value::Str(ctx->Intern(airlines[fno % 3]))});
+  }
+}
+
+/// Startup cost with shared snapshots: service construction runs the
+/// bootstrap ONCE and every shard adopts the same immutable snapshot, so
+/// the time should be flat in the shard count.
+double TimeSharedStartup(uint32_t shards, size_t rows) {
+  ServiceOptions opts;
+  opts.num_shards = shards;
+  opts.bootstrap = [rows](ir::QueryContext* ctx, db::Database* db) {
+    BigBootstrap(rows, ctx, db);
+  };
+  Stopwatch sw;
+  CoordinationService svc(opts);
+  svc.FlushAll();  // every shard demonstrably up and snapshot-adopted
+  return sw.ElapsedMillis();
+}
+
+/// The pre-CoW baseline: one full bootstrap per shard into a private
+/// context + database, run concurrently on N threads exactly as the old
+/// ShardRunner::Run did. Wall clock hides some of the N× work behind
+/// cores (on a big box it flattens until memory bandwidth saturates), but
+/// the N× memory footprint and N× total CPU are inherent — and on the
+/// 1-2 core CI containers wall clock is ~linear in N too.
+double TimeCopiedStartup(uint32_t shards, size_t rows) {
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    threads.emplace_back([rows] {
+      ir::QueryContext ctx;
+      db::Database db(&ctx.interner());
+      BigBootstrap(rows, &ctx, &db);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return sw.ElapsedMillis();
+}
 
 RunResult RunOnce(uint32_t shards, size_t pairs, bool disjoint) {
   ServiceOptions opts;
@@ -237,6 +291,45 @@ int main(int argc, char** argv) {
           .Set("p50_ms", last.metrics.p50_latency_ms)
           .Set("p99_ms", last.metrics.p99_latency_ms);
     }
+  }
+
+  // Startup: shared immutable snapshot (bootstrap once, N shards adopt)
+  // vs the pre-CoW baseline of one private bootstrap per shard.
+  {
+    size_t rows = flags.full ? 65536 : 8192;
+    std::string title =
+        "startup: shared snapshot vs per-shard bootstrap copies (" +
+        std::to_string(rows) + " rows/table)";
+    PrintHeader(title.c_str(), "shards  shared_ms  copied_ms  shared/copied");
+    for (uint32_t shards : shard_counts) {
+      double shared_ms = 0, copied_ms = 0;
+      RunStats shared_stats = Repeat(flags.runs, [&] {
+        shared_ms = TimeSharedStartup(shards, rows);
+        return shared_ms;
+      });
+      RunStats copied_stats = Repeat(flags.runs, [&] {
+        copied_ms = TimeCopiedStartup(shards, rows);
+        return copied_ms;
+      });
+      std::printf("%6u %10.2f %10.2f %14.2fx\n", shards,
+                  shared_stats.mean_ms, copied_stats.mean_ms,
+                  copied_stats.mean_ms > 0
+                      ? shared_stats.mean_ms / copied_stats.mean_ms
+                      : 0);
+      auto& row = json.NewRow("startup");
+      row.Set("shards", static_cast<double>(shards))
+          .Set("rows_per_table", static_cast<double>(rows))
+          .Set("shared_ms", shared_stats.mean_ms)
+          .Set("shared_stddev_ms", shared_stats.stddev_ms)
+          .Set("copied_ms", copied_stats.mean_ms)
+          .Set("copied_stddev_ms", copied_stats.stddev_ms);
+    }
+    std::printf(
+        "# shared_ms should stay flat as shards grow (one bootstrap, one\n"
+        "# copy of every table). copied_ms runs the old per-shard\n"
+        "# bootstraps concurrently: wall clock grows once shards exceed\n"
+        "# cores (always on 1-2 core CI), and total CPU + memory are N x\n"
+        "# regardless.\n");
   }
 
   std::printf(

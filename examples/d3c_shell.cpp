@@ -63,11 +63,11 @@ class Shell {
     if (word == "HELP") {
       Help();
     } else if (word == "CREATE") {
-      Report(CreateTable(stmt));
+      Report(Refreshing(CreateTable(stmt)));
     } else if (word == "INSERT") {
-      Report(Insert(stmt));
+      Report(Refreshing(Insert(stmt)));
     } else if (word == "INDEX") {
-      Report(Index(stmt));
+      Report(Refreshing(Index(stmt)));
     } else if (word == "SELECT") {
       SubmitSql(stmt);
     } else if (word == "IR") {
@@ -160,6 +160,14 @@ class Shell {
       return Status::ParseError("table needs at least one column");
     }
     return db_.CreateTable(name, std::move(schema));
+  }
+
+  /// The engine evaluates an immutable snapshot; after any catalog/data
+  /// mutation, hand it a fresh one (between statements the engine is
+  /// always idle, so adoption is safe).
+  Status Refreshing(Status st) {
+    if (st.ok()) engine_.AdoptSnapshot(db_.snapshot());
+    return st;
   }
 
   Status Insert(const std::string& stmt) {

@@ -9,6 +9,7 @@
 //
 // Build & run:   ./build/examples/sql_session
 
+#include "db/database.h"
 #include <cstdio>
 
 #include "client/session.h"

@@ -10,6 +10,7 @@
 //
 // Build & run:   ./build/examples/travel_booking
 
+#include "db/database.h"
 #include <cstdio>
 
 #include "engine/engine.h"

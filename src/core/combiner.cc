@@ -85,13 +85,13 @@ GroundAtom GroundTemplate(const Atom& tmpl, const db::Valuation& val) {
 }  // namespace
 
 Result<std::vector<CoordinatedAnswer>> Combiner::Evaluate(
-    const CombinedQuery& cq, const db::Database* db, size_t k,
+    const CombinedQuery& cq, db::Snapshot db, size_t k,
     const db::ExecOptions& opts, db::ExecStats* stats) const {
   db::ConjunctiveQuery body = cq.body;
   body.limit = k;
 
   std::vector<CoordinatedAnswer> out;
-  db::Executor exec(db);
+  db::Executor exec(std::move(db));
   Status st = exec.Execute(
       body, opts,
       [&](const db::Valuation& val) {

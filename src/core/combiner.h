@@ -56,12 +56,13 @@ class Combiner {
   Result<CombinedQuery> Combine(const UnifiabilityGraph& graph,
                                 const std::vector<ir::QueryId>& members) const;
 
-  /// Evaluates q* against the database and scatters up to `k` coordinated
-  /// outcomes (k = 1 is the paper's CHOOSE 1; k > 1 serves the §6
-  /// multi-answer extension). An empty result vector means the database
-  /// offers no coordinated solution.
+  /// Evaluates q* against the database snapshot and scatters up to `k`
+  /// coordinated outcomes (k = 1 is the paper's CHOOSE 1; k > 1 serves the
+  /// §6 multi-answer extension). An empty result vector means the database
+  /// offers no coordinated solution. Accepts `const db::Database*`
+  /// implicitly (freezing it for the call).
   Result<std::vector<CoordinatedAnswer>> Evaluate(
-      const CombinedQuery& cq, const db::Database* db, size_t k = 1,
+      const CombinedQuery& cq, db::Snapshot db, size_t k = 1,
       const db::ExecOptions& opts = db::ExecOptions(),
       db::ExecStats* stats = nullptr) const;
 

@@ -3,8 +3,8 @@
 
 #include <vector>
 
-#include "db/database.h"
 #include "db/executor.h"
+#include "db/snapshot.h"
 #include "ir/query.h"
 #include "util/status.h"
 
@@ -54,8 +54,9 @@ class NaiveEvaluator {
     bool found = false;
   };
 
-  NaiveEvaluator(const ir::QuerySet* queries, const db::Database* db)
-      : queries_(queries), db_(db) {}
+  /// `db` accepts `const db::Database*` implicitly (frozen at construction).
+  NaiveEvaluator(const ir::QuerySet* queries, db::Snapshot db)
+      : queries_(queries), db_(std::move(db)) {}
 
   /// Materializes all groundings of query `q` on the database snapshot.
   Result<std::vector<Grounding>> Groundings(ir::QueryId q,
@@ -74,7 +75,7 @@ class NaiveEvaluator {
 
  private:
   const ir::QuerySet* queries_;
-  const db::Database* db_;
+  db::Snapshot db_;
 };
 
 }  // namespace eq::core

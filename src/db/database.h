@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "db/snapshot.h"
 #include "db/table.h"
 #include "util/interner.h"
 #include "util/status.h"
@@ -18,12 +19,25 @@ namespace eq::db {
 /// the same SymbolIds and compare as integers.
 ///
 /// Thread model: mutation (CreateTable / Insert / BuildIndex) must be
-/// externally serialized; concurrent read-only evaluation (the engine's
-/// parallel partition evaluation, §4.1.2) is safe.
+/// externally serialized. Concurrent read-only evaluation happens through
+/// immutable Snapshots (see snapshot()); reading through Table handles
+/// concurrently with mutation is not safe — db::Storage is the
+/// multi-threaded owner that enforces this.
 class Database {
  public:
-  /// `interner` must outlive the database.
-  explicit Database(StringInterner* interner) : interner_(interner) {}
+  /// Non-owning: `interner` must outlive the database AND any Snapshot
+  /// taken from it (snapshots reference the interner to resolve names;
+  /// the classic QueryContext-owned layout keeps everything in one
+  /// scope, which satisfies this naturally). Use the shared_ptr overload
+  /// when snapshots may escape the interner's scope — db::Storage does.
+  explicit Database(StringInterner* interner)
+      : interner_(std::shared_ptr<StringInterner>(std::shared_ptr<void>(),
+                                                  interner)) {}
+
+  /// Owning/shared: keeps the interner alive as long as the database and
+  /// any snapshot taken from it.
+  explicit Database(std::shared_ptr<StringInterner> interner)
+      : interner_(std::move(interner)) {}
 
   StringInterner& interner() { return *interner_; }
   const StringInterner& interner() const { return *interner_; }
@@ -45,9 +59,20 @@ class Database {
 
   size_t table_count() const { return tables_.size(); }
 
+  /// Freezes the current state as an immutable Snapshot (version 0).
+  /// Cheap: shares the current TableVersions; a later mutation of this
+  /// database copies the touched table (CoW) instead of disturbing the
+  /// snapshot.
+  Snapshot snapshot() const { return Snapshot(MakeRep(0)); }
+
  private:
-  StringInterner* interner_;
-  std::unordered_map<SymbolId, std::unique_ptr<Table>> tables_;
+  friend class Snapshot;
+  friend class Storage;
+
+  std::shared_ptr<const Snapshot::Rep> MakeRep(uint64_t version) const;
+
+  std::shared_ptr<StringInterner> interner_;
+  std::unordered_map<SymbolId, Table> tables_;
 };
 
 }  // namespace eq::db

@@ -65,9 +65,9 @@ bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
 /// One depth-first evaluation of a conjunctive query.
 class Evaluation {
  public:
-  Evaluation(const Database* db, const ConjunctiveQuery& q,
+  Evaluation(const Snapshot& snap, const ConjunctiveQuery& q,
              const ExecOptions& opts, const RowCallback& cb, ExecStats* stats)
-      : db_(db), q_(q), opts_(opts), cb_(cb), stats_(stats) {}
+      : snap_(snap), q_(q), opts_(opts), cb_(cb), stats_(stats) {}
 
   Status Run() {
     EQ_RETURN_NOT_OK(Prepare());
@@ -80,7 +80,7 @@ class Evaluation {
  private:
   struct PlannedAtom {
     const Atom* atom = nullptr;
-    const Table* table = nullptr;
+    const TableVersion* table = nullptr;
   };
 
   int SlotOf(VarId v) {
@@ -97,16 +97,16 @@ class Evaluation {
   Status Prepare() {
     // Resolve tables and collect variables.
     for (const Atom& a : q_.atoms) {
-      const Table* t = db_->GetTable(a.relation);
+      const TableVersion* t = snap_.GetTable(a.relation);
       if (t == nullptr) {
         return Status::NotFound("relation '" +
-                                db_->interner().Name(a.relation) +
+                                snap_.interner().Name(a.relation) +
                                 "' has no table");
       }
       if (t->schema().arity() != a.arity()) {
         return Status::InvalidArgument(
             "atom arity " + std::to_string(a.arity()) +
-            " does not match table '" + db_->interner().Name(a.relation) +
+            " does not match table '" + snap_.interner().Name(a.relation) +
             "' arity " + std::to_string(t->schema().arity()));
       }
       for (const Term& term : a.args) {
@@ -294,7 +294,7 @@ class Evaluation {
     return Status::OK();
   }
 
-  const Database* db_;
+  const Snapshot& snap_;
   const ConjunctiveQuery& q_;
   const ExecOptions& opts_;
   const RowCallback& cb_;
@@ -314,7 +314,7 @@ class Evaluation {
 
 Status Executor::Execute(const ConjunctiveQuery& q, const ExecOptions& opts,
                          const RowCallback& cb, ExecStats* stats) {
-  Evaluation eval(db_, q, opts, cb, stats);
+  Evaluation eval(snap_, q, opts, cb, stats);
   return eval.Run();
 }
 

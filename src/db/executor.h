@@ -5,7 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "db/database.h"
+#include "db/snapshot.h"
 #include "ir/query.h"
 #include "util/status.h"
 
@@ -62,15 +62,19 @@ class Valuation {
 /// Called once per result row. Return false to stop the scan early.
 using RowCallback = std::function<bool(const Valuation&)>;
 
-/// Evaluates conjunctive queries against a Database snapshot.
+/// Evaluates conjunctive queries against an immutable database Snapshot.
 ///
 /// Strategy: greedy bound-first join ordering (most-bound atom next, smaller
 /// table as tie-break), index probes on bound columns where available,
 /// filters applied at the earliest level where both operands are bound, and
 /// depth-first enumeration with early termination on LIMIT.
+///
+/// The Snapshot parameter accepts `const Database*` implicitly (freezing
+/// the database at Executor construction), so classic populate-then-run
+/// call sites keep working unchanged.
 class Executor {
  public:
-  explicit Executor(const Database* db) : db_(db) {}
+  explicit Executor(Snapshot snapshot) : snap_(std::move(snapshot)) {}
 
   /// Runs `q`, invoking `cb` per result. Stats (optional) receive counters.
   Status Execute(const ConjunctiveQuery& q, const ExecOptions& opts,
@@ -81,7 +85,7 @@ class Executor {
       const ConjunctiveQuery& q, const ExecOptions& opts = ExecOptions());
 
  private:
-  const Database* db_;
+  Snapshot snap_;
 };
 
 }  // namespace eq::db

@@ -1,0 +1,32 @@
+#include "db/snapshot.h"
+
+#include "db/database.h"
+
+namespace eq::db {
+
+Snapshot::Snapshot(const Database* db) {
+  if (db != nullptr) rep_ = db->MakeRep(/*version=*/0);
+}
+
+Snapshot::Snapshot(const Database& db) : rep_(db.MakeRep(/*version=*/0)) {}
+
+const StringInterner& Snapshot::interner() const {
+  if (rep_ != nullptr && rep_->interner != nullptr) return *rep_->interner;
+  static const StringInterner kEmpty;
+  return kEmpty;
+}
+
+const TableVersion* Snapshot::GetTable(SymbolId rel) const {
+  if (rep_ == nullptr) return nullptr;
+  auto it = rep_->tables.find(rel);
+  return it == rep_->tables.end() ? nullptr : it->second.get();
+}
+
+const TableVersion* Snapshot::GetTable(std::string_view name) const {
+  if (rep_ == nullptr) return nullptr;
+  SymbolId rel = rep_->interner->Lookup(name);
+  if (rel == kInvalidSymbol) return nullptr;
+  return GetTable(rel);
+}
+
+}  // namespace eq::db

@@ -1,0 +1,84 @@
+#ifndef EQ_DB_SNAPSHOT_H_
+#define EQ_DB_SNAPSHOT_H_
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "db/table.h"
+#include "util/interner.h"
+
+namespace eq::db {
+
+class Database;
+
+/// An immutable, numbered view of the whole database: one shared
+/// TableVersion per relation, plus the interner that renders its symbols.
+///
+/// Snapshots are the unit of sharing across the coordination tier — every
+/// shard evaluates against a Snapshot handle, so N shards reference the
+/// same TableVersion objects instead of holding N private copies, and §2.3
+/// ("the database must be unchanged during answering") holds by
+/// construction: nothing reachable from a Snapshot can change. Copying a
+/// Snapshot is one shared_ptr bump; dropping the last handle to an old
+/// version releases the table versions only it pinned.
+///
+/// Obtain snapshots from db::Storage (versioned, published after each
+/// write batch) or from Database::snapshot() (a one-off freeze, version 0,
+/// used by the single-threaded paper pipeline and tests). The implicit
+/// conversion from `const Database*` keeps the classic populate-then-
+/// evaluate call sites (`Executor exec(&db)`) working: they now freeze the
+/// database at construction, which those flows already assumed.
+///
+/// Lifetime: the snapshot keeps every TableVersion alive on its own, but
+/// the interner is only kept alive when the database owned it via
+/// shared_ptr (db::Storage always does). A snapshot of a Database built
+/// over a raw `StringInterner*` must not outlive that interner.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Freezes `db`'s current state (version 0). Implicit on purpose: every
+  /// pre-snapshot evaluator took `const Database*` and treated it as
+  /// immutable; this keeps those call sites compiling with the contract
+  /// now enforced. A null `db` yields an empty snapshot.
+  /*implicit*/ Snapshot(const Database* db);
+  /*implicit*/ Snapshot(const Database& db);
+
+  bool valid() const { return rep_ != nullptr; }
+
+  /// Monotone publish number (0 for Database::snapshot() freezes; Storage
+  /// starts at 1 and increments per publish).
+  uint64_t version() const { return rep_ ? rep_->version : 0; }
+
+  /// Table version by relation symbol / name; nullptr if absent.
+  const TableVersion* GetTable(SymbolId rel) const;
+  const TableVersion* GetTable(std::string_view name) const;
+
+  /// The interner rendering this snapshot's symbols. Valid snapshots only
+  /// (invalid ones return a process-lifetime empty interner, so error
+  /// paths that render relation names stay safe).
+  const StringInterner& interner() const;
+
+  size_t table_count() const { return rep_ ? rep_->tables.size() : 0; }
+
+ private:
+  friend class Database;
+  friend class Storage;
+
+  struct Rep {
+    uint64_t version = 0;
+    /// Possibly non-owning (aliased) when the interner belongs to a
+    /// caller-owned QueryContext; owning when built by db::Storage.
+    std::shared_ptr<const StringInterner> interner;
+    std::unordered_map<SymbolId, std::shared_ptr<const TableVersion>> tables;
+  };
+
+  explicit Snapshot(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace eq::db
+
+#endif  // EQ_DB_SNAPSHOT_H_

@@ -1,0 +1,68 @@
+#include "db/storage.h"
+
+namespace eq::db {
+
+Snapshot Storage::Publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PublishLocked();
+}
+
+Snapshot Storage::PublishLocked() {
+  current_ = db_.MakeRep(++version_);
+  return Snapshot(current_);
+}
+
+Snapshot Storage::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot(current_);
+}
+
+uint64_t Storage::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+uint64_t Storage::writes_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_applied_;
+}
+
+Status Storage::ApplyWrite(std::string_view table, Row row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Table::Insert is copy-on-write: the published snapshot still holds the
+  // previous TableVersion, so the handle clones it before appending.
+  Status st = db_.Insert(table, std::move(row));
+  if (!st.ok()) return st;
+  ++writes_applied_;
+  PublishLocked();
+  return Status::OK();
+}
+
+Status Storage::ApplyBatch(const std::vector<TableWrite>& writes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate everything up front so the batch is all-or-nothing: a retry
+  // after a reported error cannot duplicate a previously-applied prefix.
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const Table* t = db_.GetTable(writes[i].table);
+    if (t == nullptr) {
+      return Status::NotFound("write #" + std::to_string(i) + ": table '" +
+                              writes[i].table + "' not found");
+    }
+    Status st = t->CheckRow(writes[i].row);
+    if (!st.ok()) {
+      return Status(st.code(),
+                    "write #" + std::to_string(i) + ": " + st.message());
+    }
+  }
+  for (const TableWrite& w : writes) {
+    Status st = db_.Insert(w.table, w.row);
+    if (!st.ok()) return st;  // unreachable after validation
+    ++writes_applied_;
+  }
+  // One publish for the whole batch: the first insert per table copies
+  // that table, the rest append in place to the still-private clone.
+  if (!writes.empty()) PublishLocked();
+  return Status::OK();
+}
+
+}  // namespace eq::db

@@ -1,0 +1,96 @@
+#ifndef EQ_DB_STORAGE_H_
+#define EQ_DB_STORAGE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/snapshot.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace eq::db {
+
+/// The versioned, copy-on-write owner of the database: builds the catalog
+/// once, publishes numbered immutable Snapshots, and ingests live writes.
+///
+/// Life cycle:
+///   1. Build phase — fill `*mutable_db()` (CreateTable / Insert /
+///      BuildIndex; the service runs its SnapshotBootstrap here, exactly
+///      once for the whole process).
+///   2. Publish() — freezes the state as version 1; every reader (shard)
+///      grabs Current() and shares the same TableVersion objects.
+///   3. ApplyWrite / ApplyBatch — copy only the touched tables (CoW via
+///      the Table handles), then publish the next version. Readers holding
+///      older snapshots are undisturbed; a version dies when the last
+///      snapshot referencing it is dropped.
+///
+/// Thread model: mutable_db() is build-phase only (single-threaded, before
+/// the first Publish). ApplyWrite/ApplyBatch/Current/version are safe from
+/// any thread (serialized on an internal mutex). Snapshots handed out are
+/// immutable and safe to read without synchronization.
+class Storage {
+ public:
+  explicit Storage(std::shared_ptr<StringInterner> interner)
+      : interner_(std::move(interner)), db_(interner_) {}
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  /// Build-phase access to the underlying catalog. Must not be used after
+  /// the first Publish() once readers exist.
+  Database* mutable_db() { return &db_; }
+
+  const std::shared_ptr<StringInterner>& interner_ptr() const {
+    return interner_;
+  }
+  StringInterner& interner() { return *interner_; }
+
+  /// Publishes the current state as the next numbered version and returns
+  /// its snapshot.
+  Snapshot Publish();
+
+  /// The latest published snapshot (empty Snapshot if never published).
+  Snapshot Current() const;
+
+  /// The latest published version number (0 if never published).
+  uint64_t version() const;
+
+  /// One row destined for one table.
+  struct TableWrite {
+    std::string table;
+    Row row;
+  };
+
+  /// Inserts one row and publishes a new version. The untouched tables are
+  /// shared with the previous version; only `table`'s TableVersion is
+  /// copied (and only if the previous version is still referenced by a
+  /// published snapshot).
+  Status ApplyWrite(std::string_view table, Row row);
+
+  /// Applies all writes atomically, then publishes once. The whole batch
+  /// is validated first (table existence, arity, per-column types): on a
+  /// bad row NOTHING is applied or published, and the returned error
+  /// names the offending write's index so the client can fix and safely
+  /// retry the batch.
+  Status ApplyBatch(const std::vector<TableWrite>& writes);
+
+  /// Writes applied since construction (monotone counter; metrics).
+  uint64_t writes_applied() const;
+
+ private:
+  Snapshot PublishLocked();
+
+  mutable std::mutex mu_;
+  std::shared_ptr<StringInterner> interner_;
+  Database db_;
+  uint64_t version_ = 0;
+  uint64_t writes_applied_ = 0;
+  std::shared_ptr<const Snapshot::Rep> current_;
+};
+
+}  // namespace eq::db
+
+#endif  // EQ_DB_STORAGE_H_

@@ -2,7 +2,7 @@
 
 namespace eq::db {
 
-const std::vector<uint32_t> Table::kEmptyPostings;
+const std::vector<uint32_t> TableVersion::kEmptyPostings;
 
 int Schema::ColumnIndex(std::string_view name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -11,7 +11,7 @@ int Schema::ColumnIndex(std::string_view name) const {
   return -1;
 }
 
-Status Table::Insert(Row row) {
+Status TableVersion::CheckRow(const Row& row) const {
   if (row.size() != schema_.arity()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " does not match schema " +
@@ -24,6 +24,11 @@ Status Table::Insert(Row row) {
                                      schema_.columns[i].name + "'");
     }
   }
+  return Status::OK();
+}
+
+Status TableVersion::Insert(Row row) {
+  EQ_RETURN_NOT_OK(CheckRow(row));
   uint32_t id = static_cast<uint32_t>(rows_.size());
   for (size_t c = 0; c < indexed_.size(); ++c) {
     if (indexed_[c]) indexes_[c][row[c]].push_back(id);
@@ -32,7 +37,7 @@ Status Table::Insert(Row row) {
   return Status::OK();
 }
 
-Status Table::BuildIndex(size_t col) {
+Status TableVersion::BuildIndex(size_t col) {
   if (col >= schema_.arity()) {
     return Status::InvalidArgument("no column " + std::to_string(col));
   }
@@ -48,7 +53,7 @@ Status Table::BuildIndex(size_t col) {
   return Status::OK();
 }
 
-const std::vector<uint32_t>* Table::Probe(size_t col,
+const std::vector<uint32_t>* TableVersion::Probe(size_t col,
                                           const ir::Value& v) const {
   if (!HasIndex(col)) return nullptr;
   auto it = indexes_[col].find(v);

@@ -1,6 +1,7 @@
 #ifndef EQ_DB_TABLE_H_
 #define EQ_DB_TABLE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,24 +32,35 @@ struct Schema {
   int ColumnIndex(std::string_view name) const;
 };
 
-/// An in-memory row-store table with optional per-column hash indexes.
+/// One immutable version of an in-memory row-store table: rows plus
+/// optional per-column hash indexes.
 ///
 /// This is the storage substrate for combined-query evaluation — the role
-/// MySQL played in the paper's experiments (§5.1). Rows are append-only
-/// (coordinated answering operates on a database snapshot; §2.3 requires the
-/// database not change during answering).
-class Table {
+/// MySQL played in the paper's experiments (§5.1). A version is mutable
+/// only while it is exclusively owned (bootstrap, or the private copy a
+/// write makes); once published inside a db::Snapshot it is shared
+/// immutably via shared_ptr across every reader (§2.3: the database must
+/// not change during coordinated answering). Copy-construction deep-copies
+/// rows and indexes — the unit of copy-on-write is the whole table.
+class TableVersion {
  public:
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit TableVersion(Schema schema) : schema_(std::move(schema)) {}
+  TableVersion(const TableVersion&) = default;
 
   const Schema& schema() const { return schema_; }
   size_t row_count() const { return rows_.size(); }
   const Row& row(size_t i) const { return rows_[i]; }
 
+  /// Validates `row` against the schema (arity, per-column types) without
+  /// inserting. Exactly the checks Insert performs.
+  Status CheckRow(const Row& row) const;
+
   /// Appends a row after arity/type checking. Maintains any built indexes.
+  /// Only valid while this version is exclusively owned.
   Status Insert(Row row);
 
   /// Builds (or rebuilds) a hash index on `col`; kept up to date by Insert.
+  /// Only valid while this version is exclusively owned.
   Status BuildIndex(size_t col);
 
   bool HasIndex(size_t col) const {
@@ -69,6 +81,69 @@ class Table {
   std::vector<Row> rows_;
   std::vector<HashIndex> indexes_;  // parallel to columns once any index built
   std::vector<bool> indexed_;       // which columns have an index
+};
+
+/// A cheap handle to the current version of one table.
+///
+/// Reads pass through to the version; mutations are copy-on-write — if the
+/// version is shared (held by a published db::Snapshot, or by any other
+/// handle), the mutation first clones it, so snapshot readers keep seeing
+/// the version they captured. While the version is exclusively owned
+/// (bootstrap fill, repeated writes between publishes) mutation is
+/// in-place, exactly like the pre-versioned Table.
+///
+/// Thread model: a Table handle is single-writer (db::Storage serializes
+/// writes); concurrent readers must read via db::Snapshot, never through a
+/// handle another thread may mutate.
+class Table {
+ public:
+  explicit Table(Schema schema)
+      : v_(std::make_shared<TableVersion>(std::move(schema))) {}
+
+  const Schema& schema() const { return v_->schema(); }
+  size_t row_count() const { return v_->row_count(); }
+  const Row& row(size_t i) const { return v_->row(i); }
+
+  /// Validates without inserting (and without triggering a copy).
+  Status CheckRow(const Row& row) const { return v_->CheckRow(row); }
+
+  /// Appends a row after arity/type checking (copy-on-write when shared).
+  /// Validates BEFORE the CoW clone, so a rejected row never copies the
+  /// table (or perturbs version pointer identity for readers).
+  Status Insert(Row row) {
+    Status st = v_->CheckRow(row);
+    if (!st.ok()) return st;
+    return Mutable()->Insert(std::move(row));
+  }
+
+  /// Builds (or rebuilds) a hash index on `col` (copy-on-write when shared).
+  Status BuildIndex(size_t col) {
+    if (col >= v_->schema().arity()) {
+      return Status::InvalidArgument("no column " + std::to_string(col));
+    }
+    return Mutable()->BuildIndex(col);
+  }
+
+  bool HasIndex(size_t col) const { return v_->HasIndex(col); }
+
+  const std::vector<uint32_t>* Probe(size_t col, const ir::Value& v) const {
+    return v_->Probe(col, v);
+  }
+
+  /// The current version, shareable with snapshots.
+  std::shared_ptr<const TableVersion> version() const { return v_; }
+
+ private:
+  TableVersion* Mutable() {
+    // A version is reachable by readers iff some snapshot Rep holds a
+    // strong reference, so use_count > 1 ⇒ clone before mutating. The
+    // fresh clone is invisible to readers until the next publish, so
+    // further mutations before that publish stay in place.
+    if (v_.use_count() != 1) v_ = std::make_shared<TableVersion>(*v_);
+    return v_.get();
+  }
+
+  std::shared_ptr<TableVersion> v_;
 };
 
 }  // namespace eq::db

@@ -11,11 +11,10 @@ using core::Matcher;
 using ir::EntangledQuery;
 using ir::QueryId;
 
-CoordinationEngine::CoordinationEngine(ir::QueryContext* ctx,
-                                       const db::Database* db,
+CoordinationEngine::CoordinationEngine(ir::QueryContext* ctx, db::Snapshot db,
                                        EngineOptions opts)
     : ctx_(ctx),
-      db_(db),
+      db_(std::move(db)),
       opts_(opts),
       graph_(&queries_),
       safety_(&queries_),

@@ -12,7 +12,7 @@
 #include "core/matcher.h"
 #include "core/safety.h"
 #include "core/unifiability_graph.h"
-#include "db/database.h"
+#include "db/snapshot.h"
 #include "ir/query.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -118,10 +118,25 @@ class CoordinationEngine {
   using AnswerCallback =
       std::function<void(ir::QueryId, const QueryOutcome&)>;
 
-  /// `ctx` and `db` must outlive the engine. The database is treated as a
-  /// snapshot: §2.3 requires it unchanged during coordinated answering.
-  CoordinationEngine(ir::QueryContext* ctx, const db::Database* db,
+  /// `ctx` must outlive the engine. `db` is the immutable snapshot the
+  /// engine evaluates against — §2.3 requires the database unchanged during
+  /// coordinated answering, which the snapshot enforces by construction.
+  /// Accepts `const db::Database*` implicitly (freezing its current state);
+  /// populate the database before constructing the engine, or hand the
+  /// engine a fresh snapshot via AdoptSnapshot.
+  CoordinationEngine(ir::QueryContext* ctx, db::Snapshot db,
                      EngineOptions opts = EngineOptions());
+
+  /// Replaces the database snapshot the engine evaluates against. Call
+  /// only between evaluations (never during Flush/Submit) — the service
+  /// layer refreshes at batch-flush boundaries, so one coordination round
+  /// always sees one consistent version. Pending queries are unaffected
+  /// (matching state is query-only; the database is consulted at
+  /// evaluation time).
+  void AdoptSnapshot(db::Snapshot db) { db_ = std::move(db); }
+
+  /// The snapshot currently evaluated against.
+  const db::Snapshot& snapshot() const { return db_; }
 
   /// Registers a query built against this engine's QueryContext. Variables
   /// must be fresh (never used by a previously submitted query); use
@@ -217,7 +232,7 @@ class CoordinationEngine {
   void ResolveComponentBatch(const std::vector<ir::QueryId>& component);
 
   ir::QueryContext* ctx_;
-  const db::Database* db_;
+  db::Snapshot db_;
   EngineOptions opts_;
 
   ir::QuerySet queries_;

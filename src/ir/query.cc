@@ -32,7 +32,7 @@ VarId QueryContext::NewVar(std::string name) {
 Status QueryContext::NoteArity(SymbolId rel, size_t arity) {
   auto [it, inserted] = arities_.emplace(rel, arity);
   if (!inserted && it->second != arity) {
-    return Status::InvalidArgument("relation '" + interner_.Name(rel) +
+    return Status::InvalidArgument("relation '" + interner_->Name(rel) +
                                    "' used with arity " +
                                    std::to_string(arity) + " but declared " +
                                    std::to_string(it->second));
@@ -43,6 +43,15 @@ Status QueryContext::NoteArity(SymbolId rel, size_t arity) {
 size_t QueryContext::ArityOf(SymbolId rel) const {
   auto it = arities_.find(rel);
   return it == arities_.end() ? 0 : it->second;
+}
+
+void QueryContext::AdoptMetaFrom(const QueryContext& base) {
+  for (const auto& [rel, is_answer] : base.answer_relations_) {
+    answer_relations_[rel] = is_answer;
+  }
+  for (const auto& [rel, arity] : base.arities_) {
+    arities_.emplace(rel, arity);
+  }
 }
 
 std::vector<VarId> EntangledQuery::Variables() const {

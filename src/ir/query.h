@@ -1,6 +1,7 @@
 #ifndef EQ_IR_QUERY_H_
 #define EQ_IR_QUERY_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,18 +39,34 @@ struct Filter {
 
 /// Shared symbol/variable namespace for a set of entangled queries.
 ///
-/// Owns the string interner, the variable table (ids to display names), the
-/// registry of ANSWER relations, and per-relation arities. The matching
-/// algorithm requires globally unique variables (paper §4.1.3); NewVar hands
-/// out fresh ids, so queries built through one context never alias variables
-/// unless the caller deliberately reuses a VarId.
+/// Owns (or shares) the string interner, and owns the variable table (ids
+/// to display names), the registry of ANSWER relations, and per-relation
+/// arities. The matching algorithm requires globally unique variables
+/// (paper §4.1.3); NewVar hands out fresh ids, so queries built through one
+/// context never alias variables unless the caller deliberately reuses a
+/// VarId.
+///
+/// Sharing: by default each context owns a private interner (the original
+/// single-workload model). The shared-interner constructor lets many
+/// contexts — the storage tier and every service shard — agree on SymbolIds,
+/// which is what makes immutable table versions shareable across shards
+/// (rows store interned ids). The interner is internally synchronized; the
+/// rest of the context (variables, arities, answer relations) remains
+/// single-threaded state of its owner.
 class QueryContext {
  public:
-  StringInterner& interner() { return interner_; }
-  const StringInterner& interner() const { return interner_; }
+  QueryContext() : interner_(std::make_shared<StringInterner>()) {}
+  explicit QueryContext(std::shared_ptr<StringInterner> interner)
+      : interner_(std::move(interner)) {}
+
+  StringInterner& interner() { return *interner_; }
+  const StringInterner& interner() const { return *interner_; }
+  const std::shared_ptr<StringInterner>& interner_ptr() const {
+    return interner_;
+  }
 
   /// Interns a symbol (relation name or string constant).
-  SymbolId Intern(std::string_view s) { return interner_.Intern(s); }
+  SymbolId Intern(std::string_view s) { return interner_->Intern(s); }
 
   /// Shorthand: interned string constant value.
   Value StrValue(std::string_view s) { return Value::Str(Intern(s)); }
@@ -75,8 +92,16 @@ class QueryContext {
   /// Returns the recorded arity, or 0 if the relation was never seen.
   size_t ArityOf(SymbolId rel) const;
 
+  /// Copies `base`'s catalog metadata — ANSWER-relation declarations and
+  /// recorded arities — into this context. Used when seeding a fresh
+  /// context (a service shard, a recycled edge catalog) from the storage
+  /// bootstrap context without re-running the bootstrap. Requires a shared
+  /// interner (SymbolIds must mean the same strings in both contexts).
+  /// `base` must not be mutated concurrently.
+  void AdoptMetaFrom(const QueryContext& base);
+
  private:
-  StringInterner interner_;
+  std::shared_ptr<StringInterner> interner_;
   std::vector<std::string> var_names_;
   std::unordered_map<SymbolId, bool> answer_relations_;
   std::unordered_map<SymbolId, size_t> arities_;

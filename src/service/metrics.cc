@@ -1,5 +1,6 @@
 #include "service/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -58,6 +59,9 @@ ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
   s.migrated_out = stats.migrated_out.load(std::memory_order_relaxed);
   s.flushes = stats.flushes.load(std::memory_order_relaxed);
   s.pending = stats.pending.load(std::memory_order_relaxed);
+  s.snapshot_refreshes =
+      stats.snapshot_refreshes.load(std::memory_order_relaxed);
+  s.snapshot_version = stats.snapshot_version.load(std::memory_order_relaxed);
   s.match_seconds = stats.match_seconds.load(std::memory_order_relaxed);
   s.db_seconds = stats.db_seconds.load(std::memory_order_relaxed);
   s.latency_buckets = stats.latency.Snapshot();
@@ -79,6 +83,9 @@ ServiceMetrics AggregateMetrics(std::vector<ShardMetricsSnapshot> shards,
     m.migrations += s.migrated_out;
     m.flushes += s.flushes;
     m.pending += s.pending;
+    m.snapshot_refreshes += s.snapshot_refreshes;
+    m.max_snapshot_version = std::max(m.max_snapshot_version,
+                                      s.snapshot_version);
     for (size_t i = 0; i < merged.size(); ++i) {
       merged[i] += s.latency_buckets[i];
     }

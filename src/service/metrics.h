@@ -48,6 +48,12 @@ struct ShardStats {
   std::atomic<uint64_t> migrated_out{0};   ///< silently extracted for re-route
   std::atomic<uint64_t> flushes{0};        ///< batched engine flushes
   std::atomic<uint64_t> pending{0};        ///< engine pending count (gauge)
+  /// Times this shard swapped in a newer storage snapshot at an evaluation
+  /// boundary (write ingestion made a fresher version visible).
+  std::atomic<uint64_t> snapshot_refreshes{0};
+  /// Storage version the shard's engine currently evaluates against
+  /// (gauge).
+  std::atomic<uint64_t> snapshot_version{0};
   /// Engine time split, mirrored after each op batch (seconds, as doubles
   /// stored via atomic<double>).
   std::atomic<double> match_seconds{0};
@@ -69,6 +75,8 @@ struct ShardMetricsSnapshot {
   uint64_t migrated_out = 0;
   uint64_t flushes = 0;
   uint64_t pending = 0;
+  uint64_t snapshot_refreshes = 0;
+  uint64_t snapshot_version = 0;
   double match_seconds = 0;
   double db_seconds = 0;
   std::array<uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
@@ -88,6 +96,10 @@ struct ServiceMetrics {
   uint64_t migrations = 0;  ///< completed migrated_out extractions
   uint64_t flushes = 0;
   uint64_t pending = 0;
+  uint64_t snapshot_refreshes = 0;  ///< summed shard snapshot adoptions
+  /// Latest storage version any shard has adopted (writes published but
+  /// not yet refreshed everywhere show up as shards lagging this value).
+  uint64_t max_snapshot_version = 0;
 
   double elapsed_seconds = 0;       ///< since service start
   double answered_per_second = 0;   ///< global throughput

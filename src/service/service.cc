@@ -21,15 +21,29 @@ bool IsBlank(const std::string& text) {
 CoordinationService::CoordinationService(ServiceOptions opts)
     : opts_(std::move(opts)),
       router_(opts_.num_shards),
+      interner_(std::make_shared<StringInterner>()),
+      storage_ctx_(std::make_unique<ir::QueryContext>(interner_)),
+      storage_(std::make_unique<db::Storage>(interner_)),
       started_(std::chrono::steady_clock::now()) {
-  // Edge catalog: the same snapshot every shard bootstraps, owned by the
-  // service for pre-route SQL translation and builder validation.
+  // Build the shared storage exactly once — the single bootstrap run for
+  // the whole process, regardless of shard count. Version 1 is the
+  // snapshot every shard and the edge catalog share by pointer.
+  if (opts_.bootstrap) {
+    opts_.bootstrap(storage_ctx_.get(), storage_->mutable_db());
+  }
+  storage_->Publish();
+
+  // Edge catalog: a context seeded from the storage snapshot, owned by
+  // the service for pre-route SQL translation and builder validation.
   RecycleEdgeCatalogLocked();  // no contention yet: shards don't exist
 
   shards_.reserve(router_.num_shards());
   for (uint32_t s = 0; s < router_.num_shards(); ++s) {
     ShardOptions sopts;
     sopts.shard_id = s;
+    sopts.storage = storage_.get();
+    sopts.base_ctx = storage_ctx_.get();
+    sopts.on_start = opts_.on_shard_start;
     sopts.max_batch = opts_.max_batch;
     sopts.max_delay_ticks = opts_.max_delay_ticks;
     sopts.mode = opts_.mode;
@@ -37,7 +51,6 @@ CoordinationService::CoordinationService(ServiceOptions opts)
     sopts.worker_threads = opts_.shard_worker_threads;
     sopts.preference = opts_.preference;
     sopts.preference_candidates = opts_.preference_candidates;
-    sopts.bootstrap = opts_.bootstrap;
     shards_.push_back(std::make_unique<ShardRunner>(
         std::move(sopts),
         [this](ShardRunner::Event ev) { OnShardEvent(std::move(ev)); }));
@@ -113,9 +126,7 @@ Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
         // fail synchronously instead of on the shard.
         std::lock_guard<std::mutex> lock(edge_mu_);
         auto validated = query.program()->Instantiate(edge_ctx_.get());
-        if (++edge_uses_ >= kEdgeCatalogRecycleUses) {
-          RecycleEdgeCatalogLocked();
-        }
+        if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
         if (!validated.ok()) return validated.status();
       }
       p.program = query.program();
@@ -133,22 +144,40 @@ Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
 Result<client::PortableQuery> CoordinationService::CanonicalizeSql(
     const std::string& text) {
   std::lock_guard<std::mutex> lock(edge_mu_);
-  sql::Translator translator(edge_ctx_.get(), edge_db_.get());
+  sql::Translator translator(edge_ctx_.get(), edge_snapshot_);
   auto q = translator.TranslateSql(text);
   if (!q.ok()) {
-    if (++edge_uses_ >= kEdgeCatalogRecycleUses) RecycleEdgeCatalogLocked();
+    if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
     return q.status();
   }
   auto canonical = client::FromIr(*q, *edge_ctx_);
-  if (++edge_uses_ >= kEdgeCatalogRecycleUses) RecycleEdgeCatalogLocked();
+  if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
   return canonical;
 }
 
+bool CoordinationService::EdgeUseCountsTowardRecycle() {
+  // 0 = never recycle (the max_queue_depth "0 = unlimited" convention).
+  return ++edge_uses_ >= opts_.edge_recycle_uses &&
+         opts_.edge_recycle_uses != 0;
+}
+
 void CoordinationService::RecycleEdgeCatalogLocked() {
-  edge_ctx_ = std::make_unique<ir::QueryContext>();
-  edge_db_ = std::make_unique<db::Database>(&edge_ctx_->interner());
-  if (opts_.bootstrap) opts_.bootstrap(edge_ctx_.get(), edge_db_.get());
+  // Re-seed from the shared snapshot instead of re-running the bootstrap:
+  // a fresh context (dropping the accumulated per-query variables) that
+  // shares the storage interner and adopts the bootstrap catalog metadata.
+  edge_ctx_ = std::make_unique<ir::QueryContext>(interner_);
+  edge_ctx_->AdoptMetaFrom(*storage_ctx_);
+  edge_snapshot_ = storage_->Current();
   edge_uses_ = 0;
+}
+
+Status CoordinationService::ApplyWrite(std::string_view table, db::Row row) {
+  return storage_->ApplyWrite(table, std::move(row));
+}
+
+Status CoordinationService::ApplyBatch(
+    const std::vector<db::Storage::TableWrite>& writes) {
+  return storage_->ApplyBatch(writes);
 }
 
 Result<Ticket> CoordinationService::SubmitPreparedLocked(
@@ -163,11 +192,14 @@ Result<Ticket> CoordinationService::SubmitPreparedLocked(
     // transiently exceed the bound — the depth limit is an admission
     // threshold, not a hard queue capacity).
     uint32_t target = router_.PeekShard(p.relations);
-    if (shards_[target]->queue_depth() >= opts_.max_queue_depth) {
+    size_t depth = shards_[target]->queue_depth();
+    if (depth >= opts_.max_queue_depth) {
       return Status::ResourceExhausted(
           "shard " + std::to_string(target) +
-          " is overloaded: op queue at max_queue_depth=" +
-          std::to_string(opts_.max_queue_depth));
+          " is overloaded: op queue depth " + std::to_string(depth) +
+          " >= max_queue_depth=" + std::to_string(opts_.max_queue_depth) +
+          "; retry after the shard drains (backoff, or wait for pending "
+          "tickets to resolve)");
     }
   }
 

@@ -59,11 +59,23 @@ struct ServiceOptions {
   /// in-flight migrations always pass and may transiently exceed it.
   size_t max_queue_depth = 0;
 
-  /// Builds each shard's private database snapshot (required). Also run
-  /// once at service construction to build the *edge catalog* — the
-  /// service-side schema snapshot that entangled SQL is translated against
-  /// before routing.
+  /// Builds the shared storage catalog (required). Run exactly once, at
+  /// service construction, against the storage-owned database; the
+  /// resulting snapshot is shared immutably by every shard and by the
+  /// *edge catalog* (the schema view entangled SQL is translated against
+  /// before routing).
   SnapshotBootstrap bootstrap;
+
+  /// The edge-catalog context accumulates fresh variables per translated
+  /// query, so it is recycled after this many uses to bound memory over a
+  /// long-lived service. Recycling re-seeds from the shared snapshot
+  /// (cheap); it does NOT re-run the bootstrap. 0 = never recycle (same
+  /// convention as max_queue_depth).
+  size_t edge_recycle_uses = 4096;
+
+  /// Test/diagnostic hook: runs on each shard thread after its engine is
+  /// ready, before the first op is processed.
+  std::function<void(uint32_t shard_id)> on_shard_start;
 };
 
 /// Per-submission knobs for CoordinationService::Submit / SubmitBatch.
@@ -140,6 +152,32 @@ class CoordinationService {
   /// need a second round). Returns false if still non-empty after `rounds`.
   bool Drain(int rounds = 8);
 
+  /// Live write ingestion: inserts one row into the shared storage and
+  /// publishes a new snapshot version. Safe from any thread, any time.
+  /// Visibility: every shard adopts the new version at its next
+  /// evaluation boundary (batch flush, or per-submit in incremental
+  /// mode) — an in-flight coordination round keeps evaluating the version
+  /// it started with (§2.3). Build string cells with
+  /// ir::Value::Str(interner().Intern(...)).
+  Status ApplyWrite(std::string_view table, db::Row row);
+
+  /// Applies a batch of writes and publishes once.
+  Status ApplyBatch(const std::vector<db::Storage::TableWrite>& writes);
+
+  /// The shared interner (thread-safe): intern string cells for writes or
+  /// render symbols.
+  StringInterner& interner() { return storage_->interner(); }
+
+  /// The shared versioned storage (read-only observation: version numbers,
+  /// current snapshot).
+  const db::Storage& storage() const { return *storage_; }
+
+  /// The snapshot shard `s` currently evaluates against (test/diagnostic:
+  /// e.g. asserting TableVersion pointer identity across shards).
+  db::Snapshot ShardSnapshot(uint32_t s) const {
+    return shards_[s]->adopted_snapshot();
+  }
+
   /// Aggregated per-shard + global counters, throughput and latency
   /// percentiles.
   ServiceMetrics Metrics() const;
@@ -212,23 +250,35 @@ class CoordinationService {
 
   ServiceOptions opts_;
   QueryRouter router_;
+
+  /// The shared storage tier: one interner, one bootstrap context (catalog
+  /// metadata every shard adopts), one versioned CoW store. Declared
+  /// before shards_ so it outlives the shard threads that read it.
+  std::shared_ptr<StringInterner> interner_;
+  std::unique_ptr<ir::QueryContext> storage_ctx_;
+  std::unique_ptr<db::Storage> storage_;
+
   std::vector<std::unique_ptr<ShardRunner>> shards_;
 
-  /// Rebuilds the edge catalog from the bootstrap. Caller holds edge_mu_.
+  /// Re-seeds the edge catalog from the shared snapshot (no bootstrap
+  /// re-run). Caller holds edge_mu_.
   void RecycleEdgeCatalogLocked();
 
-  /// Edge catalog: the service-side schema snapshot (same bootstrap as the
-  /// shards) that SQL is translated against and builder programs are
+  /// Counts one edge-catalog use; true when the recycle threshold is hit
+  /// (never, when edge_recycle_uses == 0). Caller holds edge_mu_.
+  bool EdgeUseCountsTowardRecycle();
+
+  /// Edge catalog: the service-side schema view (the shared storage
+  /// snapshot) that SQL is translated against and builder programs are
   /// validated against, before routing. Guarded by edge_mu_, which
   /// serializes the prepare phase across client threads (a per-thread
-  /// context pool is an open item). The context accumulates interned
-  /// symbols and fresh variables, so it is recycled every
-  /// kEdgeCatalogRecycleUses uses to bound memory over a long-lived
-  /// service.
-  static constexpr size_t kEdgeCatalogRecycleUses = 4096;
+  /// context pool is an open item). The context accumulates fresh
+  /// variables per translated query, so it is recycled every
+  /// ServiceOptions::edge_recycle_uses uses to bound memory over a
+  /// long-lived service.
   std::mutex edge_mu_;
   std::unique_ptr<ir::QueryContext> edge_ctx_;
-  std::unique_ptr<db::Database> edge_db_;
+  db::Snapshot edge_snapshot_;
   size_t edge_uses_ = 0;
 
   /// Serializes route→record→enqueue so a shard's op queue always sees a

@@ -23,17 +23,27 @@ void ShardRunner::Stop() {
 }
 
 void ShardRunner::Run() {
-  ctx_ = std::make_unique<ir::QueryContext>();
-  db_ = std::make_unique<db::Database>(&ctx_->interner());
-  if (opts_.bootstrap) opts_.bootstrap(ctx_.get(), db_.get());
+  // Share the storage interner so table rows and shard-parsed query
+  // constants agree on SymbolIds; adopt the bootstrap context's catalog
+  // metadata (ANSWER relations, arities) instead of re-running the
+  // bootstrap — N shards, one bootstrap, one copy of every table.
+  ctx_ = std::make_unique<ir::QueryContext>(opts_.storage->interner_ptr());
+  if (opts_.base_ctx != nullptr) ctx_->AdoptMetaFrom(*opts_.base_ctx);
+
+  db::Snapshot initial = opts_.storage->Current();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = initial;
+  }
+  stats_.snapshot_version.store(initial.version(), std::memory_order_relaxed);
 
   engine::EngineOptions eopts;
   eopts.mode = opts_.mode;
   eopts.enforce_safety = opts_.enforce_safety;
   eopts.worker_threads = opts_.worker_threads;
   eopts.preference_candidates = opts_.preference_candidates;
-  engine_ = std::make_unique<engine::CoordinationEngine>(ctx_.get(), db_.get(),
-                                                         eopts);
+  engine_ = std::make_unique<engine::CoordinationEngine>(
+      ctx_.get(), std::move(initial), eopts);
   engine_->SetCallback(
       [this](ir::QueryId q, const engine::QueryOutcome& outcome) {
         OnEngineResolve(q, outcome);
@@ -42,6 +52,8 @@ void ShardRunner::Run() {
   // specs otherwise install the composite lazily, so preference-free
   // workloads keep the paper-core first-outcome fast path.
   if (opts_.preference) EnsurePreferenceInstalled();
+
+  if (opts_.on_start) opts_.on_start(opts_.shard_id);
 
   std::vector<Op> ops;
   while (queue_.DrainWait(&ops) > 0) {
@@ -90,7 +102,29 @@ void ShardRunner::Dispatch(Op& op) {
   }
 }
 
+db::Snapshot ShardRunner::adopted_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void ShardRunner::RefreshSnapshot() {
+  db::Snapshot latest = opts_.storage->Current();
+  if (latest.version() == engine_->snapshot().version()) return;
+  stats_.snapshot_version.store(latest.version(), std::memory_order_relaxed);
+  stats_.snapshot_refreshes.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = latest;
+  }
+  engine_->AdoptSnapshot(std::move(latest));
+}
+
 void ShardRunner::HandleSubmit(Op& op) {
+  // Incremental mode evaluates on arrival, so each submit is an
+  // evaluation boundary; batched mode refreshes in MaybeFlush instead, so
+  // a whole flush round sees one version.
+  if (opts_.mode == engine::EvalMode::kIncremental) RefreshSnapshot();
+
   TicketInfo info;
   info.ticket = op.ticket;
   // A migrated query keeps its original submit time so the latency
@@ -161,7 +195,7 @@ void ShardRunner::HandleSubmit(Op& op) {
 Result<ir::EntangledQuery> ShardRunner::RealizeQuery(const Op& op) {
   if (op.program) return op.program->Instantiate(ctx_.get());
   if (op.dialect == client::Dialect::kSql) {
-    sql::Translator translator(ctx_.get(), db_.get());
+    sql::Translator translator(ctx_.get(), engine_->snapshot());
     return translator.TranslateSql(op.text);
   }
   ir::Parser parser(ctx_.get());
@@ -195,6 +229,10 @@ void ShardRunner::MaybeFlush(bool force) {
   if (opts_.mode == engine::EvalMode::kIncremental && !force) return;
   if (!force && !batch_full && !overdue) return;
   if (!force && submitted_since_flush_ == 0 && inflight_.empty()) return;
+  // Batch-flush boundary: adopt the latest published version, so every
+  // query in this round evaluates against one consistent snapshot and
+  // writes become visible no later than the next flush.
+  RefreshSnapshot();
   engine_->Flush();
   submitted_since_flush_ = 0;
   last_flush_tick_ = tick_;

@@ -6,12 +6,14 @@
 #include <functional>
 #include <latch>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "client/query.h"
 #include "db/database.h"
+#include "db/storage.h"
 #include "engine/engine.h"
 #include "ir/query.h"
 #include "service/metrics.h"
@@ -20,15 +22,30 @@
 
 namespace eq::service {
 
-/// Populates one shard's private catalog: called once per shard, on the
-/// shard's own thread, before any query is accepted. Every shard gets an
-/// identical snapshot (§2.3: the database must be unchanged during
-/// coordinated answering), built against the shard's private interner.
+/// Populates the shared storage catalog: run by CoordinationService exactly
+/// once for the whole process (not once per shard), against the storage
+/// context and the storage-owned database, before the first snapshot is
+/// published. Every shard then shares the resulting immutable snapshot
+/// (§2.3: the database must be unchanged during coordinated answering).
 using SnapshotBootstrap =
     std::function<void(ir::QueryContext* ctx, db::Database* db)>;
 
 struct ShardOptions {
   uint32_t shard_id = 0;
+
+  /// The shared versioned storage every shard reads through immutable
+  /// snapshots. Required; must outlive the shard.
+  db::Storage* storage = nullptr;
+
+  /// Catalog metadata (ANSWER relations, arities) recorded by the storage
+  /// bootstrap context; adopted into the shard's private context at
+  /// startup so queries validate without re-running the bootstrap. Must be
+  /// immutable for the shard's lifetime.
+  const ir::QueryContext* base_ctx = nullptr;
+
+  /// Test/diagnostic hook: runs on the shard thread after the engine is
+  /// ready, before the first op is processed.
+  std::function<void(uint32_t shard_id)> on_start;
 
   /// Batched flush scheduling (set-at-a-time mode): flush when this many
   /// submissions accumulated since the last flush...
@@ -47,15 +64,17 @@ struct ShardOptions {
   /// engine's EngineOptions; summed with per-query PreferenceSpecs.
   engine::PreferenceFn preference;
   size_t preference_candidates = 16;
-
-  SnapshotBootstrap bootstrap;
 };
 
 /// One shard of the coordination service: a dedicated thread owning a
-/// private QueryContext + Database snapshot + CoordinationEngine, fed
-/// through an MPSC operation queue. All engine state is confined to the
-/// shard thread — the only cross-thread traffic is the op queue in and the
-/// event function out, so the single-threaded engine needs no locks.
+/// private QueryContext + CoordinationEngine, fed through an MPSC
+/// operation queue. The database is NOT private: every shard holds a
+/// handle to the same immutable storage snapshot (the TableVersions are
+/// shared by pointer), refreshed from db::Storage at evaluation boundaries
+/// so an in-flight coordination round always sees one consistent version.
+/// Engine state is confined to the shard thread — the only cross-thread
+/// traffic is the op queue in, the event function out, and reads of the
+/// internally-synchronized shared interner during parsing.
 class ShardRunner {
  public:
   struct Op {
@@ -120,6 +139,11 @@ class ShardRunner {
   /// Current op-queue depth (any thread; admission pre-check).
   size_t queue_depth() const { return queue_.size(); }
 
+  /// The storage snapshot the shard currently evaluates against (any
+  /// thread; test/diagnostic hook — e.g. asserting that shards share
+  /// TableVersion objects by pointer identity).
+  db::Snapshot adopted_snapshot() const;
+
  private:
   struct TicketInfo {
     TicketId ticket = 0;
@@ -129,6 +153,11 @@ class ShardRunner {
   void Run();
   void Dispatch(Op& op);
   void HandleSubmit(Op& op);
+  /// Adopts the latest published storage snapshot if it is newer than the
+  /// one the engine holds. Called at evaluation boundaries only (before a
+  /// batch flush; before each submit in incremental mode), never during an
+  /// evaluation, preserving §2.3 per coordination round.
+  void RefreshSnapshot();
   /// Builds the ir::EntangledQuery for a submit op against this shard's
   /// private context: instantiate the portable program, translate SQL, or
   /// parse IR text.
@@ -147,9 +176,15 @@ class ShardRunner {
   ShardStats stats_;
   MpscQueue<Op> queue_;
 
+  /// The adopted snapshot, mirrored for cross-thread observation. The
+  /// shard thread holds the authoritative handle inside the engine; this
+  /// copy exists so tests/diagnostics can ask "which version, which
+  /// TableVersions" without touching shard-thread state.
+  mutable std::mutex snapshot_mu_;
+  db::Snapshot snapshot_;
+
   // --- shard-thread-only state below ---
   std::unique_ptr<ir::QueryContext> ctx_;
-  std::unique_ptr<db::Database> db_;
   std::unique_ptr<engine::CoordinationEngine> engine_;
   std::unordered_map<ir::QueryId, TicketInfo> inflight_;
   std::unordered_map<TicketId, ir::QueryId> qid_of_ticket_;

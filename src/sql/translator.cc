@@ -21,7 +21,7 @@ namespace {
 /// accumulated from equality conditions.
 class Translation {
  public:
-  Translation(ir::QueryContext* ctx, const db::Database* db)
+  Translation(ir::QueryContext* ctx, const db::Snapshot* db)
       : ctx_(ctx), db_(db) {}
 
   Status Run(const EntangledSelect& stmt, EntangledQuery* out) {
@@ -88,7 +88,7 @@ class Translation {
  private:
   struct TableInstance {
     std::string alias;
-    const db::Table* table;
+    const db::TableVersion* table;
     std::vector<VarId> column_vars;
   };
 
@@ -102,7 +102,7 @@ class Translation {
   Status AddMembership(const InSubquery& m) {
     size_t first_instance = instances_.size();
     for (const TableRef& ref : m.subquery.from) {
-      const db::Table* table = db_->GetTable(ref.table);
+      const db::TableVersion* table = db_->GetTable(ref.table);
       if (table == nullptr) {
         return Status::NotFound("table '" + ref.table +
                                 "' not found in the catalog");
@@ -339,7 +339,7 @@ class Translation {
   }
 
   ir::QueryContext* ctx_;
-  const db::Database* db_;
+  const db::Snapshot* db_;
   std::vector<TableInstance> instances_;
   std::unordered_map<std::string, VarId> outer_;
   unify::Unifier subst_;
@@ -351,7 +351,7 @@ class Translation {
 
 Result<EntangledQuery> Translator::Translate(const EntangledSelect& stmt) {
   EntangledQuery out;
-  Translation translation(ctx_, db_);
+  Translation translation(ctx_, &db_);
   Status st = translation.Run(stmt, &out);
   if (!st.ok()) return st;
   EQ_RETURN_NOT_OK(ir::ValidateQuery(out, ctx_));

@@ -1,7 +1,9 @@
 #ifndef EQ_SQL_TRANSLATOR_H_
 #define EQ_SQL_TRANSLATOR_H_
 
-#include "db/database.h"
+#include <utility>
+
+#include "db/snapshot.h"
 #include "ir/query.h"
 #include "sql/ast.h"
 #include "util/status.h"
@@ -25,9 +27,10 @@ namespace eq::sql {
 class Translator {
  public:
   /// `ctx` receives interned symbols and fresh variables; `db` supplies
-  /// table schemas. Both must outlive the translator.
-  Translator(ir::QueryContext* ctx, const db::Database* db)
-      : ctx_(ctx), db_(db) {}
+  /// table schemas (an immutable snapshot — accepts `const db::Database*`
+  /// implicitly). `ctx` must outlive the translator.
+  Translator(ir::QueryContext* ctx, db::Snapshot db)
+      : ctx_(ctx), db_(std::move(db)) {}
 
   /// Translates one parsed statement. The result uses fresh variables and
   /// can be submitted to the engine directly.
@@ -38,7 +41,7 @@ class Translator {
 
  private:
   ir::QueryContext* ctx_;
-  const db::Database* db_;
+  db::Snapshot db_;
 };
 
 }  // namespace eq::sql

@@ -1,19 +1,47 @@
 #include "util/interner.h"
 
+#include <mutex>
+
 namespace eq {
 
 SymbolId StringInterner::Intern(std::string_view s) {
-  auto it = ids_.find(std::string(s));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(s);  // re-check: another thread may have won the race
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(s);
-  ids_.emplace(names_.back(), id);
+  ids_.emplace(std::string_view(names_.back()), id);
   return id;
 }
 
 SymbolId StringInterner::Lookup(std::string_view s) const {
-  auto it = ids_.find(std::string(s));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(s);
   return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& StringInterner::Name(SymbolId id) const {
+  // The element itself is immutable and address-stable (deque); the lock
+  // only protects the deque's block map against concurrent growth.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (id >= names_.size()) {
+    // Symbol from another interner (or an invalid snapshot): render a
+    // placeholder instead of indexing out of bounds — this shows up in
+    // error messages, never on a correctness path.
+    static const std::string kUnknown = "<unknown-symbol>";
+    return kUnknown;
+  }
+  return names_[id];
+}
+
+size_t StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
 }
 
 }  // namespace eq

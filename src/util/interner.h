@@ -2,10 +2,11 @@
 #define EQ_UTIL_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace eq {
 
@@ -19,24 +20,37 @@ inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
 ///
 /// All symbolic data in the system — relation names, string constants,
 /// variable names — is interned once so that unification, index lookups and
-/// join keys reduce to integer comparisons. Not thread-safe; each workload
-/// owns its interner (usually via ir::QueryContext).
+/// join keys reduce to integer comparisons.
+///
+/// Thread model: internally synchronized (append-only under a shared_mutex),
+/// so one interner can back the shared storage tier and every shard's
+/// QueryContext at once — table rows and query constants then agree on
+/// SymbolIds across threads by construction. Ids are assigned once and never
+/// change meaning; Name() returns a reference that stays valid for the
+/// interner's lifetime (names live in a deque and are never moved).
 class StringInterner {
  public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
   /// Returns the id for `s`, interning it on first use.
   SymbolId Intern(std::string_view s);
 
   /// Returns the id for `s` or kInvalidSymbol if never interned.
   SymbolId Lookup(std::string_view s) const;
 
-  /// Returns the string for a valid id.
-  const std::string& Name(SymbolId id) const { return names_[id]; }
+  /// Returns the string for a valid id. The reference is stable for the
+  /// interner's lifetime.
+  const std::string& Name(SymbolId id) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
-  std::unordered_map<std::string, SymbolId> ids_;
-  std::vector<std::string> names_;
+  mutable std::shared_mutex mu_;
+  // Keys view into names_ (stable addresses), halving string storage.
+  std::unordered_map<std::string_view, SymbolId> ids_;
+  std::deque<std::string> names_;
 };
 
 }  // namespace eq

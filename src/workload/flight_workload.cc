@@ -1,4 +1,5 @@
 #include "workload/flight_workload.h"
+#include "db/database.h"
 
 #include <algorithm>
 

@@ -3,6 +3,7 @@
 // sharded service, per-query preference ranking (§6), batched submission,
 // admission control, and the Session facade.
 
+#include "db/database.h"
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -498,22 +499,28 @@ TEST(SubmitBatchTest, ConcurrentBatchesCoordinate) {
 TEST(AdmissionControlTest, FullQueueFailsFastWithResourceExhausted) {
   ServiceOptions o = Opts(1);
   o.max_queue_depth = 1;
-  // Hold the shard thread inside its bootstrap (the edge-catalog bootstrap,
-  // which runs first on the constructing thread, passes through) so queued
-  // ops cannot drain while we probe the admission bound.
-  auto calls = std::make_shared<std::atomic<int>>(0);
+  // Hold the shard thread at startup (the on_shard_start hook runs on the
+  // shard thread, after the single storage bootstrap on the constructing
+  // thread) so queued ops cannot drain while we probe the admission bound.
   auto release = std::make_shared<std::promise<void>>();
   std::shared_future<void> gate = release->get_future().share();
-  o.bootstrap = [calls, gate](ir::QueryContext* ctx, db::Database* db) {
-    FlightBootstrap(ctx, db);
-    if (calls->fetch_add(1) > 0) gate.wait();
-  };
+  o.on_shard_start = [gate](uint32_t) { gate.wait(); };
   CoordinationService svc(o);
   auto t1 = svc.Submit(Query::Ir("{R(J, x)} R(K, x) :- Flights(x, Paris)"));
   ASSERT_TRUE(t1.ok()) << t1.status().ToString();
   auto t2 = svc.Submit(Query::Ir("{R(K, y)} R(J, y) :- Flights(y, Paris)"));
   ASSERT_FALSE(t2.ok());
   EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+  // Backpressure polish: the rejection tells the client how deep the
+  // queue is and hints at retrying, so clients can implement backoff
+  // without string-matching numeric codes.
+  EXPECT_NE(t2.status().message().find("queue depth 1"), std::string::npos)
+      << t2.status().ToString();
+  EXPECT_NE(t2.status().message().find("max_queue_depth=1"),
+            std::string::npos)
+      << t2.status().ToString();
+  EXPECT_NE(t2.status().message().find("retry"), std::string::npos)
+      << t2.status().ToString();
   EXPECT_EQ(svc.inflight_count(), 1u);
   release->set_value();
   ASSERT_TRUE(svc.Drain());
@@ -528,13 +535,9 @@ TEST(AdmissionControlTest, RejectedSubmissionDoesNotMutateRouting) {
   // stranded partners onto the saturated shard.
   ServiceOptions o = Opts(2);
   o.max_queue_depth = 1;
-  auto calls = std::make_shared<std::atomic<int>>(0);
   auto release = std::make_shared<std::promise<void>>();
   std::shared_future<void> gate = release->get_future().share();
-  o.bootstrap = [calls, gate](ir::QueryContext* ctx, db::Database* db) {
-    FlightBootstrap(ctx, db);
-    if (calls->fetch_add(1) > 0) gate.wait();  // gate both shard threads
-  };
+  o.on_shard_start = [gate](uint32_t) { gate.wait(); };  // gate both shards
   CoordinationService svc(o);
   auto t1 = svc.Submit(Query::Ir("{Ra(B, x)} Ra(A, x) :- Flights(x, Paris)"));
   auto t2 = svc.Submit(Query::Ir("{Rb(D, y)} Rb(C, y) :- Flights(y, Paris)"));
@@ -574,6 +577,37 @@ TEST(AdmissionControlTest, UnlimitedByDefault) {
   for (const Ticket& t : tickets) {
     EXPECT_EQ(t.outcome().state, ServiceOutcome::State::kAnswered);
   }
+}
+
+// --------------------------------------------------- edge catalog knob ----
+
+TEST(EdgeCatalogTest, RecycleThresholdIsConfigurableAndCheap) {
+  // A tiny recycle threshold forces the edge catalog to be re-seeded from
+  // the shared snapshot every other prepared query. SQL translation and
+  // builder validation must keep working across recycles (schemas come
+  // from the shared immutable snapshot, not a re-run bootstrap), and
+  // coordination outcomes are unaffected.
+  ServiceOptions o = Opts(2, engine::EvalMode::kSetAtATime);
+  o.edge_recycle_uses = 2;
+  CoordinationService svc(o);
+  for (int round = 0; round < 8; ++round) {
+    auto tk = svc.Submit(Query::Sql(kKramerSql));
+    auto tj = svc.Submit(Query::Sql(kJerrySql));
+    ASSERT_TRUE(tk.ok()) << tk.status().ToString();
+    ASSERT_TRUE(tj.ok()) << tj.status().ToString();
+    ASSERT_TRUE(svc.Drain());
+    EXPECT_EQ(tk->outcome().state, ServiceOutcome::State::kAnswered)
+        << tk->outcome().status.ToString();
+    EXPECT_EQ(tj->outcome().state, ServiceOutcome::State::kAnswered)
+        << tj->outcome().status.ToString();
+  }
+  // Schema errors still surface synchronously after many recycles.
+  auto bad = svc.Submit(Query::Sql(
+      "SELECT 'X', fno INTO ANSWER R "
+      "WHERE fno IN (SELECT fno FROM NoSuchTable) "
+      "AND ('Y', fno) IN ANSWER R CHOOSE 1"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
 }
 
 // ------------------------------------------------- migration round trip --

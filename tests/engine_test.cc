@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include "db/database.h"
 
 #include <map>
 #include <set>

@@ -2,6 +2,7 @@
 // end-to-end, plus order-independence properties of graph construction and
 // engine submission.
 
+#include "db/database.h"
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -9,6 +9,7 @@
 //    versa on safe+UCS workloads (Theorem 3.1 territory);
 //  * incremental and set-at-a-time modes answer the same queries.
 
+#include "db/database.h"
 #include <gtest/gtest.h>
 
 #include <map>

@@ -3,6 +3,7 @@
 // members' total preference score, without changing which queries can
 // coordinate at all.
 
+#include "db/database.h"
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"

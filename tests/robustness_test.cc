@@ -2,6 +2,7 @@
 // executor statistics, SQL printer round-trips, safety enforcement as a
 // property over random wildcard-heavy workloads, and engine clock edges.
 
+#include "db/database.h"
 #include <gtest/gtest.h>
 
 #include "core/safety.h"

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include "db/database.h"
 
 #include <algorithm>
 #include <atomic>
@@ -509,6 +510,174 @@ TEST(CoordinationServiceTest, ConcurrentSubmitCancelAndTicker) {
   EXPECT_EQ(m.submitted, m.answered + m.failed + m.migrations);
   // Every coordinating pair answered (TTL is generous; ticks only flush).
   EXPECT_GE(m.answered, 2u * kThreads * kPairsPerThread);
+}
+
+// ----------------------------------------- shared snapshots & writes ----
+
+TEST(SharedSnapshotTest, BootstrapRunsOnceAndShardsShareTableVersions) {
+  // Tentpole invariant: with N=8 shards the bootstrap runs exactly once
+  // (against the shared storage), and every shard's adopted snapshot
+  // references the SAME immutable TableVersion objects by pointer — no
+  // per-shard copies, startup independent of shard count.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  ServiceOptions o = Opts(8);
+  o.bootstrap = [calls](ir::QueryContext* ctx, db::Database* db) {
+    calls->fetch_add(1);
+    FlightBootstrap(ctx, db);
+  };
+  CoordinationService svc(o);
+  EXPECT_EQ(calls->load(), 1);
+
+  // Run a little traffic so every shard is demonstrably live.
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    auto [qa, qb] = PairFor("Rel" + std::to_string(i), i);
+    auto a = svc.SubmitAsync(qa);
+    auto b = svc.SubmitAsync(qb);
+    ASSERT_TRUE(a.ok() && b.ok());
+    tickets.push_back(*a);
+    tickets.push_back(*b);
+  }
+  ASSERT_TRUE(svc.Drain());
+  for (const Ticket& t : tickets) {
+    EXPECT_EQ(t.outcome().state, ServiceOutcome::State::kAnswered);
+  }
+
+  db::Snapshot master = svc.storage().Current();
+  const db::TableVersion* f = master.GetTable("F");
+  const db::TableVersion* a = master.GetTable("A");
+  ASSERT_NE(f, nullptr);
+  ASSERT_NE(a, nullptr);
+  for (uint32_t s = 0; s < svc.num_shards(); ++s) {
+    db::Snapshot shard_view = svc.ShardSnapshot(s);
+    ASSERT_TRUE(shard_view.valid());
+    EXPECT_EQ(shard_view.GetTable("F"), f) << "shard " << s;
+    EXPECT_EQ(shard_view.GetTable("A"), a) << "shard " << s;
+  }
+}
+
+TEST(SharedSnapshotTest, ApplyWriteRoundTripVisibleAfterNextFlush) {
+  // Live write ingestion: a row written through the service becomes part
+  // of a new published version, and a pair coordinating on it answers
+  // after the shards' next flush boundary.
+  CoordinationService svc(Opts(4));
+  // Barrier: every shard has adopted the bootstrap version before the
+  // write, so the visibility below provably goes through a refresh.
+  svc.FlushAll();
+  uint64_t v0 = svc.storage().version();
+  ASSERT_TRUE(svc.ApplyWrite("F", {ir::Value::Int(800),
+                                   ir::Value::Str(
+                                       svc.interner().Intern("Vienna"))})
+                  .ok());
+  EXPECT_EQ(svc.storage().version(), v0 + 1);
+
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Vienna)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Vienna)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(svc.Drain());
+  ASSERT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered)
+      << a->outcome().status.ToString();
+  ASSERT_EQ(b->outcome().state, ServiceOutcome::State::kAnswered)
+      << b->outcome().status.ToString();
+  EXPECT_NE(a->outcome().tuples[0].find("800"), std::string::npos);
+  // The owning shard refreshed to the written version.
+  ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.max_snapshot_version, svc.storage().version());
+  EXPECT_GE(m.snapshot_refreshes, 1u);
+}
+
+TEST(SharedSnapshotTest, ApplyBatchPublishesOneVersion) {
+  CoordinationService svc(Opts(2));
+  uint64_t v0 = svc.storage().version();
+  std::vector<db::Storage::TableWrite> writes;
+  for (int i = 0; i < 8; ++i) {
+    writes.push_back({"F", {ir::Value::Int(900 + i),
+                            ir::Value::Str(svc.interner().Intern("Oslo"))}});
+  }
+  ASSERT_TRUE(svc.ApplyBatch(writes).ok());
+  EXPECT_EQ(svc.storage().version(), v0 + 1);
+
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Oslo)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Oslo)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(svc.Drain());
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(b->outcome().state, ServiceOutcome::State::kAnswered);
+}
+
+TEST(SharedSnapshotTest, ConcurrentWritersAndSubmittersStayConsistent) {
+  // Races exercised under TSan: writer threads publishing new versions
+  // through the shared storage while client threads submit coordinating
+  // pairs (including pairs that can only answer once some write landed:
+  // each round writes its destination BEFORE submitting the pair that
+  // joins on it, so after a final drain everything must have answered).
+  constexpr int kWriters = 2;
+  constexpr int kClients = 3;
+  constexpr int kRounds = 25;
+  // Incremental mode: each pair coordinates on partner arrival (a batch
+  // window cannot split it into a partnerless failure), and the shard
+  // refreshes its snapshot before every submit — so the write that each
+  // round performs before submitting is always visible to its own pair.
+  ServiceOptions o = Opts(4, EvalMode::kIncremental);
+  o.max_delay_ticks = 1;
+  CoordinationService svc(o);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&svc, &stop, w] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(
+            svc.ApplyWrite("F",
+                           {ir::Value::Int(10000 + w * 100000 + i),
+                            ir::Value::Str(svc.interner().Intern("Noise"))})
+                .ok());
+        ++i;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::vector<Ticket>> per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&svc, &per_client, c] {
+      for (int i = 0; i < kRounds; ++i) {
+        std::string dest = "City" + std::to_string(c) + "_" +
+                           std::to_string(i);
+        ASSERT_TRUE(svc.ApplyWrite(
+                           "F", {ir::Value::Int(20000 + c * 1000 + i),
+                                 ir::Value::Str(
+                                     svc.interner().Intern(dest))})
+                        .ok());
+        std::string rel =
+            "W" + std::to_string(c) + "_" + std::to_string(i);
+        auto a = svc.SubmitAsync("{" + rel + "(B, x)} " + rel +
+                                 "(A, x) :- F(x, " + dest + ")");
+        auto b = svc.SubmitAsync("{" + rel + "(A, y)} " + rel +
+                                 "(B, y) :- F(y, " + dest + ")");
+        ASSERT_TRUE(a.ok() && b.ok());
+        per_client[c].push_back(*a);
+        per_client[c].push_back(*b);
+        if (i % 8 == 0) svc.AdvanceTicks(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  ASSERT_TRUE(svc.Drain());
+  for (const auto& tickets : per_client) {
+    for (const Ticket& t : tickets) {
+      EXPECT_EQ(t.outcome().state, ServiceOutcome::State::kAnswered)
+          << t.outcome().status.ToString();
+    }
+  }
+  EXPECT_GE(svc.storage().version(),
+            1u + kClients * kRounds);  // every write published a version
 }
 
 }  // namespace

@@ -1,0 +1,300 @@
+// Tests for the versioned copy-on-write storage stack: immutable
+// TableVersions shared by pointer, Table's copy-on-write handle semantics,
+// db::Storage publish/write cycles, Snapshot isolation at the executor and
+// engine level, and liveness of superseded versions.
+
+#include "db/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/snapshot.h"
+#include "engine/engine.h"
+#include "ir/parser.h"
+
+namespace eq::db {
+namespace {
+
+Row IntRow(int64_t a) { return Row{ir::Value::Int(a)}; }
+
+/// Flights(fno INT, dest STRING) with three Paris rows, plus an untouched
+/// Airlines table to observe copy granularity.
+void FillFlights(ir::QueryContext* ctx, Database* db) {
+  ASSERT_TRUE(db->CreateTable("Flights", {{"fno", ir::ValueType::kInt},
+                                          {"dest", ir::ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db->CreateTable("Airlines",
+                              {{"fno", ir::ValueType::kInt},
+                               {"airline", ir::ValueType::kString}})
+                  .ok());
+  auto S = [&](const char* s) { return ir::Value::Str(ctx->Intern(s)); };
+  ASSERT_TRUE(
+      db->Insert("Flights", {ir::Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(
+      db->Insert("Flights", {ir::Value::Int(123), S("Paris")}).ok());
+  ASSERT_TRUE(
+      db->Insert("Airlines", {ir::Value::Int(122), S("United")}).ok());
+}
+
+// ------------------------------------------------ Table handle CoW ------
+
+TEST(TableCowTest, ExclusiveInsertIsInPlace) {
+  Table t({{"a", ir::ValueType::kInt}});
+  const TableVersion* before = t.version().get();
+  ASSERT_TRUE(t.Insert(IntRow(1)).ok());
+  ASSERT_TRUE(t.Insert(IntRow(2)).ok());
+  // No snapshot holds the version: mutation must not copy.
+  EXPECT_EQ(t.version().get(), before);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableCowTest, SharedInsertCopiesAndPreservesReader) {
+  Table t({{"a", ir::ValueType::kInt}});
+  ASSERT_TRUE(t.Insert(IntRow(1)).ok());
+  std::shared_ptr<const TableVersion> reader = t.version();
+  ASSERT_TRUE(t.Insert(IntRow(2)).ok());
+  // The shared version was cloned; the reader still sees exactly one row.
+  EXPECT_NE(t.version().get(), reader.get());
+  EXPECT_EQ(reader->row_count(), 1u);
+  EXPECT_EQ(t.row_count(), 2u);
+  // With the reader released, further inserts mutate in place again.
+  reader.reset();
+  const TableVersion* stable = t.version().get();
+  ASSERT_TRUE(t.Insert(IntRow(3)).ok());
+  EXPECT_EQ(t.version().get(), stable);
+}
+
+TEST(TableCowTest, CopiedVersionKeepsIndexes) {
+  Table t({{"a", ir::ValueType::kInt}});
+  ASSERT_TRUE(t.Insert(IntRow(7)).ok());
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  std::shared_ptr<const TableVersion> reader = t.version();
+  ASSERT_TRUE(t.Insert(IntRow(7)).ok());  // CoW clone, then index update
+  const auto* postings = t.Probe(0, ir::Value::Int(7));
+  ASSERT_NE(postings, nullptr);
+  EXPECT_EQ(postings->size(), 2u);
+  const auto* old_postings = reader->Probe(0, ir::Value::Int(7));
+  ASSERT_NE(old_postings, nullptr);
+  EXPECT_EQ(old_postings->size(), 1u);
+}
+
+// ------------------------------------------------ Database snapshots ----
+
+TEST(SnapshotTest, DatabaseSnapshotSharesVersionsByPointer) {
+  ir::QueryContext ctx;
+  Database db(&ctx.interner());
+  FillFlights(&ctx, &db);
+  Snapshot a = db.snapshot();
+  Snapshot b = db.snapshot();
+  ASSERT_NE(a.GetTable("Flights"), nullptr);
+  // Two snapshots of an unchanged database are the same TableVersions.
+  EXPECT_EQ(a.GetTable("Flights"), b.GetTable("Flights"));
+  EXPECT_EQ(a.GetTable("Airlines"), b.GetTable("Airlines"));
+  EXPECT_EQ(a.table_count(), 2u);
+}
+
+TEST(SnapshotTest, WriteAfterSnapshotIsInvisibleToIt) {
+  ir::QueryContext ctx;
+  Database db(&ctx.interner());
+  FillFlights(&ctx, &db);
+  Snapshot frozen = db.snapshot();
+  ASSERT_TRUE(db.Insert("Flights", {ir::Value::Int(900),
+                                    ctx.StrValue("Oslo")})
+                  .ok());
+  EXPECT_EQ(frozen.GetTable("Flights")->row_count(), 2u);
+  EXPECT_EQ(db.GetTable("Flights")->row_count(), 3u);
+  // Only the touched table was copied.
+  Snapshot after = db.snapshot();
+  EXPECT_NE(after.GetTable("Flights"), frozen.GetTable("Flights"));
+  EXPECT_EQ(after.GetTable("Airlines"), frozen.GetTable("Airlines"));
+}
+
+// ------------------------------------------------ Storage publish/write --
+
+TEST(StorageTest, PublishNumbersVersionsAndCurrentTracksLatest) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  EXPECT_FALSE(storage.Current().valid());
+  Snapshot v1 = storage.Publish();
+  EXPECT_EQ(v1.version(), 1u);
+  EXPECT_EQ(storage.version(), 1u);
+  ASSERT_TRUE(storage
+                  .ApplyWrite("Flights", {ir::Value::Int(555),
+                                          ir::Value::Str(
+                                              interner->Intern("Rome"))})
+                  .ok());
+  Snapshot v2 = storage.Current();
+  EXPECT_EQ(v2.version(), 2u);
+  EXPECT_EQ(storage.writes_applied(), 1u);
+  // CoW granularity: the untouched table is the same object across
+  // versions; the touched table is a fresh copy with the extra row.
+  EXPECT_EQ(v1.GetTable("Airlines"), v2.GetTable("Airlines"));
+  EXPECT_NE(v1.GetTable("Flights"), v2.GetTable("Flights"));
+  EXPECT_EQ(v1.GetTable("Flights")->row_count(), 2u);
+  EXPECT_EQ(v2.GetTable("Flights")->row_count(), 3u);
+}
+
+TEST(StorageTest, ApplyBatchPublishesOnceAndCopiesEachTableOnce) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+  std::vector<Storage::TableWrite> writes;
+  for (int i = 0; i < 10; ++i) {
+    writes.push_back({"Flights", {ir::Value::Int(600 + i),
+                                  ir::Value::Str(interner->Intern("Oslo"))}});
+  }
+  ASSERT_TRUE(storage.ApplyBatch(writes).ok());
+  EXPECT_EQ(storage.version(), 2u);  // one publish for the whole batch
+  EXPECT_EQ(storage.Current().GetTable("Flights")->row_count(), 12u);
+  EXPECT_EQ(v1.GetTable("Flights")->row_count(), 2u);
+}
+
+TEST(StorageTest, ApplyBatchIsAtomicAndNamesTheBadWrite) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  std::vector<Storage::TableWrite> writes;
+  writes.push_back({"Flights", {ir::Value::Int(1),
+                                ir::Value::Str(interner->Intern("Rome"))}});
+  writes.push_back({"Flights", {ir::Value::Int(2), ir::Value::Int(3)}});
+  Status st = storage.ApplyBatch(writes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The error names the offending write, and NOTHING was applied — a
+  // retry of the corrected batch cannot duplicate a published prefix.
+  EXPECT_NE(st.message().find("write #1"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(storage.version(), 1u);
+  EXPECT_EQ(storage.writes_applied(), 0u);
+  EXPECT_EQ(storage.Current().GetTable("Flights")->row_count(), 2u);
+}
+
+TEST(StorageTest, FailedWriteReportsErrorAndPublishesNothingNew) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  Status st = storage.ApplyWrite("NoSuchTable", IntRow(1));
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(storage.version(), 1u);
+  // Type mismatch: Flights(fno INT, dest STRING). Validation runs before
+  // the CoW clone, so a rejected row must not replace the shared
+  // TableVersion (pointer identity is load-bearing for readers).
+  const TableVersion* before = storage.Current().GetTable("Flights");
+  st = storage.ApplyWrite("Flights", {ir::Value::Int(1), ir::Value::Int(2)});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(storage.version(), 1u);
+  EXPECT_EQ(storage.mutable_db()->GetTable("Flights")->version().get(),
+            before);
+}
+
+TEST(StorageTest, DroppingLastSnapshotReleasesOldVersion) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+  // Track the v1 Flights version through a weak handle.
+  std::weak_ptr<const TableVersion> weak =
+      storage.mutable_db()->GetTable("Flights")->version();
+  ASSERT_TRUE(storage
+                  .ApplyWrite("Flights", {ir::Value::Int(700),
+                                          ir::Value::Str(
+                                              interner->Intern("Rome"))})
+                  .ok());
+  // v1 still pins the old version.
+  EXPECT_FALSE(weak.expired());
+  v1 = Snapshot();  // drop the last reader
+  EXPECT_TRUE(weak.expired());
+}
+
+// ------------------------------------------------ engine-level isolation --
+
+/// A coordinating pair entangled through R over Flights to `dest`.
+std::pair<std::string, std::string> PairOver(const std::string& dest) {
+  return {"{R(J, x)} R(K, x) :- Flights(x, " + dest + ")",
+          "{R(K, y)} R(J, y) :- Flights(y, " + dest + ")"};
+}
+
+TEST(EngineSnapshotTest, MidRoundWriteInvisibleUntilAdopt) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+
+  engine::CoordinationEngine eng(&ctx, v1,
+                                 {.mode = engine::EvalMode::kSetAtATime});
+  ir::Parser parser(&ctx);
+
+  // The write lands AFTER the engine captured v1: a brand-new destination.
+  ASSERT_TRUE(storage
+                  .ApplyWrite("Flights", {ir::Value::Int(800),
+                                          ir::Value::Str(
+                                              interner->Intern("Vienna"))})
+                  .ok());
+
+  auto [qa, qb] = PairOver("Vienna");
+  auto a = parser.ParseQuery(qa);
+  auto b = parser.ParseQuery(qb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ida = eng.Submit(std::move(*a));
+  auto idb = eng.Submit(std::move(*b));
+  ASSERT_TRUE(ida.ok() && idb.ok());
+  ASSERT_TRUE(eng.Flush().ok());
+  // §2.3: the round evaluated the v1 snapshot — the mid-round write must
+  // not leak in, so the pair finds no Vienna flight and fails.
+  EXPECT_EQ(eng.outcome(*ida).state, engine::QueryOutcome::State::kFailed);
+  EXPECT_EQ(eng.outcome(*idb).state, engine::QueryOutcome::State::kFailed);
+
+  // After adopting the published version the same pair coordinates.
+  eng.AdoptSnapshot(storage.Current());
+  auto a2 = parser.ParseQuery(qa);
+  auto b2 = parser.ParseQuery(qb);
+  ASSERT_TRUE(a2.ok() && b2.ok());
+  auto ida2 = eng.Submit(std::move(*a2));
+  auto idb2 = eng.Submit(std::move(*b2));
+  ASSERT_TRUE(ida2.ok() && idb2.ok());
+  ASSERT_TRUE(eng.Flush().ok());
+  ASSERT_EQ(eng.outcome(*ida2).state,
+            engine::QueryOutcome::State::kAnswered);
+  ASSERT_EQ(eng.outcome(*idb2).state,
+            engine::QueryOutcome::State::kAnswered);
+  EXPECT_EQ(eng.outcome(*ida2).tuples[0].args[1], ir::Value::Int(800));
+}
+
+// ------------------------------------------------ executor on snapshots --
+
+TEST(ExecutorSnapshotTest, ExecutorFreezesAtConstruction) {
+  ir::QueryContext ctx;
+  Database db(&ctx.interner());
+  FillFlights(&ctx, &db);
+  ConjunctiveQuery q;
+  q.atoms.push_back(ir::Atom(ctx.Intern("Flights"),
+                             {ir::Term::Var(ctx.NewVar("f")),
+                              ir::Term::Var(ctx.NewVar("d"))}));
+  Executor frozen(&db);
+  ASSERT_TRUE(db.Insert("Flights", {ir::Value::Int(901),
+                                    ctx.StrValue("Oslo")})
+                  .ok());
+  auto before = frozen.ExecuteAll(q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 2u);  // the executor's snapshot predates the row
+  Executor fresh(&db);
+  auto after = fresh.ExecuteAll(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 3u);
+}
+
+}  // namespace
+}  // namespace eq::db

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include "db/database.h"
 
 #include <set>
 #include <unordered_set>
