@@ -15,6 +15,7 @@
 #include "db/database.h"
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "client/session.h"
 
@@ -111,6 +112,47 @@ int main() {
                 elaine->Wait().tuples[0].c_str(),
                 puddy->Wait().tuples[0].c_str());
   }
+
+  // Reactive write pipeline: the pair below wants Kyoto, which no flight
+  // serves yet — both queries match each other and sit PENDING on data.
+  // The ApplyWrite alone answers them: the service posts a WriteNotify to
+  // exactly the shard whose pending partition reads F, that shard adopts
+  // the fresh snapshot and re-evaluates just that partition. No flush, no
+  // tick, no further submission.
+  std::printf("\nGeorge and Susan want Kyoto; no such flight exists yet...\n");
+  auto george = session.SubmitIr(
+      "george: {K(Susan, g)} K(George, g) :- F(g, Kyoto)");
+  auto susan = session.SubmitIr(
+      "susan: {K(George, s)} K(Susan, s) :- F(s, Kyoto)");
+  if (george.ok() && susan.ok()) {
+    // Let the pair demonstrably reach the pending state (matched, no
+    // data) before writing, so the answer below provably comes from the
+    // write-triggered wake-up and not the per-submit snapshot refresh.
+    while (svc.Metrics().pending < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::printf("  pending: george done=%d susan done=%d\n",
+                george->Done() ? 1 : 0, susan->Done() ? 1 : 0);
+    svc.ApplyWrite("F", {ir::Value::Int(900),
+                         ir::Value::Str(svc.interner().Intern("Kyoto"))});
+    std::printf("Wrote flight 900 to Kyoto — the write wakes them:\n"
+                "  George -> %s\n  Susan  -> %s\n",
+                george->Wait().tuples[0].c_str(),
+                susan->Wait().tuples[0].c_str());
+  }
+
+  // Deletes and updates are first-class writes too (CoW: published
+  // snapshots keep the rows they captured). Reroute 136 away from Rome and
+  // retract the Vienna flight wholesale.
+  svc.ApplyUpdate("F", 0, ir::Value::Int(136),
+                  {ir::Value::Int(136),
+                   ir::Value::Str(svc.interner().Intern("Naples"))});
+  size_t removed = 0;
+  svc.ApplyDelete("F", 1, ir::Value::Str(svc.interner().Intern("Vienna")),
+                  &removed);
+  std::printf("\nRerouted flight 136 to Naples; retracted %zu Vienna row(s); "
+              "storage at version %llu\n",
+              removed, (unsigned long long)svc.storage().version());
 
   // A third user books via a batch, changes their mind, and cancels.
   auto batch = session.SubmitBatch(

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Checks a freshly produced bench_service JSON against the checked-in
+BENCH_service.json schema.
+
+The CI bench-smoke job runs a small fixed workload and uploads its JSON as
+an artifact; this script makes output drift fail the job instead of
+silently shipping a broken artifact. Checked, per the reference file:
+
+  1. sections   — the set of "bench" section names matches exactly
+                  (a dropped or renamed section is a bench regression);
+  2. row keys   — every row of a section carries exactly the keys the
+                  reference rows of that section carry;
+  3. sanity     — for every key whose value is a positive number in ALL
+                  reference rows of the section, the candidate's value must
+                  be a positive number too (a zeroed qps/mean_ms means the
+                  bench silently measured nothing). Keys that are
+                  legitimately zero in some runs (stddev with --runs=1,
+                  raced/migration counters) exempt themselves by being zero
+                  somewhere in the reference, or by the explicit list below.
+
+Row *counts* are not compared: CI sweeps fewer shard points than the
+checked-in trajectory on purpose.
+
+Usage: check_bench_json.py <reference.json> <candidate.json>
+"""
+
+import json
+import numbers
+import sys
+
+# Volatile by construction: zero under --runs=1 or on quiet runs even
+# though the checked-in trajectory happens to have them non-zero.
+VOLATILE_KEYS = {
+    "stddev_ms",
+    "shared_stddev_ms",
+    "copied_stddev_ms",
+    "raced",
+    "migrations",
+}
+
+
+def positive_number(v):
+    return (
+        isinstance(v, numbers.Number)
+        and not isinstance(v, bool)
+        and v > 0
+    )
+
+
+def rows_by_section(rows, path):
+    out = {}
+    for i, row in enumerate(rows):
+        if "bench" not in row:
+            raise SystemExit(f"{path}: row {i} has no 'bench' key")
+        out.setdefault(row["bench"], []).append(row)
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    ref_path, got_path = sys.argv[1], sys.argv[2]
+    with open(ref_path) as f:
+        ref = rows_by_section(json.load(f), ref_path)
+    with open(got_path) as f:
+        got = rows_by_section(json.load(f), got_path)
+
+    errors = []
+
+    missing = sorted(set(ref) - set(got))
+    extra = sorted(set(got) - set(ref))
+    if missing:
+        errors.append(f"missing sections: {missing}")
+    if extra:
+        errors.append(f"unexpected sections: {extra}")
+
+    for section in sorted(set(ref) & set(got)):
+        ref_rows, got_rows = ref[section], got[section]
+        ref_keys = set(ref_rows[0])
+        for i, row in enumerate(ref_rows[1:], 1):
+            if set(row) != ref_keys:
+                errors.append(
+                    f"{ref_path}: section '{section}' row {i} keys disagree "
+                    f"with row 0 — fix the reference first"
+                )
+        # Keys required to be positive: positive in EVERY reference row and
+        # not known-volatile.
+        required_positive = {
+            k
+            for k in ref_keys
+            if k not in VOLATILE_KEYS
+            and all(positive_number(r[k]) for r in ref_rows)
+        }
+        for i, row in enumerate(got_rows):
+            if set(row) != ref_keys:
+                errors.append(
+                    f"section '{section}' row {i}: keys "
+                    f"{sorted(set(row) ^ ref_keys)} differ from the "
+                    f"reference schema"
+                )
+                continue
+            for k in sorted(required_positive):
+                if not positive_number(row[k]):
+                    errors.append(
+                        f"section '{section}' row {i}: '{k}' = {row[k]!r} "
+                        f"(expected a positive number)"
+                    )
+
+    if errors:
+        print(f"bench JSON check FAILED ({got_path} vs {ref_path}):")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    sections = ", ".join(sorted(got))
+    print(f"bench JSON check OK: sections [{sections}] match the reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,7 @@
 #include "db/storage.h"
 
+#include <algorithm>
+
 namespace eq::db {
 
 Snapshot Storage::Publish() {
@@ -8,7 +10,9 @@ Snapshot Storage::Publish() {
 }
 
 Snapshot Storage::PublishLocked() {
-  current_ = db_.MakeRep(++version_);
+  uint64_t next = version_.load(std::memory_order_relaxed) + 1;
+  current_ = db_.MakeRep(next);
+  version_.store(next, std::memory_order_release);
   return Snapshot(current_);
 }
 
@@ -17,14 +21,39 @@ Snapshot Storage::Current() const {
   return Snapshot(current_);
 }
 
-uint64_t Storage::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return version_;
-}
-
 uint64_t Storage::writes_applied() const {
   std::lock_guard<std::mutex> lock(mu_);
   return writes_applied_;
+}
+
+void Storage::NoteTableChangedLocked(std::string_view table) {
+  SymbolId rel = interner_->Lookup(table);
+  // The table exists (the write succeeded), so its symbol does too.
+  if (rel != kInvalidSymbol) {
+    rel_changed_[rel] = version_.load(std::memory_order_relaxed) + 1;
+  }
+}
+
+bool Storage::ChangedSince(const std::vector<SymbolId>& rels,
+                           uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SymbolId rel : rels) {
+    auto it = rel_changed_.find(rel);
+    if (it != rel_changed_.end() && it->second > version) return true;
+  }
+  return false;
+}
+
+std::vector<SymbolId> Storage::FilterChangedSince(std::vector<SymbolId> rels,
+                                                  uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto unchanged = [&](SymbolId rel) {
+    auto it = rel_changed_.find(rel);
+    return it == rel_changed_.end() || it->second <= version;
+  };
+  rels.erase(std::remove_if(rels.begin(), rels.end(), unchanged),
+             rels.end());
+  return rels;
 }
 
 Status Storage::ApplyWrite(std::string_view table, Row row) {
@@ -34,34 +63,110 @@ Status Storage::ApplyWrite(std::string_view table, Row row) {
   Status st = db_.Insert(table, std::move(row));
   if (!st.ok()) return st;
   ++writes_applied_;
+  NoteTableChangedLocked(table);
   PublishLocked();
   return Status::OK();
 }
 
-Status Storage::ApplyBatch(const std::vector<TableWrite>& writes) {
+Status Storage::ApplyDelete(std::string_view table, size_t match_col,
+                            const ir::Value& match_value, size_t* removed) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (removed != nullptr) *removed = 0;
+  Table* t = db_.GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  size_t n = 0;
+  EQ_RETURN_NOT_OK(t->DeleteWhere(match_col, match_value, &n));
+  if (removed != nullptr) *removed = n;
+  // Matching nothing left every TableVersion untouched — publishing would
+  // only churn snapshot versions (and spuriously wake write-notified
+  // readers), so don't.
+  if (n == 0) return Status::OK();
+  ++writes_applied_;
+  NoteTableChangedLocked(table);
+  PublishLocked();
+  return Status::OK();
+}
+
+Status Storage::ApplyUpdate(std::string_view table, size_t match_col,
+                            const ir::Value& match_value, Row replacement,
+                            size_t* updated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (updated != nullptr) *updated = 0;
+  Table* t = db_.GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  size_t n = 0;
+  EQ_RETURN_NOT_OK(
+      t->UpdateWhere(match_col, match_value, std::move(replacement), &n));
+  if (updated != nullptr) *updated = n;
+  if (n == 0) return Status::OK();
+  ++writes_applied_;
+  NoteTableChangedLocked(table);
+  PublishLocked();
+  return Status::OK();
+}
+
+Status Storage::ApplyBatch(const std::vector<TableWrite>& writes,
+                           size_t* out_rows_changed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_rows_changed != nullptr) *out_rows_changed = 0;
   // Validate everything up front so the batch is all-or-nothing: a retry
   // after a reported error cannot duplicate a previously-applied prefix.
   for (size_t i = 0; i < writes.size(); ++i) {
-    const Table* t = db_.GetTable(writes[i].table);
+    const TableWrite& w = writes[i];
+    const Table* t = db_.GetTable(w.table);
     if (t == nullptr) {
       return Status::NotFound("write #" + std::to_string(i) + ": table '" +
-                              writes[i].table + "' not found");
+                              w.table + "' not found");
     }
-    Status st = t->CheckRow(writes[i].row);
-    if (!st.ok()) {
-      return Status(st.code(),
-                    "write #" + std::to_string(i) + ": " + st.message());
+    if (w.kind != TableWrite::Kind::kInsert &&
+        w.match_col >= t->schema().arity()) {
+      return Status::InvalidArgument(
+          "write #" + std::to_string(i) + ": no column " +
+          std::to_string(w.match_col) + " in table '" + w.table + "'");
+    }
+    if (w.kind != TableWrite::Kind::kDelete) {
+      Status st = t->CheckRow(w.row);
+      if (!st.ok()) {
+        return Status(st.code(),
+                      "write #" + std::to_string(i) + ": " + st.message());
+      }
     }
   }
+  size_t rows_changed = 0;
   for (const TableWrite& w : writes) {
-    Status st = db_.Insert(w.table, w.row);
+    Table* t = db_.GetTable(w.table);
+    Status st;
+    size_t affected = 0;
+    switch (w.kind) {
+      case TableWrite::Kind::kInsert:
+        st = t->Insert(w.row);
+        affected = 1;
+        break;
+      case TableWrite::Kind::kDelete:
+        st = t->DeleteWhere(w.match_col, w.match_value, &affected);
+        break;
+      case TableWrite::Kind::kUpdate:
+        st = t->UpdateWhere(w.match_col, w.match_value, w.row, &affected);
+        break;
+    }
     if (!st.ok()) return st;  // unreachable after validation
     ++writes_applied_;
+    if (affected > 0) {
+      NoteTableChangedLocked(w.table);
+      rows_changed += affected;
+    }
   }
-  // One publish for the whole batch: the first insert per table copies
-  // that table, the rest append in place to the still-private clone.
-  if (!writes.empty()) PublishLocked();
+  // One publish for the whole batch: the first mutation per table copies
+  // that table, the rest mutate in place in the still-private clone. A
+  // batch whose every delete/update matched nothing left every
+  // TableVersion untouched — skip the publish, like the single-op paths
+  // (version churn would spuriously wake write-notified readers).
+  if (out_rows_changed != nullptr) *out_rows_changed = rows_changed;
+  if (rows_changed > 0) PublishLocked();
   return Status::OK();
 }
 

@@ -1,9 +1,11 @@
 #ifndef EQ_DB_STORAGE_H_
 #define EQ_DB_STORAGE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/database.h"
@@ -56,12 +58,38 @@ class Storage {
   Snapshot Current() const;
 
   /// The latest published version number (0 if never published).
-  uint64_t version() const;
+  /// Lock-free: safe on hot paths (the shard submit path compares it to
+  /// its adopted snapshot before doing any locked work).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
-  /// One row destined for one table.
+  /// One write operation destined for one table. The two-field brace form
+  /// `{"T", row}` stays an insert; deletes and updates match rows by one
+  /// column's value (full-row replacement for updates — CoW keeps every
+  /// published snapshot on the version it captured).
   struct TableWrite {
+    enum class Kind : uint8_t { kInsert, kDelete, kUpdate };
+
     std::string table;
-    Row row;
+    Row row;  ///< kInsert: the row to append; kUpdate: the replacement row
+    Kind kind = Kind::kInsert;
+    size_t match_col = 0;    ///< kDelete / kUpdate: column matched
+    ir::Value match_value;   ///< kDelete / kUpdate: value matched
+
+    static TableWrite Insert(std::string table, Row row) {
+      return {std::move(table), std::move(row), Kind::kInsert, 0, {}};
+    }
+    static TableWrite Delete(std::string table, size_t match_col,
+                             ir::Value match_value) {
+      return {std::move(table), {}, Kind::kDelete, match_col,
+              std::move(match_value)};
+    }
+    static TableWrite Update(std::string table, size_t match_col,
+                             ir::Value match_value, Row replacement) {
+      return {std::move(table), std::move(replacement), Kind::kUpdate,
+              match_col, std::move(match_value)};
+    }
   };
 
   /// Inserts one row and publishes a new version. The untouched tables are
@@ -70,24 +98,67 @@ class Storage {
   /// published snapshot).
   Status ApplyWrite(std::string_view table, Row row);
 
-  /// Applies all writes atomically, then publishes once. The whole batch
-  /// is validated first (table existence, arity, per-column types): on a
-  /// bad row NOTHING is applied or published, and the returned error
-  /// names the offending write's index so the client can fix and safely
-  /// retry the batch.
-  Status ApplyBatch(const std::vector<TableWrite>& writes);
+  /// Removes every row of `table` whose `match_col` equals `match_value`,
+  /// then publishes a new version. A delete that matches nothing is a
+  /// no-op: no clone, no publish. `removed` (optional) receives the count.
+  Status ApplyDelete(std::string_view table, size_t match_col,
+                     const ir::Value& match_value, size_t* removed = nullptr);
 
-  /// Writes applied since construction (monotone counter; metrics).
+  /// Replaces every row of `table` whose `match_col` equals `match_value`
+  /// with `replacement` (full-row replacement, schema-checked up front),
+  /// then publishes a new version. Matching nothing is a no-op.
+  Status ApplyUpdate(std::string_view table, size_t match_col,
+                     const ir::Value& match_value, Row replacement,
+                     size_t* updated = nullptr);
+
+  /// Applies all writes (inserts, deletes, updates, in order) atomically,
+  /// then publishes once — or not at all, if every delete/update matched
+  /// zero rows and nothing was inserted (no version churn for a no-op
+  /// batch). The whole batch is validated first (table existence,
+  /// match-column range, arity, per-column types): on a bad write NOTHING
+  /// is applied or published, and the returned error names the offending
+  /// write's index so the client can fix and safely retry the batch.
+  /// `rows_changed` (optional) receives the total rows inserted, removed
+  /// or replaced.
+  Status ApplyBatch(const std::vector<TableWrite>& writes,
+                    size_t* rows_changed = nullptr);
+
+  /// Write operations applied since construction (monotone counter;
+  /// metrics). Counts every op, including deletes/updates matching zero
+  /// rows inside a batch.
   uint64_t writes_applied() const;
+
+  /// True iff any of `rels` (table symbols) changed in a version newer
+  /// than `version`. Lets a reader holding an older snapshot decide
+  /// whether the relations IT cares about actually moved, instead of
+  /// reacting to every unrelated publish. Relations never written since
+  /// the build phase report false (the bootstrap state is in version 1,
+  /// which every reader starts from).
+  bool ChangedSince(const std::vector<SymbolId>& rels,
+                    uint64_t version) const;
+
+  /// The subset of `rels` that changed in a version newer than `version`
+  /// (order preserved; one lock acquisition for the whole set).
+  std::vector<SymbolId> FilterChangedSince(std::vector<SymbolId> rels,
+                                           uint64_t version) const;
 
  private:
   Snapshot PublishLocked();
+  /// Records that `table` changed in the version the NEXT PublishLocked
+  /// publishes. Caller holds mu_ and publishes afterwards.
+  void NoteTableChangedLocked(std::string_view table);
 
   mutable std::mutex mu_;
   std::shared_ptr<StringInterner> interner_;
   Database db_;
-  uint64_t version_ = 0;
+  /// Written under mu_ (publish), read lock-free by version(). The mutex
+  /// chains publishing happens-before any reader that synchronized on the
+  /// wake-up index, so release/acquire is enough for the race-closure
+  /// protocol in ShardRunner::HandleSubmit.
+  std::atomic<uint64_t> version_{0};
   uint64_t writes_applied_ = 0;
+  /// Table symbol → last version that changed it (see ChangedSince).
+  std::unordered_map<SymbolId, uint64_t> rel_changed_;
   std::shared_ptr<const Snapshot::Rep> current_;
 };
 

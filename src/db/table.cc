@@ -1,5 +1,7 @@
 #include "db/table.h"
 
+#include <algorithm>
+
 namespace eq::db {
 
 const std::vector<uint32_t> TableVersion::kEmptyPostings;
@@ -35,6 +37,46 @@ Status TableVersion::Insert(Row row) {
   }
   rows_.push_back(std::move(row));
   return Status::OK();
+}
+
+size_t TableVersion::DeleteWhere(size_t col, const ir::Value& v) {
+  size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&](const Row& r) { return r[col] == v; }),
+              rows_.end());
+  size_t removed = before - rows_.size();
+  if (removed > 0) RebuildIndexes();
+  return removed;
+}
+
+size_t TableVersion::UpdateWhere(size_t col, const ir::Value& v,
+                                 const Row& replacement) {
+  size_t updated = 0;
+  for (Row& r : rows_) {
+    if (r[col] == v) {
+      r = replacement;
+      ++updated;
+    }
+  }
+  if (updated > 0) RebuildIndexes();
+  return updated;
+}
+
+bool TableVersion::AnyMatch(size_t col, const ir::Value& v) const {
+  if (HasIndex(col)) {
+    const std::vector<uint32_t>* postings = Probe(col, v);
+    return postings != nullptr && !postings->empty();
+  }
+  for (const Row& r : rows_) {
+    if (r[col] == v) return true;
+  }
+  return false;
+}
+
+void TableVersion::RebuildIndexes() {
+  for (size_t c = 0; c < indexed_.size(); ++c) {
+    if (indexed_[c]) BuildIndex(c);
+  }
 }
 
 Status TableVersion::BuildIndex(size_t col) {

@@ -59,6 +59,23 @@ class TableVersion {
   /// Only valid while this version is exclusively owned.
   Status Insert(Row row);
 
+  /// Removes every row whose `col` equals `v`, rebuilding any built
+  /// indexes (deletion shifts row ids, so postings are recomputed rather
+  /// than patched). Returns the number of rows removed.
+  /// Only valid while this version is exclusively owned.
+  size_t DeleteWhere(size_t col, const ir::Value& v);
+
+  /// Replaces every row whose `col` equals `v` with `replacement` (full-row
+  /// replacement; `replacement` must already be schema-checked), rebuilding
+  /// any built indexes. Returns the number of rows replaced.
+  /// Only valid while this version is exclusively owned.
+  size_t UpdateWhere(size_t col, const ir::Value& v, const Row& replacement);
+
+  /// True iff some row's `col` equals `v` (index probe when available,
+  /// linear scan otherwise). Read-only: lets the CoW handle skip the clone
+  /// for a delete/update that would touch nothing.
+  bool AnyMatch(size_t col, const ir::Value& v) const;
+
   /// Builds (or rebuilds) a hash index on `col`; kept up to date by Insert.
   /// Only valid while this version is exclusively owned.
   Status BuildIndex(size_t col);
@@ -76,6 +93,10 @@ class TableVersion {
       std::unordered_map<ir::Value, std::vector<uint32_t>, ir::ValueHash>;
 
   static const std::vector<uint32_t> kEmptyPostings;
+
+  /// Recomputes every built index from the current rows (after a deletion
+  /// or in-place replacement invalidated the stored row ids).
+  void RebuildIndexes();
 
   Schema schema_;
   std::vector<Row> rows_;
@@ -114,6 +135,39 @@ class Table {
     Status st = v_->CheckRow(row);
     if (!st.ok()) return st;
     return Mutable()->Insert(std::move(row));
+  }
+
+  /// Removes every row whose `col` equals `v` (copy-on-write when shared).
+  /// Validates — and checks that anything matches — BEFORE the CoW clone,
+  /// so a no-op delete never copies the table or perturbs version pointer
+  /// identity for readers. `removed` (optional) receives the row count.
+  Status DeleteWhere(size_t col, const ir::Value& v,
+                     size_t* removed = nullptr) {
+    if (removed != nullptr) *removed = 0;
+    if (col >= v_->schema().arity()) {
+      return Status::InvalidArgument("no column " + std::to_string(col));
+    }
+    if (!v_->AnyMatch(col, v)) return Status::OK();
+    size_t n = Mutable()->DeleteWhere(col, v);
+    if (removed != nullptr) *removed = n;
+    return Status::OK();
+  }
+
+  /// Replaces every row whose `col` equals `v` with `replacement`
+  /// (copy-on-write when shared). Full-row replacement: `replacement` is
+  /// schema-checked up front, and a match-less update never clones.
+  Status UpdateWhere(size_t col, const ir::Value& v, Row replacement,
+                     size_t* updated = nullptr) {
+    if (updated != nullptr) *updated = 0;
+    if (col >= v_->schema().arity()) {
+      return Status::InvalidArgument("no column " + std::to_string(col));
+    }
+    Status st = v_->CheckRow(replacement);
+    if (!st.ok()) return st;
+    if (!v_->AnyMatch(col, v)) return Status::OK();
+    size_t n = Mutable()->UpdateWhere(col, v, replacement);
+    if (updated != nullptr) *updated = n;
+    return Status::OK();
   }
 
   /// Builds (or rebuilds) a hash index on `col` (copy-on-write when shared).

@@ -36,9 +36,16 @@ Result<QueryId> CoordinationEngine::Submit(EntangledQuery query,
   QueryId id = static_cast<QueryId>(queries_.queries.size());
   query.id = id;
   for (ir::VarId v : query.Variables()) used_vars_.insert(v);
+  std::vector<SymbolId> body_rels;
+  body_rels.reserve(query.body.size());
+  for (const ir::Atom& atom : query.body) body_rels.push_back(atom.relation);
+  std::sort(body_rels.begin(), body_rels.end());
+  body_rels.erase(std::unique(body_rels.begin(), body_rels.end()),
+                  body_rels.end());
   queries_.queries.push_back(std::move(query));
   outcomes_.emplace_back();
   deadlines_.push_back(ttl_ticks == 0 ? 0 : now_ + ttl_ticks);
+  body_rels_.push_back(std::move(body_rels));
 
   if (opts_.enforce_safety) {
     Status st = safety_.Admit(id);
@@ -55,6 +62,7 @@ Result<QueryId> CoordinationEngine::Submit(EntangledQuery query,
   }
 
   pending_.insert(id);
+  for (SymbolId rel : body_rels_[id]) pending_by_body_rel_[rel].insert(id);
   graph_.AddQuery(id);  // cannot fail: id is fresh and in range
   AbsorbPartitions(id);
   if (deadlines_[id] != 0) deadline_heap_.emplace(deadlines_[id], id);
@@ -165,6 +173,12 @@ void CoordinationEngine::Resolve(QueryId q, QueryOutcome outcome) {
   if (outcomes_[q].state != QueryOutcome::State::kPending) return;
   outcomes_[q] = std::move(outcome);
   pending_.erase(q);
+  for (SymbolId rel : body_rels_[q]) {
+    auto it = pending_by_body_rel_.find(rel);
+    if (it == pending_by_body_rel_.end()) continue;
+    it->second.erase(q);
+    if (it->second.empty()) pending_by_body_rel_.erase(it);
+  }
   deadlines_[q] = 0;  // eagerly invalidate any deadline-heap entry
   if (outcomes_[q].state == QueryOutcome::State::kAnswered) {
     ++metrics_.answered;
@@ -557,6 +571,52 @@ Status CoordinationEngine::Cancel(ir::QueryId q) {
     ReexaminePartitions(affected);
   }
   return Status::OK();
+}
+
+WakeupResult CoordinationEngine::NotifyDataArrival(
+    const std::vector<SymbolId>& rels) {
+  WakeupResult res;
+  // The partitions a write could affect: those holding a pending query
+  // whose body reads one of the touched relations.
+  std::vector<PartitionId> affected;
+  for (SymbolId rel : rels) {
+    auto it = pending_by_body_rel_.find(rel);
+    if (it == pending_by_body_rel_.end()) continue;
+    for (QueryId q : it->second) {
+      auto pit = partition_of_.find(q);
+      if (pit != partition_of_.end()) affected.push_back(pit->second);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  uint64_t answered_before = metrics_.answered;
+  for (PartitionId pid : affected) {
+    auto pit = partitions_.find(pid);
+    // An earlier iteration may have resolved or split this partition away.
+    if (pit == partitions_.end() || pit->second.members.empty()) continue;
+    ++res.partitions_reexamined;
+    // Bring matching up to date: in set-at-a-time mode postconditions are
+    // only matched at flush, so a wake-up propagates just this partition
+    // to let a fully coordinable group answer now. Conflicts are repaired
+    // exactly as in incremental mode (they would fail at flush anyway);
+    // queries whose partners have not arrived simply stay unmatched.
+    Stopwatch sw;
+    std::vector<QueryId> alive = PropagateWithRepair(pit->second.members);
+    metrics_.match_seconds += sw.ElapsedSeconds();
+    // Repair may have split the partition: re-examine every fragment the
+    // survivors landed in — ready ones answer, "no data yet" keeps
+    // members pending for the next write (or the flush).
+    std::vector<PartitionId> fragments;
+    for (QueryId q : alive) {
+      auto fit = partition_of_.find(q);
+      if (fit != partition_of_.end()) fragments.push_back(fit->second);
+    }
+    ReexaminePartitions(std::move(fragments));
+  }
+  res.queries_satisfied = metrics_.answered - answered_before;
+  return res;
 }
 
 void CoordinationEngine::ReexaminePartitions(

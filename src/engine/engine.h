@@ -78,6 +78,12 @@ struct QueryOutcome {
   std::vector<ir::GroundAtom> tuples;
 };
 
+/// What one data-arrival wake-up did (see NotifyDataArrival).
+struct WakeupResult {
+  uint64_t partitions_reexamined = 0;  ///< pending partitions re-evaluated
+  uint64_t queries_satisfied = 0;      ///< queries answered by the wake-up
+};
+
 /// Performance counters (used by the benchmark harnesses; Figure 7 reports
 /// match_seconds and db_seconds separately).
 struct EngineMetrics {
@@ -152,6 +158,24 @@ class CoordinationEngine {
   /// Advances the logical clock, expiring stale pending queries.
   void AdvanceTime(uint64_t now);
   uint64_t now() const { return now_; }
+
+  /// Data-arrival wake-up (write-triggered re-evaluation): re-examines
+  /// exactly the pending partitions whose members' bodies read any of
+  /// `rels`, against the current snapshot (call AdoptSnapshot first).
+  /// Per affected partition: unifier propagation (with conflict repair),
+  /// then evaluation iff every member is fully matched — partitions still
+  /// awaiting partners or data stay pending, never fail (inserting data is
+  /// monotone, so answering early is always safe; a flush keeps its
+  /// fail-the-stragglers semantics). Call between evaluations only, like
+  /// AdoptSnapshot.
+  WakeupResult NotifyDataArrival(const std::vector<SymbolId>& rels);
+
+  /// The database relations `q`'s body reads (sorted, unique). Valid for
+  /// any submitted id; the service layer mirrors this into its
+  /// relation→shard wake-up index.
+  const std::vector<SymbolId>& body_relations(ir::QueryId q) const {
+    return body_rels_[q];
+  }
 
   /// Withdraws a still-pending query: resolves it as failed (kCancelled) and
   /// retires it from graph/safety/partition state, so a disconnected client
@@ -238,8 +262,17 @@ class CoordinationEngine {
   ir::QuerySet queries_;
   std::vector<QueryOutcome> outcomes_;
   std::vector<uint64_t> deadlines_;  // 0 = none
+  /// Per query: the database relations its body reads (sorted, unique).
+  std::vector<std::vector<SymbolId>> body_rels_;
   std::unordered_set<ir::QueryId> pending_;
   std::unordered_set<ir::VarId> used_vars_;
+
+  /// Wake-up index: body relation → pending queries reading it. Entries
+  /// live exactly as long as the query is pending (inserted on Submit,
+  /// erased in Resolve), so NotifyDataArrival touches only partitions a
+  /// write could actually affect.
+  std::unordered_map<SymbolId, std::unordered_set<ir::QueryId>>
+      pending_by_body_rel_;
 
   core::UnifiabilityGraph graph_;
   core::SafetyChecker safety_;

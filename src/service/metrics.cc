@@ -44,6 +44,12 @@ double HistogramPercentileMs(
   return std::ldexp(1.0, static_cast<int>(buckets.size())) / 1000.0;
 }
 
+uint64_t RetryAfterMsHint(size_t depth, double ops_per_sec) {
+  if (ops_per_sec <= 0 || depth == 0) return 0;
+  double ms = 1000.0 * static_cast<double>(depth) / ops_per_sec;
+  return static_cast<uint64_t>(std::max(1.0, std::ceil(ms)));
+}
+
 ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
                                         const ShardStats& stats) {
   ShardMetricsSnapshot s;
@@ -62,6 +68,11 @@ ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
   s.snapshot_refreshes =
       stats.snapshot_refreshes.load(std::memory_order_relaxed);
   s.snapshot_version = stats.snapshot_version.load(std::memory_order_relaxed);
+  s.write_wakeups = stats.write_wakeups.load(std::memory_order_relaxed);
+  s.wakeup_reevals = stats.wakeup_reevals.load(std::memory_order_relaxed);
+  s.wakeup_satisfied = stats.wakeup_satisfied.load(std::memory_order_relaxed);
+  s.drain_ops_per_sec =
+      stats.drain_ops_per_sec.load(std::memory_order_relaxed);
   s.match_seconds = stats.match_seconds.load(std::memory_order_relaxed);
   s.db_seconds = stats.db_seconds.load(std::memory_order_relaxed);
   s.latency_buckets = stats.latency.Snapshot();
@@ -86,6 +97,9 @@ ServiceMetrics AggregateMetrics(std::vector<ShardMetricsSnapshot> shards,
     m.snapshot_refreshes += s.snapshot_refreshes;
     m.max_snapshot_version = std::max(m.max_snapshot_version,
                                       s.snapshot_version);
+    m.write_wakeups += s.write_wakeups;
+    m.wakeup_reevals += s.wakeup_reevals;
+    m.wakeup_satisfied += s.wakeup_satisfied;
     for (size_t i = 0; i < merged.size(); ++i) {
       merged[i] += s.latency_buckets[i];
     }
@@ -106,14 +120,18 @@ std::string ServiceMetrics::ToString() const {
   std::snprintf(line, sizeof(line),
                 "service: submitted=%llu answered=%llu failed=%llu "
                 "expired=%llu cancelled=%llu unsafe=%llu migrations=%llu "
-                "pending=%llu qps=%.0f p50=%.3fms p95=%.3fms p99=%.3fms\n",
+                "pending=%llu write_wakeups=%llu wakeup_reevals=%llu "
+                "wakeup_satisfied=%llu qps=%.0f p50=%.3fms p95=%.3fms "
+                "p99=%.3fms\n",
                 (unsigned long long)submitted, (unsigned long long)answered,
                 (unsigned long long)failed, (unsigned long long)expired,
                 (unsigned long long)cancelled,
                 (unsigned long long)rejected_unsafe,
                 (unsigned long long)migrations, (unsigned long long)pending,
-                answered_per_second, p50_latency_ms, p95_latency_ms,
-                p99_latency_ms);
+                (unsigned long long)write_wakeups,
+                (unsigned long long)wakeup_reevals,
+                (unsigned long long)wakeup_satisfied, answered_per_second,
+                p50_latency_ms, p95_latency_ms, p99_latency_ms);
   out += line;
   for (const ShardMetricsSnapshot& s : shards) {
     std::snprintf(line, sizeof(line),

@@ -54,6 +54,17 @@ struct ShardStats {
   /// Storage version the shard's engine currently evaluates against
   /// (gauge).
   std::atomic<uint64_t> snapshot_version{0};
+  /// WriteNotify control ops processed: a storage write touched a relation
+  /// some pending query on this shard reads in its body.
+  std::atomic<uint64_t> write_wakeups{0};
+  /// Pending partitions re-evaluated by those wake-ups.
+  std::atomic<uint64_t> wakeup_reevals{0};
+  /// Queries answered directly by a wake-up (write→answer, no flush, no
+  /// new submission).
+  std::atomic<uint64_t> wakeup_satisfied{0};
+  /// Recent op-drain rate (ops/sec, EWMA over the shard loop; gauge).
+  /// Feeds the computed retry-after hint in kResourceExhausted rejections.
+  std::atomic<double> drain_ops_per_sec{0};
   /// Engine time split, mirrored after each op batch (seconds, as doubles
   /// stored via atomic<double>).
   std::atomic<double> match_seconds{0};
@@ -77,6 +88,10 @@ struct ShardMetricsSnapshot {
   uint64_t pending = 0;
   uint64_t snapshot_refreshes = 0;
   uint64_t snapshot_version = 0;
+  uint64_t write_wakeups = 0;
+  uint64_t wakeup_reevals = 0;
+  uint64_t wakeup_satisfied = 0;
+  double drain_ops_per_sec = 0;
   double match_seconds = 0;
   double db_seconds = 0;
   std::array<uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
@@ -100,6 +115,9 @@ struct ServiceMetrics {
   /// Latest storage version any shard has adopted (writes published but
   /// not yet refreshed everywhere show up as shards lagging this value).
   uint64_t max_snapshot_version = 0;
+  uint64_t write_wakeups = 0;      ///< WriteNotify ops processed, all shards
+  uint64_t wakeup_reevals = 0;     ///< partitions re-evaluated by wake-ups
+  uint64_t wakeup_satisfied = 0;   ///< queries answered by wake-ups alone
 
   double elapsed_seconds = 0;       ///< since service start
   double answered_per_second = 0;   ///< global throughput
@@ -116,6 +134,12 @@ struct ServiceMetrics {
 /// Copies one shard's live stats.
 ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
                                         const ShardStats& stats);
+
+/// Concrete backoff hint for an overloaded shard: milliseconds until a
+/// queue of `depth` ops drains at `ops_per_sec` (ceiling, at least 1ms).
+/// Returns 0 when the rate is unknown (the shard never drained anything
+/// yet), signalling the caller to fall back to a generic hint.
+uint64_t RetryAfterMsHint(size_t depth, double ops_per_sec);
 
 /// Sums per-shard snapshots into the global view and computes percentiles
 /// over the merged latency histogram.

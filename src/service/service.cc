@@ -37,6 +37,10 @@ CoordinationService::CoordinationService(ServiceOptions opts)
   // the service for pre-route SQL translation and builder validation.
   RecycleEdgeCatalogLocked();  // no contention yet: shards don't exist
 
+  if (opts_.write_wakeups) {
+    wakeup_index_ = std::make_unique<WriteWakeupIndex>(router_.num_shards());
+  }
+
   shards_.reserve(router_.num_shards());
   for (uint32_t s = 0; s < router_.num_shards(); ++s) {
     ShardOptions sopts;
@@ -44,6 +48,7 @@ CoordinationService::CoordinationService(ServiceOptions opts)
     sopts.storage = storage_.get();
     sopts.base_ctx = storage_ctx_.get();
     sopts.on_start = opts_.on_shard_start;
+    sopts.wakeup_index = wakeup_index_.get();
     sopts.max_batch = opts_.max_batch;
     sopts.max_delay_ticks = opts_.max_delay_ticks;
     sopts.mode = opts_.mode;
@@ -172,12 +177,89 @@ void CoordinationService::RecycleEdgeCatalogLocked() {
 }
 
 Status CoordinationService::ApplyWrite(std::string_view table, db::Row row) {
-  return storage_->ApplyWrite(table, std::move(row));
+  EQ_RETURN_NOT_OK(storage_->ApplyWrite(table, std::move(row)));
+  NotifyWriteTouched({std::string(table)});
+  return Status::OK();
+}
+
+Status CoordinationService::ApplyDelete(std::string_view table,
+                                        size_t match_col,
+                                        const ir::Value& match_value,
+                                        size_t* removed) {
+  size_t n = 0;
+  EQ_RETURN_NOT_OK(
+      storage_->ApplyDelete(table, match_col, match_value, &n));
+  if (removed != nullptr) *removed = n;
+  // Matching nothing published no version, so there is nothing to adopt.
+  if (n > 0) NotifyWriteTouched({std::string(table)});
+  return Status::OK();
+}
+
+Status CoordinationService::ApplyUpdate(std::string_view table,
+                                        size_t match_col,
+                                        const ir::Value& match_value,
+                                        db::Row replacement,
+                                        size_t* updated) {
+  size_t n = 0;
+  EQ_RETURN_NOT_OK(storage_->ApplyUpdate(table, match_col, match_value,
+                                         std::move(replacement), &n));
+  if (updated != nullptr) *updated = n;
+  if (n > 0) NotifyWriteTouched({std::string(table)});
+  return Status::OK();
 }
 
 Status CoordinationService::ApplyBatch(
     const std::vector<db::Storage::TableWrite>& writes) {
-  return storage_->ApplyBatch(writes);
+  uint64_t pre_batch_version = storage_->version();
+  size_t rows_changed = 0;
+  EQ_RETURN_NOT_OK(storage_->ApplyBatch(writes, &rows_changed));
+  // Nothing published, or nobody listening: skip the table-list work.
+  if (rows_changed == 0 || wakeup_index_ == nullptr) return Status::OK();
+  std::vector<SymbolId> rels;
+  rels.reserve(writes.size());
+  for (const db::Storage::TableWrite& w : writes) {
+    SymbolId rel = storage_->interner().Lookup(w.table);
+    if (rel != kInvalidSymbol) rels.push_back(rel);
+  }
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  // Notify only tables the batch actually changed — a delete/update that
+  // matched nothing left its table's version untouched, and waking its
+  // readers would re-evaluate against pointer-identical data. (A
+  // concurrent writer changing such a table in the window is harmlessly
+  // over-notified here; it posts its own notify anyway.)
+  NotifyRelationsTouched(
+      storage_->FilterChangedSince(std::move(rels), pre_batch_version));
+  return Status::OK();
+}
+
+void CoordinationService::NotifyWriteTouched(
+    const std::vector<std::string>& tables) {
+  if (wakeup_index_ == nullptr || tables.empty()) return;
+  // Lookup, not Intern: a table that was written certainly has a symbol.
+  std::vector<SymbolId> rels;
+  rels.reserve(tables.size());
+  for (const std::string& t : tables) {
+    SymbolId rel = storage_->interner().Lookup(t);
+    if (rel != kInvalidSymbol) rels.push_back(rel);
+  }
+  NotifyRelationsTouched(std::move(rels));
+}
+
+void CoordinationService::NotifyRelationsTouched(std::vector<SymbolId> rels) {
+  if (wakeup_index_ == nullptr || rels.empty()) return;
+  // Exactly the shards whose pending bodies intersect the touched
+  // relations get a (cheap) control op; everyone else is undisturbed.
+  // A query that becomes pending concurrently with this lookup may miss
+  // the notify — its shard detects that at registration time (the
+  // version/ChangedSince self-wake in ShardRunner::HandleSubmit), so
+  // nothing is lost.
+  for (uint32_t s : wakeup_index_->ShardsReading(rels)) {
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kWriteNotify;
+    op.write_rels = rels;
+    shards_[s]->Enqueue(std::move(op));
+  }
 }
 
 Result<Ticket> CoordinationService::SubmitPreparedLocked(
@@ -194,12 +276,20 @@ Result<Ticket> CoordinationService::SubmitPreparedLocked(
     uint32_t target = router_.PeekShard(p.relations);
     size_t depth = shards_[target]->queue_depth();
     if (depth >= opts_.max_queue_depth) {
+      // Concrete backoff: queue depth over the shard's recent drain rate.
+      // Rate still unknown (shard never drained anything) → generic hint.
+      uint64_t hint_ms = shards_[target]->EstimateRetryAfterMs(depth);
+      std::string advice =
+          hint_ms > 0
+              ? "retry after ~" + std::to_string(hint_ms) +
+                    "ms (estimated from the shard's recent drain rate)"
+              : "retry after the shard drains (backoff, or wait for "
+                "pending tickets to resolve)";
       return Status::ResourceExhausted(
           "shard " + std::to_string(target) +
           " is overloaded: op queue depth " + std::to_string(depth) +
           " >= max_queue_depth=" + std::to_string(opts_.max_queue_depth) +
-          "; retry after the shard drains (backoff, or wait for pending "
-          "tickets to resolve)");
+          "; " + advice);
     }
   }
 

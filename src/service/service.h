@@ -73,6 +73,17 @@ struct ServiceOptions {
   /// convention as max_queue_depth).
   size_t edge_recycle_uses = 4096;
 
+  /// Write-triggered re-evaluation: when true (default), a successful
+  /// ApplyWrite/ApplyBatch/ApplyDelete/ApplyUpdate posts a WriteNotify
+  /// control op to exactly the shards holding pending queries whose bodies
+  /// read a touched relation; each adopts the fresh snapshot and
+  /// re-evaluates only those partitions, so a write that completes a
+  /// pending coordination answers it immediately — no flush, tick, or new
+  /// submission needed. False restores the flush-bound visibility of the
+  /// pre-reactive pipeline (writes become visible at the next evaluation
+  /// boundary only); the knob exists for A/B benchmarking.
+  bool write_wakeups = true;
+
   /// Test/diagnostic hook: runs on each shard thread after its engine is
   /// ready, before the first op is processed.
   std::function<void(uint32_t shard_id)> on_shard_start;
@@ -154,14 +165,33 @@ class CoordinationService {
 
   /// Live write ingestion: inserts one row into the shared storage and
   /// publishes a new snapshot version. Safe from any thread, any time.
-  /// Visibility: every shard adopts the new version at its next
-  /// evaluation boundary (batch flush, or per-submit in incremental
-  /// mode) — an in-flight coordination round keeps evaluating the version
-  /// it started with (§2.3). Build string cells with
-  /// ir::Value::Str(interner().Intern(...)).
+  /// Visibility: shards holding pending queries that read `table` are
+  /// woken immediately (WriteNotify — they adopt the new version and
+  /// re-evaluate just those partitions, unless write_wakeups is off);
+  /// everyone else adopts it at the next evaluation boundary (batch
+  /// flush, or per-submit in incremental mode). An in-flight coordination
+  /// round keeps evaluating the version it started with (§2.3). Build
+  /// string cells with ir::Value::Str(interner().Intern(...)).
   Status ApplyWrite(std::string_view table, db::Row row);
 
-  /// Applies a batch of writes and publishes once.
+  /// Removes every row of `table` whose `match_col` equals `match_value`
+  /// (CoW: snapshots already handed out keep the rows). Matching nothing
+  /// is a no-op — no new version, no wake-up. Wakes affected pending
+  /// partitions like ApplyWrite: a retraction cannot newly satisfy a
+  /// monotone body, but waking keeps the re-evaluation snapshot fresh so
+  /// later answers never resurrect deleted rows.
+  Status ApplyDelete(std::string_view table, size_t match_col,
+                     const ir::Value& match_value, size_t* removed = nullptr);
+
+  /// Replaces every row of `table` whose `match_col` equals `match_value`
+  /// with `replacement` (full-row replacement, atomic: one published
+  /// version). Wakes affected pending partitions like ApplyWrite.
+  Status ApplyUpdate(std::string_view table, size_t match_col,
+                     const ir::Value& match_value, db::Row replacement,
+                     size_t* updated = nullptr);
+
+  /// Applies a batch of writes (inserts, deletes, updates) atomically and
+  /// publishes once; affected shards are woken once for the whole batch.
   Status ApplyBatch(const std::vector<db::Storage::TableWrite>& writes);
 
   /// The shared interner (thread-safe): intern string cells for writes or
@@ -230,6 +260,13 @@ class CoordinationService {
   Result<Ticket> SubmitPreparedLocked(Prepared p, const SubmitOptions& opts,
                                       std::vector<Ticket>* dropped);
 
+  /// Posts a WriteNotify op (with the touched relations' symbols) to
+  /// every shard whose wake-up index entry intersects `tables`. No-op
+  /// when write_wakeups is off or no pending query reads the tables.
+  void NotifyWriteTouched(const std::vector<std::string>& tables);
+  /// Same, with the relation symbols already resolved (sorted, unique).
+  void NotifyRelationsTouched(std::vector<SymbolId> rels);
+
   void OnShardEvent(ShardRunner::Event ev);
   /// After a group merge: extract the in-flight tickets keyed under
   /// `rels` (the relations whose group assignment just changed) that are
@@ -257,6 +294,10 @@ class CoordinationService {
   std::shared_ptr<StringInterner> interner_;
   std::unique_ptr<ir::QueryContext> storage_ctx_;
   std::unique_ptr<db::Storage> storage_;
+
+  /// Relation→pending-shard index for write-triggered re-evaluation.
+  /// Declared before shards_ (shard threads write it until they stop).
+  std::unique_ptr<WriteWakeupIndex> wakeup_index_;
 
   std::vector<std::unique_ptr<ShardRunner>> shards_;
 

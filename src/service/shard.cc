@@ -56,10 +56,32 @@ void ShardRunner::Run() {
   if (opts_.on_start) opts_.on_start(opts_.shard_id);
 
   std::vector<Op> ops;
+  // Drain-rate bookkeeping: an EWMA of ops per second of BUSY time
+  // (dispatch only — the blocking DrainWait is excluded, or an idle
+  // stretch would crater the rate and inflate retry-after hints by the
+  // idle duration). Published as a gauge so admission rejections can
+  // compute a concrete retry-after from the live queue depth: depth/rate
+  // is "time to drain if continuously busy", exactly the backoff bound.
+  double busy_seconds = 0;
+  size_t processed_since_mark = 0;
   while (queue_.DrainWait(&ops) > 0) {
+    auto batch_start = std::chrono::steady_clock::now();
     for (Op& op : ops) Dispatch(op);
+    processed_since_mark += ops.size();
     ops.clear();
     MirrorEngineMetrics();
+    busy_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - batch_start)
+                        .count();
+    if (busy_seconds >= 0.001) {  // accumulate a stable sample first
+      double inst = static_cast<double>(processed_since_mark) / busy_seconds;
+      double prev = stats_.drain_ops_per_sec.load(std::memory_order_relaxed);
+      stats_.drain_ops_per_sec.store(
+          prev == 0 ? inst : 0.25 * inst + 0.75 * prev,
+          std::memory_order_relaxed);
+      busy_seconds = 0;
+      processed_since_mark = 0;
+    }
   }
 }
 
@@ -99,7 +121,24 @@ void ShardRunner::Dispatch(Op& op) {
       MirrorEngineMetrics();
       if (op.latch) op.latch->count_down();
       break;
+    case Op::Kind::kWriteNotify:
+      // An op boundary is an evaluation boundary: adopt the version the
+      // write published (or a newer one), then re-evaluate only the
+      // pending partitions whose bodies read the touched relations —
+      // writes are a third wake-up source next to arrivals and ticks.
+      DoWriteWakeup(op.write_rels);
+      break;
   }
+}
+
+void ShardRunner::DoWriteWakeup(const std::vector<SymbolId>& rels) {
+  stats_.write_wakeups.fetch_add(1, std::memory_order_relaxed);
+  RefreshSnapshot();
+  engine::WakeupResult r = engine_->NotifyDataArrival(rels);
+  stats_.wakeup_reevals.fetch_add(r.partitions_reexamined,
+                                  std::memory_order_relaxed);
+  stats_.wakeup_satisfied.fetch_add(r.queries_satisfied,
+                                    std::memory_order_relaxed);
 }
 
 db::Snapshot ShardRunner::adopted_snapshot() const {
@@ -187,6 +226,30 @@ void ShardRunner::HandleSubmit(Op& op) {
   if (engine_->outcome(*id).state == engine::QueryOutcome::State::kPending) {
     inflight_[*id] = info;
     qid_of_ticket_[info.ticket] = *id;
+    // Register under the body relations so a write touching them posts a
+    // WriteNotify here; the entry is unregistered when the query leaves
+    // the pending state (OnEngineResolve), keeping the index exact.
+    if (opts_.wakeup_index != nullptr) {
+      opts_.wakeup_index->AddPending(opts_.shard_id,
+                                     engine_->body_relations(*id));
+      // Close the registration race: a write published after this shard
+      // last adopted a snapshot but before the AddPending above found no
+      // index entry and posted no notify — without this check a pair
+      // pending on that row would hang (no ticker, no further submits).
+      // Registration and the writer's index lookup serialize on the index
+      // mutex, and publish precedes the lookup, so any missed write is
+      // visible here: first as a newer storage version (lock-free read —
+      // the common nothing-published case costs no lock), then in the
+      // storage's per-relation change log. The relation filter keeps
+      // unrelated write streams from turning set-at-a-time submits into
+      // per-submit re-evaluation (and keeps write_wakeups meaning what
+      // metrics.h says it means).
+      if (opts_.storage->version() != engine_->snapshot().version() &&
+          opts_.storage->ChangedSince(engine_->body_relations(*id),
+                                      engine_->snapshot().version())) {
+        DoWriteWakeup(engine_->body_relations(*id));
+      }
+    }
   } else {
     pref_of_qid_.erase(*id);  // resolved inside Submit
   }
@@ -248,6 +311,13 @@ void ShardRunner::OnEngineResolve(ir::QueryId q,
     inflight_.erase(it);
     qid_of_ticket_.erase(info.ticket);
     pref_of_qid_.erase(q);
+    // Mirrors the AddPending in HandleSubmit: every path out of the
+    // pending state (answered, failed, expired, cancelled, migrated out)
+    // lands here, so the wake-up index never leaks an entry.
+    if (opts_.wakeup_index != nullptr) {
+      opts_.wakeup_index->RemovePending(opts_.shard_id,
+                                        engine_->body_relations(q));
+    }
   } else if (current_submit_active_) {
     info = current_submit_;
   } else {

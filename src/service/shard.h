@@ -18,6 +18,7 @@
 #include "ir/query.h"
 #include "service/metrics.h"
 #include "service/ticket.h"
+#include "service/wakeup.h"
 #include "util/mpsc_queue.h"
 
 namespace eq::service {
@@ -46,6 +47,14 @@ struct ShardOptions {
   /// Test/diagnostic hook: runs on the shard thread after the engine is
   /// ready, before the first op is processed.
   std::function<void(uint32_t shard_id)> on_start;
+
+  /// The service-wide relation→pending-shard index (write-triggered
+  /// re-evaluation). When set, the shard registers every query that
+  /// becomes pending under its body relations and unregisters it on
+  /// resolution, so ApplyWrite can target WriteNotify ops at exactly the
+  /// shards a write could satisfy. Null = wake-ups disabled (the
+  /// pre-reactive flush-bound behavior).
+  WriteWakeupIndex* wakeup_index = nullptr;
 
   /// Batched flush scheduling (set-at-a-time mode): flush when this many
   /// submissions accumulated since the last flush...
@@ -84,6 +93,8 @@ class ShardRunner {
       kMigrate,  ///< silent extraction; emits kMigratedOut, no resolution
       kTick,     ///< advance the engine's logical clock
       kFlush,    ///< force a batch flush, then count down `latch`
+      kWriteNotify,  ///< a write touched relations pending queries read:
+                     ///< adopt the fresh snapshot, re-evaluate only them
     };
     Kind kind = Kind::kSubmit;
     TicketId ticket = 0;
@@ -104,6 +115,8 @@ class ShardRunner {
     std::chrono::steady_clock::time_point submitted_at{};
     uint64_t tick = 0;         ///< kTick payload
     std::shared_ptr<std::latch> latch;  ///< kFlush barrier
+    /// kWriteNotify payload: the touched relations (sorted, unique).
+    std::vector<SymbolId> write_rels;
   };
 
   /// An event leaving the shard, delivered on the shard thread.
@@ -139,6 +152,15 @@ class ShardRunner {
   /// Current op-queue depth (any thread; admission pre-check).
   size_t queue_depth() const { return queue_.size(); }
 
+  /// Concrete backoff hint for an admission rejection: how long a queue of
+  /// `depth` ops takes to drain at this shard's recent drain rate (EWMA
+  /// over the op loop). 0 = rate unknown (nothing drained yet); callers
+  /// fall back to a generic hint. Any thread.
+  uint64_t EstimateRetryAfterMs(size_t depth) const {
+    return RetryAfterMsHint(
+        depth, stats_.drain_ops_per_sec.load(std::memory_order_relaxed));
+  }
+
   /// The storage snapshot the shard currently evaluates against (any
   /// thread; test/diagnostic hook — e.g. asserting that shards share
   /// TableVersion objects by pointer identity).
@@ -158,6 +180,11 @@ class ShardRunner {
   /// batch flush; before each submit in incremental mode), never during an
   /// evaluation, preserving §2.3 per coordination round.
   void RefreshSnapshot();
+  /// One write wake-up: count it, adopt the fresh snapshot, re-evaluate
+  /// only the pending partitions reading `rels`, and publish the result
+  /// counters. Shared by the kWriteNotify dispatch and the
+  /// registration-race self-wake in HandleSubmit.
+  void DoWriteWakeup(const std::vector<SymbolId>& rels);
   /// Builds the ir::EntangledQuery for a submit op against this shard's
   /// private context: instantiate the portable program, translate SQL, or
   /// parse IR text.

@@ -1,0 +1,52 @@
+#include "service/wakeup.h"
+
+#include <algorithm>
+
+namespace eq::service {
+
+void WriteWakeupIndex::AddPending(uint32_t shard,
+                                  const std::vector<SymbolId>& rels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SymbolId rel : rels) {
+    auto [it, inserted] = counts_.try_emplace(rel);
+    if (inserted) it->second.assign(num_shards_, 0);
+    ++it->second[shard];
+  }
+}
+
+void WriteWakeupIndex::RemovePending(uint32_t shard,
+                                     const std::vector<SymbolId>& rels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SymbolId rel : rels) {
+    auto it = counts_.find(rel);
+    if (it == counts_.end() || it->second[shard] == 0) continue;
+    if (--it->second[shard] == 0 &&
+        std::all_of(it->second.begin(), it->second.end(),
+                    [](uint32_t c) { return c == 0; })) {
+      counts_.erase(it);
+    }
+  }
+}
+
+std::vector<uint32_t> WriteWakeupIndex::ShardsReading(
+    const std::vector<SymbolId>& rels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> shards;
+  for (SymbolId rel : rels) {
+    auto it = counts_.find(rel);
+    if (it == counts_.end()) continue;
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      if (it->second[s] > 0) shards.push_back(s);
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+size_t WriteWakeupIndex::tracked_relation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_.size();
+}
+
+}  // namespace eq::service

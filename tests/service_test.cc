@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <set>
 #include <string>
 #include <thread>
@@ -678,6 +679,338 @@ TEST(SharedSnapshotTest, ConcurrentWritersAndSubmittersStayConsistent) {
   }
   EXPECT_GE(svc.storage().version(),
             1u + kClients * kRounds);  // every write published a version
+}
+
+// ------------------------------------------------ reactive wake-ups ----
+
+/// Polls the aggregated pending gauge until it reaches `n` — i.e. the
+/// shard threads have demonstrably processed the submissions and the
+/// queries sit pending in their engines.
+void WaitForPending(CoordinationService& svc, uint64_t n) {
+  for (int i = 0; i < 5000 && svc.Metrics().pending < n; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(svc.Metrics().pending, n);
+}
+
+/// Polls until `wakeup_satisfied` reaches `n` and returns the metrics.
+/// Ticket futures resolve inside the wake-up, a moment before the shard
+/// thread publishes the wake-up counters — a reader woken by the ticket
+/// must give the gauge that moment.
+ServiceMetrics WaitForWakeupSatisfied(CoordinationService& svc, uint64_t n) {
+  ServiceMetrics m = svc.Metrics();
+  for (int i = 0; i < 5000 && m.wakeup_satisfied < n; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    m = svc.Metrics();
+  }
+  return m;
+}
+
+TEST(ReactiveWakeupTest, WriteAloneAnswersPendingPairIncremental) {
+  // The acceptance scenario: a matched pair pending on data that does not
+  // exist yet is answered by ApplyWrite ALONE — no Submit, no flush, no
+  // tick after the write.
+  CoordinationService svc(Opts(2, EvalMode::kIncremental));
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Vienna)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Vienna)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+  EXPECT_FALSE(a->Done());
+  EXPECT_FALSE(b->Done());
+
+  ASSERT_TRUE(svc.ApplyWrite("F", {ir::Value::Int(800),
+                                   ir::Value::Str(
+                                       svc.interner().Intern("Vienna"))})
+                  .ok());
+  // Nothing else: the WriteNotify wake-up is the only possible resolver.
+  ASSERT_TRUE(a->WaitFor(std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(b->WaitFor(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered)
+      << a->outcome().status.ToString();
+  EXPECT_EQ(b->outcome().state, ServiceOutcome::State::kAnswered)
+      << b->outcome().status.ToString();
+  EXPECT_NE(a->outcome().tuples[0].find("800"), std::string::npos);
+
+  ServiceMetrics m = WaitForWakeupSatisfied(svc, 2);
+  EXPECT_GE(m.write_wakeups, 1u);
+  EXPECT_GE(m.wakeup_reevals, 1u);
+  EXPECT_EQ(m.wakeup_satisfied, 2u);
+  EXPECT_EQ(m.max_snapshot_version, svc.storage().version());
+}
+
+TEST(ReactiveWakeupTest, WriteWakesSetAtATimePairBeforeAnyFlush) {
+  // Set-at-a-time: matching normally waits for a flush, but a wake-up
+  // propagates the affected partition and answers it when it is fully
+  // coordinable — the write is the third wake-up source next to arrivals
+  // and ticks. No ticks and no Drain anywhere in this test.
+  CoordinationService svc(Opts(2));  // kSetAtATime, no ticker
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Lisbon)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Lisbon)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+
+  ASSERT_TRUE(svc.ApplyWrite("F", {ir::Value::Int(900),
+                                   ir::Value::Str(
+                                       svc.interner().Intern("Lisbon"))})
+                  .ok());
+  ASSERT_TRUE(a->WaitFor(std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(b->WaitFor(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(b->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(WaitForWakeupSatisfied(svc, 2).wakeup_satisfied, 2u);
+  // The wake-up must not have flushed (it evaluates only the affected
+  // partition; a flush would have failed partnerless stragglers).
+  EXPECT_EQ(svc.Metrics().flushes, 0u);
+}
+
+TEST(ReactiveWakeupTest, UnrelatedWritesDoNotWakeAnyone) {
+  // The pending pair reads F only; writes to A must not generate
+  // WriteNotify traffic (the index is per-relation, not a broadcast).
+  CoordinationService svc(Opts(2, EvalMode::kIncremental));
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Quito)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Quito)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(svc.ApplyWrite("A", {ir::Value::Int(7000 + i),
+                                     ir::Value::Str(
+                                         svc.interner().Intern("NoAir"))})
+                    .ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(svc.Metrics().write_wakeups, 0u);
+  EXPECT_FALSE(a->Done());
+
+  // The relevant write still works after the noise.
+  ASSERT_TRUE(svc.ApplyWrite("F", {ir::Value::Int(801),
+                                   ir::Value::Str(
+                                       svc.interner().Intern("Quito"))})
+                  .ok());
+  ASSERT_TRUE(a->WaitFor(std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(b->WaitFor(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_GE(svc.Metrics().write_wakeups, 1u);
+}
+
+TEST(ReactiveWakeupTest, WakeupsDisabledRestoresFlushBoundVisibility) {
+  // The A/B knob behind the reactive bench: with write_wakeups off, the
+  // same scenario stays pending until an explicit flush boundary.
+  ServiceOptions o = Opts(2);
+  o.write_wakeups = false;
+  CoordinationService svc(o);
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Havana)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Havana)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+  ASSERT_TRUE(svc.ApplyWrite("F", {ir::Value::Int(802),
+                                   ir::Value::Str(
+                                       svc.interner().Intern("Havana"))})
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(a->Done());  // the write woke nothing
+  EXPECT_EQ(svc.Metrics().write_wakeups, 0u);
+  ASSERT_TRUE(svc.Drain());  // the old path: visible at the next flush
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(b->outcome().state, ServiceOutcome::State::kAnswered);
+}
+
+TEST(ReactiveWakeupTest, DeleteInvalidatesPreviouslyMatchableBody) {
+  // F(136, Rome) exists at bootstrap. The pair is matchable when
+  // submitted, but a delete lands before any evaluation: the wake-up
+  // re-evaluates against the fresh snapshot (no data -> stays pending),
+  // and the eventual flush must NOT resurrect the deleted row.
+  CoordinationService svc(Opts(2));
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Rome)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Rome)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+
+  size_t removed = 0;
+  ASSERT_TRUE(svc.ApplyDelete("F", 1,
+                              ir::Value::Str(svc.interner().Intern("Rome")),
+                              &removed)
+                  .ok());
+  EXPECT_EQ(removed, 1u);
+  ASSERT_TRUE(svc.Drain());
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(a->outcome().status.code(), StatusCode::kNotFound)
+      << a->outcome().status.ToString();
+  EXPECT_EQ(b->outcome().state, ServiceOutcome::State::kFailed);
+}
+
+TEST(ReactiveWakeupTest, UpdateRedirectsPendingCoordination) {
+  // An update (full-row replacement) both retracts and asserts: the pair
+  // waits on Sydney, and rerouting an existing flight there satisfies it.
+  CoordinationService svc(Opts(2, EvalMode::kIncremental));
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Sydney)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Sydney)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+
+  size_t updated = 0;
+  ASSERT_TRUE(svc.ApplyUpdate("F", 0, ir::Value::Int(136),
+                              {ir::Value::Int(136),
+                               ir::Value::Str(
+                                   svc.interner().Intern("Sydney"))},
+                              &updated)
+                  .ok());
+  EXPECT_EQ(updated, 1u);
+  ASSERT_TRUE(a->WaitFor(std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(b->WaitFor(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_NE(a->outcome().tuples[0].find("136"), std::string::npos);
+}
+
+// The reactive ThreadSanitizer workhorse: concurrent writers x submitters
+// x deleters (plus an updater), wake-ups on. Client pairs coordinate on
+// per-round destinations that only a write makes answerable; deleters and
+// updaters churn disjoint Noise rows, so every pair must still answer.
+TEST(ReactiveWakeupTest, ConcurrentWritersSubmittersDeletersStayConsistent) {
+  constexpr int kClients = 3;
+  constexpr int kRounds = 20;
+  ServiceOptions o = Opts(4, EvalMode::kIncremental);
+  CoordinationService svc(o);
+
+  std::atomic<bool> stop{false};
+  // Writer: keeps inserting Noise rows (wake-up fodder for the deleters).
+  std::thread writer([&svc, &stop] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(
+          svc.ApplyWrite("F", {ir::Value::Int(50000 + i),
+                               ir::Value::Str(
+                                   svc.interner().Intern("Noise"))})
+              .ok());
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+  // Deleter: retracts the Noise rows wholesale, racing the writer.
+  std::thread deleter([&svc, &stop] {
+    ir::Value noise = ir::Value::Str(svc.interner().Intern("Noise"));
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(svc.ApplyDelete("F", 1, noise).ok());
+      std::this_thread::yield();
+    }
+  });
+  // Updater: reroutes one bootstrap Rome flight back and forth.
+  std::thread updater([&svc, &stop] {
+    int flip = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char* dest = (flip++ % 2) ? "Rome" : "Milan";
+      ASSERT_TRUE(
+          svc.ApplyUpdate("F", 0, ir::Value::Int(136),
+                          {ir::Value::Int(136),
+                           ir::Value::Str(svc.interner().Intern(dest))})
+              .ok());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::vector<Ticket>> per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&svc, &per_client, c] {
+      for (int i = 0; i < kRounds; ++i) {
+        std::string rel = "W" + std::to_string(c) + "_" + std::to_string(i);
+        std::string dest = "City" + std::to_string(c) + "_" +
+                           std::to_string(i);
+        // Submit FIRST, write SECOND: the pair can only answer once its
+        // row lands, so answering proves a write-path wake-up (or the
+        // per-submit refresh) delivered it.
+        auto a = svc.SubmitAsync("{" + rel + "(B, x)} " + rel +
+                                 "(A, x) :- F(x, " + dest + ")");
+        auto b = svc.SubmitAsync("{" + rel + "(A, y)} " + rel +
+                                 "(B, y) :- F(y, " + dest + ")");
+        ASSERT_TRUE(a.ok() && b.ok());
+        ASSERT_TRUE(svc.ApplyWrite(
+                           "F", {ir::Value::Int(60000 + c * 1000 + i),
+                                 ir::Value::Str(
+                                     svc.interner().Intern(dest))})
+                        .ok());
+        per_client[c].push_back(*a);
+        per_client[c].push_back(*b);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  // Every pair must resolve from the writes alone — wake-ups are the only
+  // mechanism in play (incremental mode, no ticks): wait BEFORE draining.
+  for (const auto& tickets : per_client) {
+    for (const Ticket& t : tickets) {
+      ASSERT_TRUE(t.WaitFor(std::chrono::milliseconds(30000)));
+      EXPECT_EQ(t.outcome().state, ServiceOutcome::State::kAnswered)
+          << t.outcome().status.ToString();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  deleter.join();
+  updater.join();
+  ASSERT_TRUE(svc.Drain());
+  // Liveness + TSan are the point here; whether a given pair was answered
+  // by a wake-up or by the per-submit snapshot refresh (the write can land
+  // before the pair is even processed) is a race both sides of which are
+  // correct, so no exact wake-up count is asserted.
+  ServiceMetrics m = svc.Metrics();
+  EXPECT_EQ(m.pending, 0u);
+}
+
+// ------------------------------------------------ computed retry-after --
+
+TEST(RetryAfterHintTest, ComputesFromDepthAndRate) {
+  EXPECT_EQ(RetryAfterMsHint(100, 1000.0), 100u);  // 100 ops at 1k ops/s
+  EXPECT_EQ(RetryAfterMsHint(1, 1e6), 1u);         // floor of 1ms
+  EXPECT_EQ(RetryAfterMsHint(3, 2000.0), 2u);      // ceil(1.5ms)
+  EXPECT_EQ(RetryAfterMsHint(0, 1000.0), 0u);      // empty queue: no hint
+  EXPECT_EQ(RetryAfterMsHint(5, 0.0), 0u);         // unknown rate: no hint
+}
+
+TEST(RetryAfterHintTest, RejectionCarriesConcreteRetryAfter) {
+  ServiceOptions o = Opts(1);
+  o.max_queue_depth = 1;
+  CoordinationService svc(o);
+  // Warm the drain-rate estimate: flush ops are control traffic (exempt
+  // from admission) and drain through the same op loop the rate observes.
+  for (int i = 0; i < 5000 && svc.Metrics().shards[0].drain_ops_per_sec <= 0;
+       ++i) {
+    svc.FlushAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(svc.Metrics().shards[0].drain_ops_per_sec, 0.0);
+
+  // Park the shard thread inside a resolution callback so the op queue
+  // backs up behind it.
+  std::promise<void> entered;
+  auto release = std::make_shared<std::promise<void>>();
+  std::shared_future<void> gate = release->get_future().share();
+  SubmitOptions sopts;
+  sopts.callback = [&entered, gate](TicketId, const ServiceOutcome&) {
+    entered.set_value();
+    gate.wait();
+  };
+  auto blocker =
+      svc.Submit(client::Query::Ir("{Rb(A, x)} Rb(B, x) :- F(x, Rome)"),
+                 sopts);
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(svc.Cancel(*blocker).ok());
+  entered.get_future().wait();
+
+  auto q1 = svc.SubmitAsync("{Rc(A, x)} Rc(B, x) :- F(x, Rome)");
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  auto q2 = svc.SubmitAsync("{Rd(A, y)} Rd(B, y) :- F(y, Rome)");
+  ASSERT_FALSE(q2.ok());
+  EXPECT_EQ(q2.status().code(), StatusCode::kResourceExhausted);
+  // The hint is concrete: "retry after ~<N>ms", computed from the live
+  // queue depth and the shard's recent drain rate.
+  EXPECT_NE(q2.status().message().find("retry after ~"), std::string::npos)
+      << q2.status().ToString();
+  EXPECT_NE(q2.status().message().find("ms"), std::string::npos);
+
+  release->set_value();
+  ASSERT_TRUE(svc.Drain());
 }
 
 }  // namespace

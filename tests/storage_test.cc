@@ -82,6 +82,74 @@ TEST(TableCowTest, CopiedVersionKeepsIndexes) {
   EXPECT_EQ(old_postings->size(), 1u);
 }
 
+TEST(TableCowTest, DeleteWhereRemovesRowsAndRebuildsIndexes) {
+  ir::QueryContext ctx;
+  Table t({{"fno", ir::ValueType::kInt}, {"dest", ir::ValueType::kString}});
+  ir::Value paris = ctx.StrValue("Paris");
+  ir::Value rome = ctx.StrValue("Rome");
+  ASSERT_TRUE(t.Insert({ir::Value::Int(1), paris}).ok());
+  ASSERT_TRUE(t.Insert({ir::Value::Int(2), rome}).ok());
+  ASSERT_TRUE(t.Insert({ir::Value::Int(3), paris}).ok());
+  ASSERT_TRUE(t.BuildIndex(1).ok());
+
+  size_t removed = 0;
+  ASSERT_TRUE(t.DeleteWhere(1, paris, &removed).ok());
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(t.row_count(), 1u);
+  // Deletion shifts row ids: the surviving Rome row must be reachable
+  // through the rebuilt index at its new id.
+  const auto* postings = t.Probe(1, rome);
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ(t.row((*postings)[0])[0], ir::Value::Int(2));
+  EXPECT_EQ(t.Probe(1, paris)->size(), 0u);
+}
+
+TEST(TableCowTest, DeleteWhereIsCowAndNoMatchSkipsTheClone) {
+  ir::QueryContext ctx;
+  Table t({{"dest", ir::ValueType::kString}});
+  ir::Value paris = ctx.StrValue("Paris");
+  ASSERT_TRUE(t.Insert({paris}).ok());
+  std::shared_ptr<const TableVersion> reader = t.version();
+  // Matching nothing must not clone (pointer identity is load-bearing).
+  ASSERT_TRUE(t.DeleteWhere(0, ctx.StrValue("Oslo")).ok());
+  EXPECT_EQ(t.version().get(), reader.get());
+  // A real delete clones; the published reader keeps its row.
+  size_t removed = 0;
+  ASSERT_TRUE(t.DeleteWhere(0, paris, &removed).ok());
+  EXPECT_EQ(removed, 1u);
+  EXPECT_NE(t.version().get(), reader.get());
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_EQ(reader->row_count(), 1u);
+}
+
+TEST(TableCowTest, UpdateWhereReplacesWholeRowsAndChecksTheReplacement) {
+  ir::QueryContext ctx;
+  Table t({{"fno", ir::ValueType::kInt}, {"dest", ir::ValueType::kString}});
+  ir::Value paris = ctx.StrValue("Paris");
+  ir::Value oslo = ctx.StrValue("Oslo");
+  ASSERT_TRUE(t.Insert({ir::Value::Int(1), paris}).ok());
+  ASSERT_TRUE(t.Insert({ir::Value::Int(2), paris}).ok());
+  ASSERT_TRUE(t.BuildIndex(1).ok());
+  std::shared_ptr<const TableVersion> reader = t.version();
+
+  // A replacement that fails the schema check must not clone or mutate.
+  Status bad = t.UpdateWhere(1, paris, {ir::Value::Int(9), ir::Value::Int(9)});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.version().get(), reader.get());
+
+  size_t updated = 0;
+  ASSERT_TRUE(
+      t.UpdateWhere(1, paris, {ir::Value::Int(7), oslo}, &updated).ok());
+  EXPECT_EQ(updated, 2u);
+  EXPECT_NE(t.version().get(), reader.get());
+  // Full-row replacement, index rebuilt: both rows now Oslo / fno 7.
+  EXPECT_EQ(t.Probe(1, paris)->size(), 0u);
+  EXPECT_EQ(t.Probe(1, oslo)->size(), 2u);
+  // The published reader still sees the pre-update rows (CoW isolation).
+  EXPECT_EQ(reader->Probe(1, paris)->size(), 2u);
+}
+
 // ------------------------------------------------ Database snapshots ----
 
 TEST(SnapshotTest, DatabaseSnapshotSharesVersionsByPointer) {
@@ -196,6 +264,125 @@ TEST(StorageTest, FailedWriteReportsErrorAndPublishesNothingNew) {
   EXPECT_EQ(storage.version(), 1u);
   EXPECT_EQ(storage.mutable_db()->GetTable("Flights")->version().get(),
             before);
+}
+
+TEST(StorageTest, ApplyDeletePublishesAndOldSnapshotKeepsRows) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+
+  size_t removed = 0;
+  ASSERT_TRUE(storage
+                  .ApplyDelete("Flights", 1,
+                               ir::Value::Str(interner->Intern("Paris")),
+                               &removed)
+                  .ok());
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(storage.version(), 2u);
+  EXPECT_EQ(storage.writes_applied(), 1u);
+  EXPECT_EQ(storage.Current().GetTable("Flights")->row_count(), 0u);
+  // Snapshot isolation: v1 readers keep the deleted rows; the untouched
+  // table is shared by pointer across versions.
+  EXPECT_EQ(v1.GetTable("Flights")->row_count(), 2u);
+  EXPECT_EQ(v1.GetTable("Airlines"), storage.Current().GetTable("Airlines"));
+
+  // A delete matching nothing publishes no version (no spurious wake-ups).
+  ASSERT_TRUE(storage
+                  .ApplyDelete("Flights", 0, ir::Value::Int(424242), &removed)
+                  .ok());
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(storage.version(), 2u);
+  // Unknown table / bad column fail cleanly.
+  EXPECT_EQ(storage.ApplyDelete("Nope", 0, ir::Value::Int(1)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(storage.ApplyDelete("Flights", 9, ir::Value::Int(1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StorageTest, ApplyUpdateIsAtomicFullRowReplacement) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+
+  // Reroute flight 122 to Rome: one matched row, one published version.
+  size_t updated = 0;
+  ASSERT_TRUE(storage
+                  .ApplyUpdate("Flights", 0, ir::Value::Int(122),
+                               {ir::Value::Int(122),
+                                ir::Value::Str(interner->Intern("Rome"))},
+                               &updated)
+                  .ok());
+  EXPECT_EQ(updated, 1u);
+  EXPECT_EQ(storage.version(), 2u);
+  const TableVersion* flights = storage.Current().GetTable("Flights");
+  EXPECT_EQ(flights->row_count(), 2u);  // replacement, not insert+delete
+  // v1 still shows the Paris routing (update happened "in" a new version).
+  EXPECT_EQ(v1.GetTable("Flights")->row(0)[1],
+            ir::Value::Str(interner->Intern("Paris")));
+
+  // A schema-violating replacement applies nothing and publishes nothing.
+  EXPECT_EQ(storage
+                .ApplyUpdate("Flights", 0, ir::Value::Int(123),
+                             {ir::Value::Int(123), ir::Value::Int(9)})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(storage.version(), 2u);
+}
+
+TEST(StorageTest, MixedBatchAppliesInOrderAtomicallyOrNotAtAll) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  auto S = [&](const char* s) { return ir::Value::Str(interner->Intern(s)); };
+
+  // Insert + update + delete in one batch: one published version.
+  std::vector<Storage::TableWrite> batch;
+  batch.push_back(Storage::TableWrite::Insert(
+      "Flights", {ir::Value::Int(500), S("Oslo")}));
+  batch.push_back(Storage::TableWrite::Update(
+      "Flights", 0, ir::Value::Int(122), {ir::Value::Int(122), S("Oslo")}));
+  batch.push_back(
+      Storage::TableWrite::Delete("Flights", 0, ir::Value::Int(123)));
+  ASSERT_TRUE(storage.ApplyBatch(batch).ok());
+  EXPECT_EQ(storage.version(), 2u);
+  EXPECT_EQ(storage.writes_applied(), 3u);
+  const TableVersion* flights = storage.Current().GetTable("Flights");
+  ASSERT_EQ(flights->row_count(), 2u);  // +1 insert, -1 delete
+  EXPECT_TRUE(flights->AnyMatch(1, S("Oslo")));
+  EXPECT_FALSE(flights->AnyMatch(0, ir::Value::Int(123)));
+
+  // Validation covers the new kinds: a bad match column anywhere in the
+  // batch means NOTHING is applied (the earlier valid delete included).
+  std::vector<Storage::TableWrite> bad;
+  bad.push_back(
+      Storage::TableWrite::Delete("Flights", 0, ir::Value::Int(500)));
+  bad.push_back(Storage::TableWrite::Update(
+      "Flights", 7, ir::Value::Int(1), {ir::Value::Int(1), S("X")}));
+  Status st = storage.ApplyBatch(bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("write #1"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(storage.version(), 2u);
+  EXPECT_EQ(storage.writes_applied(), 3u);
+  EXPECT_TRUE(
+      storage.Current().GetTable("Flights")->AnyMatch(0, ir::Value::Int(500)));
+
+  // A batch whose every op matched nothing changes no TableVersion, so it
+  // publishes no version (same no-op rule as single deletes/updates).
+  size_t rows_changed = 99;
+  ASSERT_TRUE(storage
+                  .ApplyBatch({Storage::TableWrite::Delete(
+                                  "Flights", 0, ir::Value::Int(424242))},
+                              &rows_changed)
+                  .ok());
+  EXPECT_EQ(rows_changed, 0u);
+  EXPECT_EQ(storage.version(), 2u);
 }
 
 TEST(StorageTest, DroppingLastSnapshotReleasesOldVersion) {
