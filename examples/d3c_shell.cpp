@@ -6,6 +6,8 @@
 //
 //   CREATE TABLE Flights (fno INT, dest STR);
 //   INSERT Flights (122, 'Paris');
+//   DELETE FROM Flights WHERE dest = 'Paris' AND fno < 123;
+//   UPDATE Flights SET dest = 'Naples' WHERE fno = 136;
 //   INDEX Flights dest;
 //   SELECT 'Kramer', fno INTO ANSWER R
 //     WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
@@ -66,6 +68,8 @@ class Shell {
       Report(Refreshing(CreateTable(stmt)));
     } else if (word == "INSERT") {
       Report(Refreshing(Insert(stmt)));
+    } else if (word == "DELETE" || word == "UPDATE") {
+      Report(Refreshing(Write(stmt)));
     } else if (word == "INDEX") {
       Report(Refreshing(Index(stmt)));
     } else if (word == "SELECT") {
@@ -120,6 +124,8 @@ class Shell {
         "statements (terminate with ';'):\n"
         "  CREATE TABLE name (col TYPE, ...)   TYPE = INT | STR\n"
         "  INSERT name (value, ...)            value = 123 | 'text'\n"
+        "  DELETE FROM name [WHERE col op lit [AND ...]]\n"
+        "  UPDATE name SET col = lit [, ...] [WHERE ...]   op = = != < <= > >=\n"
         "  INDEX name column\n"
         "  SELECT ... INTO ANSWER ... CHOOSE k   entangled SQL (paper §2.1)\n"
         "  IR {C} H :- B                         Datalog-style IR (§2.2)\n"
@@ -205,6 +211,25 @@ class Shell {
       }
     }
     return db_.Insert(name, std::move(row));
+  }
+
+  /// SQL DELETE/UPDATE through the same translator the service uses: the
+  /// statement is resolved and type-checked against the current snapshot,
+  /// then applied to the shell's database (row count reported).
+  Status Write(const std::string& stmt) {
+    sql::Translator tr(&ctx_, &db_);
+    auto w = tr.TranslateWriteSql(stmt);
+    if (!w.ok()) return w.status();
+    db::Table* table = db_.GetTable(w->table());
+    if (table == nullptr) return Status::NotFound("no table " + w->table());
+    size_t rows = 0;
+    if (w->kind() == db::Storage::TableWrite::Kind::kDelete) {
+      EQ_RETURN_NOT_OK(table->DeleteWhere(w->write.pred, &rows));
+    } else {
+      EQ_RETURN_NOT_OK(table->UpdateWhere(w->write.pred, w->write.sets, &rows));
+    }
+    std::printf("%zu row(s) affected\n", rows);
+    return Status::OK();
   }
 
   Status Index(const std::string& stmt) {

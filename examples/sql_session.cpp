@@ -71,11 +71,63 @@ int main() {
   std::printf("Coordinated SQL booking:\n  Kramer -> %s\n  Jerry  -> %s\n",
               ko.tuples[0].c_str(), jo.tuples[0].c_str());
 
-  // Translation errors are synchronous: the edge catalog has no `Trains`.
+  // The write dialect: Elaine and Puddy wait for a Kyoto flight that does
+  // not exist yet; one SQL UPDATE reroutes flight 134 and the pending pair
+  // is answered by the write alone (edge translation → storage predicate
+  // matching → write-triggered wake-up).
+  auto elaine = session.SubmitSql(
+      "SELECT 'Elaine', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Kyoto') "
+      "AND ('Puddy', fno) IN ANSWER Reservation CHOOSE 1");
+  auto puddy = session.SubmitSql(
+      "SELECT 'Puddy', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Kyoto') "
+      "AND ('Elaine', fno) IN ANSWER Reservation CHOOSE 1");
+  auto rerouted =
+      session.ExecuteWrite("UPDATE Flights SET dest = 'Kyoto' WHERE fno = 134");
+  if (!elaine.ok() || !puddy.ok() || !rerouted.ok()) {
+    const Status& failed = !elaine.ok()   ? elaine.status()
+                           : !puddy.ok() ? puddy.status()
+                                         : rerouted.status();
+    std::fprintf(stderr, "write-path demo failed: %s\n",
+                 failed.ToString().c_str());
+    return 1;
+  }
+  const auto& eo = elaine->Wait();
+  const auto& po = puddy->Wait();
+  if (eo.state != service::ServiceOutcome::State::kAnswered ||
+      po.state != service::ServiceOutcome::State::kAnswered) {
+    const Status& failed =
+        eo.state != service::ServiceOutcome::State::kAnswered ? eo.status
+                                                              : po.status;
+    std::fprintf(stderr, "write-path coordination failed: %s\n",
+                 failed.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nUPDATE rerouted %zu flight(s) to Kyoto; the write woke:\n"
+              "  Elaine -> %s\n  Puddy  -> %s\n",
+              *rerouted, eo.tuples[0].c_str(), po.tuples[0].c_str());
+
+  // DELETE with a predicate: retract every remaining Paris flight below
+  // 130 (CoW — snapshots already adopted by in-flight rounds keep them).
+  auto dropped = session.ExecuteWrite(
+      "DELETE FROM Flights WHERE dest = 'Paris' AND fno < 130");
+  if (!dropped.ok()) {
+    std::fprintf(stderr, "delete failed: %s\n",
+                 dropped.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DELETE retracted %zu Paris flight(s) below 130\n", *dropped);
+
+  // Translation errors are synchronous: the edge catalog has no `Trains`
+  // (for writes exactly like for queries).
   auto bad = session.SubmitSql(
       "SELECT 'George', tno INTO ANSWER Reservation "
       "WHERE tno IN (SELECT tno FROM Trains) CHOOSE 1");
   std::printf("\nGeorge's query was rejected before routing:\n  %s\n",
               bad.status().ToString().c_str());
-  return bad.ok() ? 1 : 0;
+  auto bad_write = session.ExecuteWrite("DELETE FROM Trains WHERE tno = 1");
+  std::printf("George's DELETE was rejected at the edge catalog too:\n  %s\n",
+              bad_write.status().ToString().c_str());
+  return bad.ok() || bad_write.ok() ? 1 : 0;
 }

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Markdown lint + internal-link checker for the repo's documentation.
+
+Keeps README/ROADMAP/docs/ from rotting silently: a renamed file, a
+deleted heading, or an unbalanced code fence fails CI instead of shipping
+a dead link. Checked, per file:
+
+  1. internal links — every non-external `[text](target)` target must
+     exist on disk (resolved relative to the file; `#fragment`s are
+     stripped first);
+  2. anchors — a link to `file#heading` (or a same-file `#heading`) must
+     name a real heading in the target file, using GitHub's slug rules
+     (lowercase, spaces → dashes, punctuation dropped);
+  3. code fences — every ``` fence must be closed (an unbalanced fence
+     swallows the rest of the document in rendered views);
+  4. trailing whitespace — disallowed outside code fences (it renders as
+     a hard break on GitHub, almost always unintentionally).
+
+External links (http://, https://, mailto:) are NOT fetched — network
+reachability is not this script's business.
+
+Usage: check_docs.py <file-or-dir> [...]
+       (directories are scanned recursively for *.md)
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces→dashes.
+    Underscores survive (GitHub keeps them: `edge_recycle_uses` slugs to
+    edge_recycle_uses); backticks/asterisks are formatting and drop."""
+    text = re.sub(r"[`*]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def parse(path):
+    """Returns (links, slugs, errors) for one markdown file. Links and the
+    lint checks skip fenced code blocks; an unclosed fence is an error."""
+    links, slugs, errors = [], set(), []
+    in_fence = False
+    fence_line = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            stripped = line.rstrip("\n")
+            if stripped.lstrip().startswith("```"):
+                in_fence = not in_fence
+                fence_line = lineno
+                continue
+            if in_fence:
+                continue
+            if stripped != stripped.rstrip():
+                errors.append(f"{path}:{lineno}: trailing whitespace")
+            m = HEADING_RE.match(stripped)
+            if m:
+                slugs.add(github_slug(m.group(2)))
+            for target in LINK_RE.findall(stripped):
+                links.append((lineno, target))
+    if in_fence:
+        errors.append(f"{path}:{fence_line}: unclosed code fence")
+    return links, slugs, errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    files = []
+    for arg in sys.argv[1:]:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md")
+                )
+        else:
+            files.append(arg)
+
+    parsed = {}  # path -> (links, slugs)
+    errors = []
+    for path in sorted(set(files)):
+        links, slugs, errs = parse(path)
+        parsed[path] = (links, slugs)
+        errors.extend(errs)
+
+    def slugs_of(path):
+        if path not in parsed:
+            _links, slugs, errs = parse(path)
+            parsed[path] = ([], slugs)
+            errors.extend(errs)
+        return parsed[path][1]
+
+    for path, (links, _slugs) in sorted(parsed.items()):
+        base = os.path.dirname(path)
+        for lineno, target in links:
+            if target.startswith(EXTERNAL):
+                continue
+            raw, _, fragment = target.partition("#")
+            dest = os.path.normpath(os.path.join(base, raw)) if raw else path
+            if not os.path.exists(dest):
+                errors.append(f"{path}:{lineno}: broken link '{target}' "
+                              f"({dest} does not exist)")
+                continue
+            if fragment and dest.endswith(".md"):
+                if fragment not in slugs_of(dest):
+                    errors.append(f"{path}:{lineno}: broken anchor "
+                                  f"'{target}' (no heading '#{fragment}' "
+                                  f"in {dest})")
+
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problem(s)):")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(f"docs check OK: {len(parsed)} file(s), all internal links and "
+          f"anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,11 @@ struct PortableFilter {
 ///
 /// Variable identity is by name: two PortableTerm::Var with the same text
 /// denote the same variable within one PortableQuery.
+///
+/// Thread safety: a PortableQuery is plain immutable data once built.
+/// The service ships it across shard boundaries as a
+/// shared_ptr<const PortableQuery>; concurrent Instantiate calls against
+/// distinct contexts are safe (Instantiate only reads the template).
 struct PortableQuery {
   std::string label;
   std::vector<PortableAtom> postconditions;  // C
@@ -151,6 +156,11 @@ struct PreferenceSpec {
 
 /// The typed client-facing query value: one of the three dialects. Cheap to
 /// copy (builder programs are shared, not duplicated).
+///
+/// Thread safety: a Query is an immutable value after construction — copy
+/// it freely across threads. Submission itself is thread-safe on the
+/// service side (CoordinationService::Submit may be called from any
+/// thread); the Query object is consumed by value.
 class Query {
  public:
   Query() = default;

@@ -2,6 +2,7 @@
 #define EQ_CLIENT_SESSION_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,15 @@ class Session {
   std::vector<Result<service::Ticket>> SubmitBatch(
       std::vector<Query> queries, service::SubmitOptions opts = {}) {
     return svc_->SubmitBatch(std::move(queries), Merge(std::move(opts)));
+  }
+
+  /// Executes one SQL DELETE or UPDATE statement (see
+  /// CoordinationService::ExecuteWrite): translated and type-checked at
+  /// the edge catalog, applied through the versioned storage, and waking
+  /// exactly the pending queries that read a touched relation. Returns the
+  /// number of rows affected.
+  Result<size_t> ExecuteWrite(std::string_view sql) {
+    return svc_->ExecuteWrite(sql);
   }
 
   /// Withdraws a pending query (see CoordinationService::Cancel).

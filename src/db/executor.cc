@@ -29,38 +29,7 @@ std::unordered_map<VarId, Value> Valuation::ToMap() const {
 
 namespace {
 
-/// Three-way comparison of two values; types compare before payloads so that
-/// mixed-type comparisons are total (and deterministic) rather than errors.
-int CompareValues(const Value& a, const Value& b) {
-  if (a.type() != b.type()) {
-    return a.type() < b.type() ? -1 : 1;
-  }
-  if (a.is_int()) {
-    if (a.AsInt() != b.AsInt()) return a.AsInt() < b.AsInt() ? -1 : 1;
-    return 0;
-  }
-  if (a == b) return 0;
-  return a.Hash() < b.Hash() ? -1 : 1;  // strings: arbitrary but total
-}
-
-bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
-  // Equality/inequality are exact; ordered comparisons use CompareValues.
-  switch (op) {
-    case CompareOp::kEq:
-      return a == b;
-    case CompareOp::kNe:
-      return a != b;
-    case CompareOp::kLt:
-      return CompareValues(a, b) < 0;
-    case CompareOp::kLe:
-      return CompareValues(a, b) <= 0;
-    case CompareOp::kGt:
-      return CompareValues(a, b) > 0;
-    case CompareOp::kGe:
-      return CompareValues(a, b) >= 0;
-  }
-  return false;
-}
+using ir::EvalCompare;  // the shared comparison kernel (ir/query.h)
 
 /// One depth-first evaluation of a conjunctive query.
 class Evaluation {

@@ -68,8 +68,8 @@ Status Storage::ApplyWrite(std::string_view table, Row row) {
   return Status::OK();
 }
 
-Status Storage::ApplyDelete(std::string_view table, size_t match_col,
-                            const ir::Value& match_value, size_t* removed) {
+Status Storage::ApplyDelete(std::string_view table, const Predicate& pred,
+                            size_t* removed) {
   std::lock_guard<std::mutex> lock(mu_);
   if (removed != nullptr) *removed = 0;
   Table* t = db_.GetTable(table);
@@ -77,11 +77,30 @@ Status Storage::ApplyDelete(std::string_view table, size_t match_col,
     return Status::NotFound("table '" + std::string(table) + "' not found");
   }
   size_t n = 0;
-  EQ_RETURN_NOT_OK(t->DeleteWhere(match_col, match_value, &n));
+  EQ_RETURN_NOT_OK(t->DeleteWhere(pred, &n));
   if (removed != nullptr) *removed = n;
   // Matching nothing left every TableVersion untouched — publishing would
   // only churn snapshot versions (and spuriously wake write-notified
   // readers), so don't.
+  if (n == 0) return Status::OK();
+  ++writes_applied_;
+  NoteTableChangedLocked(table);
+  PublishLocked();
+  return Status::OK();
+}
+
+Status Storage::ApplyUpdate(std::string_view table, const Predicate& pred,
+                            const std::vector<ColumnSet>& sets,
+                            size_t* updated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (updated != nullptr) *updated = 0;
+  Table* t = db_.GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  size_t n = 0;
+  EQ_RETURN_NOT_OK(t->UpdateWhere(pred, sets, &n));
+  if (updated != nullptr) *updated = n;
   if (n == 0) return Status::OK();
   ++writes_applied_;
   NoteTableChangedLocked(table);
@@ -122,18 +141,22 @@ Status Storage::ApplyBatch(const std::vector<TableWrite>& writes,
       return Status::NotFound("write #" + std::to_string(i) + ": table '" +
                               w.table + "' not found");
     }
-    if (w.kind != TableWrite::Kind::kInsert &&
-        w.match_col >= t->schema().arity()) {
-      return Status::InvalidArgument(
-          "write #" + std::to_string(i) + ": no column " +
-          std::to_string(w.match_col) + " in table '" + w.table + "'");
+    auto prefix = [&](const Status& st) {
+      return Status(st.code(),
+                    "write #" + std::to_string(i) + " on table '" + w.table +
+                        "': " + st.message());
+    };
+    if (w.kind != TableWrite::Kind::kInsert) {
+      Status st = w.pred.Validate(t->schema());
+      if (!st.ok()) return prefix(st);
     }
-    if (w.kind != TableWrite::Kind::kDelete) {
-      Status st = t->CheckRow(w.row);
-      if (!st.ok()) {
-        return Status(st.code(),
-                      "write #" + std::to_string(i) + ": " + st.message());
-      }
+    if (w.kind == TableWrite::Kind::kInsert ||
+        (w.kind == TableWrite::Kind::kUpdate && w.sets.empty())) {
+      Status st = t->CheckRow(w.row);  // inserted row / full-row replacement
+      if (!st.ok()) return prefix(st);
+    } else if (w.kind == TableWrite::Kind::kUpdate) {
+      Status st = ValidateColumnSets(t->schema(), w.sets);
+      if (!st.ok()) return prefix(st);
     }
   }
   size_t rows_changed = 0;
@@ -147,10 +170,12 @@ Status Storage::ApplyBatch(const std::vector<TableWrite>& writes,
         affected = 1;
         break;
       case TableWrite::Kind::kDelete:
-        st = t->DeleteWhere(w.match_col, w.match_value, &affected);
+        st = t->DeleteWhere(w.pred, &affected);
         break;
       case TableWrite::Kind::kUpdate:
-        st = t->UpdateWhere(w.match_col, w.match_value, w.row, &affected);
+        st = t->UpdateWhere(
+            w.pred, w.sets.empty() ? ReplacementSets(w.row) : w.sets,
+            &affected);
         break;
     }
     if (!st.ok()) return st;  // unreachable after validation

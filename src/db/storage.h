@@ -65,30 +65,43 @@ class Storage {
   }
 
   /// One write operation destined for one table. The two-field brace form
-  /// `{"T", row}` stays an insert; deletes and updates match rows by one
-  /// column's value (full-row replacement for updates — CoW keeps every
-  /// published snapshot on the version it captured).
+  /// `{"T", row}` stays an insert. Deletes and updates match rows with a
+  /// db::Predicate — a conjunction of per-column comparisons; the classic
+  /// single-column-equality factories build the one-conjunct predicate.
+  /// Updates either apply SET clauses (`sets` non-empty — the SQL
+  /// `UPDATE ... SET` form) or replace the whole row (`sets` empty, `row`
+  /// is the replacement). CoW keeps every published snapshot on the
+  /// version it captured.
   struct TableWrite {
     enum class Kind : uint8_t { kInsert, kDelete, kUpdate };
 
     std::string table;
-    Row row;  ///< kInsert: the row to append; kUpdate: the replacement row
+    Row row;  ///< kInsert: the row to append; kUpdate with empty `sets`:
+              ///< the full-row replacement
     Kind kind = Kind::kInsert;
-    size_t match_col = 0;    ///< kDelete / kUpdate: column matched
-    ir::Value match_value;   ///< kDelete / kUpdate: value matched
+    Predicate pred;               ///< kDelete / kUpdate: which rows match
+    std::vector<ColumnSet> sets;  ///< kUpdate: per-column assignments
 
     static TableWrite Insert(std::string table, Row row) {
-      return {std::move(table), std::move(row), Kind::kInsert, 0, {}};
+      return {std::move(table), std::move(row), Kind::kInsert, {}, {}};
+    }
+    static TableWrite Delete(std::string table, Predicate pred) {
+      return {std::move(table), {}, Kind::kDelete, std::move(pred), {}};
     }
     static TableWrite Delete(std::string table, size_t match_col,
                              ir::Value match_value) {
-      return {std::move(table), {}, Kind::kDelete, match_col,
-              std::move(match_value)};
+      return Delete(std::move(table),
+                    Predicate::Eq(match_col, std::move(match_value)));
+    }
+    static TableWrite Update(std::string table, Predicate pred,
+                             std::vector<ColumnSet> sets) {
+      return {std::move(table), {}, Kind::kUpdate, std::move(pred),
+              std::move(sets)};
     }
     static TableWrite Update(std::string table, size_t match_col,
                              ir::Value match_value, Row replacement) {
       return {std::move(table), std::move(replacement), Kind::kUpdate,
-              match_col, std::move(match_value)};
+              Predicate::Eq(match_col, std::move(match_value)), {}};
     }
   };
 
@@ -98,11 +111,25 @@ class Storage {
   /// published snapshot).
   Status ApplyWrite(std::string_view table, Row row);
 
-  /// Removes every row of `table` whose `match_col` equals `match_value`,
-  /// then publishes a new version. A delete that matches nothing is a
-  /// no-op: no clone, no publish. `removed` (optional) receives the count.
+  /// Removes every row of `table` matching `pred` (validated against the
+  /// schema up front), then publishes a new version. A delete that matches
+  /// nothing is a no-op: no clone, no publish. `removed` (optional)
+  /// receives the count.
+  Status ApplyDelete(std::string_view table, const Predicate& pred,
+                     size_t* removed = nullptr);
+
+  /// Single-column-equality convenience: ApplyDelete(table, col = value).
   Status ApplyDelete(std::string_view table, size_t match_col,
-                     const ir::Value& match_value, size_t* removed = nullptr);
+                     const ir::Value& match_value, size_t* removed = nullptr) {
+    return ApplyDelete(table, Predicate::Eq(match_col, match_value), removed);
+  }
+
+  /// Applies `sets` to every row of `table` matching `pred` (both
+  /// validated up front — the SQL UPDATE ... SET semantics), then
+  /// publishes a new version. Matching nothing is a no-op.
+  Status ApplyUpdate(std::string_view table, const Predicate& pred,
+                     const std::vector<ColumnSet>& sets,
+                     size_t* updated = nullptr);
 
   /// Replaces every row of `table` whose `match_col` equals `match_value`
   /// with `replacement` (full-row replacement, schema-checked up front),

@@ -39,36 +39,158 @@ Status TableVersion::Insert(Row row) {
   return Status::OK();
 }
 
-size_t TableVersion::DeleteWhere(size_t col, const ir::Value& v) {
+Status Predicate::Validate(const Schema& schema) const {
+  for (const Term& t : terms) {
+    if (t.col >= schema.arity()) {
+      return Status::InvalidArgument("no column " + std::to_string(t.col));
+    }
+    if (t.value.is_null()) {
+      return Status::InvalidArgument(
+          "predicate on column '" + schema.columns[t.col].name +
+          "' compares against NULL");
+    }
+    if (t.value.type() != schema.columns[t.col].type) {
+      return Status::InvalidArgument(
+          "type mismatch: predicate compares column '" +
+          schema.columns[t.col].name + "' with a value of another type");
+    }
+    // Interned strings carry no lexicographic order (ir::CompareValues
+    // orders them by an arbitrary-but-total hash), so an ordered string
+    // comparison would silently match the wrong rows — reject it rather
+    // than corrupt data.
+    bool ordered = t.op != ir::CompareOp::kEq && t.op != ir::CompareOp::kNe;
+    if (ordered && schema.columns[t.col].type == ir::ValueType::kString) {
+      return Status::InvalidArgument(
+          "ordered comparison '" + std::string(ir::CompareOpName(t.op)) +
+          "' on STRING column '" + schema.columns[t.col].name +
+          "' is not supported (only = and != order strings meaningfully)");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateColumnSets(const Schema& schema,
+                          const std::vector<ColumnSet>& sets) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("update carries no SET clauses");
+  }
+  std::vector<bool> assigned(schema.arity(), false);
+  for (const ColumnSet& s : sets) {
+    if (s.col >= schema.arity()) {
+      return Status::InvalidArgument("no column " + std::to_string(s.col));
+    }
+    if (assigned[s.col]) {
+      // Last-one-wins would silently mask a typo'd column name; standard
+      // SQL rejects duplicate assignment targets, so do we.
+      return Status::InvalidArgument("column '" + schema.columns[s.col].name +
+                                     "' assigned twice in one update");
+    }
+    assigned[s.col] = true;
+    if (!s.value.is_null() && s.value.type() != schema.columns[s.col].type) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema.columns[s.col].name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<uint32_t>* TableVersion::EqPostings(
+    const Predicate& pred) const {
+  for (const Predicate::Term& t : pred.terms) {
+    if (t.op != ir::CompareOp::kEq || !HasIndex(t.col)) continue;
+    return Probe(t.col, t.value);
+  }
+  return nullptr;
+}
+
+size_t TableVersion::DeleteWhere(const Predicate& pred) {
   size_t before = rows_.size();
-  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
-                             [&](const Row& r) { return r[col] == v; }),
-              rows_.end());
+  if (const std::vector<uint32_t>* postings = EqPostings(pred)) {
+    // Equality fast path: only the postings of an indexed `=` conjunct can
+    // match; verify the residual conjuncts on just those rows, then drop
+    // the survivors in one compaction pass.
+    std::vector<bool> doomed(rows_.size(), false);
+    size_t hits = 0;
+    for (uint32_t id : *postings) {
+      if (pred.Matches(rows_[id])) {
+        doomed[id] = true;
+        ++hits;
+      }
+    }
+    if (hits == 0) return 0;
+    size_t w = 0;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (doomed[r]) continue;
+      // Guard the prefix where nothing was dropped yet: self-move-assigning
+      // a vector leaves it valid-but-unspecified (empty on libstdc++).
+      if (w != r) rows_[w] = std::move(rows_[r]);
+      ++w;
+    }
+    rows_.resize(w);
+  } else {
+    rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                               [&](const Row& r) { return pred.Matches(r); }),
+                rows_.end());
+  }
   size_t removed = before - rows_.size();
   if (removed > 0) RebuildIndexes();
   return removed;
 }
 
-size_t TableVersion::UpdateWhere(size_t col, const ir::Value& v,
-                                 const Row& replacement) {
+size_t TableVersion::UpdateWhere(const Predicate& pred,
+                                 const std::vector<ColumnSet>& sets) {
+  auto apply = [&](Row& r) {
+    for (const ColumnSet& s : sets) r[s.col] = s.value;
+  };
   size_t updated = 0;
-  for (Row& r : rows_) {
-    if (r[col] == v) {
-      r = replacement;
-      ++updated;
+  if (const std::vector<uint32_t>* postings = EqPostings(pred)) {
+    for (uint32_t id : *postings) {
+      if (pred.Matches(rows_[id])) {
+        apply(rows_[id]);
+        ++updated;
+      }
+    }
+  } else {
+    for (Row& r : rows_) {
+      if (pred.Matches(r)) {
+        apply(r);
+        ++updated;
+      }
     }
   }
-  if (updated > 0) RebuildIndexes();
+  // In-place assignment never shifts row ids, so only indexes over
+  // columns a SET clause touched are stale.
+  if (updated > 0 &&
+      std::any_of(sets.begin(), sets.end(),
+                  [&](const ColumnSet& s) { return HasIndex(s.col); })) {
+    RebuildIndexes();
+  }
   return updated;
 }
 
-bool TableVersion::AnyMatch(size_t col, const ir::Value& v) const {
-  if (HasIndex(col)) {
-    const std::vector<uint32_t>* postings = Probe(col, v);
-    return postings != nullptr && !postings->empty();
+std::vector<ColumnSet> ReplacementSets(const Row& replacement) {
+  std::vector<ColumnSet> sets;
+  sets.reserve(replacement.size());
+  for (size_t c = 0; c < replacement.size(); ++c) {
+    sets.push_back({c, replacement[c]});
+  }
+  return sets;
+}
+
+size_t TableVersion::UpdateWhere(size_t col, const ir::Value& v,
+                                 const Row& replacement) {
+  return UpdateWhere(Predicate::Eq(col, v), ReplacementSets(replacement));
+}
+
+bool TableVersion::AnyMatch(const Predicate& pred) const {
+  if (const std::vector<uint32_t>* postings = EqPostings(pred)) {
+    for (uint32_t id : *postings) {
+      if (pred.Matches(rows_[id])) return true;
+    }
+    return false;
   }
   for (const Row& r : rows_) {
-    if (r[col] == v) return true;
+    if (pred.Matches(r)) return true;
   }
   return false;
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ir/query.h"
 #include "ir/value.h"
 #include "util/status.h"
 
@@ -31,6 +32,82 @@ struct Schema {
   /// Index of the column with the given name, or -1.
   int ColumnIndex(std::string_view name) const;
 };
+
+/// A write predicate: a conjunction (AND) of per-column comparisons
+/// `col <op> literal`, op ∈ {=, !=, <, <=, >, >=}. The match unit for
+/// DeleteWhere/UpdateWhere — the declarative generalization of the
+/// original single-column-equality match. An empty conjunction matches
+/// every row (SQL `DELETE FROM t` with no WHERE).
+///
+/// Ordered comparisons use the same kernel as query-body filters
+/// (ir::EvalCompare), so `WHERE fno < 200` means the same thing in a
+/// query and in a DELETE — and they are INT-only: interned strings have
+/// no lexicographic order, so Validate rejects <, <=, >, >= on STRING
+/// columns instead of silently matching hash-ordered rows. Predicates
+/// are plain data: value-copyable, immutable once built, safe to share
+/// across threads.
+struct Predicate {
+  /// One conjunct: `column <op> value`.
+  struct Term {
+    size_t col = 0;
+    ir::CompareOp op = ir::CompareOp::kEq;
+    ir::Value value;
+  };
+
+  std::vector<Term> terms;  ///< conjunction; empty = match all rows
+
+  /// `col = v` — the classic single-column match.
+  static Predicate Eq(size_t col, ir::Value v) {
+    Predicate p;
+    p.terms.push_back({col, ir::CompareOp::kEq, std::move(v)});
+    return p;
+  }
+
+  /// Appends a conjunct (builder style): `Predicate::Eq(0, a).And(1, kLt, b)`.
+  Predicate& And(size_t col, ir::CompareOp op, ir::Value v) {
+    terms.push_back({col, op, std::move(v)});
+    return *this;
+  }
+
+  bool empty() const { return terms.empty(); }
+
+  /// True iff every conjunct holds for `row`. `row` must satisfy the schema
+  /// this predicate was validated against. SQL NULL semantics: a NULL cell
+  /// satisfies no comparison (not even !=) — without this guard the
+  /// type-tag ordering in ir::CompareValues would make NULL compare less
+  /// than every value and silently match range predicates. A row with
+  /// NULL cells is still matched by the empty conjunction (bare
+  /// `DELETE FROM t` really does clear the table).
+  bool Matches(const Row& row) const {
+    for (const Term& t : terms) {
+      if (row[t.col].is_null()) return false;
+      if (!ir::EvalCompare(t.op, row[t.col], t.value)) return false;
+    }
+    return true;
+  }
+
+  /// Checks every conjunct against `schema`: column in range, literal
+  /// non-null and of the column's declared type. Run BEFORE any CoW clone
+  /// so an invalid predicate never copies a table.
+  Status Validate(const Schema& schema) const;
+};
+
+/// One SQL SET clause: assign `value` to `col` in every matched row.
+struct ColumnSet {
+  size_t col = 0;
+  ir::Value value;
+};
+
+/// Checks SET clauses against `schema`: at least one clause, column in
+/// range, no column assigned twice, value type matching the column (NULL
+/// allowed, mirroring Insert's CheckRow).
+Status ValidateColumnSets(const Schema& schema,
+                          const std::vector<ColumnSet>& sets);
+
+/// Lowers a full-row replacement to its SET-clause form (one assignment
+/// per column) — the single definition shared by the legacy UpdateWhere
+/// overload and batch application.
+std::vector<ColumnSet> ReplacementSets(const Row& replacement);
 
 /// One immutable version of an in-memory row-store table: rows plus
 /// optional per-column hash indexes.
@@ -59,22 +136,38 @@ class TableVersion {
   /// Only valid while this version is exclusively owned.
   Status Insert(Row row);
 
-  /// Removes every row whose `col` equals `v`, rebuilding any built
-  /// indexes (deletion shifts row ids, so postings are recomputed rather
-  /// than patched). Returns the number of rows removed.
+  /// Removes every row matching `pred`, rebuilding any built indexes
+  /// (deletion shifts row ids, so postings are recomputed rather than
+  /// patched). An indexed `=` conjunct narrows the scan to its postings
+  /// (the equality fast path). Returns the number of rows removed.
   /// Only valid while this version is exclusively owned.
-  size_t DeleteWhere(size_t col, const ir::Value& v);
+  size_t DeleteWhere(const Predicate& pred);
 
-  /// Replaces every row whose `col` equals `v` with `replacement` (full-row
-  /// replacement; `replacement` must already be schema-checked), rebuilding
-  /// any built indexes. Returns the number of rows replaced.
+  /// Single-column-equality convenience: DeleteWhere(col = v).
+  size_t DeleteWhere(size_t col, const ir::Value& v) {
+    return DeleteWhere(Predicate::Eq(col, v));
+  }
+
+  /// Applies `sets` to every row matching `pred` (the SQL UPDATE ... SET
+  /// semantics; `sets` must already be schema-checked), rebuilding any
+  /// built indexes. Returns the number of rows updated.
   /// Only valid while this version is exclusively owned.
+  size_t UpdateWhere(const Predicate& pred, const std::vector<ColumnSet>& sets);
+
+  /// Full-row-replacement convenience: every row with `col` = `v` becomes
+  /// `replacement` (already schema-checked). Returns rows replaced.
   size_t UpdateWhere(size_t col, const ir::Value& v, const Row& replacement);
 
-  /// True iff some row's `col` equals `v` (index probe when available,
-  /// linear scan otherwise). Read-only: lets the CoW handle skip the clone
-  /// for a delete/update that would touch nothing.
-  bool AnyMatch(size_t col, const ir::Value& v) const;
+  /// True iff some row matches `pred` (probing the index of an indexed `=`
+  /// conjunct when available, linear scan otherwise). Read-only: lets the
+  /// CoW handle skip the clone for a delete/update that would touch
+  /// nothing.
+  bool AnyMatch(const Predicate& pred) const;
+
+  /// Single-column-equality convenience: AnyMatch(col = v).
+  bool AnyMatch(size_t col, const ir::Value& v) const {
+    return AnyMatch(Predicate::Eq(col, v));
+  }
 
   /// Builds (or rebuilds) a hash index on `col`; kept up to date by Insert.
   /// Only valid while this version is exclusively owned.
@@ -98,6 +191,11 @@ class TableVersion {
   /// or in-place replacement invalidated the stored row ids).
   void RebuildIndexes();
 
+  /// Postings of the first `=` conjunct over an indexed column, or nullptr
+  /// when no conjunct can use an index — the equality fast path shared by
+  /// AnyMatch/DeleteWhere/UpdateWhere.
+  const std::vector<uint32_t>* EqPostings(const Predicate& pred) const;
+
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<HashIndex> indexes_;  // parallel to columns once any index built
@@ -116,6 +214,14 @@ class TableVersion {
 /// Thread model: a Table handle is single-writer (db::Storage serializes
 /// writes); concurrent readers must read via db::Snapshot, never through a
 /// handle another thread may mutate.
+///
+/// Write invariants every mutation path upholds (callers — and the
+/// no-publish logic in db::Storage — rely on both):
+///  - validate BEFORE clone: a write rejected by validation (bad row, bad
+///    predicate, bad SET clause) never copies the table and never
+///    perturbs version pointer identity for readers;
+///  - no match, no clone: a delete/update whose predicate matches nothing
+///    is a no-op — AnyMatch runs against the shared version first.
 class Table {
  public:
   explicit Table(Schema schema)
@@ -137,19 +243,40 @@ class Table {
     return Mutable()->Insert(std::move(row));
   }
 
-  /// Removes every row whose `col` equals `v` (copy-on-write when shared).
-  /// Validates — and checks that anything matches — BEFORE the CoW clone,
-  /// so a no-op delete never copies the table or perturbs version pointer
-  /// identity for readers. `removed` (optional) receives the row count.
+  /// Removes every row matching `pred` (copy-on-write when shared).
+  /// Validates the predicate — and checks that anything matches — BEFORE
+  /// the CoW clone, so an invalid or no-op delete never copies the table
+  /// or perturbs version pointer identity for readers. `removed`
+  /// (optional) receives the row count.
+  Status DeleteWhere(const Predicate& pred, size_t* removed = nullptr) {
+    if (removed != nullptr) *removed = 0;
+    Status st = pred.Validate(v_->schema());
+    if (!st.ok()) return st;
+    if (!v_->AnyMatch(pred)) return Status::OK();
+    size_t n = Mutable()->DeleteWhere(pred);
+    if (removed != nullptr) *removed = n;
+    return Status::OK();
+  }
+
+  /// Single-column-equality convenience: DeleteWhere(col = v).
   Status DeleteWhere(size_t col, const ir::Value& v,
                      size_t* removed = nullptr) {
-    if (removed != nullptr) *removed = 0;
-    if (col >= v_->schema().arity()) {
-      return Status::InvalidArgument("no column " + std::to_string(col));
-    }
-    if (!v_->AnyMatch(col, v)) return Status::OK();
-    size_t n = Mutable()->DeleteWhere(col, v);
-    if (removed != nullptr) *removed = n;
+    return DeleteWhere(Predicate::Eq(col, v), removed);
+  }
+
+  /// Applies `sets` to every row matching `pred` (copy-on-write when
+  /// shared) — SQL UPDATE ... SET semantics. Predicate and SET clauses
+  /// are validated up front; a match-less update never clones.
+  Status UpdateWhere(const Predicate& pred, const std::vector<ColumnSet>& sets,
+                     size_t* updated = nullptr) {
+    if (updated != nullptr) *updated = 0;
+    Status st = pred.Validate(v_->schema());
+    if (!st.ok()) return st;
+    st = ValidateColumnSets(v_->schema(), sets);
+    if (!st.ok()) return st;
+    if (!v_->AnyMatch(pred)) return Status::OK();
+    size_t n = Mutable()->UpdateWhere(pred, sets);
+    if (updated != nullptr) *updated = n;
     return Status::OK();
   }
 

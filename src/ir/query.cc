@@ -23,6 +23,37 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
+int CompareValues(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return a.type() < b.type() ? -1 : 1;
+  }
+  if (a.is_int()) {
+    if (a.AsInt() != b.AsInt()) return a.AsInt() < b.AsInt() ? -1 : 1;
+    return 0;
+  }
+  if (a == b) return 0;
+  return a.Hash() < b.Hash() ? -1 : 1;  // strings: arbitrary but total
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  // Equality/inequality are exact; ordered comparisons use CompareValues.
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return CompareValues(a, b) < 0;
+    case CompareOp::kLe:
+      return CompareValues(a, b) <= 0;
+    case CompareOp::kGt:
+      return CompareValues(a, b) > 0;
+    case CompareOp::kGe:
+      return CompareValues(a, b) >= 0;
+  }
+  return false;
+}
+
 VarId QueryContext::NewVar(std::string name) {
   VarId id = static_cast<VarId>(var_names_.size());
   var_names_.push_back(std::move(name));

@@ -26,6 +26,21 @@ enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
 const char* CompareOpName(CompareOp op);
 
+/// Three-way comparison of two values; types compare before payloads so
+/// that mixed-type comparisons are total (and deterministic) rather than
+/// errors. Integers order numerically; interned strings order by an
+/// arbitrary-but-total hash order — NOT lexicographic. Write predicates
+/// therefore reject ordered string comparisons outright
+/// (db::Predicate::Validate); query filters over strings should stick to
+/// = and != for the same reason.
+int CompareValues(const Value& a, const Value& b);
+
+/// Evaluates `a op b` under CompareValues semantics. The single comparison
+/// kernel shared by query filters (db::Executor) and write predicates
+/// (db::Predicate), so `WHERE fno < 200` means the same thing in a query
+/// body and in a DELETE statement.
+bool EvalCompare(CompareOp op, const Value& a, const Value& b);
+
 /// A scalar filter `lhs op rhs` over body variables/constants.
 struct Filter {
   Term lhs;

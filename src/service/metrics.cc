@@ -71,6 +71,8 @@ ShardMetricsSnapshot SnapshotShardStats(uint32_t shard_id,
   s.write_wakeups = stats.write_wakeups.load(std::memory_order_relaxed);
   s.wakeup_reevals = stats.wakeup_reevals.load(std::memory_order_relaxed);
   s.wakeup_satisfied = stats.wakeup_satisfied.load(std::memory_order_relaxed);
+  s.write_notifies_coalesced =
+      stats.write_notifies_coalesced.load(std::memory_order_relaxed);
   s.drain_ops_per_sec =
       stats.drain_ops_per_sec.load(std::memory_order_relaxed);
   s.match_seconds = stats.match_seconds.load(std::memory_order_relaxed);
@@ -100,6 +102,7 @@ ServiceMetrics AggregateMetrics(std::vector<ShardMetricsSnapshot> shards,
     m.write_wakeups += s.write_wakeups;
     m.wakeup_reevals += s.wakeup_reevals;
     m.wakeup_satisfied += s.wakeup_satisfied;
+    m.write_notifies_coalesced += s.write_notifies_coalesced;
     for (size_t i = 0; i < merged.size(); ++i) {
       merged[i] += s.latency_buckets[i];
     }
@@ -121,8 +124,8 @@ std::string ServiceMetrics::ToString() const {
                 "service: submitted=%llu answered=%llu failed=%llu "
                 "expired=%llu cancelled=%llu unsafe=%llu migrations=%llu "
                 "pending=%llu write_wakeups=%llu wakeup_reevals=%llu "
-                "wakeup_satisfied=%llu qps=%.0f p50=%.3fms p95=%.3fms "
-                "p99=%.3fms\n",
+                "wakeup_satisfied=%llu notifies_coalesced=%llu qps=%.0f "
+                "p50=%.3fms p95=%.3fms p99=%.3fms\n",
                 (unsigned long long)submitted, (unsigned long long)answered,
                 (unsigned long long)failed, (unsigned long long)expired,
                 (unsigned long long)cancelled,
@@ -130,7 +133,9 @@ std::string ServiceMetrics::ToString() const {
                 (unsigned long long)migrations, (unsigned long long)pending,
                 (unsigned long long)write_wakeups,
                 (unsigned long long)wakeup_reevals,
-                (unsigned long long)wakeup_satisfied, answered_per_second,
+                (unsigned long long)wakeup_satisfied,
+                (unsigned long long)write_notifies_coalesced,
+                answered_per_second,
                 p50_latency_ms, p95_latency_ms, p99_latency_ms);
   out += line;
   for (const ShardMetricsSnapshot& s : shards) {

@@ -62,6 +62,12 @@ struct ShardStats {
   /// Queries answered directly by a wake-up (write→answer, no flush, no
   /// new submission).
   std::atomic<uint64_t> wakeup_satisfied{0};
+  /// Write notifications absorbed by an already-queued WriteNotify op
+  /// (burst coalescing): the writer merged its touched-relation set into
+  /// the queued op instead of enqueueing another. Under a write burst,
+  /// write_wakeups + write_notifies_coalesced = notifications attempted,
+  /// and write_wakeups alone is the re-evaluation work actually done.
+  std::atomic<uint64_t> write_notifies_coalesced{0};
   /// Recent op-drain rate (ops/sec, EWMA over the shard loop; gauge).
   /// Feeds the computed retry-after hint in kResourceExhausted rejections.
   std::atomic<double> drain_ops_per_sec{0};
@@ -91,6 +97,7 @@ struct ShardMetricsSnapshot {
   uint64_t write_wakeups = 0;
   uint64_t wakeup_reevals = 0;
   uint64_t wakeup_satisfied = 0;
+  uint64_t write_notifies_coalesced = 0;
   double drain_ops_per_sec = 0;
   double match_seconds = 0;
   double db_seconds = 0;
@@ -118,6 +125,9 @@ struct ServiceMetrics {
   uint64_t write_wakeups = 0;      ///< WriteNotify ops processed, all shards
   uint64_t wakeup_reevals = 0;     ///< partitions re-evaluated by wake-ups
   uint64_t wakeup_satisfied = 0;   ///< queries answered by wake-ups alone
+  /// Write notifications coalesced into an already-queued WriteNotify op
+  /// (all shards) — the wake-up-storm damping under write bursts.
+  uint64_t write_notifies_coalesced = 0;
 
   double elapsed_seconds = 0;       ///< since service start
   double answered_per_second = 0;   ///< global throughput

@@ -48,6 +48,7 @@ CoordinationService::CoordinationService(ServiceOptions opts)
     sopts.storage = storage_.get();
     sopts.base_ctx = storage_ctx_.get();
     sopts.on_start = opts_.on_shard_start;
+    sopts.on_write_wakeup = opts_.on_write_wakeup;
     sopts.wakeup_index = wakeup_index_.get();
     sopts.max_batch = opts_.max_batch;
     sopts.max_delay_ticks = opts_.max_delay_ticks;
@@ -183,14 +184,23 @@ Status CoordinationService::ApplyWrite(std::string_view table, db::Row row) {
 }
 
 Status CoordinationService::ApplyDelete(std::string_view table,
-                                        size_t match_col,
-                                        const ir::Value& match_value,
+                                        const db::Predicate& pred,
                                         size_t* removed) {
   size_t n = 0;
-  EQ_RETURN_NOT_OK(
-      storage_->ApplyDelete(table, match_col, match_value, &n));
+  EQ_RETURN_NOT_OK(storage_->ApplyDelete(table, pred, &n));
   if (removed != nullptr) *removed = n;
   // Matching nothing published no version, so there is nothing to adopt.
+  if (n > 0) NotifyWriteTouched({std::string(table)});
+  return Status::OK();
+}
+
+Status CoordinationService::ApplyUpdate(std::string_view table,
+                                        const db::Predicate& pred,
+                                        const std::vector<db::ColumnSet>& sets,
+                                        size_t* updated) {
+  size_t n = 0;
+  EQ_RETURN_NOT_OK(storage_->ApplyUpdate(table, pred, sets, &n));
+  if (updated != nullptr) *updated = n;
   if (n > 0) NotifyWriteTouched({std::string(table)});
   return Status::OK();
 }
@@ -206,6 +216,33 @@ Status CoordinationService::ApplyUpdate(std::string_view table,
   if (updated != nullptr) *updated = n;
   if (n > 0) NotifyWriteTouched({std::string(table)});
   return Status::OK();
+}
+
+Result<size_t> CoordinationService::ExecuteWrite(std::string_view sql) {
+  // Translate against the edge catalog, exactly like SQL query
+  // submission: schema and type errors are synchronous, and the produced
+  // write is portable (string literals intern through the shared
+  // interner).
+  sql::WriteStatement stmt;
+  {
+    std::lock_guard<std::mutex> lock(edge_mu_);
+    sql::Translator translator(edge_ctx_.get(), edge_snapshot_);
+    auto translated = translator.TranslateWriteSql(sql);
+    if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
+    if (!translated.ok()) return translated.status();
+    stmt = std::move(*translated);
+  }
+  // Route through the storage write path: same all-or-nothing validation,
+  // no-match-no-publish, and wake-up semantics as the typed Apply* calls.
+  size_t rows = 0;
+  std::string table = stmt.table();
+  // push_back, not a braced list: initializer_list elements are const, so
+  // the move would silently deep-copy the whole TableWrite.
+  std::vector<db::Storage::TableWrite> batch;
+  batch.push_back(std::move(stmt.write));
+  EQ_RETURN_NOT_OK(storage_->ApplyBatch(batch, &rows));
+  if (rows > 0) NotifyWriteTouched({table});
+  return rows;
 }
 
 Status CoordinationService::ApplyBatch(
@@ -253,12 +290,12 @@ void CoordinationService::NotifyRelationsTouched(std::vector<SymbolId> rels) {
   // A query that becomes pending concurrently with this lookup may miss
   // the notify — its shard detects that at registration time (the
   // version/ChangedSince self-wake in ShardRunner::HandleSubmit), so
-  // nothing is lost.
+  // nothing is lost. NotifyWrite coalesces per shard: while one
+  // WriteNotify is queued, further touched-relation sets merge into it,
+  // so a write burst re-evaluates once per queue drain, not once per
+  // write.
   for (uint32_t s : wakeup_index_->ShardsReading(rels)) {
-    ShardRunner::Op op;
-    op.kind = ShardRunner::Op::Kind::kWriteNotify;
-    op.write_rels = rels;
-    shards_[s]->Enqueue(std::move(op));
+    shards_[s]->NotifyWrite(rels);
   }
 }
 

@@ -87,6 +87,13 @@ struct ServiceOptions {
   /// Test/diagnostic hook: runs on each shard thread after its engine is
   /// ready, before the first op is processed.
   std::function<void(uint32_t shard_id)> on_shard_start;
+
+  /// Test/diagnostic hook: runs on the owning shard thread at the start of
+  /// every write wake-up (after the coalesced touched-relation set is
+  /// claimed, before re-evaluation). Blocking here holds the wake-up in
+  /// place while further writes coalesce — the deterministic seam behind
+  /// the write_notifies_coalesced tests.
+  std::function<void(uint32_t shard_id)> on_write_wakeup;
 };
 
 /// Per-submission knobs for CoordinationService::Submit / SubmitBatch.
@@ -117,6 +124,17 @@ struct SubmitOptions {
 /// transparently migrates the stranded minority group between shards,
 /// re-submitting each query's canonical form — the colocation invariant
 /// (potential partners share a shard) holds at every quiescent point.
+///
+/// Thread safety: every public method is safe from any thread, any time —
+/// submissions (Submit/SubmitBatch/SubmitAsync), writes (ApplyWrite/
+/// ApplyDelete/ApplyUpdate/ApplyBatch/ExecuteWrite), control (Cancel/
+/// AdvanceTicks/FlushAll/Drain), and observation (Metrics/storage/
+/// interner/ShardSnapshot). Internally, route→record→enqueue serializes
+/// on submit_mu_, SQL/builder preparation on edge_mu_, and storage writes
+/// on the Storage mutex; shard engine state is confined to each shard's
+/// thread. Ticket callbacks fire on the owning shard's thread (or on the
+/// destructor's thread for queries orphaned by shutdown) — don't block in
+/// them.
 class CoordinationService {
  public:
   explicit CoordinationService(ServiceOptions opts);
@@ -174,14 +192,30 @@ class CoordinationService {
   /// string cells with ir::Value::Str(interner().Intern(...)).
   Status ApplyWrite(std::string_view table, db::Row row);
 
-  /// Removes every row of `table` whose `match_col` equals `match_value`
-  /// (CoW: snapshots already handed out keep the rows). Matching nothing
-  /// is a no-op — no new version, no wake-up. Wakes affected pending
-  /// partitions like ApplyWrite: a retraction cannot newly satisfy a
-  /// monotone body, but waking keeps the re-evaluation snapshot fresh so
-  /// later answers never resurrect deleted rows.
+  /// Removes every row of `table` matching `pred` — a conjunction of
+  /// per-column comparisons (=, !=, <, <=, >, >=), validated against the
+  /// schema before any copy (CoW: snapshots already handed out keep the
+  /// rows). Matching nothing is a no-op — no new version, no wake-up.
+  /// Wakes affected pending partitions like ApplyWrite: a retraction
+  /// cannot newly satisfy a monotone body, but waking keeps the
+  /// re-evaluation snapshot fresh so later answers never resurrect
+  /// deleted rows.
+  Status ApplyDelete(std::string_view table, const db::Predicate& pred,
+                     size_t* removed = nullptr);
+
+  /// Single-column-equality convenience: ApplyDelete(table, col = value).
   Status ApplyDelete(std::string_view table, size_t match_col,
-                     const ir::Value& match_value, size_t* removed = nullptr);
+                     const ir::Value& match_value, size_t* removed = nullptr) {
+    return ApplyDelete(table, db::Predicate::Eq(match_col, match_value),
+                       removed);
+  }
+
+  /// Applies `sets` to every row of `table` matching `pred` (SQL
+  /// UPDATE ... SET semantics; atomic: one published version). Wakes
+  /// affected pending partitions like ApplyWrite.
+  Status ApplyUpdate(std::string_view table, const db::Predicate& pred,
+                     const std::vector<db::ColumnSet>& sets,
+                     size_t* updated = nullptr);
 
   /// Replaces every row of `table` whose `match_col` equals `match_value`
   /// with `replacement` (full-row replacement, atomic: one published
@@ -189,6 +223,20 @@ class CoordinationService {
   Status ApplyUpdate(std::string_view table, size_t match_col,
                      const ir::Value& match_value, db::Row replacement,
                      size_t* updated = nullptr);
+
+  /// The declarative write surface: executes one SQL DELETE or UPDATE
+  /// statement —
+  ///
+  ///   DELETE FROM Flights WHERE dest = 'Vienna' AND fno < 200
+  ///   UPDATE Flights SET dest = 'Naples' WHERE fno = 136
+  ///
+  /// translated and type-checked against the edge catalog (unknown
+  /// tables/columns and literal type mismatches fail synchronously, like
+  /// SQL query submission), then routed through the storage write path
+  /// with the same CoW, no-match-no-publish, and wake-up semantics as the
+  /// typed Apply* calls. Returns the number of rows affected; 0 means the
+  /// predicate matched nothing (and nothing was published or woken).
+  Result<size_t> ExecuteWrite(std::string_view sql);
 
   /// Applies a batch of writes (inserts, deletes, updates) atomically and
   /// publishes once; affected shards are woken once for the whole batch.

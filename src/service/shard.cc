@@ -1,5 +1,6 @@
 #include "service/shard.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,33 @@ ShardRunner::ShardRunner(ShardOptions opts, EventFn event_fn)
 ShardRunner::~ShardRunner() { Stop(); }
 
 bool ShardRunner::Enqueue(Op op) { return queue_.Push(std::move(op)); }
+
+bool ShardRunner::NotifyWrite(std::vector<SymbolId> rels) {
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  if (notify_queued_) {
+    // One WriteNotify is already queued and has not been claimed: widen
+    // its relation set instead of enqueueing another op. The merged
+    // writer's publish happened before this merge, and the dispatch claims
+    // the set before reading storage, so its snapshot covers the write.
+    pending_notify_rels_.insert(pending_notify_rels_.end(), rels.begin(),
+                                rels.end());
+    std::sort(pending_notify_rels_.begin(), pending_notify_rels_.end());
+    pending_notify_rels_.erase(
+        std::unique(pending_notify_rels_.begin(), pending_notify_rels_.end()),
+        pending_notify_rels_.end());
+    stats_.write_notifies_coalesced.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  pending_notify_rels_ = std::move(rels);
+  Op op;
+  op.kind = Op::Kind::kWriteNotify;
+  if (!queue_.Push(std::move(op))) {
+    pending_notify_rels_.clear();
+    return false;  // shard stopped; nothing pending survives it anyway
+  }
+  notify_queued_ = true;
+  return true;
+}
 
 void ShardRunner::Stop() {
   queue_.Close();
@@ -121,18 +149,29 @@ void ShardRunner::Dispatch(Op& op) {
       MirrorEngineMetrics();
       if (op.latch) op.latch->count_down();
       break;
-    case Op::Kind::kWriteNotify:
-      // An op boundary is an evaluation boundary: adopt the version the
-      // write published (or a newer one), then re-evaluate only the
-      // pending partitions whose bodies read the touched relations —
-      // writes are a third wake-up source next to arrivals and ticks.
-      DoWriteWakeup(op.write_rels);
+    case Op::Kind::kWriteNotify: {
+      // Claim the coalesced relation set FIRST (clearing the queued flag),
+      // so a write landing during this wake-up enqueues a fresh notify
+      // instead of being swallowed; then an op boundary is an evaluation
+      // boundary: adopt the version the write(s) published (or a newer
+      // one) and re-evaluate only the pending partitions whose bodies read
+      // the touched relations — writes are a third wake-up source next to
+      // arrivals and ticks.
+      std::vector<SymbolId> rels;
+      {
+        std::lock_guard<std::mutex> lock(notify_mu_);
+        rels.swap(pending_notify_rels_);
+        notify_queued_ = false;
+      }
+      if (!rels.empty()) DoWriteWakeup(rels);
       break;
+    }
   }
 }
 
 void ShardRunner::DoWriteWakeup(const std::vector<SymbolId>& rels) {
   stats_.write_wakeups.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.on_write_wakeup) opts_.on_write_wakeup(opts_.shard_id);
   RefreshSnapshot();
   engine::WakeupResult r = engine_->NotifyDataArrival(rels);
   stats_.wakeup_reevals.fetch_add(r.partitions_reexamined,

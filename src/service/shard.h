@@ -48,6 +48,12 @@ struct ShardOptions {
   /// ready, before the first op is processed.
   std::function<void(uint32_t shard_id)> on_start;
 
+  /// Test/diagnostic hook: runs on the shard thread at the start of every
+  /// write wake-up (after the coalesced relation set was claimed, before
+  /// the snapshot refresh and re-evaluation). Lets tests hold a wake-up in
+  /// place to observe notify coalescing deterministically.
+  std::function<void(uint32_t shard_id)> on_write_wakeup;
+
   /// The service-wide relation→pending-shard index (write-triggered
   /// re-evaluation). When set, the shard registers every query that
   /// becomes pending under its body relations and unregisters it on
@@ -94,7 +100,10 @@ class ShardRunner {
       kTick,     ///< advance the engine's logical clock
       kFlush,    ///< force a batch flush, then count down `latch`
       kWriteNotify,  ///< a write touched relations pending queries read:
-                     ///< adopt the fresh snapshot, re-evaluate only them
+                     ///< adopt the fresh snapshot, re-evaluate only them.
+                     ///< Carries no payload — the touched-relation set is
+                     ///< claimed from the coalescing slot at dispatch
+                     ///< (enqueue via NotifyWrite, never directly).
     };
     Kind kind = Kind::kSubmit;
     TicketId ticket = 0;
@@ -115,8 +124,6 @@ class ShardRunner {
     std::chrono::steady_clock::time_point submitted_at{};
     uint64_t tick = 0;         ///< kTick payload
     std::shared_ptr<std::latch> latch;  ///< kFlush barrier
-    /// kWriteNotify payload: the touched relations (sorted, unique).
-    std::vector<SymbolId> write_rels;
   };
 
   /// An event leaving the shard, delivered on the shard thread.
@@ -143,6 +150,18 @@ class ShardRunner {
 
   /// Enqueues an operation (any thread). False after Stop().
   bool Enqueue(Op op);
+
+  /// Posts a write notification for `rels` (sorted, unique), coalescing
+  /// per shard: while one WriteNotify op is queued and not yet dispatched,
+  /// further notifications merge their touched-relation sets into it
+  /// instead of enqueueing more ops (write_notifies_coalesced counts the
+  /// merges). Under a write burst the shard therefore re-evaluates once
+  /// per drain, not once per write — the wake-up-storm damper. Any thread;
+  /// false after Stop(). Correctness: a writer whose set was merged has
+  /// already published its version, and the wake-up claims the set before
+  /// reading storage, so the adopted snapshot always covers every merged
+  /// write.
+  bool NotifyWrite(std::vector<SymbolId> rels);
 
   /// Closes the queue and joins the thread; queued ops are drained first.
   void Stop();
@@ -209,6 +228,15 @@ class ShardRunner {
   /// TableVersions" without touching shard-thread state.
   mutable std::mutex snapshot_mu_;
   db::Snapshot snapshot_;
+
+  /// Write-notify coalescing slot (NotifyWrite/dispatch): while
+  /// `notify_queued_`, exactly one kWriteNotify op is in the queue and
+  /// `pending_notify_rels_` accumulates every touched relation it must
+  /// cover; the dispatch claims the set and clears the flag before doing
+  /// any work, so later writes enqueue a fresh op.
+  std::mutex notify_mu_;
+  bool notify_queued_ = false;
+  std::vector<SymbolId> pending_notify_rels_;
 
   // --- shard-thread-only state below ---
   std::unique_ptr<ir::QueryContext> ctx_;

@@ -19,9 +19,16 @@ namespace eq::service {
 /// Writers: each shard thread registers its own queries as they become
 /// pending and unregisters them when they resolve, expire, cancel, or
 /// migrate away (the new shard re-registers on arrival). Readers: any
-/// client thread applying a write. Internally synchronized; an entry dies
-/// with its last pending reader, so the index stays proportional to the
-/// live working set.
+/// client thread applying a write. Internally synchronized (every method
+/// may be called from any thread); an entry dies with its last pending
+/// reader, so the index stays proportional to the live working set.
+///
+/// The index decides WHO to notify; HOW OFTEN is bounded separately by
+/// ShardRunner::NotifyWrite, which coalesces notifications per shard
+/// while one WriteNotify op is still queued (see shard.h). Registration
+/// racing a write is closed on the shard side: after registering, the
+/// shard checks Storage::ChangedSince over the query's body relations and
+/// self-wakes if a write slipped through the index lookup.
 class WriteWakeupIndex {
  public:
   explicit WriteWakeupIndex(uint32_t num_shards)

@@ -73,4 +73,22 @@ std::string ToSql(const EntangledSelect& stmt) {
   return out;
 }
 
+std::string ToSql(const SqlWrite& stmt) {
+  std::string out;
+  if (stmt.kind == SqlWrite::Kind::kDelete) {
+    out = "DELETE FROM " + stmt.table;
+  } else {
+    out = "UPDATE " + stmt.table + " SET ";
+    for (size_t i = 0; i < stmt.sets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.sets[i].column + " = " + TermToSql(stmt.sets[i].value);
+    }
+  }
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    out += i == 0 ? " WHERE " : " AND ";
+    out += ComparisonToSql(stmt.where[i]);
+  }
+  return out;
+}
+
 }  // namespace eq::sql

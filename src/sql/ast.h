@@ -91,8 +91,34 @@ struct EntangledSelect {
   int choose_k = 1;
 };
 
+/// One `col = value` assignment in an UPDATE's SET list.
+struct SetClause {
+  std::string column;
+  SqlTerm value;  ///< must be a literal (writes carry no variables)
+};
+
+/// A parsed SQL write statement — the declarative write surface next to
+/// the entangled SELECT:
+///
+///   DELETE FROM tbl [WHERE cmp [AND cmp]...]
+///   UPDATE tbl SET col = lit [, col = lit]... [WHERE cmp [AND cmp]...]
+///
+/// Each WHERE conjunct compares a column of `table` with a literal
+/// (either side); omitting WHERE matches every row. The translator
+/// resolves names and types against the catalog and produces a
+/// WriteStatement ready for db::Storage.
+struct SqlWrite {
+  enum class Kind { kDelete, kUpdate };
+
+  Kind kind = Kind::kDelete;
+  std::string table;
+  std::vector<SetClause> sets;       ///< kUpdate only
+  std::vector<SqlComparison> where;  ///< conjunction; empty = all rows
+};
+
 /// Renders the AST back to SQL text (normalized whitespace/casing).
 std::string ToSql(const EntangledSelect& stmt);
+std::string ToSql(const SqlWrite& stmt);
 
 }  // namespace eq::sql
 

@@ -46,6 +46,51 @@ class Parser {
     return stmt;
   }
 
+  Result<SqlWrite> ParseWrite() {
+    SqlWrite stmt;
+    if (ConsumeKeyword("DELETE")) {
+      stmt.kind = SqlWrite::Kind::kDelete;
+      if (!ConsumeKeyword("FROM")) return ErrS("expected FROM after DELETE");
+      EQ_RETURN_ERR(ExpectIdent(&stmt.table));
+    } else if (ConsumeKeyword("UPDATE")) {
+      stmt.kind = SqlWrite::Kind::kUpdate;
+      EQ_RETURN_ERR(ExpectIdent(&stmt.table));
+      if (!ConsumeKeyword("SET")) return ErrS("expected SET");
+      do {
+        SetClause s;
+        EQ_RETURN_ERR(ExpectIdent(&s.column));
+        if (!Consume(TokenKind::kEq)) {
+          return ErrS("expected '=' in SET clause");
+        }
+        EQ_RETURN_ERR(ParseTerm(&s.value));
+        if (s.value.kind == SqlTerm::Kind::kColumnRef) {
+          return ErrS("SET value must be a literal");
+        }
+        stmt.sets.push_back(std::move(s));
+      } while (Consume(TokenKind::kComma));
+    } else {
+      return ErrS("expected DELETE or UPDATE");
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        EQ_RETURN_ERR(CheckUnsupported());
+        SqlComparison cmp;
+        EQ_RETURN_ERR(ParseTerm(&cmp.lhs));
+        if (!ConsumeCompareOp(&cmp.op)) {
+          return ErrS("expected comparison in WHERE");
+        }
+        EQ_RETURN_ERR(ParseTerm(&cmp.rhs));
+        stmt.where.push_back(std::move(cmp));
+      } while (ConsumeKeyword("AND"));
+    }
+    EQ_RETURN_ERR(CheckUnsupported());  // e.g. OR between conditions
+    if (Peek().kind != TokenKind::kEnd) {
+      return ErrS("unexpected trailing input");
+    }
+    return stmt;
+  }
+
  private:
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
@@ -274,6 +319,13 @@ Result<EntangledSelect> ParseSql(std::string_view text) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(std::move(tokens).value());
   return parser.Parse();
+}
+
+Result<SqlWrite> ParseWriteSql(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseWrite();
 }
 
 }  // namespace eq::sql

@@ -24,6 +24,17 @@ namespace eq::sql {
 /// aggregation/COUNT, NOT IN) are rejected with a descriptive ParseError.
 Result<EntangledSelect> ParseSql(std::string_view text);
 
+/// Parses one SQL write statement (the declarative write surface):
+///
+///   DELETE FROM tbl_name [WHERE cond [AND cond]...]
+///   UPDATE tbl_name SET col = lit [, col = lit]... [WHERE cond [AND cond]...]
+///
+/// where each WHERE cond is `expr op expr`, op ∈ {=, !=, <>, <, <=, >, >=}
+/// (one side a column of tbl_name, the other a literal — enforced by the
+/// translator) and each SET value is a literal. OR / subqueries /
+/// multi-table writes are rejected with a descriptive ParseError.
+Result<SqlWrite> ParseWriteSql(std::string_view text);
+
 }  // namespace eq::sql
 
 #endif  // EQ_SQL_PARSER_H_

@@ -364,4 +364,124 @@ Result<EntangledQuery> Translator::TranslateSql(std::string_view text) {
   return Translate(*stmt);
 }
 
+namespace {
+
+/// Mirror of `a op b` ⇒ `b op' a`, for normalizing `lit op col` conjuncts
+/// to column-on-the-left predicate terms.
+ir::CompareOp FlipOp(ir::CompareOp op) {
+  switch (op) {
+    case ir::CompareOp::kLt:
+      return ir::CompareOp::kGt;
+    case ir::CompareOp::kLe:
+      return ir::CompareOp::kGe;
+    case ir::CompareOp::kGt:
+      return ir::CompareOp::kLt;
+    case ir::CompareOp::kGe:
+      return ir::CompareOp::kLe;
+    case ir::CompareOp::kEq:
+    case ir::CompareOp::kNe:
+      break;  // symmetric
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<WriteStatement> Translator::TranslateWrite(const SqlWrite& stmt) {
+  const db::TableVersion* table = db_.GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table +
+                            "' not found in the catalog");
+  }
+  const db::Schema& schema = table->schema();
+
+  // Type-checks a literal against its target column and lowers it to a
+  // Value (string literals intern through the shared interner, so the
+  // produced write is portable across every owner of the catalog).
+  auto lower_literal = [&](const SqlTerm& t, int col) -> Result<Value> {
+    ir::ValueType want = schema.columns[static_cast<size_t>(col)].type;
+    ir::ValueType got = t.kind == SqlTerm::Kind::kStringLit
+                            ? ir::ValueType::kString
+                            : ir::ValueType::kInt;
+    if (got != want) {
+      auto name = [](ir::ValueType ty) {
+        return ty == ir::ValueType::kInt ? "INT" : "STRING";
+      };
+      return Status::InvalidArgument(
+          "type mismatch: column '" + stmt.table + "." +
+          schema.columns[static_cast<size_t>(col)].name + "' is " +
+          name(want) + " but the statement uses a " + name(got) + " literal");
+    }
+    return t.kind == SqlTerm::Kind::kStringLit ? ctx_->StrValue(t.text)
+                                               : Value::Int(t.number);
+  };
+
+  auto resolve_column = [&](const SqlTerm& t) -> Result<int> {
+    if (!t.qualifier.empty() && t.qualifier != stmt.table) {
+      return Status::InvalidArgument("unknown qualifier '" + t.qualifier +
+                                     "' in a single-table write statement");
+    }
+    int idx = schema.ColumnIndex(t.text);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown column '" + t.text +
+                                     "' in table '" + stmt.table + "'");
+    }
+    return idx;
+  };
+
+  db::Storage::TableWrite w;
+  w.table = stmt.table;
+  w.kind = stmt.kind == SqlWrite::Kind::kDelete
+               ? db::Storage::TableWrite::Kind::kDelete
+               : db::Storage::TableWrite::Kind::kUpdate;
+
+  for (const SetClause& s : stmt.sets) {
+    int idx = schema.ColumnIndex(s.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown column '" + s.column +
+                                     "' in table '" + stmt.table + "'");
+    }
+    auto v = lower_literal(s.value, idx);
+    if (!v.ok()) return v.status();
+    w.sets.push_back({static_cast<size_t>(idx), *v});
+  }
+
+  for (const SqlComparison& cmp : stmt.where) {
+    bool lhs_col = cmp.lhs.kind == SqlTerm::Kind::kColumnRef;
+    bool rhs_col = cmp.rhs.kind == SqlTerm::Kind::kColumnRef;
+    if (lhs_col == rhs_col) {
+      return Status::InvalidArgument(
+          "write predicates compare one column of '" + stmt.table +
+          "' with one literal" +
+          (lhs_col ? "; column-to-column comparisons are not supported"
+                   : "; literal-to-literal comparisons are not supported"));
+    }
+    auto idx = resolve_column(lhs_col ? cmp.lhs : cmp.rhs);
+    if (!idx.ok()) return idx.status();
+    auto v = lower_literal(lhs_col ? cmp.rhs : cmp.lhs, *idx);
+    if (!v.ok()) return v.status();
+    w.pred.And(static_cast<size_t>(*idx),
+               lhs_col ? cmp.op : FlipOp(cmp.op), std::move(*v));
+  }
+
+  // Edge-side semantic validation with the storage-layer validators (one
+  // implementation): catches ordered comparisons on STRING columns (no
+  // lexicographic order over interned symbols) and duplicate SET targets
+  // here, with the same synchronous-error contract as query translation.
+  EQ_RETURN_NOT_OK(w.pred.Validate(schema));
+  if (w.kind == db::Storage::TableWrite::Kind::kUpdate) {
+    EQ_RETURN_NOT_OK(db::ValidateColumnSets(schema, w.sets));
+  }
+
+  WriteStatement out;
+  out.write = std::move(w);
+  return out;
+}
+
+Result<WriteStatement> Translator::TranslateWriteSql(std::string_view text) {
+  auto stmt = ParseWriteSql(text);
+  if (!stmt.ok()) return stmt.status();
+  return TranslateWrite(*stmt);
+}
+
 }  // namespace eq::sql

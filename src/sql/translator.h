@@ -4,11 +4,26 @@
 #include <utility>
 
 #include "db/snapshot.h"
+#include "db/storage.h"
 #include "ir/query.h"
 #include "sql/ast.h"
 #include "util/status.h"
 
 namespace eq::sql {
+
+/// A translated, catalog-resolved SQL write: column names mapped to
+/// positions, literals type-checked against the schema, the WHERE
+/// conjunction lowered to a db::Predicate and the SET list to ColumnSets.
+/// Portable in the same sense as a translated query — `write` is ready for
+/// db::Storage::ApplyBatch / the service write API on any owner of the
+/// same catalog (string literals are interned through the shared
+/// interner, so SymbolIds agree service-wide).
+struct WriteStatement {
+  db::Storage::TableWrite write;
+
+  const std::string& table() const { return write.table; }
+  db::Storage::TableWrite::Kind kind() const { return write.kind; }
+};
 
 /// Translates entangled SQL (paper §2.1) to the intermediate representation
 /// {C} H ⊃ B (paper §2.2):
@@ -38,6 +53,18 @@ class Translator {
 
   /// Convenience: parse + translate.
   Result<ir::EntangledQuery> TranslateSql(std::string_view text);
+
+  /// Translates one parsed write statement (DELETE FROM / UPDATE ... SET):
+  /// resolves the table and every column name through the catalog,
+  /// type-checks each literal against its column, and lowers the WHERE
+  /// conjunction to a db::Predicate (flipping `lit op col` conjuncts so
+  /// the column is always on the left). Fails with kNotFound for unknown
+  /// tables and kInvalidArgument for unknown columns, type mismatches,
+  /// column-to-column or literal-to-literal comparisons.
+  Result<WriteStatement> TranslateWrite(const SqlWrite& stmt);
+
+  /// Convenience: parse + translate a write statement.
+  Result<WriteStatement> TranslateWriteSql(std::string_view text);
 
  private:
   ir::QueryContext* ctx_;

@@ -377,6 +377,38 @@ TEST(PreferenceTest, SessionDefaultPreferenceApplies) {
   EXPECT_EQ(a->outcome().tuples[0], "Reservation(Kramer, 134)");
 }
 
+TEST(SessionTest, ExecuteWriteSpeaksTheSqlWriteDialect) {
+  // The Session facade covers the full declarative surface: SQL reads AND
+  // SQL writes through one handle. An UPDATE reroutes the Rome flight to
+  // the destination a pending pair coordinates on.
+  CoordinationService svc(Opts(2, engine::EvalMode::kIncremental));
+  Session session(&svc);
+  auto a = session.SubmitSql(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Kyoto') "
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  auto b = session.SubmitSql(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Kyoto') "
+      "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(a.ok() && b.ok()) << a.status().ToString();
+
+  auto rows =
+      session.ExecuteWrite("UPDATE Flights SET dest = 'Kyoto' WHERE fno = 136");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, 1u);
+  ASSERT_TRUE(a->WaitFor(std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(b->WaitFor(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered)
+      << a->outcome().status.ToString();
+  EXPECT_EQ(a->outcome().tuples[0], "Reservation(Kramer, 136)");
+
+  // Write errors are synchronous, like SQL query submission.
+  EXPECT_EQ(
+      session.ExecuteWrite("DELETE FROM Trains WHERE tno = 1").status().code(),
+      StatusCode::kNotFound);
+}
+
 // ---------------------------------------------------------- batching -----
 
 TEST(SubmitBatchTest, BatchOfPairsAllCoordinate) {

@@ -862,6 +862,149 @@ TEST(ReactiveWakeupTest, UpdateRedirectsPendingCoordination) {
   EXPECT_NE(a->outcome().tuples[0].find("136"), std::string::npos);
 }
 
+// ------------------------------------------------ declarative writes ----
+
+TEST(SqlWriteTest, UpdateStatementWakesPendingEntangledPair) {
+  // The acceptance scenario for the declarative write path: a pending
+  // entangled pair is answered by one SQL UPDATE — edge translation →
+  // storage predicate matching → write-triggered wake-up, no flush, no
+  // tick, no further submission.
+  CoordinationService svc(Opts(2, EvalMode::kIncremental));
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Osaka)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Osaka)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+  EXPECT_FALSE(a->Done());
+
+  auto rows = svc.ExecuteWrite("UPDATE F SET dest = 'Osaka' WHERE fno = 136");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, 1u);
+  ASSERT_TRUE(a->WaitFor(std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(b->WaitFor(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kAnswered)
+      << a->outcome().status.ToString();
+  EXPECT_EQ(b->outcome().state, ServiceOutcome::State::kAnswered);
+  EXPECT_NE(a->outcome().tuples[0].find("136"), std::string::npos);
+  ServiceMetrics m = WaitForWakeupSatisfied(svc, 2);
+  EXPECT_GE(m.write_wakeups, 1u);
+  EXPECT_EQ(m.wakeup_satisfied, 2u);
+}
+
+TEST(SqlWriteTest, DeleteStatementMatchesPredicatesAndReportsRows) {
+  CoordinationService svc(Opts(1));
+  uint64_t v1 = svc.storage().version();
+
+  // Range + equality conjunction: exactly flights 122 and 123 (Paris,
+  // <= 123) go; 134 (Paris) and 136 (Rome) stay.
+  auto rows = svc.ExecuteWrite(
+      "DELETE FROM F WHERE dest = 'Paris' AND fno <= 123");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, 2u);
+  EXPECT_EQ(svc.storage().version(), v1 + 1);
+  const db::TableVersion* f = svc.storage().Current().GetTable("F");
+  EXPECT_EQ(f->row_count(), 2u);
+  EXPECT_TRUE(f->AnyMatch(0, ir::Value::Int(134)));
+  EXPECT_TRUE(f->AnyMatch(0, ir::Value::Int(136)));
+
+  // Matching nothing: zero rows, no publish, no version churn.
+  auto none = svc.ExecuteWrite("DELETE FROM F WHERE fno > 10000");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+  EXPECT_EQ(svc.storage().version(), v1 + 1);
+}
+
+TEST(SqlWriteTest, DeleteStatementKeepsWokenSnapshotFresh) {
+  // The SQL twin of DeleteInvalidatesPreviouslyMatchableBody: the pair is
+  // matchable at submission, a declarative DELETE retracts the row before
+  // any evaluation, and the eventual flush must not resurrect it.
+  CoordinationService svc(Opts(2));
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Rome)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Rome)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);
+
+  auto rows = svc.ExecuteWrite("DELETE FROM F WHERE dest = 'Rome'");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, 1u);
+  ASSERT_TRUE(svc.Drain());
+  EXPECT_EQ(a->outcome().state, ServiceOutcome::State::kFailed);
+  EXPECT_EQ(a->outcome().status.code(), StatusCode::kNotFound)
+      << a->outcome().status.ToString();
+}
+
+TEST(SqlWriteTest, ExecuteWriteFailsSynchronouslyLikeSqlSubmission) {
+  CoordinationService svc(Opts(1));
+  uint64_t v1 = svc.storage().version();
+  // Unknown table: kNotFound from the edge catalog, before any routing.
+  EXPECT_EQ(svc.ExecuteWrite("DELETE FROM Ghost WHERE x = 1").status().code(),
+            StatusCode::kNotFound);
+  // Literal type mismatch against the schema: kInvalidArgument.
+  EXPECT_EQ(
+      svc.ExecuteWrite("UPDATE F SET dest = 42 WHERE fno = 1").status().code(),
+      StatusCode::kInvalidArgument);
+  // Malformed SQL: kParseError.
+  EXPECT_EQ(svc.ExecuteWrite("DELETE F WHERE fno = 1").status().code(),
+            StatusCode::kParseError);
+  // Duplicate SET targets: rejected, not last-one-wins.
+  EXPECT_EQ(svc.ExecuteWrite(
+                   "UPDATE F SET dest = 'A', dest = 'B' WHERE fno = 122")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Nothing was applied or published by any of the failures.
+  EXPECT_EQ(svc.storage().version(), v1);
+  EXPECT_EQ(svc.storage().writes_applied(), 0u);
+}
+
+TEST(ReactiveWakeupTest, WriteBurstCoalescesNotifiesDeterministically) {
+  // The wake-up-storm damper, pinned down with the on_write_wakeup seam:
+  // wake-up #1 is held in place while five more writes land, so exactly
+  // one more WriteNotify is queued (the first of the five) and the other
+  // four merge into it — 6 writes, 2 wake-ups, 4 coalesced.
+  ServiceOptions o = Opts(1, EvalMode::kIncremental);
+  std::atomic<bool> arm{false};
+  std::atomic<int> wakeups_seen{0};
+  std::promise<void> entered;
+  auto release = std::make_shared<std::promise<void>>();
+  std::shared_future<void> gate = release->get_future().share();
+  o.on_write_wakeup = [&](uint32_t) {
+    if (arm.load(std::memory_order_acquire) &&
+        wakeups_seen.fetch_add(1) == 0) {
+      entered.set_value();
+      gate.wait();
+    }
+  };
+  CoordinationService svc(o);
+
+  auto a = svc.SubmitAsync("{R(J, x)} R(K, x) :- F(x, Nowhere)");
+  auto b = svc.SubmitAsync("{R(K, y)} R(J, y) :- F(y, Nowhere)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  WaitForPending(svc, 2);  // pair registered in the wake-up index
+  arm.store(true, std::memory_order_release);
+
+  auto write = [&](int i) {
+    ASSERT_TRUE(
+        svc.ApplyWrite("F", {ir::Value::Int(90000 + i),
+                             ir::Value::Str(svc.interner().Intern("Burst"))})
+            .ok());
+  };
+  write(0);                     // wake-up #1 starts and parks on the gate
+  entered.get_future().wait();
+  for (int i = 1; i <= 5; ++i) write(i);  // 1 notify queued + 4 coalesced
+  release->set_value();
+
+  ServiceMetrics m = svc.Metrics();
+  for (int i = 0; i < 5000 && m.write_wakeups < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    m = svc.Metrics();
+  }
+  EXPECT_EQ(m.write_wakeups, 2u);             // 6 writes, 2 re-evaluations
+  EXPECT_EQ(m.write_notifies_coalesced, 4u);  // the storm, absorbed
+  // The coalesced wake-up still adopted the newest version (no write was
+  // swallowed): the shard's snapshot covers all six writes.
+  EXPECT_EQ(m.max_snapshot_version, svc.storage().version());
+}
+
 // The reactive ThreadSanitizer workhorse: concurrent writers x submitters
 // x deleters (plus an updater), wake-ups on. Client pairs coordinate on
 // per-round destinations that only a write makes answerable; deleters and

@@ -325,6 +325,180 @@ TEST_F(TranslatorTest, ContradictoryEqualityRejected) {
   ASSERT_FALSE(q.ok());
 }
 
+// ------------------------------------------------------ write statements --
+
+TEST(SqlWriteParserTest, ParsesDeleteWithConjunctiveWhere) {
+  auto stmt = ParseWriteSql(
+      "DELETE FROM Flights WHERE dest = 'Paris' AND fno >= 100 AND 200 > fno");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, SqlWrite::Kind::kDelete);
+  EXPECT_EQ(stmt->table, "Flights");
+  EXPECT_TRUE(stmt->sets.empty());
+  ASSERT_EQ(stmt->where.size(), 3u);
+  EXPECT_EQ(stmt->where[1].op, ir::CompareOp::kGe);
+  // Literal-on-the-left parses; the translator normalizes the direction.
+  EXPECT_EQ(stmt->where[2].lhs.kind, SqlTerm::Kind::kIntLit);
+}
+
+TEST(SqlWriteParserTest, ParsesUpdateWithSetListAndBareDelete) {
+  auto stmt = ParseWriteSql(
+      "UPDATE Flights SET dest = 'Naples', fno = 137 WHERE fno = 136");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, SqlWrite::Kind::kUpdate);
+  ASSERT_EQ(stmt->sets.size(), 2u);
+  EXPECT_EQ(stmt->sets[0].column, "dest");
+  EXPECT_EQ(stmt->sets[0].value.text, "Naples");
+  EXPECT_EQ(stmt->sets[1].value.number, 137);
+  ASSERT_EQ(stmt->where.size(), 1u);
+
+  // Omitting WHERE means every row (SQL semantics).
+  auto all = ParseWriteSql("DELETE FROM Flights");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_TRUE(all->where.empty());
+}
+
+TEST(SqlWriteParserTest, RejectsMalformedWrites) {
+  for (const char* bad : {
+           "DELETE Flights",                            // missing FROM
+           "DELETE FROM",                               // missing table
+           "UPDATE Flights WHERE fno = 1",              // missing SET
+           "UPDATE Flights SET dest WHERE fno = 1",     // missing '='
+           "UPDATE Flights SET dest = fno",             // non-literal SET
+           "DELETE FROM Flights WHERE fno",             // dangling operand
+           "DELETE FROM Flights WHERE fno = 1 OR fno = 2",  // OR unsupported
+           "INSERT INTO Flights VALUES (1)",            // not a write stmt
+           "DELETE FROM Flights garbage",               // trailing input
+       }) {
+    auto r = ParseWriteSql(bad);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(SqlWriteAstTest, WriteRoundTripsThroughToSql) {
+  for (const char* sql : {
+           "DELETE FROM Flights WHERE dest = 'Paris' AND fno < 200",
+           "UPDATE Flights SET dest = 'Naples' WHERE fno = 136",
+           "DELETE FROM Flights",
+       }) {
+    auto stmt1 = ParseWriteSql(sql);
+    ASSERT_TRUE(stmt1.ok()) << stmt1.status().ToString();
+    std::string rendered = ToSql(*stmt1);
+    auto stmt2 = ParseWriteSql(rendered);
+    ASSERT_TRUE(stmt2.ok()) << rendered << ": " << stmt2.status().ToString();
+    EXPECT_EQ(rendered, ToSql(*stmt2));
+  }
+}
+
+TEST_F(TranslatorTest, TranslatesDeleteToPredicate) {
+  Translator tr(&ctx_, db_.get());
+  auto w = tr.TranslateWriteSql(
+      "DELETE FROM Flights WHERE dest = 'Paris' AND 200 > fno");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->kind(), db::Storage::TableWrite::Kind::kDelete);
+  EXPECT_EQ(w->table(), "Flights");
+  const db::Predicate& pred = w->write.pred;
+  ASSERT_EQ(pred.terms.size(), 2u);
+  EXPECT_EQ(pred.terms[0].col, 1u);  // dest
+  EXPECT_EQ(pred.terms[0].op, ir::CompareOp::kEq);
+  EXPECT_EQ(pred.terms[0].value, ctx_.StrValue("Paris"));
+  // `200 > fno` was flipped to `fno < 200` (column on the left).
+  EXPECT_EQ(pred.terms[1].col, 0u);
+  EXPECT_EQ(pred.terms[1].op, ir::CompareOp::kLt);
+  EXPECT_EQ(pred.terms[1].value, Value::Int(200));
+}
+
+TEST_F(TranslatorTest, TranslatesUpdateToSetClauses) {
+  Translator tr(&ctx_, db_.get());
+  auto w = tr.TranslateWriteSql(
+      "UPDATE Flights SET dest = 'Naples' WHERE fno != 136");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->kind(), db::Storage::TableWrite::Kind::kUpdate);
+  ASSERT_EQ(w->write.sets.size(), 1u);
+  EXPECT_EQ(w->write.sets[0].col, 1u);
+  EXPECT_EQ(w->write.sets[0].value, ctx_.StrValue("Naples"));
+  ASSERT_EQ(w->write.pred.terms.size(), 1u);
+  EXPECT_EQ(w->write.pred.terms[0].op, ir::CompareOp::kNe);
+}
+
+TEST_F(TranslatorTest, WriteTranslationTypeAndNameErrors) {
+  Translator tr(&ctx_, db_.get());
+  // Unknown table: kNotFound, like query translation.
+  EXPECT_EQ(tr.TranslateWriteSql("DELETE FROM Ghost WHERE x = 1")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Unknown column.
+  auto unknown = tr.TranslateWriteSql("DELETE FROM Flights WHERE ghost = 1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.status().message().find("unknown column"),
+            std::string::npos);
+  // Type mismatches in WHERE and SET.
+  auto mistyped = tr.TranslateWriteSql("DELETE FROM Flights WHERE dest = 42");
+  ASSERT_FALSE(mistyped.ok());
+  EXPECT_NE(mistyped.status().message().find("type mismatch"),
+            std::string::npos);
+  auto badset =
+      tr.TranslateWriteSql("UPDATE Flights SET fno = 'x' WHERE fno = 1");
+  ASSERT_FALSE(badset.ok());
+  EXPECT_NE(badset.status().message().find("type mismatch"),
+            std::string::npos);
+  // Column-to-column and literal-to-literal predicates are rejected.
+  EXPECT_FALSE(
+      tr.TranslateWriteSql("DELETE FROM Flights WHERE fno = fno").ok());
+  EXPECT_FALSE(tr.TranslateWriteSql("DELETE FROM Flights WHERE 1 = 1").ok());
+  // Ordered comparisons on STRING columns: interned symbols carry no
+  // lexicographic order, so `dest < 'M'` would silently match an
+  // arbitrary subset — rejected at the edge instead.
+  auto ordered =
+      tr.TranslateWriteSql("DELETE FROM Flights WHERE dest < 'Rome'");
+  ASSERT_FALSE(ordered.ok());
+  EXPECT_EQ(ordered.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ordered.status().message().find("ordered comparison"),
+            std::string::npos);
+  // Duplicate SET targets are rejected at the edge too.
+  EXPECT_FALSE(
+      tr.TranslateWriteSql(
+            "UPDATE Flights SET dest = 'A', dest = 'B' WHERE fno = 1")
+          .ok());
+}
+
+TEST_F(TranslatorTest, TranslatedWriteRunsThroughStorage) {
+  // The translated statement is directly executable by db::Storage — the
+  // write-path analogue of submitting a translated query to the engine.
+  auto interner = std::make_shared<StringInterner>();
+  QueryContext ctx(interner);
+  db::Storage storage(interner);
+  ASSERT_TRUE(storage.mutable_db()
+                  ->CreateTable("Flights", {{"fno", ValueType::kInt},
+                                            {"dest", ValueType::kString}})
+                  .ok());
+  auto S = [&](const char* s) { return Value::Str(interner->Intern(s)); };
+  ASSERT_TRUE(
+      storage.mutable_db()->Insert("Flights", {Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(
+      storage.mutable_db()->Insert("Flights", {Value::Int(136), S("Rome")}).ok());
+  storage.Publish();
+
+  Translator tr(&ctx, storage.Current());
+  auto upd = tr.TranslateWriteSql(
+      "UPDATE Flights SET dest = 'Naples' WHERE fno >= 130");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  size_t rows = 0;
+  ASSERT_TRUE(storage.ApplyBatch({upd->write}, &rows).ok());
+  EXPECT_EQ(rows, 1u);
+  EXPECT_TRUE(
+      storage.Current().GetTable("Flights")->AnyMatch(1, S("Naples")));
+
+  auto del = tr.TranslateWriteSql("DELETE FROM Flights WHERE fno < 130");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  rows = 0;
+  ASSERT_TRUE(storage.ApplyBatch({del->write}, &rows).ok());
+  EXPECT_EQ(rows, 1u);
+  EXPECT_EQ(storage.Current().GetTable("Flights")->row_count(), 1u);
+}
+
 TEST_F(TranslatorTest, AstRoundTripsThroughToSql) {
   for (const char* sql : {kKramerSql, kJerrySql}) {
     auto stmt1 = ParseSql(sql);

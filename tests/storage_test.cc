@@ -150,6 +150,291 @@ TEST(TableCowTest, UpdateWhereReplacesWholeRowsAndChecksTheReplacement) {
   EXPECT_EQ(reader->Probe(1, paris)->size(), 2u);
 }
 
+// ------------------------------------------------ write predicates ------
+
+/// Nums(n INT, tag STRING) with n = 0..5, tag alternating "even"/"odd".
+Table NumsTable(ir::QueryContext* ctx) {
+  Table t({{"n", ir::ValueType::kInt}, {"tag", ir::ValueType::kString}});
+  for (int i = 0; i <= 5; ++i) {
+    EXPECT_TRUE(t.Insert({ir::Value::Int(i),
+                          ctx->StrValue(i % 2 == 0 ? "even" : "odd")})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(PredicateTest, RangeBoundariesAreExact) {
+  ir::QueryContext ctx;
+  // < and >= partition the domain exactly at the boundary: deleting n < 3
+  // then n >= 3 empties the table with no row hit twice.
+  Table t = NumsTable(&ctx);
+  size_t removed = 0;
+  ASSERT_TRUE(t.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kLt,
+                                            ir::Value::Int(3)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 3u);  // 0, 1, 2
+  ASSERT_TRUE(t.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kGe,
+                                            ir::Value::Int(3)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 3u);  // 3, 4, 5
+  EXPECT_EQ(t.row_count(), 0u);
+
+  // <= includes the boundary, > excludes it; != spares exactly one value.
+  Table u = NumsTable(&ctx);
+  ASSERT_TRUE(u.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kLe,
+                                            ir::Value::Int(2)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 3u);  // 0, 1, 2
+  ASSERT_TRUE(u.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kGt,
+                                            ir::Value::Int(4)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 1u);  // 5
+  ASSERT_TRUE(u.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kNe,
+                                            ir::Value::Int(4)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 1u);  // 3
+  ASSERT_EQ(u.row_count(), 1u);
+  EXPECT_EQ(u.row(0)[0], ir::Value::Int(4));
+}
+
+TEST(PredicateTest, MultiConjunctAndEmptyPredicate) {
+  ir::QueryContext ctx;
+  Table t = NumsTable(&ctx);
+  // AND of three conjuncts over two columns: 1 <= n < 5 AND tag = 'odd'.
+  Predicate p = Predicate::Eq(1, ctx.StrValue("odd"))
+                    .And(0, ir::CompareOp::kGe, ir::Value::Int(1))
+                    .And(0, ir::CompareOp::kLt, ir::Value::Int(5));
+  size_t removed = 0;
+  ASSERT_TRUE(t.DeleteWhere(p, &removed).ok());
+  EXPECT_EQ(removed, 2u);  // 1, 3 (5 is out of range)
+  // The empty conjunction matches every row (DELETE FROM t without WHERE).
+  ASSERT_TRUE(t.DeleteWhere(Predicate{}, &removed).ok());
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(PredicateTest, EqualityFastPathAgreesWithScanAndKeepsResiduals) {
+  ir::QueryContext ctx;
+  // An indexed `=` conjunct narrows the scan to its postings; the residual
+  // range conjunct must still be enforced on those rows.
+  Table t = NumsTable(&ctx);
+  ASSERT_TRUE(t.BuildIndex(1).ok());
+  Predicate p = Predicate::Eq(1, ctx.StrValue("even"))
+                    .And(0, ir::CompareOp::kGt, ir::Value::Int(0));
+  EXPECT_TRUE(t.version()->AnyMatch(p));
+  size_t updated = 0;
+  ASSERT_TRUE(t.UpdateWhere(p, {{1, ctx.StrValue("big-even")}}, &updated).ok());
+  EXPECT_EQ(updated, 2u);  // 2, 4 — not 0 (residual) and not odds (eq)
+  // The index was rebuilt around the new values.
+  EXPECT_EQ(t.Probe(1, ctx.StrValue("big-even"))->size(), 2u);
+  EXPECT_EQ(t.Probe(1, ctx.StrValue("even"))->size(), 1u);  // n = 0
+  // Fast-path delete with a residual that excludes every posting: no-op.
+  size_t removed = 0;
+  Predicate none = Predicate::Eq(1, ctx.StrValue("big-even"))
+                       .And(0, ir::CompareOp::kGt, ir::Value::Int(99));
+  ASSERT_TRUE(t.DeleteWhere(none, &removed).ok());
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(t.row_count(), 6u);
+}
+
+TEST(PredicateTest, FastPathDeleteKeepsSurvivorsAheadOfFirstHitIntact) {
+  ir::QueryContext ctx;
+  // Rows 0, 2, 4 survive AHEAD of (or between) the doomed odd rows, so the
+  // fast-path compaction walks a prefix where write == read — the
+  // self-move hazard. Survivors must keep their cells and the rebuilt
+  // index must agree.
+  Table t = NumsTable(&ctx);
+  ASSERT_TRUE(t.BuildIndex(1).ok());
+  size_t removed = 0;
+  ASSERT_TRUE(
+      t.DeleteWhere(Predicate::Eq(1, ctx.StrValue("odd")), &removed).ok());
+  EXPECT_EQ(removed, 3u);  // 1, 3, 5
+  ASSERT_EQ(t.row_count(), 3u);
+  for (size_t i = 0; i < t.row_count(); ++i) {
+    ASSERT_EQ(t.row(i).size(), 2u);
+    EXPECT_EQ(t.row(i)[0], ir::Value::Int(static_cast<int64_t>(2 * i)));
+    EXPECT_EQ(t.row(i)[1], ctx.StrValue("even"));
+  }
+  EXPECT_EQ(t.Probe(1, ctx.StrValue("even"))->size(), 3u);
+  EXPECT_EQ(t.Probe(1, ctx.StrValue("odd"))->size(), 0u);
+}
+
+TEST(PredicateTest, InvalidPredicatesFailBeforeAnyClone) {
+  ir::QueryContext ctx;
+  Table t = NumsTable(&ctx);
+  std::shared_ptr<const TableVersion> reader = t.version();
+  // Out-of-range column, NULL literal, and a type mismatch all fail
+  // without cloning (pointer identity is load-bearing for readers).
+  EXPECT_EQ(t.DeleteWhere(Predicate::Eq(7, ir::Value::Int(1))).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.DeleteWhere(Predicate::Eq(0, ir::Value())).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.DeleteWhere(Predicate::Eq(0, ctx.StrValue("three"))).code(),
+            StatusCode::kInvalidArgument);
+  // Bad SET clauses are rejected the same way.
+  EXPECT_EQ(t.UpdateWhere(Predicate{}, {{9, ir::Value::Int(1)}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.UpdateWhere(Predicate{}, {{0, ctx.StrValue("x")}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.UpdateWhere(Predicate{}, {}).code(),
+            StatusCode::kInvalidArgument);
+  // Ordered comparisons on STRING columns are rejected: interned symbols
+  // have no lexicographic order, so `tag < 'm'` would silently match an
+  // arbitrary (hash-ordered) subset of rows.
+  Status ordered = t.DeleteWhere(
+      Predicate{}.And(1, ir::CompareOp::kLt, ctx.StrValue("m")));
+  EXPECT_EQ(ordered.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ordered.message().find("ordered comparison"), std::string::npos);
+  // Duplicate assignment targets: last-one-wins would mask a typo'd
+  // column, so the whole update is rejected (standard SQL behavior).
+  Status dup = t.UpdateWhere(
+      Predicate{}, {{0, ir::Value::Int(1)}, {0, ir::Value::Int(2)}});
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.message().find("assigned twice"), std::string::npos);
+  EXPECT_EQ(t.version().get(), reader.get());
+}
+
+TEST(PredicateTest, NullCellsSatisfyNoComparison) {
+  ir::QueryContext ctx;
+  // SQL NULL semantics: a NULL cell matches no conjunct — =, != and range
+  // predicates all skip it (without the guard, type-tag ordering would
+  // make NULL sort below every INT and match `n < 3`).
+  Table t({{"n", ir::ValueType::kInt}, {"tag", ir::ValueType::kString}});
+  ASSERT_TRUE(t.Insert({ir::Value(), ctx.StrValue("nullrow")}).ok());
+  ASSERT_TRUE(t.Insert({ir::Value::Int(1), ctx.StrValue("one")}).ok());
+  size_t removed = 0;
+  ASSERT_TRUE(t.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kLt,
+                                            ir::Value::Int(3)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 1u);  // the n=1 row only; NULL survives
+  ASSERT_TRUE(t.DeleteWhere(Predicate{}.And(0, ir::CompareOp::kNe,
+                                            ir::Value::Int(99)),
+                            &removed)
+                  .ok());
+  EXPECT_EQ(removed, 0u);  // != does not match NULL either
+  // The empty conjunction (bare DELETE FROM t) still clears NULL rows.
+  ASSERT_TRUE(t.DeleteWhere(Predicate{}, &removed).ok());
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(PredicateTest, SetUpdateOnUnindexedColumnKeepsIndexesCorrect) {
+  ir::QueryContext ctx;
+  // Index on n; the SET touches only tag. In-place assignment shifts no
+  // row ids, so the n-index must keep answering correctly either way.
+  Table t = NumsTable(&ctx);
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  size_t updated = 0;
+  ASSERT_TRUE(t.UpdateWhere(Predicate{}.And(0, ir::CompareOp::kGe,
+                                            ir::Value::Int(4)),
+                            {{1, ctx.StrValue("high")}}, &updated)
+                  .ok());
+  EXPECT_EQ(updated, 2u);  // 4, 5
+  const auto* postings = t.Probe(0, ir::Value::Int(5));
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ(t.row((*postings)[0])[1], ctx.StrValue("high"));
+  EXPECT_EQ(t.row(*t.Probe(0, ir::Value::Int(2))->begin())[1],
+            ctx.StrValue("even"));
+}
+
+TEST(StorageTest, PredicateNoMatchPublishesNothing) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  const TableVersion* before = storage.Current().GetTable("Flights");
+
+  // A predicate matching nothing: no clone, no publish, no version churn
+  // (write-notified readers would otherwise wake for pointer-identical
+  // data).
+  size_t removed = 99;
+  ASSERT_TRUE(storage
+                  .ApplyDelete("Flights",
+                               Predicate{}.And(0, ir::CompareOp::kGt,
+                                               ir::Value::Int(1000)),
+                               &removed)
+                  .ok());
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(storage.version(), 1u);
+  EXPECT_EQ(storage.Current().GetTable("Flights"), before);
+
+  size_t updated = 99;
+  ASSERT_TRUE(storage
+                  .ApplyUpdate("Flights",
+                               Predicate{}.And(0, ir::CompareOp::kLt,
+                                               ir::Value::Int(0)),
+                               {{1, ir::Value::Str(interner->Intern("X"))}},
+                               &updated)
+                  .ok());
+  EXPECT_EQ(updated, 0u);
+  EXPECT_EQ(storage.version(), 1u);
+  EXPECT_EQ(storage.Current().GetTable("Flights"), before);
+
+  // A matching range delete does publish, and CoW isolates v1 readers.
+  Snapshot v1 = storage.Current();
+  ASSERT_TRUE(storage
+                  .ApplyDelete("Flights",
+                               Predicate{}.And(0, ir::CompareOp::kLe,
+                                               ir::Value::Int(122)),
+                               &removed)
+                  .ok());
+  EXPECT_EQ(removed, 1u);  // fno 122
+  EXPECT_EQ(storage.version(), 2u);
+  EXPECT_EQ(v1.GetTable("Flights")->row_count(), 2u);
+  EXPECT_EQ(storage.Current().GetTable("Flights")->row_count(), 1u);
+}
+
+TEST(StorageTest, MixedBatchWithPredicateWritesIsAtomic) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  auto S = [&](const char* s) { return ir::Value::Str(interner->Intern(s)); };
+
+  // Insert + predicate update (SET form) + predicate delete, one publish.
+  std::vector<Storage::TableWrite> batch;
+  batch.push_back(Storage::TableWrite::Insert(
+      "Flights", {ir::Value::Int(500), S("Oslo")}));
+  batch.push_back(Storage::TableWrite::Update(
+      "Flights",
+      Predicate{}.And(0, ir::CompareOp::kLt, ir::Value::Int(200)),
+      {{1, S("Rerouted")}}));
+  batch.push_back(Storage::TableWrite::Delete(
+      "Flights", Predicate::Eq(1, S("Rerouted"))
+                     .And(0, ir::CompareOp::kGe, ir::Value::Int(123))));
+  size_t rows_changed = 0;
+  ASSERT_TRUE(storage.ApplyBatch(batch, &rows_changed).ok());
+  EXPECT_EQ(storage.version(), 2u);
+  EXPECT_EQ(rows_changed, 4u);  // 1 insert + 2 updates + 1 delete
+  const TableVersion* flights = storage.Current().GetTable("Flights");
+  ASSERT_EQ(flights->row_count(), 2u);  // 122 (Rerouted) + 500 (Oslo)
+  EXPECT_TRUE(flights->AnyMatch(Predicate::Eq(1, S("Rerouted"))));
+  EXPECT_FALSE(flights->AnyMatch(Predicate::Eq(0, ir::Value::Int(123))));
+
+  // A bad predicate anywhere voids the whole batch, naming the write.
+  std::vector<Storage::TableWrite> bad;
+  bad.push_back(Storage::TableWrite::Insert(
+      "Flights", {ir::Value::Int(501), S("Bergen")}));
+  bad.push_back(Storage::TableWrite::Delete(
+      "Flights", Predicate::Eq(0, S("not-an-int"))));
+  Status st = storage.ApplyBatch(bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("write #1"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(storage.version(), 2u);
+  EXPECT_FALSE(storage.Current().GetTable("Flights")->AnyMatch(
+      0, ir::Value::Int(501)));
+}
+
 // ------------------------------------------------ Database snapshots ----
 
 TEST(SnapshotTest, DatabaseSnapshotSharesVersionsByPointer) {
