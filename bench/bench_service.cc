@@ -127,12 +127,26 @@ double TimeCopiedStartup(uint32_t shards, size_t rows) {
   return sw.ElapsedMillis();
 }
 
-RunResult RunOnce(uint32_t shards, size_t pairs, bool disjoint) {
+/// Tracing configuration for the observability overhead sweep.
+enum class TraceMode { kOff, kSampled, kAll };
+
+RunResult RunOnce(uint32_t shards, size_t pairs, bool disjoint,
+                  TraceMode tracing = TraceMode::kSampled) {
   ServiceOptions opts;
   opts.num_shards = shards;
   opts.max_batch = 256;
   opts.max_delay_ticks = 4;
   opts.bootstrap = Bootstrap;
+  switch (tracing) {
+    case TraceMode::kOff:
+      opts.trace_sample_every = 0;
+      break;
+    case TraceMode::kSampled:
+      break;  // the default: every 64th submission
+    case TraceMode::kAll:
+      opts.trace_all = true;
+      break;
+  }
   CoordinationService svc(opts);
 
   // Pre-render the texts so generation cost stays out of the timed region.
@@ -443,6 +457,45 @@ int main(int argc, char** argv) {
           .Set("answered", static_cast<double>(last.metrics.answered))
           .Set("p50_ms", last.metrics.p50_latency_ms)
           .Set("p99_ms", last.metrics.p99_latency_ms);
+    }
+  }
+
+  // Observability overhead: the same disjoint workload with tracing
+  // disabled, at the default 1-in-64 sampling, and with trace_all. The
+  // interesting number is the overhead ratio of sampled vs off — the
+  // default configuration should cost well under 2%.
+  {
+    uint32_t shards = shard_counts.back();
+    PrintHeader("observability: lifecycle tracing overhead (disjoint workload)",
+                "tracing    queries   total_ms      qps  overhead");
+    struct ModeSpec {
+      const char* name;
+      TraceMode mode;
+    } modes[] = {{"off", TraceMode::kOff},
+                 {"sampled", TraceMode::kSampled},
+                 {"all", TraceMode::kAll}};
+    double off_qps = 0;
+    for (const ModeSpec& m : modes) {
+      RunResult last;
+      RunStats stats = Repeat(flags.runs, [&] {
+        last = RunOnce(shards, pairs, /*disjoint=*/true, m.mode);
+        return last.ms;
+      });
+      double qps =
+          stats.mean_ms > 0 ? 1000.0 * (2 * pairs) / stats.mean_ms : 0;
+      if (m.mode == TraceMode::kOff) off_qps = qps;
+      double overhead = (off_qps > 0 && qps > 0) ? off_qps / qps - 1.0 : 0;
+      std::printf("%-8s %9zu %10.2f %8.0f %7.1f%%\n", m.name, 2 * pairs,
+                  stats.mean_ms, qps, 100.0 * overhead);
+      auto& row = json.NewRow("observability");
+      row.Set("tracing", std::string(m.name))
+          .Set("shards", static_cast<double>(shards))
+          .Set("queries", static_cast<double>(2 * pairs))
+          .Set("total_ms", stats.mean_ms)
+          .Set("stddev_ms", stats.stddev_ms)
+          .Set("qps", qps)
+          .Set("overhead_ratio", overhead)
+          .Set("answered", static_cast<double>(last.metrics.answered));
     }
   }
 

@@ -29,6 +29,15 @@ int main() {
   opts.num_shards = 4;
   opts.mode = engine::EvalMode::kIncremental;  // answer on partner arrival
   opts.tick_interval = std::chrono::milliseconds(10);  // staleness ticker
+  // Slow-query log: any query resolving slower than 1ms gets its full
+  // lifecycle trace handed to the sink (setting a threshold implies
+  // trace_all, so every query's trace is available). The Kyoto pair below
+  // pends on data for several ms, so it fires the sink.
+  opts.slow_query_threshold_ms = 1.0;
+  opts.slow_query_sink = [](const service::QueryTrace& trace) {
+    std::printf("  [slow-query log] ticket %llu exceeded 1ms:\n%s",
+                (unsigned long long)trace.ticket, trace.ToString().c_str());
+  };
   opts.bootstrap = [](ir::QueryContext* ctx, db::Database* db) {
     db->CreateTable("F", {{"fno", ir::ValueType::kInt},
                           {"dest", ir::ValueType::kString}});
@@ -133,6 +142,12 @@ int main() {
     }
     std::printf("  pending: george done=%d susan done=%d\n",
                 george->Done() ? 1 : 0, susan->Done() ? 1 : 0);
+    // Introspection while they are stuck: DumpState names the pending
+    // queries, their entangled group, and each shard's snapshot lag.
+    std::printf("%s", svc.DumpState().ToString().c_str());
+    // Let the pair dwell past the 1ms slow-query threshold so the
+    // resolution below demonstrably fires the sink.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
     svc.ApplyWrite("F", {ir::Value::Int(900),
                          ir::Value::Str(svc.interner().Intern("Kyoto"))});
     std::printf("Wrote flight 900 to Kyoto — the write wakes them:\n"

@@ -1,4 +1,4 @@
-// d3c_shell — an interactive shell for the entangled-queries engine.
+// d3c_shell — an interactive shell for the entangled-queries service.
 //
 // The paper notes that "entangled queries can, in principle, be input by
 // hand" (§5.1); this tool makes that concrete. It reads ';'-terminated
@@ -13,25 +13,41 @@
 //     WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
 //     AND ('Jerry', fno) IN ANSWER R CHOOSE 1;
 //   IR {R(Kramer, x)} R(Jerry, x) :- Flights(x, 'Paris');
-//   STATUS;            -- pending / answered / failed counters
+//   STATUS;            -- full service metrics (per-shard lines included)
 //   TTL 20;            -- staleness for subsequent queries (logical ticks)
 //   TICK 25;           -- advance the clock (expires stale queries)
 //   FLUSH;             -- set-at-a-time resolution of everything pending
 //   HELP; QUIT;
 //
-// Answers arrive asynchronously through the engine callback and are printed
+// Lines starting with '\' are immediate observability commands (no ';'):
+//
+//   \metrics [prom|json] [file]   exporter output (default: prom, stdout)
+//   \trace <ticket-id>            recorded lifecycle of one query
+//   \state                        pending-state dump (queues, groups, lag)
+//
+// The shell runs on a CoordinationService with lazy start: CREATE / INSERT
+// / INDEX statements before the first query accumulate into the service
+// bootstrap; the first query (or '\' command) starts the service. After
+// start, INSERT / DELETE / UPDATE flow through the versioned write path
+// and wake exactly the pending queries that read a touched relation.
+// Answers arrive asynchronously through ticket callbacks and are printed
 // as soon as a coordination partner appears.
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "client/query.h"
 #include "db/database.h"
-#include "engine/engine.h"
-#include "ir/parser.h"
+#include "ir/query.h"
+#include "service/export.h"
+#include "service/service.h"
 #include "sql/translator.h"
 
 namespace {
@@ -40,23 +56,6 @@ using namespace eq;
 
 class Shell {
  public:
-  Shell()
-      : db_(&ctx_.interner()),
-        engine_(&ctx_, &db_, {.mode = engine::EvalMode::kIncremental}) {
-    engine_.SetCallback(
-        [this](ir::QueryId id, const engine::QueryOutcome& outcome) {
-          if (outcome.state == engine::QueryOutcome::State::kAnswered) {
-            for (const auto& t : outcome.tuples) {
-              std::printf("[q%u] answered: %s\n", id,
-                          t.ToString(ctx_.interner()).c_str());
-            }
-          } else {
-            std::printf("[q%u] failed: %s\n", id,
-                        outcome.status.ToString().c_str());
-          }
-        });
-  }
-
   /// Executes one ';'-terminated statement. Returns false on QUIT.
   bool Execute(const std::string& stmt) {
     std::string word = FirstWord(stmt);
@@ -64,44 +63,109 @@ class Shell {
     if (word == "QUIT" || word == "EXIT") return false;
     if (word == "HELP") {
       Help();
-    } else if (word == "CREATE") {
-      Report(Refreshing(CreateTable(stmt)));
+    } else if (word == "CREATE" || word == "INDEX") {
+      if (svc_) {
+        std::printf(
+            "error: the catalog is fixed once the service starts — declare "
+            "tables and indexes before the first query\n");
+      } else {
+        Report(Staged(stmt, word == "CREATE" ? CreateTable(&ctx_, &db_, stmt)
+                                             : Index(&ctx_, &db_, stmt)));
+      }
     } else if (word == "INSERT") {
-      Report(Refreshing(Insert(stmt)));
+      if (svc_) {
+        Report(LiveInsert(stmt));
+      } else {
+        Report(Staged(stmt, Insert(&ctx_, &db_, stmt)));
+      }
     } else if (word == "DELETE" || word == "UPDATE") {
-      Report(Refreshing(Write(stmt)));
-    } else if (word == "INDEX") {
-      Report(Refreshing(Index(stmt)));
+      if (svc_) {
+        auto rows = svc_->ExecuteWrite(stmt);
+        if (rows.ok()) {
+          std::printf("%zu row(s) affected\n", *rows);
+        } else {
+          Report(rows.status());
+        }
+      } else {
+        Report(Staged(stmt, Write(&ctx_, &db_, stmt)));
+      }
     } else if (word == "SELECT") {
-      SubmitSql(stmt);
+      Submit(client::Query::Sql(stmt));
     } else if (word == "IR") {
-      SubmitIr(stmt.substr(stmt.find("IR") + 2));
+      Submit(client::Query::Ir(stmt.substr(stmt.find("IR") + 2)));
     } else if (word == "FLUSH") {
-      engine_.Flush().ok();
-      std::printf("flushed; pending=%zu\n", engine_.pending_count());
+      EnsureStarted();
+      svc_->FlushAll();
+      std::printf("flushed; pending=%llu\n",
+                  (unsigned long long)svc_->Metrics().pending);
     } else if (word == "TICK") {
+      EnsureStarted();
       uint64_t t = 0;
       std::sscanf(stmt.c_str(), "%*s %llu", (unsigned long long*)&t);
-      engine_.AdvanceTime(engine_.now() + t);
-      std::printf("clock=%llu pending=%zu\n",
-                  (unsigned long long)engine_.now(), engine_.pending_count());
+      svc_->AdvanceTicks(t);
+      std::printf("clock=%llu pending=%llu\n",
+                  (unsigned long long)svc_->now_ticks(),
+                  (unsigned long long)svc_->Metrics().pending);
     } else if (word == "TTL") {
       std::sscanf(stmt.c_str(), "%*s %llu", (unsigned long long*)&ttl_);
       std::printf("ttl=%llu ticks for subsequent queries\n",
                   (unsigned long long)ttl_);
     } else if (word == "STATUS") {
-      const auto& m = engine_.metrics();
-      std::printf(
-          "pending=%zu answered=%llu failed=%llu expired=%llu "
-          "unsafe=%llu combined_queries=%llu\n",
-          engine_.pending_count(), (unsigned long long)m.answered,
-          (unsigned long long)m.failed, (unsigned long long)m.expired,
-          (unsigned long long)m.rejected_unsafe,
-          (unsigned long long)m.combined_queries);
+      EnsureStarted();
+      std::printf("%s", svc_->Metrics().ToString().c_str());
     } else {
       std::printf("unknown statement '%s' (try HELP)\n", word.c_str());
     }
     return true;
+  }
+
+  /// Executes one '\'-prefixed observability command (whole line).
+  void Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd, arg1, arg2;
+    in >> cmd >> arg1 >> arg2;
+    EnsureStarted();
+    if (cmd == "\\metrics") {
+      std::string format = arg1.empty() ? "prom" : arg1;
+      std::string text;
+      if (format == "prom") {
+        text = service::MetricsToPrometheusText(svc_->Metrics());
+      } else if (format == "json") {
+        text = service::MetricsToJson(svc_->Metrics());
+      } else {
+        std::printf("usage: \\metrics [prom|json] [file]\n");
+        return;
+      }
+      if (arg2.empty()) {
+        std::printf("%s", text.c_str());
+      } else {
+        std::ofstream out(arg2);
+        if (!out) {
+          std::printf("error: cannot open %s\n", arg2.c_str());
+          return;
+        }
+        out << text;
+        std::printf("wrote %zu bytes of %s metrics to %s\n", text.size(),
+                    format.c_str(), arg2.c_str());
+      }
+    } else if (cmd == "\\trace") {
+      if (arg1.empty()) {
+        std::printf("usage: \\trace <ticket-id>\n");
+        return;
+      }
+      auto trace = svc_->Trace(std::strtoull(arg1.c_str(), nullptr, 10));
+      if (trace.ok()) {
+        std::printf("%s", trace->ToString().c_str());
+      } else {
+        Report(trace.status());
+      }
+    } else if (cmd == "\\state") {
+      std::printf("%s", svc_->DumpState().ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try \\metrics, \\trace <id>, "
+                  "\\state)\n",
+                  cmd.c_str());
+    }
   }
 
  private:
@@ -122,25 +186,67 @@ class Shell {
   void Help() {
     std::printf(
         "statements (terminate with ';'):\n"
-        "  CREATE TABLE name (col TYPE, ...)   TYPE = INT | STR\n"
+        "  CREATE TABLE name (col TYPE, ...)   TYPE = INT | STR (pre-start)\n"
         "  INSERT name (value, ...)            value = 123 | 'text'\n"
         "  DELETE FROM name [WHERE col op lit [AND ...]]\n"
         "  UPDATE name SET col = lit [, ...] [WHERE ...]   op = = != < <= > >=\n"
-        "  INDEX name column\n"
+        "  INDEX name column                   (pre-start)\n"
         "  SELECT ... INTO ANSWER ... CHOOSE k   entangled SQL (paper §2.1)\n"
         "  IR {C} H :- B                         Datalog-style IR (§2.2)\n"
-        "  TTL n | TICK n | FLUSH | STATUS | HELP | QUIT\n");
+        "  TTL n | TICK n | FLUSH | STATUS | HELP | QUIT\n"
+        "observability commands (whole line, no ';'):\n"
+        "  \\metrics [prom|json] [file]   exporter output\n"
+        "  \\trace <ticket-id>            lifecycle trace of one query\n"
+        "  \\state                        pending queries, groups, lag\n");
   }
 
-  Status CreateTable(const std::string& stmt) {
+  /// Pre-start statements validate against the staging catalog and, on
+  /// success, are recorded for replay inside the service bootstrap.
+  Status Staged(const std::string& stmt, Status st) {
+    if (st.ok()) boot_stmts_.push_back(stmt);
+    return st;
+  }
+
+  /// Starts the CoordinationService, replaying the staged CREATE / INSERT
+  /// / INDEX statements as its snapshot bootstrap. trace_all keeps every
+  /// interactive query's lifecycle available to \trace.
+  void EnsureStarted() {
+    if (svc_) return;
+    service::ServiceOptions opts;
+    opts.num_shards = 2;
+    opts.mode = engine::EvalMode::kIncremental;
+    opts.max_delay_ticks = 1;
+    opts.trace_all = true;
+    std::vector<std::string> stmts = boot_stmts_;
+    opts.bootstrap = [stmts](ir::QueryContext* ctx, db::Database* db) {
+      for (const auto& s : stmts) {
+        std::string word = FirstWord(s);
+        Status st = word == "CREATE"   ? CreateTable(ctx, db, s)
+                    : word == "INSERT" ? Insert(ctx, db, s)
+                    : word == "INDEX"  ? Index(ctx, db, s)
+                                       : Write(ctx, db, s);
+        if (!st.ok()) {
+          std::printf("bootstrap: %s\n", st.ToString().c_str());
+        }
+      }
+    };
+    svc_ = std::make_unique<service::CoordinationService>(opts);
+    std::printf(
+        "service started: %u shards, incremental evaluation, tracing all "
+        "queries (catalog: %zu staged statement(s))\n",
+        opts.num_shards, boot_stmts_.size());
+  }
+
+  static Status CreateTable(ir::QueryContext* /*ctx*/, db::Database* db,
+                            const std::string& stmt) {
     // CREATE TABLE name ( col TYPE , ... )
     std::istringstream in(stmt);
     std::string kw1, kw2, name;
     in >> kw1 >> kw2 >> name;
     size_t open = stmt.find('(');
     size_t close = stmt.rfind(')');
-    if (name.empty() || open == std::string::npos || close == std::string::npos ||
-        close < open) {
+    if (name.empty() || open == std::string::npos ||
+        close == std::string::npos || close < open) {
       return Status::ParseError("usage: CREATE TABLE name (col TYPE, ...)");
     }
     // Strip a '(' glued to the name.
@@ -165,31 +271,25 @@ class Shell {
     if (schema.columns.empty()) {
       return Status::ParseError("table needs at least one column");
     }
-    return db_.CreateTable(name, std::move(schema));
+    return db->CreateTable(name, std::move(schema));
   }
 
-  /// The engine evaluates an immutable snapshot; after any catalog/data
-  /// mutation, hand it a fresh one (between statements the engine is
-  /// always idle, so adoption is safe).
-  Status Refreshing(Status st) {
-    if (st.ok()) engine_.AdoptSnapshot(db_.snapshot());
-    return st;
-  }
-
-  Status Insert(const std::string& stmt) {
-    // INSERT name ( v1, v2, ... )
+  /// Parses "INSERT name (v1, v2, ...)" into the table name and a row,
+  /// interning string cells through `intern`.
+  static Status ParseInsert(const std::string& stmt, StringInterner* intern,
+                            std::string* name, db::Row* row) {
     std::istringstream in(stmt);
-    std::string kw, name;
-    in >> kw >> name;
+    std::string kw;
+    in >> kw >> *name;
     size_t open = stmt.find('(');
     size_t close = stmt.rfind(')');
-    if (name.empty() || open == std::string::npos || close == std::string::npos) {
+    if (name->empty() || open == std::string::npos ||
+        close == std::string::npos) {
       return Status::ParseError("usage: INSERT name (v1, v2, ...)");
     }
-    if (size_t p = name.find('('); p != std::string::npos) {
-      name = name.substr(0, p);
+    if (size_t p = name->find('('); p != std::string::npos) {
+      *name = name->substr(0, p);
     }
-    db::Row row;
     std::string vals = stmt.substr(open + 1, close - open - 1);
     std::istringstream vin(vals);
     std::string piece;
@@ -205,22 +305,41 @@ class Shell {
         if (piece.size() < 2 || piece.back() != '\'') {
           return Status::ParseError("unterminated string " + piece);
         }
-        row.push_back(ctx_.StrValue(piece.substr(1, piece.size() - 2)));
+        row->push_back(
+            ir::Value::Str(intern->Intern(piece.substr(1, piece.size() - 2))));
       } else {
-        row.push_back(ir::Value::Int(std::atoll(piece.c_str())));
+        row->push_back(ir::Value::Int(std::atoll(piece.c_str())));
       }
     }
-    return db_.Insert(name, std::move(row));
+    return Status::OK();
   }
 
-  /// SQL DELETE/UPDATE through the same translator the service uses: the
-  /// statement is resolved and type-checked against the current snapshot,
-  /// then applied to the shell's database (row count reported).
-  Status Write(const std::string& stmt) {
-    sql::Translator tr(&ctx_, &db_);
+  static Status Insert(ir::QueryContext* ctx, db::Database* db,
+                       const std::string& stmt) {
+    std::string name;
+    db::Row row;
+    EQ_RETURN_NOT_OK(ParseInsert(stmt, &ctx->interner(), &name, &row));
+    return db->Insert(name, std::move(row));
+  }
+
+  /// Post-start INSERT: through the versioned write path, waking exactly
+  /// the pending queries that read the touched relation.
+  Status LiveInsert(const std::string& stmt) {
+    std::string name;
+    db::Row row;
+    EQ_RETURN_NOT_OK(ParseInsert(stmt, &svc_->interner(), &name, &row));
+    return svc_->ApplyWrite(name, std::move(row));
+  }
+
+  /// SQL DELETE/UPDATE against the staging catalog (pre-start only): the
+  /// statement is resolved and type-checked through the same translator
+  /// the service uses, then applied to the staging database.
+  static Status Write(ir::QueryContext* ctx, db::Database* db,
+                      const std::string& stmt) {
+    sql::Translator tr(ctx, db);
     auto w = tr.TranslateWriteSql(stmt);
     if (!w.ok()) return w.status();
-    db::Table* table = db_.GetTable(w->table());
+    db::Table* table = db->GetTable(w->table());
     if (table == nullptr) return Status::NotFound("no table " + w->table());
     size_t rows = 0;
     if (w->kind() == db::Storage::TableWrite::Kind::kDelete) {
@@ -232,51 +351,52 @@ class Shell {
     return Status::OK();
   }
 
-  Status Index(const std::string& stmt) {
+  static Status Index(ir::QueryContext* /*ctx*/, db::Database* db,
+                      const std::string& stmt) {
     std::istringstream in(stmt);
     std::string kw, name, col;
     in >> kw >> name >> col;
-    db::Table* table = db_.GetTable(name);
+    db::Table* table = db->GetTable(name);
     if (table == nullptr) return Status::NotFound("no table " + name);
     int idx = table->schema().ColumnIndex(col);
     if (idx < 0) return Status::NotFound("no column " + col);
     return table->BuildIndex(static_cast<size_t>(idx));
   }
 
-  void SubmitSql(const std::string& stmt) {
-    sql::Translator tr(&ctx_, &db_);
-    auto q = tr.TranslateSql(stmt);
-    if (!q.ok()) {
-      std::printf("error: %s\n", q.status().ToString().c_str());
+  void Submit(client::Query query) {
+    EnsureStarted();
+    service::SubmitOptions opts;
+    opts.ttl_ticks = ttl_;
+    opts.callback = [](service::TicketId id,
+                       const service::ServiceOutcome& outcome) {
+      if (outcome.state == service::ServiceOutcome::State::kAnswered) {
+        for (const auto& t : outcome.tuples) {
+          std::printf("[t%llu] answered: %s\n", (unsigned long long)id,
+                      t.c_str());
+        }
+      } else {
+        std::printf("[t%llu] failed: %s\n", (unsigned long long)id,
+                    outcome.status.ToString().c_str());
+      }
+    };
+    auto ticket = svc_->Submit(std::move(query), std::move(opts));
+    if (!ticket.ok()) {
+      std::printf("rejected: %s\n", ticket.status().ToString().c_str());
       return;
     }
-    Submit(std::move(q).value());
-  }
-
-  void SubmitIr(const std::string& text) {
-    ir::Parser parser(&ctx_);
-    auto q = parser.ParseQuery(text);
-    if (!q.ok()) {
-      std::printf("error: %s\n", q.status().ToString().c_str());
-      return;
-    }
-    Submit(std::move(q).value());
-  }
-
-  void Submit(ir::EntangledQuery q) {
-    auto r = engine_.Submit(std::move(q), ttl_);
-    if (!r.ok()) {
-      std::printf("rejected: %s\n", r.status().ToString().c_str());
-      return;
-    }
-    if (engine_.outcome(*r).state == engine::QueryOutcome::State::kPending) {
-      std::printf("[q%u] pending (awaiting coordination partners)\n", *r);
+    if (!ticket->Done()) {
+      std::printf("[t%llu] pending (awaiting coordination partners)\n",
+                  (unsigned long long)ticket->id());
     }
   }
 
+  /// Staging catalog for pre-start statements: validates DDL/DML up front
+  /// so errors surface at the prompt, not inside the bootstrap replay.
   ir::QueryContext ctx_;
-  db::Database db_;
-  engine::CoordinationEngine engine_;
+  db::Database db_{&ctx_.interner()};
+  std::vector<std::string> boot_stmts_;
+
+  std::unique_ptr<service::CoordinationService> svc_;
   uint64_t ttl_ = 0;
 };
 
@@ -305,6 +425,12 @@ int main(int argc, char** argv) {
     // Strip -- comments.
     if (size_t c = line.find("--"); c != std::string::npos) {
       line = line.substr(0, c);
+    }
+    // '\'-prefixed lines are immediate observability commands.
+    size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '\\') {
+      shell.Command(line.substr(first));
+      continue;
     }
     buffer += line + "\n";
     size_t semi;

@@ -40,6 +40,10 @@ VOLATILE_KEYS = {
     # hypothetical run where the shard always outpaces the writers would
     # legitimately report 0.
     "coalesced",
+    # Tracing overhead is a ratio against the "off" baseline: it is zero
+    # for the baseline row itself and can go mildly negative on a noisy
+    # run where the traced variant happens to finish faster.
+    "overhead_ratio",
 }
 
 

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Smoke-validates Prometheus text exposition output (MetricsToPrometheusText).
+
+Checked:
+
+  1. syntax     — every line is a '# HELP', '# TYPE', or sample line matching
+                  the exposition format (metric names, optional {k="v"}
+                  labels, float value);
+  2. metadata   — every sample belongs to a family announced by a preceding
+                  '# TYPE' line with a known type, and each family carries a
+                  '# HELP' line;
+  3. histograms — for every family of type histogram, per label set: bucket
+                  counts are cumulative (non-decreasing as 'le' grows), the
+                  last bucket is le="+Inf", and <family>_count equals the
+                  +Inf bucket; <family>_sum and <family>_count are present.
+
+Usage: check_prometheus.py <metrics.prom>
+"""
+
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+HELP_RE = re.compile(rf"^# HELP ({NAME}) .+$")
+TYPE_RE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary)$")
+SAMPLE_RE = re.compile(
+    rf"^({NAME})"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})?'
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def family_of(name):
+    """Strips the histogram sample suffix to get the announced family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    path = sys.argv[1]
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    errors = []
+    helps, types = {}, {}
+    # (family, labels-minus-le) -> list of (le, value) in file order.
+    buckets = {}
+    # (family, labels) -> value, for _count / _sum cross-checks.
+    series = {}
+
+    for i, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = HELP_RE.match(line)
+            if m:
+                helps[m.group(1)] = True
+                continue
+            m = TYPE_RE.match(line)
+            if m:
+                types[m.group(1)] = m.group(2)
+                continue
+            errors.append(f"line {i}: malformed comment line: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {i}: malformed sample line: {line!r}")
+            continue
+        name, labeltext, value = m.group(1), m.group(2) or "", m.group(4)
+        fam = family_of(name)
+        announced = name if name in types else fam
+        if announced not in types:
+            errors.append(f"line {i}: sample '{name}' has no # TYPE line")
+            continue
+        if announced not in helps:
+            errors.append(f"line {i}: sample '{name}' has no # HELP line")
+        labels = dict(LABEL_RE.findall(labeltext))
+        if types[announced] == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"line {i}: histogram bucket without 'le' label")
+                continue
+            le = labels.pop("le")
+            key = (announced, tuple(sorted(labels.items())))
+            buckets.setdefault(key, []).append((le, float(value)))
+        else:
+            series[(name, tuple(sorted(labels.items())))] = float(value)
+
+    for (fam, labels), rows in sorted(buckets.items()):
+        where = f"histogram '{fam}'" + (f" {dict(labels)}" if labels else "")
+        if rows[-1][0] != "+Inf":
+            errors.append(f"{where}: last bucket is le=\"{rows[-1][0]}\", "
+                          f"expected +Inf")
+        prev_le, prev_count = None, None
+        for le, count in rows:
+            le_num = float("inf") if le == "+Inf" else float(le)
+            if prev_le is not None and le_num <= prev_le:
+                errors.append(f"{where}: le={le} out of order")
+            if prev_count is not None and count < prev_count:
+                errors.append(
+                    f"{where}: bucket le={le} count {count} < previous "
+                    f"{prev_count} (buckets must be cumulative)"
+                )
+            prev_le, prev_count = le_num, count
+        total = series.get((fam + "_count", labels))
+        if total is None:
+            errors.append(f"{where}: missing {fam}_count")
+        elif total != rows[-1][1]:
+            errors.append(
+                f"{where}: {fam}_count = {total} but +Inf bucket = "
+                f"{rows[-1][1]}"
+            )
+        if (fam + "_sum", labels) not in series:
+            errors.append(f"{where}: missing {fam}_sum")
+
+    hist_families = [f for f, t in types.items() if t == "histogram"]
+    if not hist_families:
+        errors.append("no histogram family found (expected eq_latency_ms)")
+
+    if errors:
+        print(f"prometheus check FAILED ({path}):")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(
+        f"prometheus check OK: {path} — {len(types)} families, "
+        f"{len(series) + sum(len(v) for v in buckets.values())} samples, "
+        f"histograms cumulative"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,20 @@ class Session {
   /// Withdraws a pending query (see CoordinationService::Cancel).
   Status Cancel(const service::Ticket& ticket) { return svc_->Cancel(ticket); }
 
+  /// Observability passthroughs, so a session-scoped client can inspect
+  /// the service it talks to without reaching around the facade.
+  service::ServiceMetrics Metrics() const { return svc_->Metrics(); }
+  /// The recorded lifecycle of one (sampled) query (see
+  /// CoordinationService::Trace).
+  Result<service::QueryTrace> Trace(const service::Ticket& ticket) const {
+    return svc_->Trace(ticket);
+  }
+  Result<service::QueryTrace> Trace(service::TicketId ticket) const {
+    return svc_->Trace(ticket);
+  }
+  /// Pending-state introspection (see CoordinationService::DumpState).
+  service::ServiceStateDump DumpState() const { return svc_->DumpState(); }
+
   service::CoordinationService& service() { return *svc_; }
   const SessionOptions& options() const { return opts_; }
 

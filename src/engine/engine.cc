@@ -22,6 +22,7 @@ CoordinationEngine::CoordinationEngine(ir::QueryContext* ctx, db::Snapshot db,
 
 Result<QueryId> CoordinationEngine::Submit(EntangledQuery query,
                                            uint64_t ttl_ticks) {
+  WaveScope wave(&wave_, QueryOutcome::Via::kSubmit);
   Stopwatch sw;
   EQ_RETURN_NOT_OK(ir::ValidateQuery(query, ctx_));
   for (ir::VarId v : query.Variables()) {
@@ -55,6 +56,7 @@ Result<QueryId> CoordinationEngine::Submit(EntangledQuery query,
       QueryOutcome outcome;
       outcome.state = QueryOutcome::State::kFailed;
       outcome.status = st;
+      outcome.via = QueryOutcome::Via::kSubmit;
       outcomes_[id] = outcome;
       if (callback_) callback_(id, outcomes_[id]);
       return id;  // submission succeeded; coordination was refused
@@ -171,6 +173,7 @@ void CoordinationEngine::Resolve(QueryId q, QueryOutcome outcome) {
   // via a stale deadline-heap entry) must neither overwrite the recorded
   // outcome nor re-fire the application callback.
   if (outcomes_[q].state != QueryOutcome::State::kPending) return;
+  outcome.via = wave_;
   outcomes_[q] = std::move(outcome);
   pending_.erase(q);
   for (SymbolId rel : body_rels_[q]) {
@@ -447,6 +450,7 @@ void CoordinationEngine::ResolveComponentBatch(
 }
 
 Status CoordinationEngine::Flush() {
+  WaveScope wave(&wave_, QueryOutcome::Via::kFlush);
   // Snapshot the partitions that still hold pending queries.
   std::vector<std::vector<QueryId>> components;
   components.reserve(partitions_.size());
@@ -512,6 +516,7 @@ Status CoordinationEngine::Flush() {
 }
 
 void CoordinationEngine::AdvanceTime(uint64_t now) {
+  WaveScope wave(&wave_, QueryOutcome::Via::kTick);
   now_ = std::max(now_, now);
   std::vector<PartitionId> affected;
   while (!deadline_heap_.empty() && deadline_heap_.top().first <= now_) {
@@ -551,6 +556,7 @@ Status CoordinationEngine::Cancel(ir::QueryId q) {
     return Status::NotFound("query " + std::to_string(q) +
                             " is not pending (already resolved?)");
   }
+  WaveScope wave(&wave_, QueryOutcome::Via::kCancel);
   ++metrics_.cancelled;
   std::vector<PartitionId> affected;
   auto it = partition_of_.find(q);
@@ -575,6 +581,7 @@ Status CoordinationEngine::Cancel(ir::QueryId q) {
 
 WakeupResult CoordinationEngine::NotifyDataArrival(
     const std::vector<SymbolId>& rels) {
+  WaveScope wave(&wave_, QueryOutcome::Via::kWakeup);
   WakeupResult res;
   // The partitions a write could affect: those holding a pending query
   // whose body reads one of the touched relations.
@@ -617,6 +624,34 @@ WakeupResult CoordinationEngine::NotifyDataArrival(
   }
   res.queries_satisfied = metrics_.answered - answered_before;
   return res;
+}
+
+const char* ViaName(QueryOutcome::Via via) {
+  switch (via) {
+    case QueryOutcome::Via::kNone:
+      return "none";
+    case QueryOutcome::Via::kSubmit:
+      return "submit";
+    case QueryOutcome::Via::kFlush:
+      return "flush";
+    case QueryOutcome::Via::kWakeup:
+      return "wakeup";
+    case QueryOutcome::Via::kTick:
+      return "tick";
+    case QueryOutcome::Via::kCancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+std::vector<QueryId> CoordinationEngine::partition_members(QueryId q) const {
+  auto it = partition_of_.find(q);
+  if (it == partition_of_.end()) return {};
+  auto pit = partitions_.find(it->second);
+  if (pit == partitions_.end()) return {};
+  std::vector<QueryId> members = pit->second.members;
+  std::sort(members.begin(), members.end());
+  return members;
 }
 
 void CoordinationEngine::ReexaminePartitions(

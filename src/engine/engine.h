@@ -69,14 +69,24 @@ struct EngineOptions {
 struct QueryOutcome {
   enum class State { kPending, kAnswered, kFailed };
 
+  /// Which evaluation wave resolved the query — the public entry point
+  /// whose work (arrival propagation, batch flush, data wake-up, staleness
+  /// sweep, withdrawal) moved it out of the pending state. Observability
+  /// plumb-through: the service layer renders this in lifecycle traces.
+  enum class Via : uint8_t { kNone, kSubmit, kFlush, kWakeup, kTick, kCancel };
+
   State state = State::kPending;
   /// For kFailed: why (Unsafe / Unsatisfiable / Timeout / NotFound...).
   Status status;
+  Via via = Via::kNone;
   /// For kAnswered: the coordinated answer tuples (rows of the ANSWER
   /// relations this query contributed). CHOOSE 1 yields one tuple per head
   /// atom; CHOOSE k up to k per head atom.
   std::vector<ir::GroundAtom> tuples;
 };
+
+/// Human-readable name of a resolution wave ("submit", "flush", ...).
+const char* ViaName(QueryOutcome::Via via);
 
 /// What one data-arrival wake-up did (see NotifyDataArrival).
 struct WakeupResult {
@@ -177,6 +187,12 @@ class CoordinationEngine {
     return body_rels_[q];
   }
 
+  /// The pending members of q's coordination partition (including q
+  /// itself), sorted; empty when q is not pending. Introspection hook: the
+  /// service's DumpState renders this as the entangled group a stuck query
+  /// is waiting in.
+  std::vector<ir::QueryId> partition_members(ir::QueryId q) const;
+
   /// Withdraws a still-pending query: resolves it as failed (kCancelled) and
   /// retires it from graph/safety/partition state, so a disconnected client
   /// stops pinning its partition. In incremental mode the affected partition
@@ -204,6 +220,25 @@ class CoordinationEngine {
  private:
   struct Partition {
     std::vector<ir::QueryId> members;  // pending members only
+  };
+
+  /// Scoped marker for the resolution wave: every public entry point that
+  /// can resolve queries sets it on entry, and Resolve() stamps the active
+  /// wave into the outcome. Save/restore so nested evaluation (e.g. the
+  /// incremental step inside Submit) keeps the outermost trigger.
+  class WaveScope {
+   public:
+    WaveScope(QueryOutcome::Via* slot, QueryOutcome::Via via)
+        : slot_(slot), saved_(*slot) {
+      *slot_ = via;
+    }
+    ~WaveScope() { *slot_ = saved_; }
+    WaveScope(const WaveScope&) = delete;
+    WaveScope& operator=(const WaveScope&) = delete;
+
+   private:
+    QueryOutcome::Via* slot_;
+    QueryOutcome::Via saved_;
   };
 
   using PartitionId = uint32_t;
@@ -288,6 +323,9 @@ class CoordinationEngine {
                       std::greater<>>
       deadline_heap_;
   uint64_t now_ = 0;
+
+  /// The resolution wave currently executing (see WaveScope).
+  QueryOutcome::Via wave_ = QueryOutcome::Via::kNone;
 
   AnswerCallback callback_;
   EngineMetrics metrics_;

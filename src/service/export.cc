@@ -1,0 +1,251 @@
+#include "service/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eq::service {
+
+namespace {
+
+// Formats a double compactly ("0.128", "4096", "1.5e+09") — Prometheus and
+// JSON both accept this form, and it keeps bucket bounds exact-looking.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) { return std::to_string(v); }
+
+// Upper bound of log-2 latency bucket i, in milliseconds.
+double BucketUpperMs(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i)) / 1000.0;
+}
+
+// Geometric midpoint of bucket i in milliseconds, for the approximated
+// histogram sum (bucket 0 spans [0,1)us — use its arithmetic midpoint).
+double BucketMidMs(size_t i) {
+  if (i == 0) return 0.0005;
+  return std::ldexp(1.0, static_cast<int>(i)) / std::sqrt(2.0) / 1000.0;
+}
+
+void Sample(std::string& out, const char* name, const char* help,
+            const char* type, const std::string& value) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += "\n";
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void ShardHeader(std::string& out, const char* name, const char* help,
+                 const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void ShardSample(std::string& out, const char* name, uint32_t shard,
+                 const std::string& value) {
+  out += name;
+  out += "{shard=\"";
+  out += std::to_string(shard);
+  out += "\"} ";
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsToPrometheusText(const ServiceMetrics& m) {
+  std::string out;
+  out.reserve(4096);
+  Sample(out, "eq_submitted_total", "Queries accepted by the service.",
+         "counter", Num(m.submitted));
+  Sample(out, "eq_answered_total", "Queries resolved with an answer.",
+         "counter", Num(m.answered));
+  Sample(out, "eq_failed_total", "Queries resolved without an answer.",
+         "counter", Num(m.failed));
+  Sample(out, "eq_expired_total", "Failures via staleness timeout.", "counter",
+         Num(m.expired));
+  Sample(out, "eq_cancelled_total", "Failures via client cancel.", "counter",
+         Num(m.cancelled));
+  Sample(out, "eq_rejected_unsafe_total",
+         "Submissions rejected by the safety check.", "counter",
+         Num(m.rejected_unsafe));
+  Sample(out, "eq_parse_errors_total", "Submissions that failed to parse.",
+         "counter", Num(m.parse_errors));
+  Sample(out, "eq_migrations_total",
+         "Group-merge extractions re-routed across shards.", "counter",
+         Num(m.migrations));
+  Sample(out, "eq_flushes_total", "Batched engine flushes.", "counter",
+         Num(m.flushes));
+  Sample(out, "eq_pending", "Queries currently pending across shards.",
+         "gauge", Num(m.pending));
+  Sample(out, "eq_snapshot_refreshes_total",
+         "Shard storage-snapshot adoptions.", "counter",
+         Num(m.snapshot_refreshes));
+  Sample(out, "eq_max_snapshot_version",
+         "Latest storage version adopted by any shard.", "gauge",
+         Num(m.max_snapshot_version));
+  Sample(out, "eq_write_wakeups_total", "WriteNotify ops processed.",
+         "counter", Num(m.write_wakeups));
+  Sample(out, "eq_wakeup_reevals_total",
+         "Pending partitions re-evaluated by write wake-ups.", "counter",
+         Num(m.wakeup_reevals));
+  Sample(out, "eq_wakeup_satisfied_total",
+         "Queries answered directly by a write wake-up.", "counter",
+         Num(m.wakeup_satisfied));
+  Sample(out, "eq_write_notifies_coalesced_total",
+         "Write notifications absorbed by an already-queued op.", "counter",
+         Num(m.write_notifies_coalesced));
+  Sample(out, "eq_uptime_seconds", "Seconds since service start.", "gauge",
+         Num(m.elapsed_seconds));
+  Sample(out, "eq_answered_per_second", "Global answer throughput.", "gauge",
+         Num(m.answered_per_second));
+
+  // Merged submit→resolution latency as a cumulative-`le` histogram.
+  out +=
+      "# HELP eq_latency_ms Submit-to-resolution latency "
+      "(milliseconds).\n# TYPE eq_latency_ms histogram\n";
+  uint64_t cumulative = 0;
+  double sum_ms = 0;
+  for (size_t i = 0; i < m.latency_buckets.size(); ++i) {
+    cumulative += m.latency_buckets[i];
+    sum_ms += static_cast<double>(m.latency_buckets[i]) * BucketMidMs(i);
+    out += "eq_latency_ms_bucket{le=\"" + Num(BucketUpperMs(i)) + "\"} " +
+           Num(cumulative) + "\n";
+  }
+  out += "eq_latency_ms_bucket{le=\"+Inf\"} " + Num(cumulative) + "\n";
+  out += "eq_latency_ms_sum " + Num(sum_ms) + "\n";
+  out += "eq_latency_ms_count " + Num(cumulative) + "\n";
+
+  // Per-shard breakdown (one metric family per counter, labelled by shard).
+  ShardHeader(out, "eq_shard_submitted_total",
+              "Queries handed to this shard's engine.", "counter");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_submitted_total", s.shard_id, Num(s.submitted));
+  }
+  ShardHeader(out, "eq_shard_answered_total",
+              "Queries this shard resolved with an answer.", "counter");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_answered_total", s.shard_id, Num(s.answered));
+  }
+  ShardHeader(out, "eq_shard_failed_total",
+              "Queries this shard resolved without an answer.", "counter");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_failed_total", s.shard_id, Num(s.failed));
+  }
+  ShardHeader(out, "eq_shard_pending", "Queries pending on this shard.",
+              "gauge");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_pending", s.shard_id, Num(s.pending));
+  }
+  ShardHeader(out, "eq_shard_snapshot_version",
+              "Storage version this shard evaluates against.", "gauge");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_snapshot_version", s.shard_id,
+                Num(s.snapshot_version));
+  }
+  ShardHeader(out, "eq_shard_drain_ops_per_sec",
+              "Recent op-drain rate (EWMA).", "gauge");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_drain_ops_per_sec", s.shard_id,
+                Num(s.drain_ops_per_sec));
+  }
+  ShardHeader(out, "eq_shard_migrated_in_total",
+              "Queries that arrived via group-merge re-route.", "counter");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_migrated_in_total", s.shard_id,
+                Num(s.migrated_in));
+  }
+  ShardHeader(out, "eq_shard_migrated_out_total",
+              "Queries extracted for re-route.", "counter");
+  for (const auto& s : m.shards) {
+    ShardSample(out, "eq_shard_migrated_out_total", s.shard_id,
+                Num(s.migrated_out));
+  }
+  return out;
+}
+
+std::string MetricsToJson(const ServiceMetrics& m) {
+  std::string out;
+  out.reserve(4096);
+  auto field = [&out](const char* key, const std::string& value, bool last) {
+    out += "  \"";
+    out += key;
+    out += "\": ";
+    out += value;
+    out += last ? "\n" : ",\n";
+  };
+  out += "{\n";
+  field("submitted", Num(m.submitted), false);
+  field("answered", Num(m.answered), false);
+  field("failed", Num(m.failed), false);
+  field("expired", Num(m.expired), false);
+  field("cancelled", Num(m.cancelled), false);
+  field("rejected_unsafe", Num(m.rejected_unsafe), false);
+  field("parse_errors", Num(m.parse_errors), false);
+  field("migrations", Num(m.migrations), false);
+  field("flushes", Num(m.flushes), false);
+  field("pending", Num(m.pending), false);
+  field("snapshot_refreshes", Num(m.snapshot_refreshes), false);
+  field("max_snapshot_version", Num(m.max_snapshot_version), false);
+  field("write_wakeups", Num(m.write_wakeups), false);
+  field("wakeup_reevals", Num(m.wakeup_reevals), false);
+  field("wakeup_satisfied", Num(m.wakeup_satisfied), false);
+  field("write_notifies_coalesced", Num(m.write_notifies_coalesced), false);
+  field("elapsed_seconds", Num(m.elapsed_seconds), false);
+  field("answered_per_second", Num(m.answered_per_second), false);
+
+  out += "  \"latency_ms\": {\n";
+  out += "    \"p50\": " + Num(m.p50_latency_ms) + ",\n";
+  out += "    \"p95\": " + Num(m.p95_latency_ms) + ",\n";
+  out += "    \"p99\": " + Num(m.p99_latency_ms) + ",\n";
+  out += "    \"buckets\": [";
+  bool first = true;
+  for (size_t i = 0; i < m.latency_buckets.size(); ++i) {
+    if (m.latency_buckets[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"le\": " + Num(BucketUpperMs(i)) +
+           ", \"count\": " + Num(m.latency_buckets[i]) + "}";
+  }
+  out += "]\n  },\n";
+
+  out += "  \"shards\": [\n";
+  for (size_t i = 0; i < m.shards.size(); ++i) {
+    const ShardMetricsSnapshot& s = m.shards[i];
+    out += "    {\"shard\": " + Num(uint64_t{s.shard_id}) +
+           ", \"submitted\": " + Num(s.submitted) +
+           ", \"answered\": " + Num(s.answered) +
+           ", \"failed\": " + Num(s.failed) +
+           ", \"flushes\": " + Num(s.flushes) +
+           ", \"pending\": " + Num(s.pending) +
+           ", \"migrated_in\": " + Num(s.migrated_in) +
+           ", \"migrated_out\": " + Num(s.migrated_out) +
+           ", \"snapshot_version\": " + Num(s.snapshot_version) +
+           ", \"drain_ops_per_sec\": " + Num(s.drain_ops_per_sec) +
+           ", \"match_seconds\": " + Num(s.match_seconds) +
+           ", \"db_seconds\": " + Num(s.db_seconds) + "}";
+    out += i + 1 < m.shards.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace eq::service

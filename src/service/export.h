@@ -1,0 +1,27 @@
+#ifndef EQ_SERVICE_EXPORT_H_
+#define EQ_SERVICE_EXPORT_H_
+
+#include <string>
+
+#include "service/metrics.h"
+
+namespace eq::service {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format:
+/// `# HELP`/`# TYPE` headers, `eq_`-prefixed counter/gauge samples with
+/// `{shard="N"}` labels for the per-shard breakdown, and the merged
+/// latency histogram as cumulative `le` buckets (milliseconds) ending in
+/// `+Inf` plus `_sum`/`_count`. The `_sum` is approximated from the
+/// log-scale buckets (geometric midpoint per bucket) — the histogram does
+/// not retain exact sample sums.
+std::string MetricsToPrometheusText(const ServiceMetrics& m);
+
+/// Renders the same snapshot as a single JSON object: service-level
+/// counters and gauges, a `latency_ms` object with interpolated
+/// percentiles and the raw bucket counts (upper bound in ms + count), and
+/// a `shards` array with the per-shard breakdown.
+std::string MetricsToJson(const ServiceMetrics& m);
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_EXPORT_H_

@@ -34,12 +34,21 @@ double HistogramPercentileMs(
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      // Upper bound of bucket i in microseconds: 2^i (bucket 0: 1us).
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      // Bucket i spans [2^(i-1), 2^i) microseconds (bucket 0: [0, 1)).
+      // Interpolate by the rank's position within the bucket instead of
+      // reporting the upper bound (which overstates by up to 2x): bucket 0
+      // linearly, the log-scale buckets log-linearly, so frac=1 meets the
+      // upper bound and frac->0 approaches the lower.
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(buckets[i]);
       double upper_us = std::ldexp(1.0, static_cast<int>(i));
-      return upper_us / 1000.0;
+      if (i == 0) return frac * upper_us / 1000.0;
+      double lower_us = upper_us / 2.0;
+      return lower_us * std::exp2(frac) / 1000.0;
     }
+    seen += buckets[i];
   }
   return std::ldexp(1.0, static_cast<int>(buckets.size())) / 1000.0;
 }
@@ -113,6 +122,7 @@ ServiceMetrics AggregateMetrics(std::vector<ShardMetricsSnapshot> shards,
   m.p50_latency_ms = HistogramPercentileMs(merged, 50);
   m.p95_latency_ms = HistogramPercentileMs(merged, 95);
   m.p99_latency_ms = HistogramPercentileMs(merged, 99);
+  m.latency_buckets = merged;
   m.shards = std::move(shards);
   return m;
 }
@@ -141,11 +151,13 @@ std::string ServiceMetrics::ToString() const {
   for (const ShardMetricsSnapshot& s : shards) {
     std::snprintf(line, sizeof(line),
                   "  shard %u: submitted=%llu answered=%llu failed=%llu "
-                  "flushes=%llu match=%.3fs db=%.3fs\n",
+                  "flushes=%llu pending=%llu snapshot_version=%llu "
+                  "drain_ops_per_sec=%.0f match=%.3fs db=%.3fs\n",
                   s.shard_id, (unsigned long long)s.submitted,
                   (unsigned long long)s.answered, (unsigned long long)s.failed,
-                  (unsigned long long)s.flushes, s.match_seconds,
-                  s.db_seconds);
+                  (unsigned long long)s.flushes, (unsigned long long)s.pending,
+                  (unsigned long long)s.snapshot_version, s.drain_ops_per_sec,
+                  s.match_seconds, s.db_seconds);
     out += line;
   }
   return out;

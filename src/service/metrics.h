@@ -25,9 +25,11 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
-/// Approximate percentile (0..100) over merged bucket counts, reported as
-/// the upper bound of the bucket containing the target rank, in
-/// milliseconds. Returns 0 when empty.
+/// Approximate percentile (0..100) over merged bucket counts, in
+/// milliseconds: the target rank's bucket is found, then the value is
+/// log-linearly interpolated between the bucket's bounds by the rank's
+/// position within it (reporting the raw upper bound would overstate by up
+/// to 2x). Returns 0 when empty.
 double HistogramPercentileMs(const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets,
                              double pct);
 
@@ -134,6 +136,11 @@ struct ServiceMetrics {
   double p50_latency_ms = 0;
   double p95_latency_ms = 0;
   double p99_latency_ms = 0;
+
+  /// Merged per-shard latency buckets (same log-2 layout as
+  /// LatencyHistogram) — the exporters render these as cumulative
+  /// Prometheus `le` buckets.
+  std::array<uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
 
   std::vector<ShardMetricsSnapshot> shards;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <utility>
 
 #include "sql/translator.h"
@@ -41,6 +42,16 @@ CoordinationService::CoordinationService(ServiceOptions opts)
     wakeup_index_ = std::make_unique<WriteWakeupIndex>(router_.num_shards());
   }
 
+  // The slow-query log needs every resolution's trace available, so an
+  // enabled threshold implies trace_all (sampling would miss most slow
+  // queries, which is exactly backwards).
+  TraceRegistry::Options topts;
+  topts.sample_every = opts_.trace_sample_every;
+  topts.trace_all = opts_.trace_all || opts_.slow_query_threshold_ms > 0;
+  topts.max_traces = opts_.trace_capacity;
+  topts.max_events_per_trace = opts_.trace_max_events;
+  traces_ = std::make_unique<TraceRegistry>(topts);
+
   shards_.reserve(router_.num_shards());
   for (uint32_t s = 0; s < router_.num_shards(); ++s) {
     ShardOptions sopts;
@@ -57,6 +68,10 @@ CoordinationService::CoordinationService(ServiceOptions opts)
     sopts.worker_threads = opts_.shard_worker_threads;
     sopts.preference = opts_.preference;
     sopts.preference_candidates = opts_.preference_candidates;
+    sopts.traces = traces_.get();
+    sopts.trace_ring_capacity = opts_.trace_ring_capacity;
+    sopts.slow_query_threshold_ms = opts_.slow_query_threshold_ms;
+    sopts.slow_query_sink = opts_.slow_query_sink;
     shards_.push_back(std::make_unique<ShardRunner>(
         std::move(sopts),
         [this](ShardRunner::Event ev) { OnShardEvent(std::move(ev)); }));
@@ -96,6 +111,7 @@ CoordinationService::~CoordinationService() {
 Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
     const client::Query& query) {
   Prepared p;
+  p.accepted_at = std::chrono::steady_clock::now();
   p.dialect = query.dialect();
   switch (query.dialect()) {
     case client::Dialect::kIr: {
@@ -338,15 +354,29 @@ Result<Ticket> CoordinationService::SubmitPreparedLocked(
   state->callback = opts.callback;
   Ticket ticket(std::move(state));
 
+  // Trace admission happens once, here; the decision travels with the op
+  // and the inflight entry so no later hot path re-asks the registry.
+  // Submitted is back-stamped to PrepareQuery entry so the route span
+  // covers dialect normalization; Routed is stamped now.
+  const bool traced = traces_->Admit(ticket.id());
+  if (traced) {
+    RecordServiceTrace(ticket.id(), TraceEventKind::kSubmitted, 0,
+                       p.accepted_at);
+    RecordServiceTrace(ticket.id(), TraceEventKind::kRouted, route->shard,
+                       std::chrono::steady_clock::now());
+  }
+
   ShardRunner::Op op;
   op.kind = ShardRunner::Op::Kind::kSubmit;
   op.ticket = ticket.id();
   op.dialect = p.dialect;
   op.preference = opts.preference;
   op.ttl_ticks = opts.ttl_ticks;
+  op.traced = traced;
 
   Inflight entry;
   entry.shard = route->shard;
+  entry.traced = traced;
   entry.deadline_tick =
       opts.ttl_ticks == 0 ? 0 : now_ticks() + opts.ttl_ticks;
   entry.dialect = p.dialect;
@@ -373,6 +403,12 @@ Result<Ticket> CoordinationService::SubmitPreparedLocked(
     MigrateRelationsLocked(route->moved_relations, dropped);
   }
 
+  // Recorded just BEFORE the push so the op-queue handoff orders every
+  // shard-side event after it — record order stays causal order.
+  if (traced) {
+    RecordServiceTrace(ticket.id(), TraceEventKind::kEnqueued, route->shard,
+                       std::chrono::steady_clock::now());
+  }
   if (!shards_[route->shard]->Enqueue(std::move(op))) {
     EraseInflightLocked(inflight_.find(ticket.id()));
     return Status::Cancelled("service is shutting down");
@@ -516,6 +552,116 @@ size_t CoordinationService::inflight_count() const {
   return inflight_.size();
 }
 
+void CoordinationService::RecordServiceTrace(
+    TicketId ticket, TraceEventKind kind, uint64_t detail,
+    std::chrono::steady_clock::time_point at) {
+  TraceEvent ev;
+  ev.ticket = ticket;
+  ev.kind = kind;
+  ev.shard = kTraceNoShard;
+  ev.at = at;
+  ev.detail = detail;
+  traces_->Record(ev);
+}
+
+Result<QueryTrace> CoordinationService::Trace(TicketId ticket) const {
+  return traces_->Trace(ticket);
+}
+
+ServiceStateDump CoordinationService::DumpState() const {
+  // Phase 1: one kDumpState op per shard, answered on the shard threads —
+  // each shard's section is a single consistent observation between ops.
+  std::vector<std::shared_ptr<ShardStateDump>> slots;
+  slots.reserve(shards_.size());
+  auto latch =
+      std::make_shared<std::latch>(static_cast<ptrdiff_t>(shards_.size()));
+  for (const auto& shard : shards_) {
+    auto slot = std::make_shared<ShardStateDump>();
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kDumpState;
+    op.dump = slot;
+    op.latch = latch;
+    // A stopped shard (shutdown) leaves its slot empty; still count down.
+    if (!shard->Enqueue(std::move(op))) latch->count_down();
+    slots.push_back(std::move(slot));
+  }
+  latch->wait();
+
+  // Phase 2: join each pending query with the routing fingerprint the
+  // service holds for its ticket. A query resolved or migrated between
+  // the shard's observation and this join keeps its shard-side row (the
+  // fingerprint is simply absent) — the dump is a snapshot, not a lock.
+  ServiceStateDump dump;
+  dump.storage_version = storage_->version();
+  dump.shards.reserve(slots.size());
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const ShardStateDump& src = *slots[s];
+    ServiceStateDump::ShardState st;
+    st.shard_id = static_cast<uint32_t>(s);
+    st.queue_depth = src.queue_depth;
+    st.snapshot_version = src.snapshot_version;
+    st.snapshot_lag = dump.storage_version > src.snapshot_version
+                          ? dump.storage_version - src.snapshot_version
+                          : 0;
+    st.drain_ops_per_sec = src.drain_ops_per_sec;
+    st.pending.reserve(src.pending.size());
+    for (const ShardStateDump::PendingQuery& p : src.pending) {
+      ServiceStateDump::PendingQuery q;
+      q.ticket = p.ticket;
+      q.qid = p.qid;
+      q.pending_ms = p.pending_ms;
+      q.traced = p.traced;
+      q.partition_size = p.partition_size;
+      q.body_relations = p.body_relations;
+      auto it = inflight_.find(p.ticket);
+      if (it != inflight_.end()) {
+        std::vector<std::string> rels = it->second.relations;
+        std::sort(rels.begin(), rels.end());
+        for (const std::string& rel : rels) {
+          if (!q.fingerprint.empty()) q.fingerprint += '+';
+          q.fingerprint += rel;
+        }
+      }
+      st.pending.push_back(std::move(q));
+    }
+    dump.shards.push_back(std::move(st));
+  }
+  return dump;
+}
+
+std::string ServiceStateDump::ToString() const {
+  std::string out =
+      "service state: storage_version=" + std::to_string(storage_version) +
+      "\n";
+  char line[256];
+  for (const ShardState& s : shards) {
+    std::snprintf(line, sizeof(line),
+                  "  shard %u: queue_depth=%zu snapshot_version=%llu "
+                  "(lag=%llu) drain_ops_per_sec=%.0f pending=%zu\n",
+                  s.shard_id, s.queue_depth,
+                  (unsigned long long)s.snapshot_version,
+                  (unsigned long long)s.snapshot_lag, s.drain_ops_per_sec,
+                  s.pending.size());
+    out += line;
+    for (const PendingQuery& p : s.pending) {
+      std::snprintf(line, sizeof(line),
+                    "    ticket %llu: qid=%u pending=%.1fms group=%s "
+                    "partition_size=%zu%s body=",
+                    (unsigned long long)p.ticket, p.qid, p.pending_ms,
+                    p.fingerprint.empty() ? "?" : p.fingerprint.c_str(),
+                    p.partition_size, p.traced ? " traced" : "");
+      out += line;
+      for (size_t i = 0; i < p.body_relations.size(); ++i) {
+        if (i > 0) out += ',';
+        out += p.body_relations[i];
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 ServiceMetrics CoordinationService::Metrics() const {
   std::vector<ShardMetricsSnapshot> snaps;
   snaps.reserve(shards_.size());
@@ -571,6 +717,11 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         op.ttl_ticks = remaining;
         op.migrated_in = true;
         op.submitted_at = ev.submitted_at;
+        op.traced = entry.traced;
+        if (op.traced) {
+          RecordServiceTrace(ev.ticket, TraceEventKind::kEnqueued, target,
+                             std::chrono::steady_clock::now());
+        }
         if (shards_[target]->Enqueue(std::move(op))) return;
         // Target shard already stopped (service shutting down): fall
         // through and resolve the ticket rather than leaving it pending.

@@ -18,6 +18,7 @@
 #include "service/router.h"
 #include "service/shard.h"
 #include "service/ticket.h"
+#include "service/trace.h"
 
 namespace eq::service {
 
@@ -94,6 +95,72 @@ struct ServiceOptions {
   /// place while further writes coalesce — the deterministic seam behind
   /// the write_notifies_coalesced tests.
   std::function<void(uint32_t shard_id)> on_write_wakeup;
+
+  /// Lifecycle tracing: every Nth client submission records a full
+  /// per-query trace (Submitted → Routed → Enqueued → EngineSubmit →
+  /// evaluations/migrations → Resolved), retrievable via Trace(). 1 traces
+  /// everything, 0 disables tracing. Sampling keeps the default overhead
+  /// negligible — untraced queries pay one relaxed atomic increment.
+  uint64_t trace_sample_every = 64;
+  /// Bypass sampling and trace every submission (tests, debugging; also
+  /// forced internally while the slow-query log is enabled, so it can
+  /// render complete traces).
+  bool trace_all = false;
+  /// Hard bound on retained traces; the oldest admitted trace is evicted
+  /// first, resolved or not.
+  size_t trace_capacity = 1024;
+  /// Hard bound on events kept per trace (overflow is counted, not
+  /// stored).
+  size_t trace_max_events = 128;
+  /// Capacity of each shard's ring of recent trace events (`\state`-style
+  /// diagnostics; independent of the per-ticket registry).
+  size_t trace_ring_capacity = 256;
+
+  /// Slow-query log: a query resolving slower than this many milliseconds
+  /// renders its full lifecycle trace into `slow_query_sink`. 0 disables
+  /// the log; > 0 forces trace_all behavior so the rendered trace is
+  /// complete.
+  double slow_query_threshold_ms = 0;
+  /// Destination for slow-query traces, called on the resolving shard's
+  /// thread (don't block). Null with a positive threshold = stderr.
+  std::function<void(const QueryTrace&)> slow_query_sink;
+};
+
+/// Point-in-time introspection of the whole service's pending state
+/// (CoordinationService::DumpState): per shard, the op-queue depth, the
+/// snapshot version the engine evaluates against (vs. the storage head —
+/// the difference is the shard's snapshot lag), the drain-rate EWMA, and
+/// every pending query with its entangled-group fingerprint, engine
+/// partition size, and body relations. Each shard's section is one
+/// consistent observation taken on that shard's thread.
+struct ServiceStateDump {
+  struct PendingQuery {
+    TicketId ticket = 0;
+    ir::QueryId qid = ir::kInvalidQuery;  ///< shard-local engine id
+    double pending_ms = 0;
+    bool traced = false;  ///< Trace(ticket) has its lifecycle
+    /// Entangled-relation fingerprint the service routed on (sorted,
+    /// '+'-joined) — queries sharing it can coordinate.
+    std::string fingerprint;
+    size_t partition_size = 0;  ///< entangled-group size on the shard
+    std::vector<std::string> body_relations;
+  };
+  struct ShardState {
+    uint32_t shard_id = 0;
+    size_t queue_depth = 0;
+    uint64_t snapshot_version = 0;
+    /// Storage head minus snapshot_version = versions published but not
+    /// yet adopted by this shard.
+    uint64_t snapshot_lag = 0;
+    double drain_ops_per_sec = 0;
+    std::vector<PendingQuery> pending;  ///< sorted by ticket
+  };
+
+  uint64_t storage_version = 0;  ///< storage head at dump time
+  std::vector<ShardState> shards;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
 };
 
 /// Per-submission knobs for CoordinationService::Submit / SubmitBatch.
@@ -260,6 +327,31 @@ class CoordinationService {
   /// percentiles.
   ServiceMetrics Metrics() const;
 
+  /// The recorded lifecycle of one (sampled) query, with derived spans:
+  /// route time, op-queue wait, engine dwell, re-evaluation count, total.
+  /// kNotFound when the ticket was not sampled (see trace_sample_every /
+  /// trace_all) or its trace was evicted by the capacity bound. A migrated
+  /// query's trace spans both shards.
+  Result<QueryTrace> Trace(TicketId ticket) const;
+  Result<QueryTrace> Trace(const Ticket& ticket) const {
+    return Trace(ticket.id());
+  }
+
+  /// The trace registry (admission/eviction counters, options).
+  const TraceRegistry& traces() const { return *traces_; }
+
+  /// The ring of shard `s`'s most recent trace events (diagnostics).
+  const TraceRing& ShardTraceRing(uint32_t s) const {
+    return shards_[s]->trace_ring();
+  }
+
+  /// Pending-state introspection: one kDumpState control op per shard,
+  /// answered on the shard threads (each shard's section is internally
+  /// consistent), joined with the service's routing fingerprints. Blocks
+  /// until every shard responds — don't call from a ticket callback (it
+  /// runs on a shard thread and would deadlock against itself).
+  ServiceStateDump DumpState() const;
+
   const QueryRouter& router() const { return router_; }
   uint64_t now_ticks() const {
     return tick_.load(std::memory_order_relaxed);
@@ -285,6 +377,7 @@ class CoordinationService {
     client::PreferenceSpec preference;
     std::vector<std::string> relations;
     Ticket ticket;
+    bool traced = false;  ///< admitted into the trace registry at submit
   };
 
   /// A dialect-normalized query, ready to route: the canonical payloads
@@ -294,6 +387,9 @@ class CoordinationService {
     std::string text;
     std::shared_ptr<const client::PortableQuery> program;
     std::vector<std::string> relations;
+    /// When the service accepted the query (PrepareQuery entry) — the
+    /// trace's Submitted timestamp, so the route span covers preparation.
+    std::chrono::steady_clock::time_point accepted_at{};
   };
 
   /// Normalizes one query: blank-text rejection, SQL translation against
@@ -307,6 +403,12 @@ class CoordinationService {
   /// submit_mu_.
   Result<Ticket> SubmitPreparedLocked(Prepared p, const SubmitOptions& opts,
                                       std::vector<Ticket>* dropped);
+
+  /// Records one service-side trace event (client thread, under
+  /// submit_mu_): Submitted/Routed/Enqueued carry no shard of their own.
+  void RecordServiceTrace(TicketId ticket, TraceEventKind kind,
+                          uint64_t detail,
+                          std::chrono::steady_clock::time_point at);
 
   /// Posts a WriteNotify op (with the touched relations' symbols) to
   /// every shard whose wake-up index entry intersects `tables`. No-op
@@ -346,6 +448,10 @@ class CoordinationService {
   /// Relation→pending-shard index for write-triggered re-evaluation.
   /// Declared before shards_ (shard threads write it until they stop).
   std::unique_ptr<WriteWakeupIndex> wakeup_index_;
+
+  /// Per-query lifecycle traces. Declared before shards_ (shard threads
+  /// record into it until they stop).
+  std::unique_ptr<TraceRegistry> traces_;
 
   std::vector<std::unique_ptr<ShardRunner>> shards_;
 

@@ -1,6 +1,7 @@
 #include "service/shard.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@ namespace eq::service {
 ShardRunner::ShardRunner(ShardOptions opts, EventFn event_fn)
     : opts_(std::move(opts)),
       event_fn_(std::move(event_fn)),
+      trace_ring_(opts_.trace_ring_capacity),
       thread_([this] { Run(); }) {}
 
 ShardRunner::~ShardRunner() { Stop(); }
@@ -166,13 +168,75 @@ void ShardRunner::Dispatch(Op& op) {
       if (!rels.empty()) DoWriteWakeup(rels);
       break;
     }
+    case Op::Kind::kDumpState:
+      if (op.dump) FillStateDump(op.dump.get());
+      if (op.latch) op.latch->count_down();
+      break;
   }
+}
+
+void ShardRunner::RecordTrace(TicketId ticket, TraceEventKind kind,
+                              uint64_t detail, StatusCode status) {
+  TraceEvent ev;
+  ev.ticket = ticket;
+  ev.kind = kind;
+  ev.shard = opts_.shard_id;
+  ev.at = std::chrono::steady_clock::now();
+  ev.detail = detail;
+  ev.status = status;
+  trace_ring_.Append(ev);
+  if (opts_.traces != nullptr) opts_.traces->Record(ev);
+}
+
+void ShardRunner::FillStateDump(ShardStateDump* dump) {
+  dump->shard_id = opts_.shard_id;
+  dump->queue_depth = queue_.size();
+  dump->snapshot_version = engine_->snapshot().version();
+  dump->drain_ops_per_sec =
+      stats_.drain_ops_per_sec.load(std::memory_order_relaxed);
+  auto now = std::chrono::steady_clock::now();
+  dump->pending.reserve(inflight_.size());
+  for (const auto& [qid, info] : inflight_) {
+    ShardStateDump::PendingQuery p;
+    p.ticket = info.ticket;
+    p.qid = qid;
+    p.pending_ms =
+        std::chrono::duration<double, std::milli>(now - info.submitted)
+            .count();
+    p.traced = info.traced;
+    p.partition_size = engine_->partition_members(qid).size();
+    for (SymbolId rel : engine_->body_relations(qid)) {
+      p.body_relations.push_back(ctx_->interner().Name(rel));
+    }
+    std::sort(p.body_relations.begin(), p.body_relations.end());
+    dump->pending.push_back(std::move(p));
+  }
+  std::sort(dump->pending.begin(), dump->pending.end(),
+            [](const ShardStateDump::PendingQuery& a,
+               const ShardStateDump::PendingQuery& b) {
+              return a.ticket < b.ticket;
+            });
 }
 
 void ShardRunner::DoWriteWakeup(const std::vector<SymbolId>& rels) {
   stats_.write_wakeups.fetch_add(1, std::memory_order_relaxed);
   if (opts_.on_write_wakeup) opts_.on_write_wakeup(opts_.shard_id);
   RefreshSnapshot();
+  // Trace the re-evaluation against every traced pending query whose body
+  // reads a touched relation — recorded before the engine call so a
+  // wake-up that satisfies the query orders WakeupEval before Resolved.
+  for (const auto& [qid, info] : inflight_) {
+    if (!info.traced) continue;
+    const std::vector<SymbolId>& body = engine_->body_relations(qid);
+    bool touched = false;
+    for (SymbolId rel : rels) {
+      if (std::find(body.begin(), body.end(), rel) != body.end()) {
+        touched = true;
+        break;
+      }
+    }
+    if (touched) RecordTrace(info.ticket, TraceEventKind::kWakeupEval);
+  }
   engine::WakeupResult r = engine_->NotifyDataArrival(rels);
   stats_.wakeup_reevals.fetch_add(r.partitions_reexamined,
                                   std::memory_order_relaxed);
@@ -194,6 +258,14 @@ void ShardRunner::RefreshSnapshot() {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = latest;
   }
+  // A snapshot swap changes what every pending query evaluates against —
+  // part of each traced pending query's story.
+  for (const auto& [qid, info] : inflight_) {
+    if (info.traced) {
+      RecordTrace(info.ticket, TraceEventKind::kSnapshotAdopt,
+                  latest.version());
+    }
+  }
   engine_->AdoptSnapshot(std::move(latest));
 }
 
@@ -205,6 +277,7 @@ void ShardRunner::HandleSubmit(Op& op) {
 
   TicketInfo info;
   info.ticket = op.ticket;
+  info.traced = op.traced;
   // A migrated query keeps its original submit time so the latency
   // histogram spans the whole journey, not just the winning shard.
   info.submitted =
@@ -214,6 +287,7 @@ void ShardRunner::HandleSubmit(Op& op) {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   if (op.migrated_in) {
     stats_.migrated_in.fetch_add(1, std::memory_order_relaxed);
+    if (op.traced) RecordTrace(op.ticket, TraceEventKind::kMigratedIn);
   }
 
   auto parsed = RealizeQuery(op);
@@ -222,6 +296,11 @@ void ShardRunner::HandleSubmit(Op& op) {
       stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
     }
     stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    if (op.traced) {
+      RecordTrace(op.ticket, TraceEventKind::kResolved,
+                  static_cast<uint64_t>(engine::QueryOutcome::Via::kSubmit),
+                  parsed.status().code());
+    }
     Event ev;
     ev.kind = Event::Kind::kResolved;
     ev.ticket = op.ticket;
@@ -247,12 +326,18 @@ void ShardRunner::HandleSubmit(Op& op) {
   // ticket where OnEngineResolve can find it.
   current_submit_ = info;
   current_submit_active_ = true;
+  if (op.traced) RecordTrace(op.ticket, TraceEventKind::kEngineSubmit);
   auto id = engine_->Submit(std::move(*parsed), op.ttl_ticks);
   current_submit_active_ = false;
 
   if (!id.ok()) {
     pref_of_qid_.erase(predicted);
     stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    if (op.traced) {
+      RecordTrace(op.ticket, TraceEventKind::kResolved,
+                  static_cast<uint64_t>(engine::QueryOutcome::Via::kSubmit),
+                  id.status().code());
+    }
     Event ev;
     ev.kind = Event::Kind::kResolved;
     ev.ticket = op.ticket;
@@ -335,6 +420,14 @@ void ShardRunner::MaybeFlush(bool force) {
   // query in this round evaluates against one consistent snapshot and
   // writes become visible no later than the next flush.
   RefreshSnapshot();
+  // Every pending traced query is (re-)evaluated by this flush; recorded
+  // before the engine call so FlushEval orders before a flush-driven
+  // Resolved. The query just submitted in this op is already in inflight_
+  // only if it pended — a submit resolved inside Flush traces through
+  // current_submit_ instead.
+  for (const auto& [qid, info] : inflight_) {
+    if (info.traced) RecordTrace(info.ticket, TraceEventKind::kFlushEval);
+  }
   engine_->Flush();
   submitted_since_flush_ = 0;
   last_flush_tick_ = tick_;
@@ -364,6 +457,9 @@ void ShardRunner::OnEngineResolve(ir::QueryId q,
   }
 
   if (info.ticket == migrating_) {
+    if (info.traced) {
+      RecordTrace(info.ticket, TraceEventKind::kMigratedOut);
+    }
     Event ev;
     ev.kind = Event::Kind::kMigratedOut;
     ev.ticket = info.ticket;
@@ -376,6 +472,27 @@ void ShardRunner::OnEngineResolve(ir::QueryId q,
                       std::chrono::steady_clock::now() - info.submitted)
                       .count();
   stats_.latency.Record(micros);
+  if (info.traced) {
+    RecordTrace(info.ticket, TraceEventKind::kResolved,
+                static_cast<uint64_t>(outcome.via),
+                outcome.state == engine::QueryOutcome::State::kAnswered
+                    ? StatusCode::kOk
+                    : outcome.status.code());
+    // Slow-query log: the threshold implies trace_all at service setup, so
+    // the rendered trace is the query's complete lifecycle.
+    if (opts_.slow_query_threshold_ms > 0 &&
+        micros / 1000.0 > opts_.slow_query_threshold_ms &&
+        opts_.traces != nullptr) {
+      auto trace = opts_.traces->Trace(info.ticket);
+      if (trace.ok() && opts_.slow_query_sink) {
+        opts_.slow_query_sink(*trace);
+      } else if (trace.ok()) {
+        std::fprintf(stderr, "[eq slow query] %.1fms > %.1fms threshold\n%s",
+                     micros / 1000.0, opts_.slow_query_threshold_ms,
+                     trace->ToString().c_str());
+      }
+    }
+  }
 
   Event ev;
   ev.kind = Event::Kind::kResolved;

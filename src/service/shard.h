@@ -18,6 +18,7 @@
 #include "ir/query.h"
 #include "service/metrics.h"
 #include "service/ticket.h"
+#include "service/trace.h"
 #include "service/wakeup.h"
 #include "util/mpsc_queue.h"
 
@@ -79,6 +80,45 @@ struct ShardOptions {
   /// engine's EngineOptions; summed with per-query PreferenceSpecs.
   engine::PreferenceFn preference;
   size_t preference_candidates = 16;
+
+  /// Service-level per-query trace registry. The shard records lifecycle
+  /// events for tickets the service admitted (Op::traced); null disables
+  /// shard-side tracing entirely. Must outlive the shard.
+  TraceRegistry* traces = nullptr;
+  /// Capacity of the per-shard ring of recent trace events (most recent
+  /// traced activity on this shard, independent of the registry's
+  /// per-ticket retention).
+  size_t trace_ring_capacity = 256;
+  /// Slow-query log: a traced query resolving slower than this many
+  /// milliseconds renders its full trace into `slow_query_sink`.
+  /// 0 disables the log.
+  double slow_query_threshold_ms = 0;
+  /// Where slow-query traces go (called on the shard thread). Null with a
+  /// positive threshold = stderr.
+  std::function<void(const QueryTrace&)> slow_query_sink;
+};
+
+/// Point-in-time introspection of one shard's pending state, filled on the
+/// shard thread (kDumpState control op) so every field is one consistent
+/// observation: queue depth, snapshot lag inputs, drain rate, and each
+/// pending query with its engine partition size and body relations.
+struct ShardStateDump {
+  struct PendingQuery {
+    TicketId ticket = 0;
+    ir::QueryId qid = ir::kInvalidQuery;
+    double pending_ms = 0;     ///< since (original) submission
+    bool traced = false;       ///< Trace(ticket) has events for it
+    /// Queries in this query's unifiability partition on this shard (the
+    /// entangled group as the engine currently sees it; >= 1).
+    size_t partition_size = 0;
+    std::vector<std::string> body_relations;  ///< sorted relation names
+  };
+
+  uint32_t shard_id = 0;
+  size_t queue_depth = 0;        ///< ops queued behind the dump op
+  uint64_t snapshot_version = 0; ///< what the engine evaluates against
+  double drain_ops_per_sec = 0;  ///< recent op-drain EWMA
+  std::vector<PendingQuery> pending;  ///< sorted by ticket
 };
 
 /// One shard of the coordination service: a dedicated thread owning a
@@ -104,6 +144,8 @@ class ShardRunner {
                      ///< Carries no payload — the touched-relation set is
                      ///< claimed from the coalescing slot at dispatch
                      ///< (enqueue via NotifyWrite, never directly).
+      kDumpState,    ///< fill `dump` with the shard's pending state, then
+                     ///< count down `latch` (introspection barrier)
     };
     Kind kind = Kind::kSubmit;
     TicketId ticket = 0;
@@ -123,7 +165,12 @@ class ShardRunner {
     /// shard, so latency spans the whole journey (zero = use now).
     std::chrono::steady_clock::time_point submitted_at{};
     uint64_t tick = 0;         ///< kTick payload
-    std::shared_ptr<std::latch> latch;  ///< kFlush barrier
+    std::shared_ptr<std::latch> latch;  ///< kFlush / kDumpState barrier
+    /// kSubmit: the service admitted this ticket into the trace registry,
+    /// so the shard records its lifecycle events (decided once at submit —
+    /// untraced queries never touch a trace lock on the shard).
+    bool traced = false;
+    std::shared_ptr<ShardStateDump> dump;  ///< kDumpState output slot
   };
 
   /// An event leaving the shard, delivered on the shard thread.
@@ -185,10 +232,15 @@ class ShardRunner {
   /// TableVersion objects by pointer identity).
   db::Snapshot adopted_snapshot() const;
 
+  /// The bounded ring of this shard's most recent trace events (any
+  /// thread; Snapshot() is internally synchronized).
+  const TraceRing& trace_ring() const { return trace_ring_; }
+
  private:
   struct TicketInfo {
     TicketId ticket = 0;
     std::chrono::steady_clock::time_point submitted;
+    bool traced = false;
   };
 
   void Run();
@@ -216,11 +268,20 @@ class ShardRunner {
   void MaybeFlush(bool force);
   void OnEngineResolve(ir::QueryId q, const engine::QueryOutcome& outcome);
   void MirrorEngineMetrics();
+  /// Stamps and records one lifecycle event for a traced ticket: into the
+  /// per-shard ring and (when configured) the service registry. Callers
+  /// check the ticket's traced flag first, so untraced traffic never
+  /// reaches the trace locks.
+  void RecordTrace(TicketId ticket, TraceEventKind kind, uint64_t detail = 0,
+                   StatusCode status = StatusCode::kOk);
+  /// Fills a kDumpState op's output slot from shard-thread state.
+  void FillStateDump(ShardStateDump* dump);
 
   const ShardOptions opts_;
   const EventFn event_fn_;
   ShardStats stats_;
   MpscQueue<Op> queue_;
+  TraceRing trace_ring_;
 
   /// The adopted snapshot, mirrored for cross-thread observation. The
   /// shard thread holds the authoritative handle inside the engine; this

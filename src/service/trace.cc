@@ -1,0 +1,249 @@
+#include "service/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "engine/engine.h"
+
+namespace eq::service {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmitted:
+      return "Submitted";
+    case TraceEventKind::kRouted:
+      return "Routed";
+    case TraceEventKind::kEnqueued:
+      return "Enqueued";
+    case TraceEventKind::kEngineSubmit:
+      return "EngineSubmit";
+    case TraceEventKind::kFlushEval:
+      return "FlushEval";
+    case TraceEventKind::kWakeupEval:
+      return "WakeupEval";
+    case TraceEventKind::kSnapshotAdopt:
+      return "SnapshotAdopt";
+    case TraceEventKind::kMigratedOut:
+      return "MigratedOut";
+    case TraceEventKind::kMigratedIn:
+      return "MigratedIn";
+    case TraceEventKind::kResolved:
+      return "Resolved";
+  }
+  return "Unknown";
+}
+
+std::string TraceEvent::ToString(
+    std::chrono::steady_clock::time_point origin) const {
+  double rel_us =
+      std::chrono::duration<double, std::micro>(at - origin).count();
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "+%10.1fus  %-13s", rel_us,
+                TraceEventKindName(kind));
+  out += line;
+  if (shard != kTraceNoShard) {
+    out += " shard=" + std::to_string(shard);
+  }
+  switch (kind) {
+    case TraceEventKind::kRouted:
+    case TraceEventKind::kEnqueued:
+      out += " -> shard " + std::to_string(detail);
+      break;
+    case TraceEventKind::kSnapshotAdopt:
+      out += " version=" + std::to_string(detail);
+      break;
+    case TraceEventKind::kResolved:
+      out += std::string(" via=") + engine::ViaName(
+                 static_cast<engine::QueryOutcome::Via>(detail));
+      out += std::string(" status=") + StatusCodeName(status);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- TraceRing --
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::Append(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[appended_ % capacity_] = ev;
+  }
+  ++appended_;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    size_t oldest = appended_ % capacity_;
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(oldest + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+// ------------------------------------------------------------ TraceSpans --
+
+TraceSpans ComputeTraceSpans(const std::vector<TraceEvent>& events) {
+  TraceSpans spans;
+  if (events.empty()) return spans;
+  std::chrono::steady_clock::time_point submitted{}, routed{}, enqueued{},
+      engine_submit{}, resolved{};
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case TraceEventKind::kSubmitted:
+        if (submitted == std::chrono::steady_clock::time_point{}) {
+          submitted = ev.at;
+        }
+        break;
+      case TraceEventKind::kRouted:
+        if (routed == std::chrono::steady_clock::time_point{}) routed = ev.at;
+        break;
+      case TraceEventKind::kEnqueued:
+        if (enqueued == std::chrono::steady_clock::time_point{}) {
+          enqueued = ev.at;
+        }
+        break;
+      case TraceEventKind::kEngineSubmit:
+        if (engine_submit == std::chrono::steady_clock::time_point{}) {
+          engine_submit = ev.at;
+        }
+        break;
+      case TraceEventKind::kFlushEval:
+      case TraceEventKind::kWakeupEval:
+        ++spans.eval_count;
+        break;
+      case TraceEventKind::kResolved:
+        resolved = ev.at;
+        break;
+      default:
+        break;
+    }
+  }
+  auto span_us = [](std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+    if (from == std::chrono::steady_clock::time_point{} ||
+        to == std::chrono::steady_clock::time_point{} || to < from) {
+      return 0.0;
+    }
+    return std::chrono::duration<double, std::micro>(to - from).count();
+  };
+  spans.route_us = span_us(submitted, routed);
+  spans.queue_us = span_us(enqueued, engine_submit);
+  spans.pending_us = span_us(engine_submit, resolved);
+  std::chrono::steady_clock::time_point origin =
+      submitted != std::chrono::steady_clock::time_point{} ? submitted
+                                                           : events.front().at;
+  spans.total_us = span_us(origin, events.back().at);
+  return spans;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out = "trace ticket=" + std::to_string(ticket) +
+                    (resolved ? " (resolved)" : " (in flight)") + "\n";
+  std::chrono::steady_clock::time_point origin =
+      events.empty() ? std::chrono::steady_clock::time_point{}
+                     : events.front().at;
+  for (const TraceEvent& ev : events) {
+    out += "  " + ev.ToString(origin) + "\n";
+  }
+  if (dropped_events > 0) {
+    out += "  (+" + std::to_string(dropped_events) +
+           " events dropped by the per-trace bound)\n";
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  spans: route=%.1fus queue=%.1fus pending=%.1fus "
+                "total=%.1fus evals=%llu\n",
+                spans.route_us, spans.queue_us, spans.pending_us,
+                spans.total_us, (unsigned long long)spans.eval_count);
+  out += line;
+  return out;
+}
+
+// -------------------------------------------------------- TraceRegistry --
+
+TraceRegistry::TraceRegistry(Options opts) : opts_(opts) {}
+
+bool TraceRegistry::Admit(TicketId ticket) {
+  if (!opts_.trace_all) {
+    if (opts_.sample_every == 0) return false;
+    uint64_t n = submissions_.fetch_add(1, std::memory_order_relaxed);
+    if (n % opts_.sample_every != 0) return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.count(ticket)) return true;  // defensive: ids never repeat
+  // Hard capacity bound: evict the oldest admitted trace(s), resolved or
+  // not — tracing must never hold memory proportional to traffic.
+  while (traces_.size() >= opts_.max_traces && !admission_order_.empty()) {
+    traces_.erase(admission_order_.front());
+    admission_order_.pop_front();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  QueryTrace& t = traces_[ticket];
+  t.ticket = ticket;
+  t.events.reserve(8);
+  admission_order_.push_back(ticket);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TraceRegistry::traced(TicketId ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.count(ticket) != 0;
+}
+
+void TraceRegistry::Record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(ev.ticket);
+  if (it == traces_.end()) return;  // not sampled, or evicted
+  QueryTrace& t = it->second;
+  if (t.events.size() >= opts_.max_events_per_trace) {
+    ++t.dropped_events;
+  } else {
+    t.events.push_back(ev);
+  }
+  if (ev.kind == TraceEventKind::kResolved) t.resolved = true;
+}
+
+Result<QueryTrace> TraceRegistry::Trace(TicketId ticket) const {
+  QueryTrace out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(ticket);
+    if (it == traces_.end()) {
+      return Status::NotFound(
+          "no trace for ticket " + std::to_string(ticket) +
+          " (not sampled — see trace_sample_every/trace_all — or evicted)");
+    }
+    out = it->second;
+  }
+  out.spans = ComputeTraceSpans(out.events);
+  return out;
+}
+
+size_t TraceRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+}  // namespace eq::service

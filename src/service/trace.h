@@ -1,0 +1,170 @@
+#ifndef EQ_SERVICE_TRACE_H_
+#define EQ_SERVICE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/ticket.h"
+#include "util/status.h"
+
+namespace eq::service {
+
+/// One step of a query's lifecycle through the service:
+///
+///   Submitted → Routed → Enqueued → EngineSubmit
+///     → (FlushEval | WakeupEval | SnapshotAdopt)*
+///     → (MigratedOut → MigratedIn → EngineSubmit → ...)*
+///     → Resolved(status)
+///
+/// Submitted/Routed/Enqueued are recorded on the submitting client thread
+/// (under the service submit lock); everything after Enqueued is recorded
+/// on the owning shard's thread — the op-queue handoff orders them, so a
+/// trace's record order is its causal order.
+enum class TraceEventKind : uint8_t {
+  kSubmitted,      ///< accepted by the service; a ticket exists
+  kRouted,         ///< entangled-relation fingerprint mapped to a shard
+  kEnqueued,       ///< submit op pushed onto the shard's op queue
+  kEngineSubmit,   ///< the shard handed the query to its engine
+  kFlushEval,      ///< a batch flush evaluated while this query was pending
+  kWakeupEval,     ///< a write wake-up re-evaluated this query's relations
+  kSnapshotAdopt,  ///< the shard adopted a newer storage snapshot
+  kMigratedOut,    ///< extracted from a losing shard after a group merge
+  kMigratedIn,     ///< re-submitted on the winning shard
+  kResolved,       ///< left the pending state (answered/failed/cancelled)
+};
+
+/// Human-readable event-kind name ("Submitted", "FlushEval", ...).
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// `TraceEvent::shard` value for events recorded before routing commits a
+/// shard (and for service-side resolutions during shutdown).
+inline constexpr uint32_t kTraceNoShard = 0xffffffffu;
+
+struct TraceEvent {
+  TicketId ticket = 0;
+  TraceEventKind kind = TraceEventKind::kSubmitted;
+  uint32_t shard = kTraceNoShard;
+  /// Monotonic capture time (steady clock: comparable across threads).
+  std::chrono::steady_clock::time_point at{};
+  /// Kind-specific payload: kRouted/kEnqueued — the target shard;
+  /// kSnapshotAdopt — the adopted storage version; kResolved — the
+  /// engine::QueryOutcome::Via resolution wave.
+  uint64_t detail = 0;
+  /// kResolved only: the failure reason (kOk = answered).
+  StatusCode status = StatusCode::kOk;
+
+  /// One-line rendering, timestamped relative to `origin`.
+  std::string ToString(std::chrono::steady_clock::time_point origin) const;
+};
+
+/// Bounded ring of the most recent trace events on one shard. Single
+/// producer (the shard thread), any-thread snapshot; overflow silently
+/// overwrites the oldest entries (total_appended keeps the true count).
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Append(const TraceEvent& ev);
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events ever appended (>= Snapshot().size(); the difference is what
+  /// the ring has overwritten).
+  uint64_t total_appended() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // ring_[appended_ % capacity_] is next
+  uint64_t appended_ = 0;
+};
+
+/// Derived timing spans over one query's event sequence (microseconds).
+struct TraceSpans {
+  double route_us = 0;    ///< Submitted → Routed (prepare + route)
+  double queue_us = 0;    ///< Enqueued → first EngineSubmit (op-queue wait)
+  double pending_us = 0;  ///< first EngineSubmit → Resolved (engine dwell)
+  double total_us = 0;    ///< Submitted → last recorded event
+  uint64_t eval_count = 0;  ///< FlushEval + WakeupEval re-evaluations
+};
+
+/// The assembled lifecycle of one traced query.
+struct QueryTrace {
+  TicketId ticket = 0;
+  bool resolved = false;        ///< a kResolved event was recorded
+  uint64_t dropped_events = 0;  ///< overflow beyond the per-trace bound
+  std::vector<TraceEvent> events;  ///< record order == causal order
+  TraceSpans spans;
+
+  /// Multi-line human-readable rendering (one line per event, relative
+  /// timestamps, derived spans last).
+  std::string ToString() const;
+};
+
+/// Computes the derived spans for an event sequence in record order.
+TraceSpans ComputeTraceSpans(const std::vector<TraceEvent>& events);
+
+/// Service-level registry of per-query traces. Admission is sampled
+/// (every `sample_every`-th submission; `trace_all` bypasses sampling) and
+/// capacity is hard-bounded: at most `max_traces` tickets retained (oldest
+/// admitted evicted first) with at most `max_events_per_trace` events each
+/// (overflow counted, not stored) — tracing can never grow without bound.
+/// Internally synchronized; Record for a never-admitted ticket is a no-op,
+/// so only sampled queries pay more than the admission check.
+class TraceRegistry {
+ public:
+  struct Options {
+    /// Trace every Nth submission (1 = all, 0 = tracing disabled).
+    uint64_t sample_every = 64;
+    /// Bypass sampling entirely (tests, slow-query logging).
+    bool trace_all = false;
+    size_t max_traces = 1024;
+    size_t max_events_per_trace = 128;
+  };
+
+  explicit TraceRegistry(Options opts);
+
+  /// Decides whether this submission is traced; when true the registry
+  /// retains events recorded under `ticket` (evicting the oldest trace if
+  /// at capacity).
+  bool Admit(TicketId ticket);
+
+  /// Whether `ticket` currently has a retained trace.
+  bool traced(TicketId ticket) const;
+
+  /// Appends one event to its ticket's trace; no-op when the ticket was
+  /// never admitted (or already evicted).
+  void Record(const TraceEvent& ev);
+
+  /// The assembled trace with derived spans; kNotFound when the ticket was
+  /// not sampled or its trace has been evicted.
+  Result<QueryTrace> Trace(TicketId ticket) const;
+
+  size_t size() const;
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
+  const Options& options() const { return opts_; }
+
+ private:
+  const Options opts_;
+  std::atomic<uint64_t> submissions_{0};  ///< sampling counter
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> evicted_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<TicketId, QueryTrace> traces_;
+  std::deque<TicketId> admission_order_;  ///< FIFO eviction under pressure
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_TRACE_H_
