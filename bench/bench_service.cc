@@ -29,6 +29,9 @@
 
 #include "bench/bench_common.h"
 #include "client/query.h"
+#include "client/session.h"
+#include "cluster/node.h"
+#include "net/socket.h"
 #include "service/service.h"
 
 namespace eq::bench {
@@ -343,6 +346,126 @@ BurstStats RunWriteBurst(size_t writes) {
   return out;
 }
 
+// --------------------------------------------------------------- cluster --
+
+/// The embedded per-node service for the loopback cluster: incremental
+/// evaluation so a pair resolves on the submit that completes it, exactly
+/// like the cluster test configuration.
+ServiceOptions ClusterLocalOpts() {
+  ServiceOptions o;
+  o.num_shards = 2;
+  o.mode = engine::EvalMode::kIncremental;
+  o.max_batch = 16;
+  o.max_delay_ticks = 1;
+  o.bootstrap = Bootstrap;
+  return o;
+}
+
+struct LoopbackCluster {
+  std::unique_ptr<cluster::ClusterNode> a;  // node 0 = storage owner
+  std::unique_ptr<cluster::ClusterNode> b;  // node 1
+  bool ok() const { return a != nullptr && b != nullptr; }
+};
+
+LoopbackCluster StartLoopbackCluster() {
+  LoopbackCluster c;
+  auto free_port = []() -> uint16_t {
+    auto l = net::Listener::Bind("127.0.0.1", 0);
+    return l.ok() ? l.value().port() : 0;
+  };
+  uint16_t pa = free_port();
+  uint16_t pb = free_port();
+  if (pa == 0 || pb == 0) return c;
+  auto mk = [](uint32_t self, uint16_t self_port, uint32_t peer,
+               uint16_t peer_port) {
+    cluster::ClusterOptions o;
+    o.node_id = self;
+    o.listen_port = self_port;
+    o.peers = {{peer, "127.0.0.1", peer_port}};
+    o.storage_owner = 0;
+    o.io_timeout_ms = 5000;
+    o.service = ClusterLocalOpts();
+    return cluster::ClusterNode::Start(std::move(o));
+  };
+  auto ra = mk(0, pa, 1, pb);
+  auto rb = mk(1, pb, 0, pa);
+  if (ra.ok()) c.a = std::move(ra.value());
+  if (rb.ok()) c.b = std::move(rb.value());
+  return c;
+}
+
+/// First relation with the given prefix whose entangled group the cluster
+/// routes to `want` (both nodes compute the same deterministic owner).
+std::string ClusterRelOwnedBy(cluster::ClusterService& svc, uint32_t want,
+                              const std::string& prefix) {
+  for (int i = 0; i < 256; ++i) {
+    std::string rel = prefix + std::to_string(i);
+    if (svc.OwnerOf({rel}) == want) return rel;
+  }
+  return prefix + "0";  // unreachable with a 2-node member list
+}
+
+std::pair<std::string, std::string> ClusterPair(const std::string& rel,
+                                                const std::string& dest) {
+  return {"{" + rel + "(J, x)} " + rel + "(K, x) :- F(x, " + dest + ")",
+          "{" + rel + "(K, y)} " + rel + "(J, y) :- F(y, " + dest + ")"};
+}
+
+/// Submit-to-answer latency of a coordinating pair whose group is owned
+/// by `owner_node`, submitted through `node`'s session: owner == self is
+/// the in-process path, owner == peer adds one forwarded submit and one
+/// outcome frame per half over loopback TCP.
+std::vector<double> RunClusterSubmit(cluster::ClusterNode& node,
+                                     uint32_t owner_node, size_t rounds,
+                                     const char* prefix) {
+  std::vector<double> ms;
+  ms.reserve(rounds);
+  client::Session session(&node.service());
+  for (size_t i = 0; i < rounds; ++i) {
+    std::string rel = ClusterRelOwnedBy(
+        node.service(), owner_node,
+        std::string(prefix) + std::to_string(i) + "x");
+    auto [qa, qb] = ClusterPair(rel, "Paris");
+    Stopwatch sw;
+    auto ta = session.SubmitIr(qa);
+    auto tb = session.SubmitIr(qb);
+    if (!ta.ok() || !tb.ok()) continue;
+    if (!ta->WaitFor(std::chrono::seconds(10))) continue;
+    if (!tb->WaitFor(std::chrono::seconds(10))) continue;
+    ms.push_back(sw.ElapsedMillis());
+  }
+  return ms;
+}
+
+/// Write→remote-wakeup latency: a pair parked on node 1 waiting for a row
+/// that does not exist, completed by a write issued on node 1 — which
+/// forwards to the storage owner (node 0), applies there, and ships back
+/// as a version delta that wakes the pending pair.
+std::vector<double> RunClusterWriteWakeup(cluster::ClusterNode& b,
+                                          size_t rounds) {
+  std::vector<double> ms;
+  ms.reserve(rounds);
+  client::Session on_b(&b.service());
+  for (size_t i = 0; i < rounds; ++i) {
+    std::string rel =
+        ClusterRelOwnedBy(b.service(), 1, "W" + std::to_string(i) + "x");
+    std::string dest = "Dst" + std::to_string(i);
+    auto [qa, qb] = ClusterPair(rel, dest);
+    auto ta = on_b.SubmitIr(qa);
+    auto tb = on_b.SubmitIr(qb);
+    if (!ta.ok() || !tb.ok()) continue;
+    Stopwatch sw;
+    auto w = on_b.ExecuteWrite("INSERT INTO F VALUES (" +
+                               std::to_string(300000 + static_cast<int>(i)) +
+                               ", '" + dest + "')");
+    if (!w.ok()) continue;
+    if (!ta->WaitFor(std::chrono::seconds(10))) continue;
+    if (!tb->WaitFor(std::chrono::seconds(10))) continue;
+    ms.push_back(sw.ElapsedMillis());
+  }
+  return ms;
+}
+
 double Percentile(std::vector<double> xs, double pct) {
   if (xs.empty()) return 0;
   std::sort(xs.begin(), xs.end());
@@ -606,6 +729,46 @@ int main(int argc, char** argv) {
         "# bootstraps concurrently: wall clock grows once shards exceed\n"
         "# cores (always on 1-2 core CI), and total CPU + memory are N x\n"
         "# regardless.\n");
+  }
+
+  // Cluster: the identical Ticket API over a 2-node loopback cluster —
+  // what one network hop costs a forwarded submit, and how fast a write
+  // on one node answers a query parked on the other via delta
+  // replication.
+  {
+    size_t rounds = flags.full ? 100 : 30;
+    PrintHeader(
+        "cluster: 2-node loopback (local vs forwarded submit, write->wakeup)",
+        "path                  rounds   mean_ms    p50_ms    max_ms");
+    LoopbackCluster cl = StartLoopbackCluster();
+    if (!cl.ok()) {
+      std::printf("# loopback cluster failed to start; section skipped\n");
+    } else {
+      struct Spec {
+        const char* path;
+        std::vector<double> ms;
+      } specs[] = {
+          {"local-submit", RunClusterSubmit(*cl.a, 0, rounds, "BL")},
+          {"remote-submit", RunClusterSubmit(*cl.a, 1, rounds, "BR")},
+          {"write-remote-wakeup", RunClusterWriteWakeup(*cl.b, rounds)},
+      };
+      for (const Spec& s : specs) {
+        std::printf("%-21s %7zu %9.3f %9.3f %9.3f\n", s.path, s.ms.size(),
+                    Mean(s.ms), Percentile(s.ms, 50), Percentile(s.ms, 100));
+        auto& row = json.NewRow("cluster");
+        row.Set("path", std::string(s.path))
+            .Set("rounds", static_cast<double>(s.ms.size()))
+            .Set("mean_ms", Mean(s.ms))
+            .Set("p50_ms", Percentile(s.ms, 50))
+            .Set("max_ms", Percentile(s.ms, 100));
+      }
+      std::printf(
+          "# remote-submit = local-submit + one forwarded frame and one\n"
+          "# outcome frame per half over loopback TCP; write-remote-wakeup\n"
+          "# spans write forward, apply, delta push-back and re-eval.\n");
+      cl.a->Stop();
+      cl.b->Stop();
+    }
   }
 
   std::printf(

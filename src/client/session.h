@@ -21,7 +21,7 @@ struct SessionOptions {
   PreferenceSpec default_preference;
 };
 
-/// The client-facing facade over a CoordinationService: typed queries in
+/// The client-facing facade over a coordination surface: typed queries in
 /// any dialect, per-submission knobs, batching, and session-level defaults.
 ///
 ///   client::Session session(&svc, {.default_ttl_ticks = 500});
@@ -30,11 +30,15 @@ struct SessionOptions {
 ///   const auto& outcome = t->Wait();
 ///
 /// A Session is a cheap handle (pointer + defaults): create one per logical
-/// client. Thread-safe to the same extent as the underlying service.
+/// client. It binds to the abstract service::CoordinationInterface, so the
+/// same client code runs unchanged against a single-node
+/// CoordinationService or a multi-node cluster::ClusterService — which
+/// backend answers a query is invisible at this layer. Thread-safe to the
+/// same extent as the underlying service.
 class Session {
  public:
   /// `svc` must outlive the session.
-  explicit Session(service::CoordinationService* svc,
+  explicit Session(service::CoordinationInterface* svc,
                    SessionOptions opts = {})
       : svc_(svc), opts_(std::move(opts)) {}
 
@@ -88,7 +92,7 @@ class Session {
   /// Pending-state introspection (see CoordinationService::DumpState).
   service::ServiceStateDump DumpState() const { return svc_->DumpState(); }
 
-  service::CoordinationService& service() { return *svc_; }
+  service::CoordinationInterface& service() { return *svc_; }
   const SessionOptions& options() const { return opts_; }
 
  private:
@@ -98,7 +102,7 @@ class Session {
     return opts;
   }
 
-  service::CoordinationService* svc_;
+  service::CoordinationInterface* svc_;
   SessionOptions opts_;
 };
 

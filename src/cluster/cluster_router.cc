@@ -1,0 +1,120 @@
+#include "cluster/cluster_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eq::cluster {
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+GroupTable::GroupTable(std::vector<uint32_t> member_nodes)
+    : members_(std::move(member_nodes)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+size_t GroupTable::FindLocked(size_t x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+size_t GroupTable::InternLocked(const std::string& rel) {
+  auto it = index_.find(rel);
+  if (it != index_.end()) return it->second;
+  size_t id = names_.size();
+  index_.emplace(rel, id);
+  names_.push_back(rel);
+  parent_.push_back(id);
+  min_name_.push_back(id);
+  return id;
+}
+
+uint32_t GroupTable::OwnerOfRootLocked(size_t root) const {
+  return members_[Fnv1a(names_[min_name_[root]]) % members_.size()];
+}
+
+GroupTable::Decision GroupTable::Route(const std::vector<std::string>& rels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision d;
+  if (members_.empty() || rels.empty()) {
+    d.owner = members_.empty() ? 0 : members_[0];
+    return d;
+  }
+
+  // Collect the distinct roots the input touches, remembering each
+  // pre-merge owner so displaced ones can be told to hand over.
+  std::vector<size_t> roots;
+  for (const auto& rel : rels) {
+    size_t root = FindLocked(InternLocked(rel));
+    if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+      roots.push_back(root);
+    }
+  }
+  std::vector<uint32_t> old_owners;
+  old_owners.reserve(roots.size());
+  for (size_t r : roots) old_owners.push_back(OwnerOfRootLocked(r));
+
+  // Union everything under the first root; the merged group's min
+  // relation is the min over subgroups.
+  size_t merged = roots[0];
+  for (size_t i = 1; i < roots.size(); ++i) {
+    size_t r = roots[i];
+    parent_[r] = merged;
+    if (names_[min_name_[r]] < names_[min_name_[merged]]) {
+      min_name_[merged] = min_name_[r];
+    }
+  }
+
+  d.owner = OwnerOfRootLocked(merged);
+  for (uint32_t old : old_owners) {
+    if (old != d.owner &&
+        std::find(d.displaced.begin(), d.displaced.end(), old) ==
+            d.displaced.end()) {
+      d.displaced.push_back(old);
+    }
+  }
+
+  // Full relation set of the merged group (piggyback payload). Group
+  // counts are small (relations that ever coordinated); a linear sweep
+  // keeps the structure merge-only and simple.
+  for (size_t id = 0; id < names_.size(); ++id) {
+    if (FindLocked(id) == merged) d.relations.push_back(names_[id]);
+  }
+  std::sort(d.relations.begin(), d.relations.end());
+  return d;
+}
+
+uint32_t GroupTable::ProbeOwner(const std::vector<std::string>& rels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (members_.empty()) return 0;
+  if (rels.empty()) return members_[0];
+  // Owner of the would-be merged group: hash of the min relation across
+  // all touched groups (or the raw relation when unknown).
+  const std::string* min_rel = nullptr;
+  for (const auto& rel : rels) {
+    const std::string* candidate = &rel;
+    auto it = index_.find(rel);
+    if (it != index_.end()) {
+      size_t root = FindLocked(it->second);
+      candidate = &names_[min_name_[root]];
+    }
+    if (min_rel == nullptr || *candidate < *min_rel) min_rel = candidate;
+  }
+  return members_[Fnv1a(*min_rel) % members_.size()];
+}
+
+}  // namespace eq::cluster

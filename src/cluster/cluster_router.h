@@ -1,0 +1,76 @@
+#ifndef EQ_CLUSTER_CLUSTER_ROUTER_H_
+#define EQ_CLUSTER_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eq::cluster {
+
+/// Node-level entangled-group routing: the cross-node analogue of the
+/// in-process ShardRouter. Relations that have ever appeared together in
+/// one query belong to one group (union-find, merges only — the same
+/// "entanglement only grows" monotonicity the shard router relies on),
+/// and every group is owned by exactly one node, chosen deterministically:
+///
+///   owner(group) = members[fnv1a(min relation of group) % members.size()]
+///
+/// Because the rule is a pure function of the group's relation set and the
+/// (static, sorted) membership, any two nodes with the same knowledge of a
+/// group agree on its owner with no coordination. Knowledge spreads by
+/// piggybacking each group's full relation list on forwarded submits;
+/// since knowledge only grows and merging is commutative, all nodes
+/// converge on the same owner. While knowledge is still propagating, a
+/// node may route to a stale owner — the receiver re-routes (bounded by
+/// the submit hop limit) and emits GroupUpdates to displaced owners.
+///
+/// Thread-safe; every method may be called from any thread.
+class GroupTable {
+ public:
+  /// `member_nodes`: the static cluster membership (all node ids,
+  /// including the local node). Sorted internally so every node computes
+  /// the same owner regardless of configuration order.
+  explicit GroupTable(std::vector<uint32_t> member_nodes);
+
+  struct Decision {
+    uint32_t owner = 0;
+    /// The group's full relation set as known here, sorted — piggybacked
+    /// on forwarded submits so receivers can merge this knowledge.
+    std::vector<std::string> relations;
+    /// Owners of pre-merge subgroups that lost ownership in this merge
+    /// (excluding `owner`), deduplicated: each should receive a
+    /// GroupUpdate telling it to extract and re-forward its pending
+    /// queries under this group.
+    std::vector<uint32_t> displaced;
+  };
+
+  /// Merges `rels` into one group (joining any existing groups they touch)
+  /// and returns the owner decision. Empty input yields the local
+  /// fallback: owner of an empty relation set is members[0].
+  Decision Route(const std::vector<std::string>& rels);
+
+  /// The owner `rels` would route to right now, without merging anything
+  /// (diagnostics / tests).
+  uint32_t ProbeOwner(const std::vector<std::string>& rels) const;
+
+ private:
+  size_t FindLocked(size_t x) const;
+  size_t InternLocked(const std::string& rel);
+  uint32_t OwnerOfRootLocked(size_t root) const;
+
+  mutable std::mutex mu_;
+  std::vector<uint32_t> members_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> names_;
+  /// Union-find over relation ids; parent_[x] == x at roots. Roots also
+  /// carry min_name_ — the group's lexicographically smallest relation,
+  /// the deterministic input to the owner hash.
+  mutable std::vector<size_t> parent_;
+  std::vector<size_t> min_name_;  ///< per root: index of the min relation
+};
+
+}  // namespace eq::cluster
+
+#endif  // EQ_CLUSTER_CLUSTER_ROUTER_H_

@@ -1,0 +1,338 @@
+#include "cluster/peer.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace eq::cluster {
+namespace {
+
+service::ServiceOutcome UnavailableOutcome(std::string why) {
+  service::ServiceOutcome o;
+  o.state = service::ServiceOutcome::State::kFailed;
+  o.status = Status::Unavailable(std::move(why));
+  return o;
+}
+
+}  // namespace
+
+PeerLink::PeerLink(PeerSpec spec, Options opts, const StringInterner* interner)
+    : spec_(std::move(spec)), opts_(opts), interner_(interner) {}
+
+PeerLink::~PeerLink() { Close(); }
+
+Status PeerLink::EnsureConnectedLocked() {
+  if (closed_) return Status::Unavailable("peer link is closed");
+  if (connected_) {
+    if (conn_dead_ && conn_dead_->load(std::memory_order_acquire)) {
+      DropConnectionLocked("connection to peer " +
+                           std::to_string(spec_.node_id) + " lost");
+    } else {
+      return Status::OK();
+    }
+  }
+  auto now = std::chrono::steady_clock::now();
+  if (now < next_attempt_) {
+    return Status::Unavailable("peer " + std::to_string(spec_.node_id) +
+                               " unreachable (backing off)");
+  }
+  auto note_failure = [&] {
+    backoff_ms_ = backoff_ms_ == 0
+                      ? opts_.backoff_initial_ms
+                      : std::min(backoff_ms_ * 2, opts_.backoff_max_ms);
+    next_attempt_ = now + std::chrono::milliseconds(backoff_ms_);
+  };
+
+  auto sock = net::Socket::Connect(spec_.host, spec_.port,
+                                   opts_.connect_timeout_ms);
+  if (!sock.ok()) {
+    note_failure();
+    return sock.status();
+  }
+
+  // Interner-prefix handshake: fingerprint our bootstrap catalog, verify
+  // theirs. The CURRENT interner size would not do — each node interns
+  // local query constants after bootstrap, so the live tails diverge on
+  // healthy clusters; only the catalog prefix is required to match.
+  uint64_t hwm = opts_.sym_catalog_hwm;
+  net::HelloMsg hello;
+  hello.node_id = opts_.self_node;
+  hello.sym_hwm = hwm;
+  hello.sym_prefix_hash = net::InternerPrefixHash(*interner_, hwm);
+  if (Status s = net::SendFrame(sock.value(), net::FrameType::kHello,
+                                net::Encode(hello), opts_.io_timeout_ms);
+      !s.ok()) {
+    note_failure();
+    return s;
+  }
+  auto frame = net::RecvFrame(sock.value(), opts_.io_timeout_ms,
+                              opts_.io_timeout_ms);
+  if (!frame.ok()) {
+    note_failure();
+    return frame.status();
+  }
+  if (frame.value().type != net::FrameType::kHelloAck) {
+    note_failure();
+    return Status::Unavailable("peer sent a non-handshake frame first");
+  }
+  auto ack = net::DecodeHelloAck(frame.value().payload);
+  if (!ack.ok()) {
+    note_failure();
+    return ack.status();
+  }
+  if (!ack.value().ok) {
+    note_failure();
+    return Status::Unavailable("peer " + std::to_string(spec_.node_id) +
+                               " refused handshake: " + ack.value().error);
+  }
+  // Verify the peer's catalog fingerprint against our own first sym_hwm
+  // names whenever we hold at least that many. Symbols are append-only,
+  // so a verified shared prefix stays verified for the link's lifetime.
+  if (ack.value().sym_hwm <= interner_->size() &&
+      net::InternerPrefixHash(*interner_, ack.value().sym_hwm) !=
+          ack.value().sym_prefix_hash) {
+    note_failure();
+    return Status::Internal(
+        "interner prefix mismatch with peer " +
+        std::to_string(spec_.node_id) +
+        " (nodes bootstrapped different catalogs?)");
+  }
+
+  sock_ = std::move(sock.value());
+  connected_ = true;
+  conn_dead_ = std::make_shared<std::atomic<bool>>(false);
+  backoff_ms_ = 0;
+  next_attempt_ = {};
+  shared_sym_prefix_v_ = std::min<uint64_t>(hwm, ack.value().sym_hwm);
+  last_pushed_version_v_ = ack.value().applied_db_version;
+  reader_ = std::thread(&PeerLink::ReaderLoop, this);
+  return Status::OK();
+}
+
+Status PeerLink::SendLocked(net::FrameType type, const std::string& payload) {
+  bool was_connected = connected_;
+  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
+  Status sent = net::SendFrame(sock_, type, payload, opts_.io_timeout_ms);
+  if (sent.ok()) return sent;
+  DropConnectionLocked("send to peer " + std::to_string(spec_.node_id) +
+                       " failed");
+  if (!was_connected) return sent;
+  // The connection was pre-existing and may simply have died while idle
+  // (peer restart): one immediate reconnect + resend before giving up.
+  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
+  sent = net::SendFrame(sock_, type, payload, opts_.io_timeout_ms);
+  if (!sent.ok()) {
+    DropConnectionLocked("send to peer " + std::to_string(spec_.node_id) +
+                         " failed");
+  }
+  return sent;
+}
+
+void PeerLink::ReaderLoop() {
+  auto dead = conn_dead_;
+  for (;;) {
+    auto frame = net::RecvFrame(sock_, /*header_timeout_ms=*/-1,
+                                opts_.io_timeout_ms);
+    if (!frame.ok()) break;
+    if (frame.value().type == net::FrameType::kOutcome) {
+      auto m = net::DecodeOutcome(frame.value().payload);
+      if (!m.ok()) break;  // corrupt stream: drop the connection
+      OutcomeHandler handler;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_submits_.find(m.value().req_id);
+        if (it != pending_submits_.end()) {
+          handler = std::move(it->second);
+          pending_submits_.erase(it);
+        }
+      }
+      if (handler) handler(m.value().outcome);
+    } else if (frame.value().type == net::FrameType::kWriteReply) {
+      auto m = net::DecodeWriteReply(frame.value().payload);
+      if (!m.ok()) break;
+      std::shared_ptr<WriteWait> wait;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_writes_.find(m.value().req_id);
+        if (it != pending_writes_.end()) {
+          wait = it->second;
+          pending_writes_.erase(it);
+        }
+      }
+      if (wait) {
+        std::lock_guard<std::mutex> lock(wait->mu);
+        wait->reply = std::move(m.value());
+        wait->done = true;
+        wait->cv.notify_all();
+      }
+    } else {
+      break;  // protocol violation: only replies flow to the connector
+    }
+  }
+  dead->store(true, std::memory_order_release);
+  FailAllPending("connection to peer " + std::to_string(spec_.node_id) +
+                 " lost");
+}
+
+void PeerLink::DropConnectionLocked(const std::string& why) {
+  if (reader_.joinable()) {
+    sock_.ShutdownBoth();
+    reader_.join();
+  }
+  sock_.Close();
+  connected_ = false;
+  conn_dead_.reset();
+  FailAllPending(why);
+}
+
+void PeerLink::FailAllPending(const std::string& why) {
+  std::vector<OutcomeHandler> handlers;
+  std::vector<std::shared_ptr<WriteWait>> writes;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    handlers.reserve(pending_submits_.size());
+    for (auto& [id, h] : pending_submits_) handlers.push_back(std::move(h));
+    pending_submits_.clear();
+    writes.reserve(pending_writes_.size());
+    for (auto& [id, w] : pending_writes_) writes.push_back(w);
+    pending_writes_.clear();
+  }
+  auto outcome = UnavailableOutcome(why);
+  for (auto& h : handlers) h(outcome);
+  for (auto& w : writes) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->reply.status = Status::Unavailable(why);
+    w->done = true;
+    w->cv.notify_all();
+  }
+}
+
+uint64_t PeerLink::Submit(net::SubmitMsg msg, OutcomeHandler handler) {
+  uint64_t req_id;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    req_id = next_req_id_++;
+  }
+  msg.req_id = req_id;
+  std::string payload = net::Encode(msg);
+
+  Status sent;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    if (Status s = EnsureConnectedLocked(); !s.ok()) {
+      handler(UnavailableOutcome(s.message()));
+      return req_id;
+    }
+    // Register before sending so a fast reply always finds its handler;
+    // the reader only ever takes pending_mu_, so the conn_mu_ ->
+    // pending_mu_ order here cannot deadlock.
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_submits_[req_id] = std::move(handler);
+    }
+    sent = SendLocked(net::FrameType::kSubmit, payload);
+  }
+  if (!sent.ok()) {
+    // If the reader's FailAllPending got there first the handler already
+    // fired; only fail it ourselves if we win the extraction.
+    OutcomeHandler mine;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_submits_.find(req_id);
+      if (it != pending_submits_.end()) {
+        mine = std::move(it->second);
+        pending_submits_.erase(it);
+      }
+    }
+    if (mine) mine(UnavailableOutcome(sent.message()));
+  }
+  return req_id;
+}
+
+void PeerLink::Cancel(uint64_t req_id) {
+  net::CancelMsg m;
+  m.req_id = req_id;
+  std::string payload = net::Encode(m);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  SendLocked(net::FrameType::kCancel, payload);  // best effort
+}
+
+net::WriteReplyMsg PeerLink::Write(const std::string& sql) {
+  auto wait = std::make_shared<WriteWait>();
+  uint64_t req_id;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    req_id = next_req_id_++;
+    pending_writes_[req_id] = wait;
+  }
+  net::WriteMsg m;
+  m.req_id = req_id;
+  m.sql = sql;
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    sent = SendLocked(net::FrameType::kWrite, net::Encode(m));
+  }
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_writes_.erase(req_id);
+    net::WriteReplyMsg reply;
+    reply.req_id = req_id;
+    reply.status = sent;
+    return reply;
+  }
+  std::unique_lock<std::mutex> lock(wait->mu);
+  bool done = wait->cv.wait_for(
+      lock, std::chrono::milliseconds(opts_.io_timeout_ms),
+      [&] { return wait->done; });
+  if (!done) {
+    {
+      std::lock_guard<std::mutex> plock(pending_mu_);
+      pending_writes_.erase(req_id);
+    }
+    // Re-check under wait->mu: the reader may have completed it between
+    // the wait timing out and the deregistration.
+    if (!wait->done) {
+      wait->reply.req_id = req_id;
+      wait->reply.status =
+          Status::Unavailable("write to storage owner timed out");
+    }
+  }
+  return wait->reply;
+}
+
+Status PeerLink::SendDelta(const net::DeltaMsg& m) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return SendLocked(net::FrameType::kDelta, net::Encode(m));
+}
+
+Status PeerLink::SendGroupUpdate(const net::GroupUpdateMsg& m) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return SendLocked(net::FrameType::kGroupUpdate, net::Encode(m));
+}
+
+uint64_t PeerLink::shared_sym_prefix() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return shared_sym_prefix_v_;
+}
+
+uint64_t PeerLink::last_pushed_version() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return last_pushed_version_v_;
+}
+
+void PeerLink::NotePushed(uint64_t version) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  last_pushed_version_v_ = std::max(last_pushed_version_v_, version);
+}
+
+void PeerLink::Close() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (closed_) return;
+  closed_ = true;
+  DropConnectionLocked("peer link closed");
+}
+
+}  // namespace eq::cluster

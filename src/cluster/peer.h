@@ -1,0 +1,154 @@
+#ifndef EQ_CLUSTER_PEER_H_
+#define EQ_CLUSTER_PEER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/ticket.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace eq::cluster {
+
+/// One peer node in the static cluster membership.
+struct PeerSpec {
+  uint32_t node_id = 0;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// The outbound half of a node's relationship with one peer: a single
+/// lazily-established TCP connection carrying forwarded submits, cancels,
+/// writes, delta pushes and group updates, plus a reader thread that
+/// demultiplexes replies.
+///
+/// Failure model (the "never a hang" contract): every operation either
+/// completes within the configured timeouts or fails with kUnavailable.
+/// When the connection drops, every in-flight request — submit handlers,
+/// blocked writers — is failed with kUnavailable immediately; the next
+/// operation attempts a reconnect, gated by exponential backoff so a dead
+/// peer costs one fast failure per backoff window instead of a connect
+/// timeout per request.
+///
+/// Thread safety: all public methods are safe from any thread. Outcome
+/// handlers fire on the reader thread (or the failing caller's thread);
+/// keep them bounded.
+class PeerLink {
+ public:
+  /// Fires exactly once per Submit: with the remote outcome, or with a
+  /// kFailed/kUnavailable outcome on transport failure.
+  using OutcomeHandler = std::function<void(const service::ServiceOutcome&)>;
+
+  struct Options {
+    uint32_t self_node = 0;
+    int connect_timeout_ms = 1000;
+    int io_timeout_ms = 2000;
+    int backoff_initial_ms = 50;
+    int backoff_max_ms = 2000;
+    /// Interner size right after bootstrap — the catalog prefix the
+    /// handshake fingerprints. Symbols interned later (query constants,
+    /// write payloads) diverge across nodes by design and must stay out
+    /// of the verified prefix. 0 = fingerprint nothing, ship every
+    /// symbol by name (always safe).
+    uint64_t sym_catalog_hwm = 0;
+  };
+
+  /// `interner` is the node's shared interner (outlives the link); the
+  /// handshake fingerprints its prefix.
+  PeerLink(PeerSpec spec, Options opts, const StringInterner* interner);
+  ~PeerLink();
+
+  PeerLink(const PeerLink&) = delete;
+  PeerLink& operator=(const PeerLink&) = delete;
+
+  uint32_t peer() const { return spec_.node_id; }
+
+  /// Forwards one canonical query; fills in msg.req_id and returns it
+  /// (usable with Cancel). The handler always fires exactly once.
+  uint64_t Submit(net::SubmitMsg msg, OutcomeHandler handler);
+
+  /// Best-effort withdrawal of a forwarded submit. The resolution arrives
+  /// through the submit's handler (Cancelled from the peer), not here.
+  void Cancel(uint64_t req_id);
+
+  /// Forwards one SQL write and blocks for the reply (bounded by
+  /// io_timeout). Transport failures come back as status kUnavailable.
+  net::WriteReplyMsg Write(const std::string& sql);
+
+  /// Pushes one replication delta / group update (fire-and-forget at the
+  /// protocol level; TCP ordering is the delivery guarantee).
+  Status SendDelta(const net::DeltaMsg& m);
+  Status SendGroupUpdate(const net::GroupUpdateMsg& m);
+
+  /// Verified shared interner prefix from the last successful handshake:
+  /// symbol ids below this are identical on both nodes; ids at or above
+  /// must ship through a delta's name dictionary. 0 before first connect.
+  uint64_t shared_sym_prefix() const;
+
+  /// Replication resume point: the highest storage version this peer is
+  /// known to have applied from us (seeded by the handshake ack, advanced
+  /// by NotePushed). The storage owner extracts deltas from here.
+  uint64_t last_pushed_version() const;
+  void NotePushed(uint64_t version);
+
+  /// Permanently closes the link: fails all in-flight requests with
+  /// kUnavailable and rejects future operations.
+  void Close();
+
+ private:
+  struct WriteWait {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    net::WriteReplyMsg reply;
+  };
+
+  /// Establishes the connection + handshake if needed. Called with
+  /// conn_mu_ held. kUnavailable when the peer is down or backing off.
+  Status EnsureConnectedLocked();
+  /// Serializes one frame over the live connection (conn_mu_ held),
+  /// reconnecting first if needed; one immediate retry if the send fails
+  /// on a connection that was already open (it may have died idle).
+  Status SendLocked(net::FrameType type, const std::string& payload);
+  void ReaderLoop();
+  /// Tears down the current connection (conn_mu_ held) and fails every
+  /// pending request with kUnavailable.
+  void DropConnectionLocked(const std::string& why);
+  void FailAllPending(const std::string& why);
+
+  const PeerSpec spec_;
+  const Options opts_;
+  const StringInterner* interner_;
+
+  mutable std::mutex conn_mu_;
+  net::Socket sock_;
+  std::thread reader_;
+  bool connected_ = false;
+  bool closed_ = false;
+  /// Set by the reader thread on connection loss; the next sender under
+  /// conn_mu_ observes it and tears down before reconnecting.
+  std::shared_ptr<std::atomic<bool>> conn_dead_;
+  std::chrono::steady_clock::time_point next_attempt_{};
+  int backoff_ms_ = 0;
+  uint64_t shared_sym_prefix_v_ = 0;
+  uint64_t last_pushed_version_v_ = 0;
+
+  std::mutex pending_mu_;
+  uint64_t next_req_id_ = 1;
+  std::unordered_map<uint64_t, OutcomeHandler> pending_submits_;
+  std::unordered_map<uint64_t, std::shared_ptr<WriteWait>> pending_writes_;
+};
+
+}  // namespace eq::cluster
+
+#endif  // EQ_CLUSTER_PEER_H_

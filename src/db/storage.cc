@@ -56,6 +56,51 @@ std::vector<SymbolId> Storage::FilterChangedSince(std::vector<SymbolId> rels,
   return rels;
 }
 
+Status Storage::ExtractDelta(uint64_t since_version, uint64_t* to_version,
+                             std::vector<TableReplacement>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *to_version = version_.load(std::memory_order_relaxed);
+  out->clear();
+  for (const auto& [rel, changed_at] : rel_changed_) {
+    if (changed_at <= since_version) continue;
+    const Table* t = db_.GetTable(rel);
+    if (t == nullptr) continue;  // symbol without a live table: nothing to ship
+    TableReplacement rep;
+    rep.table = std::string(interner_->Name(rel));
+    rep.rows.reserve(t->row_count());
+    for (size_t i = 0; i < t->row_count(); ++i) rep.rows.push_back(t->row(i));
+    out->push_back(std::move(rep));
+  }
+  std::sort(out->begin(), out->end(),
+            [](const TableReplacement& a, const TableReplacement& b) {
+              return a.table < b.table;
+            });
+  return Status::OK();
+}
+
+Status Storage::ApplyReplacements(const std::vector<TableReplacement>& reps) {
+  if (reps.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate the whole delta before swapping any table, so a bad frame
+  // cannot leave the follower with half a delta applied.
+  for (const TableReplacement& rep : reps) {
+    const Table* t = db_.GetTable(rep.table);
+    if (t == nullptr) {
+      return Status::NotFound("replicated table '" + rep.table +
+                              "' not found (bootstrap catalogs disagree)");
+    }
+    for (const Row& r : rep.rows) EQ_RETURN_NOT_OK(t->CheckRow(r));
+  }
+  for (const TableReplacement& rep : reps) {
+    Table* t = db_.GetTable(rep.table);
+    EQ_RETURN_NOT_OK(t->ReplaceAllRows(rep.rows));  // validated: cannot fail
+    ++writes_applied_;
+    NoteTableChangedLocked(rep.table);
+  }
+  PublishLocked();
+  return Status::OK();
+}
+
 Status Storage::ApplyWrite(std::string_view table, Row row) {
   std::lock_guard<std::mutex> lock(mu_);
   // Table::Insert is copy-on-write: the published snapshot still holds the

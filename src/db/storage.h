@@ -169,6 +169,32 @@ class Storage {
   std::vector<SymbolId> FilterChangedSince(std::vector<SymbolId> rels,
                                            uint64_t version) const;
 
+  /// One whole-table payload of a replication delta: the full row set of a
+  /// table that changed after the follower's last-applied version. Whole
+  /// touched tables (not row diffs) are the delta unit because the CoW
+  /// write path already copies at table granularity.
+  struct TableReplacement {
+    std::string table;
+    std::vector<Row> rows;
+  };
+
+  /// Delta extraction for replication: the full current contents of every
+  /// table that changed in a version newer than `since_version`, plus the
+  /// head version the delta brings a follower up to. Tables are sorted by
+  /// name (deterministic frames). One lock acquisition: the row copies and
+  /// `*to_version` are one consistent observation.
+  Status ExtractDelta(uint64_t since_version, uint64_t* to_version,
+                      std::vector<TableReplacement>* out) const;
+
+  /// Follower-side delta application: atomically replaces the contents of
+  /// each named table (schema and index configuration are preserved — the
+  /// catalogs agree by the bootstrap contract) and publishes one new
+  /// version. Row cells must already be interned in THIS storage's
+  /// interner (the cluster layer remaps shipped SymbolIds first). Fails
+  /// without applying anything if a table is unknown or a row fails
+  /// schema validation.
+  Status ApplyReplacements(const std::vector<TableReplacement>& reps);
+
  private:
   Snapshot PublishLocked();
   /// Records that `table` changed in the version the NEXT PublishLocked

@@ -297,6 +297,32 @@ class Table {
     return Status::OK();
   }
 
+  /// Replaces the table's entire contents with `rows` (schema unchanged,
+  /// index configuration preserved) — the follower side of snapshot delta
+  /// replication: the storage owner ships whole touched tables, and the
+  /// follower swaps each one in atomically. Rows are validated before any
+  /// state changes, and the swap installs a fresh TableVersion rather than
+  /// mutating in place, so snapshot readers keep the version they captured.
+  Status ReplaceAllRows(std::vector<Row> rows) {
+    for (const Row& r : rows) {
+      Status st = v_->CheckRow(r);
+      if (!st.ok()) return st;
+    }
+    auto next = std::make_shared<TableVersion>(v_->schema());
+    for (size_t c = 0; c < v_->schema().arity(); ++c) {
+      if (v_->HasIndex(c)) {
+        Status st = next->BuildIndex(c);
+        if (!st.ok()) return st;
+      }
+    }
+    for (Row& r : rows) {
+      Status st = next->Insert(std::move(r));
+      if (!st.ok()) return st;
+    }
+    v_ = std::move(next);
+    return Status::OK();
+  }
+
   /// Builds (or rebuilds) a hash index on `col` (copy-on-write when shared).
   Status BuildIndex(size_t col) {
     if (col >= v_->schema().arity()) {

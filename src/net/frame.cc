@@ -1,0 +1,62 @@
+#include "net/frame.h"
+
+namespace eq::net {
+namespace {
+
+bool KnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kGroupUpdate);
+}
+
+}  // namespace
+
+Status SendFrame(Socket& sock, FrameType type, std::string_view payload,
+                 int timeout_ms) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds limit");
+  }
+  // One contiguous buffer, one send: header+payload never interleave with
+  // another thread's frame as long as callers serialize SendFrame per
+  // socket (the peer layer holds a send mutex).
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  buf.push_back(static_cast<char>(type));
+  buf.append(payload.data(), payload.size());
+  return sock.SendAll(buf.data(), buf.size(), timeout_ms);
+}
+
+Result<Frame> RecvFrame(Socket& sock, int header_timeout_ms,
+                        int body_timeout_ms) {
+  uint8_t header[5];
+  if (Status s = sock.RecvAll(header, sizeof(header), header_timeout_ms);
+      !s.ok()) {
+    return s;
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("corrupt frame: oversized length prefix");
+  }
+  if (!KnownFrameType(header[4])) {
+    return Status::InvalidArgument("corrupt frame: unknown frame type " +
+                                   std::to_string(header[4]));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    if (Status s = sock.RecvAll(frame.payload.data(), len, body_timeout_ms);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return frame;
+}
+
+}  // namespace eq::net

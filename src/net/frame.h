@@ -1,0 +1,168 @@
+#ifndef EQ_NET_FRAME_H_
+#define EQ_NET_FRAME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace eq::net {
+
+/// Every message type that crosses a node boundary. Values are part of the
+/// wire contract: append new types, never renumber.
+enum class FrameType : uint8_t {
+  kHello = 1,        ///< connection handshake: identity + interner prefix
+  kHelloAck = 2,     ///< handshake reply: accept/refuse + replication state
+  kSubmit = 3,       ///< forward one canonical PortableQuery to its owner
+  kOutcome = 4,      ///< terminal result of a forwarded submit (or cancel)
+  kCancel = 5,       ///< withdraw a previously forwarded submit
+  kWrite = 6,        ///< forward one SQL write to the storage owner
+  kWriteReply = 7,   ///< rows-affected / error for a forwarded write
+  kDelta = 8,        ///< version delta push: changed tables + symbol dict
+  kGroupUpdate = 9,  ///< group ownership moved; extract + re-forward
+};
+
+/// One decoded frame: `[u32 payload_len][u8 type][payload]`, length and all
+/// integers little-endian. payload_len counts payload bytes only.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Upper bound on a frame payload. A length prefix beyond this is treated
+/// as a corrupt stream (kInvalidArgument), not an allocation request —
+/// garbage on the port must never OOM the node.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// Writes one frame; kUnavailable on timeout / connection loss.
+Status SendFrame(Socket& sock, FrameType type, std::string_view payload,
+                 int timeout_ms);
+
+/// Reads one frame. `header_timeout_ms` bounds the wait for the first
+/// header byte (-1 = wait forever — reader-thread mode, interrupted by
+/// Socket::ShutdownBoth); once a header arrives the payload must follow
+/// within `body_timeout_ms`. Corrupt streams (oversized length, unknown
+/// type) are kInvalidArgument; transport failures are kUnavailable.
+Result<Frame> RecvFrame(Socket& sock, int header_timeout_ms,
+                        int body_timeout_ms);
+
+// ---------------------------------------------------------------------------
+// Binary payload codec
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian encoder for frame payloads.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { PutLe(v); }
+  void U64(uint64_t v) { PutLe(v); }
+  void I64(int64_t v) { PutLe(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLe(bits);
+  }
+  /// u32 byte count + raw bytes.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string out_;
+};
+
+/// Bounds-checked decoder. Every accessor returns false (and sets the
+/// sticky failure flag) on truncation, so decode functions can chain reads
+/// and check ok() once — a truncated or corrupt payload can never read
+/// out of bounds or crash, it just fails cleanly.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) { return GetLe(v); }
+  bool U64(uint64_t* v) { return GetLe(v); }
+  bool I64(int64_t* v) {
+    uint64_t bits;
+    if (!GetLe(&bits)) return false;
+    *v = static_cast<int64_t>(bits);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!GetLe(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (!Need(n)) return false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// Reads a u32 element count for a repeated field, rejecting counts that
+  /// could not possibly fit in the remaining bytes (`min_elem_bytes` each)
+  /// — the guard that keeps a corrupt count from driving a huge reserve.
+  bool Count(uint32_t* n, size_t min_elem_bytes) {
+    if (!U32(n)) return false;
+    if (min_elem_bytes > 0 && *n > Remaining() / min_elem_bytes) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t Remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  bool GetLe(T* v) {
+    if (!Need(sizeof(T))) return false;
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace eq::net
+
+#endif  // EQ_NET_FRAME_H_

@@ -1,0 +1,256 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace eq::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left before `deadline` (>= 0), or -1 for "no deadline".
+int RemainingMs(Clock::time_point deadline, bool has_deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// poll() one fd for `events`, honoring the deadline and retrying EINTR.
+/// Returns +1 ready, 0 timeout, -1 hard error.
+int PollOne(int fd, short events, Clock::time_point deadline,
+            bool has_deadline) {
+  for (;;) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    int rc = ::poll(&p, 1, RemainingMs(deadline, has_deadline));
+    if (rc > 0) return 1;
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Unavailable("fcntl(F_GETFL) failed");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Unavailable("fcntl(F_SETFL) failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Listener& Listener::operator=(Listener&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    port_ = o.port_;
+    o.fd_ = -1;
+    o.port_ = 0;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               int timeout_ms) {
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  Socket sock(fd);  // owns fd from here; early returns close it
+
+  // Non-blocking connect so the timeout is enforceable.
+  if (Status s = SetNonBlocking(fd, true); !s.ok()) return s;
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " failed: " +
+                                 strerror(errno));
+    }
+    int ready = PollOne(fd, POLLOUT, deadline, /*has_deadline=*/true);
+    if (ready <= 0) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " failed: " +
+                                 strerror(err != 0 ? err : errno));
+    }
+  }
+  if (Status s = SetNonBlocking(fd, false); !s.ok()) return s;
+  SetNoDelay(fd);
+  return sock;
+}
+
+Status Socket::SendAll(const void* data, size_t len, int timeout_ms) {
+  if (!valid()) return Status::Unavailable("socket is closed");
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing
+    // SIGPIPE.
+    ssize_t n = ::send(fd_, p + sent, len - sent,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      return Status::Unavailable(std::string("send failed: ") +
+                                 strerror(errno));
+    }
+    int ready = PollOne(fd_, POLLOUT, deadline, /*has_deadline=*/true);
+    if (ready == 0) return Status::Unavailable("send timed out");
+    if (ready < 0) return Status::Unavailable("send poll failed");
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len, int timeout_ms) {
+  if (!valid()) return Status::Unavailable("socket is closed");
+  bool has_deadline = timeout_ms >= 0;
+  auto deadline = Clock::now() + std::chrono::milliseconds(
+                                     has_deadline ? timeout_ms : 0);
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    int ready = PollOne(fd_, POLLIN, deadline, has_deadline);
+    if (ready == 0) return Status::Unavailable("recv timed out");
+    if (ready < 0) return Status::Unavailable("recv poll failed");
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::Unavailable(std::string("recv failed: ") +
+                               strerror(errno));
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                int backlog) {
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  Listener lst;
+  lst.fd_ = fd;
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Unavailable("bind to " + host + ":" +
+                               std::to_string(port) + " failed: " +
+                               strerror(errno));
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Status::Unavailable(std::string("listen failed: ") +
+                               strerror(errno));
+  }
+  // Read back the kernel-assigned port (port 0 case).
+  struct sockaddr_in bound;
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &blen) !=
+      0) {
+    return Status::Unavailable("getsockname failed");
+  }
+  lst.port_ = ntohs(bound.sin_port);
+  return lst;
+}
+
+Result<Socket> Listener::Accept() {
+  if (!valid()) return Status::Unavailable("listener is closed");
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      SetNoDelay(fd);
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL: Shutdown() was called — the orderly accept-loop exit.
+    return Status::Unavailable(std::string("accept failed: ") +
+                               strerror(errno));
+  }
+}
+
+void Listener::Shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace eq::net

@@ -1,0 +1,103 @@
+#ifndef EQ_NET_SOCKET_H_
+#define EQ_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace eq::net {
+
+/// Move-only RAII wrapper over one connected TCP socket (POSIX fd).
+///
+/// All I/O is blocking with an explicit per-call timeout, implemented with
+/// poll(2) so a wedged peer can never hang a caller longer than its
+/// deadline: every failure mode — connect refused, read/write timeout,
+/// peer reset, clean EOF — comes back as StatusCode::kUnavailable, the
+/// retryable "peer unreachable" signal the cluster layer maps onto
+/// tickets. TCP_NODELAY is set on every socket (frames are small and
+/// latency-sensitive).
+///
+/// Thread model: one thread may read while another writes (TCP is
+/// full-duplex), but concurrent readers or concurrent writers need
+/// external serialization. ShutdownBoth() is safe to call from any thread
+/// and unblocks in-flight reads/writes on other threads — the mechanism
+/// the cluster layer uses to interrupt a peer's reader thread at close.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IPv4, e.g. "127.0.0.1") within
+  /// `timeout_ms`. Failure or timeout yields kUnavailable.
+  static Result<Socket> Connect(const std::string& host, uint16_t port,
+                                int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `len` bytes or fails; partial writes are retried until the
+  /// deadline. kUnavailable on timeout or connection loss.
+  Status SendAll(const void* data, size_t len, int timeout_ms);
+
+  /// Reads exactly `len` bytes or fails. A clean peer close (EOF) is
+  /// kUnavailable("peer closed connection").
+  Status RecvAll(void* data, size_t len, int timeout_ms);
+
+  /// Half-closes both directions; any thread blocked in Recv/Send on this
+  /// socket wakes with kUnavailable. Idempotent.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to host:port (port 0 = kernel-assigned;
+/// read the real port back with port() — the loopback tests bind 0 to
+/// avoid port races). SO_REUSEADDR is set so tests can rebind quickly.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&& o) noexcept : fd_(o.fd_), port_(o.port_) {
+    o.fd_ = -1;
+    o.port_ = 0;
+  }
+  Listener& operator=(Listener&& o) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> Bind(const std::string& host, uint16_t port,
+                               int backlog = 16);
+
+  /// The bound port (meaningful after Bind; survives until Close).
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Blocks until a connection arrives or Shutdown() is called from
+  /// another thread (then kUnavailable). No timeout: the accept loop's
+  /// lifetime is controlled by Shutdown, not by polling.
+  Result<Socket> Accept();
+
+  /// Unblocks a concurrent Accept() permanently. Idempotent, any thread.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace eq::net
+
+#endif  // EQ_NET_SOCKET_H_

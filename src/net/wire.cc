@@ -1,0 +1,426 @@
+#include "net/wire.h"
+
+namespace eq::net {
+namespace {
+
+using client::PortableQuery;
+using client::PortableTerm;
+using client::PreferenceSpec;
+using service::ServiceOutcome;
+
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+constexpr uint8_t kMaxCompareOp = static_cast<uint8_t>(ir::CompareOp::kGe);
+constexpr uint8_t kMaxTermKind = static_cast<uint8_t>(PortableTerm::Kind::kVar);
+constexpr uint8_t kMaxPrefKind =
+    static_cast<uint8_t>(PreferenceSpec::Kind::kMinimizeArg);
+constexpr uint8_t kMaxOutcomeState =
+    static_cast<uint8_t>(ServiceOutcome::State::kFailed);
+constexpr uint8_t kMaxValueType = static_cast<uint8_t>(ir::ValueType::kString);
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt frame payload: ") +
+                                 what);
+}
+
+// --- shared sub-codecs -----------------------------------------------------
+
+void EncodeStatus(const Status& s, BinaryWriter* w) {
+  w->U8(static_cast<uint8_t>(s.code()));
+  w->Str(s.ok() ? std::string_view() : s.message());
+}
+
+bool DecodeStatus(BinaryReader* r, Status* out) {
+  uint8_t code;
+  std::string msg;
+  if (!r->U8(&code) || code > kMaxStatusCode || !r->Str(&msg)) return false;
+  if (static_cast<StatusCode>(code) == StatusCode::kOk) {
+    *out = Status::OK();
+  } else {
+    *out = Status(static_cast<StatusCode>(code), std::move(msg));
+  }
+  return true;
+}
+
+void EncodeStringList(const std::vector<std::string>& v, BinaryWriter* w) {
+  w->U32(static_cast<uint32_t>(v.size()));
+  for (const auto& s : v) w->Str(s);
+}
+
+bool DecodeStringList(BinaryReader* r, std::vector<std::string>* out) {
+  uint32_t n;
+  if (!r->Count(&n, /*min_elem_bytes=*/4)) return false;
+  out->resize(n);
+  for (auto& s : *out) {
+    if (!r->Str(&s)) return false;
+  }
+  return true;
+}
+
+void EncodeTerm(const PortableTerm& t, BinaryWriter* w) {
+  w->U8(static_cast<uint8_t>(t.kind));
+  w->I64(t.number);
+  w->Str(t.text);
+}
+
+bool DecodeTerm(BinaryReader* r, PortableTerm* t) {
+  uint8_t kind;
+  if (!r->U8(&kind) || kind > kMaxTermKind) return false;
+  t->kind = static_cast<PortableTerm::Kind>(kind);
+  return r->I64(&t->number) && r->Str(&t->text);
+}
+
+void EncodeAtoms(const std::vector<client::PortableAtom>& atoms,
+                 BinaryWriter* w) {
+  w->U32(static_cast<uint32_t>(atoms.size()));
+  for (const auto& a : atoms) {
+    w->Str(a.relation);
+    w->U32(static_cast<uint32_t>(a.args.size()));
+    for (const auto& t : a.args) EncodeTerm(t, w);
+  }
+}
+
+bool DecodeAtoms(BinaryReader* r, std::vector<client::PortableAtom>* atoms) {
+  uint32_t n;
+  if (!r->Count(&n, /*min_elem_bytes=*/8)) return false;
+  atoms->resize(n);
+  for (auto& a : *atoms) {
+    if (!r->Str(&a.relation)) return false;
+    uint32_t nargs;
+    if (!r->Count(&nargs, /*min_elem_bytes=*/13)) return false;
+    a.args.resize(nargs);
+    for (auto& t : a.args) {
+      if (!DecodeTerm(r, &t)) return false;
+    }
+  }
+  return true;
+}
+
+void EncodePreference(const PreferenceSpec& p, BinaryWriter* w) {
+  w->U8(static_cast<uint8_t>(p.kind));
+  w->U64(p.arg_index);
+  w->F64(p.weight);
+}
+
+bool DecodePreference(BinaryReader* r, PreferenceSpec* p) {
+  uint8_t kind;
+  uint64_t arg;
+  if (!r->U8(&kind) || kind > kMaxPrefKind || !r->U64(&arg) ||
+      !r->F64(&p->weight)) {
+    return false;
+  }
+  p->kind = static_cast<PreferenceSpec::Kind>(kind);
+  p->arg_index = static_cast<size_t>(arg);
+  return true;
+}
+
+void EncodeValue(const ir::Value& v, BinaryWriter* w) {
+  w->U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ir::ValueType::kNull:
+      break;
+    case ir::ValueType::kInt:
+      w->I64(v.AsInt());
+      break;
+    case ir::ValueType::kString:
+      w->U32(v.AsStr());
+      break;
+  }
+}
+
+bool DecodeValue(BinaryReader* r, ir::Value* v) {
+  uint8_t type;
+  if (!r->U8(&type) || type > kMaxValueType) return false;
+  switch (static_cast<ir::ValueType>(type)) {
+    case ir::ValueType::kNull:
+      *v = ir::Value();
+      return true;
+    case ir::ValueType::kInt: {
+      int64_t n;
+      if (!r->I64(&n)) return false;
+      *v = ir::Value::Int(n);
+      return true;
+    }
+    case ir::ValueType::kString: {
+      uint32_t sym;
+      if (!r->U32(&sym)) return false;
+      *v = ir::Value::Str(sym);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- PortableQuery ---------------------------------------------------------
+
+void EncodePortableQuery(const PortableQuery& q, BinaryWriter* w) {
+  w->Str(q.label);
+  EncodeAtoms(q.postconditions, w);
+  EncodeAtoms(q.head, w);
+  EncodeAtoms(q.body, w);
+  w->U32(static_cast<uint32_t>(q.filters.size()));
+  for (const auto& f : q.filters) {
+    EncodeTerm(f.lhs, w);
+    w->U8(static_cast<uint8_t>(f.op));
+    EncodeTerm(f.rhs, w);
+  }
+  w->I64(q.choose_k);
+}
+
+bool DecodePortableQuery(BinaryReader* r, PortableQuery* q) {
+  if (!r->Str(&q->label) || !DecodeAtoms(r, &q->postconditions) ||
+      !DecodeAtoms(r, &q->head) || !DecodeAtoms(r, &q->body)) {
+    return false;
+  }
+  uint32_t nfilters;
+  if (!r->Count(&nfilters, /*min_elem_bytes=*/27)) return false;
+  q->filters.resize(nfilters);
+  for (auto& f : q->filters) {
+    uint8_t op;
+    if (!DecodeTerm(r, &f.lhs) || !r->U8(&op) || op > kMaxCompareOp ||
+        !DecodeTerm(r, &f.rhs)) {
+      return false;
+    }
+    f.op = static_cast<ir::CompareOp>(op);
+  }
+  int64_t k;
+  if (!r->I64(&k)) return false;
+  q->choose_k = static_cast<int>(k);
+  return true;
+}
+
+// --- handshake -------------------------------------------------------------
+
+std::string Encode(const HelloMsg& m) {
+  BinaryWriter w;
+  w.U32(m.node_id);
+  w.U64(m.sym_hwm);
+  w.U64(m.sym_prefix_hash);
+  return w.Take();
+}
+
+Result<HelloMsg> DecodeHello(std::string_view payload) {
+  BinaryReader r(payload);
+  HelloMsg m;
+  if (!r.U32(&m.node_id) || !r.U64(&m.sym_hwm) ||
+      !r.U64(&m.sym_prefix_hash) || !r.AtEnd()) {
+    return Corrupt("Hello");
+  }
+  return m;
+}
+
+std::string Encode(const HelloAckMsg& m) {
+  BinaryWriter w;
+  w.U32(m.node_id);
+  w.U8(m.ok ? 1 : 0);
+  w.Str(m.error);
+  w.U64(m.sym_hwm);
+  w.U64(m.sym_prefix_hash);
+  w.U64(m.applied_db_version);
+  return w.Take();
+}
+
+Result<HelloAckMsg> DecodeHelloAck(std::string_view payload) {
+  BinaryReader r(payload);
+  HelloAckMsg m;
+  uint8_t ok;
+  if (!r.U32(&m.node_id) || !r.U8(&ok) || ok > 1 || !r.Str(&m.error) ||
+      !r.U64(&m.sym_hwm) || !r.U64(&m.sym_prefix_hash) ||
+      !r.U64(&m.applied_db_version) || !r.AtEnd()) {
+    return Corrupt("HelloAck");
+  }
+  m.ok = ok != 0;
+  return m;
+}
+
+// --- query forwarding ------------------------------------------------------
+
+std::string Encode(const SubmitMsg& m) {
+  BinaryWriter w;
+  w.U64(m.req_id);
+  w.U32(m.origin_node);
+  w.U32(m.hops);
+  EncodePortableQuery(m.query, &w);
+  w.U64(m.ttl_ticks);
+  EncodePreference(m.preference, &w);
+  EncodeStringList(m.group_relations, &w);
+  return w.Take();
+}
+
+Result<SubmitMsg> DecodeSubmit(std::string_view payload) {
+  BinaryReader r(payload);
+  SubmitMsg m;
+  if (!r.U64(&m.req_id) || !r.U32(&m.origin_node) || !r.U32(&m.hops) ||
+      !DecodePortableQuery(&r, &m.query) || !r.U64(&m.ttl_ticks) ||
+      !DecodePreference(&r, &m.preference) ||
+      !DecodeStringList(&r, &m.group_relations) || !r.AtEnd()) {
+    return Corrupt("Submit");
+  }
+  return m;
+}
+
+std::string Encode(const OutcomeMsg& m) {
+  BinaryWriter w;
+  w.U64(m.req_id);
+  w.U8(static_cast<uint8_t>(m.outcome.state));
+  EncodeStatus(m.outcome.status, &w);
+  EncodeStringList(m.outcome.tuples, &w);
+  return w.Take();
+}
+
+Result<OutcomeMsg> DecodeOutcome(std::string_view payload) {
+  BinaryReader r(payload);
+  OutcomeMsg m;
+  uint8_t state;
+  if (!r.U64(&m.req_id) || !r.U8(&state) || state > kMaxOutcomeState ||
+      !DecodeStatus(&r, &m.outcome.status) ||
+      !DecodeStringList(&r, &m.outcome.tuples) || !r.AtEnd()) {
+    return Corrupt("Outcome");
+  }
+  m.outcome.state = static_cast<ServiceOutcome::State>(state);
+  return m;
+}
+
+std::string Encode(const CancelMsg& m) {
+  BinaryWriter w;
+  w.U64(m.req_id);
+  return w.Take();
+}
+
+Result<CancelMsg> DecodeCancel(std::string_view payload) {
+  BinaryReader r(payload);
+  CancelMsg m;
+  if (!r.U64(&m.req_id) || !r.AtEnd()) return Corrupt("Cancel");
+  return m;
+}
+
+// --- writes + replication --------------------------------------------------
+
+std::string Encode(const WriteMsg& m) {
+  BinaryWriter w;
+  w.U64(m.req_id);
+  w.Str(m.sql);
+  return w.Take();
+}
+
+Result<WriteMsg> DecodeWrite(std::string_view payload) {
+  BinaryReader r(payload);
+  WriteMsg m;
+  if (!r.U64(&m.req_id) || !r.Str(&m.sql) || !r.AtEnd()) {
+    return Corrupt("Write");
+  }
+  return m;
+}
+
+std::string Encode(const WriteReplyMsg& m) {
+  BinaryWriter w;
+  w.U64(m.req_id);
+  EncodeStatus(m.status, &w);
+  w.U64(m.rows_affected);
+  return w.Take();
+}
+
+Result<WriteReplyMsg> DecodeWriteReply(std::string_view payload) {
+  BinaryReader r(payload);
+  WriteReplyMsg m;
+  if (!r.U64(&m.req_id) || !DecodeStatus(&r, &m.status) ||
+      !r.U64(&m.rows_affected) || !r.AtEnd()) {
+    return Corrupt("WriteReply");
+  }
+  return m;
+}
+
+std::string Encode(const DeltaMsg& m) {
+  BinaryWriter w;
+  w.U32(m.origin_node);
+  w.U64(m.from_version);
+  w.U64(m.to_version);
+  w.U32(static_cast<uint32_t>(m.dict.size()));
+  for (const auto& [sym, name] : m.dict) {
+    w.U32(sym);
+    w.Str(name);
+  }
+  w.U32(static_cast<uint32_t>(m.tables.size()));
+  for (const auto& t : m.tables) {
+    w.Str(t.table);
+    w.U32(t.arity);
+    w.U32(static_cast<uint32_t>(t.cells.size()));
+    for (const auto& c : t.cells) EncodeValue(c, &w);
+  }
+  return w.Take();
+}
+
+Result<DeltaMsg> DecodeDelta(std::string_view payload) {
+  BinaryReader r(payload);
+  DeltaMsg m;
+  if (!r.U32(&m.origin_node) || !r.U64(&m.from_version) ||
+      !r.U64(&m.to_version)) {
+    return Corrupt("Delta");
+  }
+  uint32_t ndict;
+  if (!r.Count(&ndict, /*min_elem_bytes=*/8)) return Corrupt("Delta dict");
+  m.dict.resize(ndict);
+  for (auto& [sym, name] : m.dict) {
+    if (!r.U32(&sym) || !r.Str(&name)) return Corrupt("Delta dict");
+  }
+  uint32_t ntables;
+  if (!r.Count(&ntables, /*min_elem_bytes=*/12)) {
+    return Corrupt("Delta tables");
+  }
+  m.tables.resize(ntables);
+  for (auto& t : m.tables) {
+    uint32_t ncells;
+    if (!r.Str(&t.table) || !r.U32(&t.arity) ||
+        !r.Count(&ncells, /*min_elem_bytes=*/1)) {
+      return Corrupt("Delta table");
+    }
+    if (t.arity == 0 ? ncells != 0 : ncells % t.arity != 0) {
+      return Corrupt("Delta table: cells not a multiple of arity");
+    }
+    t.cells.resize(ncells);
+    for (auto& c : t.cells) {
+      if (!DecodeValue(&r, &c)) return Corrupt("Delta cell");
+    }
+  }
+  if (!r.AtEnd()) return Corrupt("Delta");
+  return m;
+}
+
+std::string Encode(const GroupUpdateMsg& m) {
+  BinaryWriter w;
+  w.U32(m.new_owner);
+  EncodeStringList(m.relations, &w);
+  return w.Take();
+}
+
+Result<GroupUpdateMsg> DecodeGroupUpdate(std::string_view payload) {
+  BinaryReader r(payload);
+  GroupUpdateMsg m;
+  if (!r.U32(&m.new_owner) || !DecodeStringList(&r, &m.relations) ||
+      !r.AtEnd()) {
+    return Corrupt("GroupUpdate");
+  }
+  return m;
+}
+
+// --- interner prefix fingerprint -------------------------------------------
+
+uint64_t InternerPrefixHash(const StringInterner& interner, size_t n) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = interner.Name(static_cast<SymbolId>(i));
+    // Length-delimit each name so the prefix hash is injective over the
+    // name sequence, not just its concatenation.
+    uint64_t len = name.size();
+    for (int b = 0; b < 8; ++b) mix(static_cast<uint8_t>(len >> (8 * b)));
+    for (char c : name) mix(static_cast<uint8_t>(c));
+  }
+  return h;
+}
+
+}  // namespace eq::net

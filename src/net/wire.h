@@ -1,0 +1,166 @@
+#ifndef EQ_NET_WIRE_H_
+#define EQ_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/query.h"
+#include "net/frame.h"
+#include "service/ticket.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace eq::net {
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// First frame on every connection, sent by the connecting node. Carries
+/// the connector's identity plus its bootstrap-catalog high-water mark
+/// and the FNV-1a hash of that interned-name prefix — the interner-prefix
+/// sync handshake. Both nodes bootstrap the same catalog in the same
+/// order, so their catalog prefixes must agree symbol-for-symbol; each
+/// side verifies the other's fingerprint whenever its own interner holds
+/// at least that many names (symbols are append-forward, so a verified
+/// prefix stays verified). The hwm is deliberately NOT the live interner
+/// size: nodes intern local query constants after bootstrap, so the live
+/// tails diverge on healthy clusters. Symbol ids below the verified
+/// shared prefix ship raw in deltas; ids at or above it ship through a
+/// per-delta name dictionary.
+struct HelloMsg {
+  uint32_t node_id = 0;
+  uint64_t sym_hwm = 0;        ///< interner size at end of bootstrap
+  uint64_t sym_prefix_hash = 0;  ///< FNV-1a over names[0..sym_hwm)
+};
+
+/// Handshake reply. `applied_db_version` is the acceptor's last applied
+/// replicated storage version from this connector, so a reconnecting
+/// storage owner resumes delta pushes from where the follower actually is
+/// instead of re-shipping history.
+struct HelloAckMsg {
+  uint32_t node_id = 0;
+  bool ok = false;
+  std::string error;  ///< set when !ok (e.g. interner prefix mismatch)
+  uint64_t sym_hwm = 0;
+  uint64_t sym_prefix_hash = 0;
+  uint64_t applied_db_version = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Query forwarding
+// ---------------------------------------------------------------------------
+
+/// One canonical query forwarded to the node that owns its entangled
+/// group. `group_relations` piggybacks the sender's full knowledge of the
+/// group's relation set — group knowledge only ever grows, so receivers
+/// merge it into their routers and the cluster converges on one owner per
+/// merged group. `hops` guards against routing loops while that knowledge
+/// is still propagating.
+struct SubmitMsg {
+  uint64_t req_id = 0;       ///< sender-scoped correlation id
+  uint32_t origin_node = 0;  ///< node the client submitted to
+  uint32_t hops = 0;
+  client::PortableQuery query;
+  uint64_t ttl_ticks = 0;
+  client::PreferenceSpec preference;
+  std::vector<std::string> group_relations;
+};
+
+/// Terminal result of a forwarded submit, sent back over the same
+/// connection. Synchronous rejections (parse/safety errors on the owner)
+/// arrive as an immediate OutcomeMsg too — one reply path, not two.
+struct OutcomeMsg {
+  uint64_t req_id = 0;
+  service::ServiceOutcome outcome;
+};
+
+struct CancelMsg {
+  uint64_t req_id = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Writes + replication
+// ---------------------------------------------------------------------------
+
+/// One SQL write statement forwarded to the storage owner.
+struct WriteMsg {
+  uint64_t req_id = 0;
+  std::string sql;
+};
+
+struct WriteReplyMsg {
+  uint64_t req_id = 0;
+  Status status;
+  uint64_t rows_affected = 0;
+};
+
+/// A storage version delta pushed from the storage owner to a follower:
+/// the full row set of every table touched since the follower's last
+/// applied version (storage is CoW-versioned; only touched TableVersions
+/// ship). String cells are the owner's SymbolIds; every id at or above
+/// the connection's verified shared interner prefix appears in `dict` so
+/// the follower can re-intern by name — ids below the prefix are
+/// identical on both sides by the handshake invariant.
+struct DeltaMsg {
+  uint32_t origin_node = 0;
+  uint64_t from_version = 0;  ///< follower's version this delta builds on
+  uint64_t to_version = 0;    ///< owner's version after applying
+  std::vector<std::pair<uint32_t, std::string>> dict;  ///< (owner id, name)
+  struct TableRows {
+    std::string table;
+    uint32_t arity = 0;
+    std::vector<ir::Value> cells;  ///< row-major, rows.size() = cells/arity
+  };
+  std::vector<TableRows> tables;
+};
+
+/// Group ownership moved (two groups merged under a different owner).
+/// The receiver extracts its pending queries on `relations` and
+/// re-forwards them to `new_owner`.
+struct GroupUpdateMsg {
+  uint32_t new_owner = 0;
+  std::vector<std::string> relations;
+};
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+// Encode: message -> frame payload. Decode: payload -> message;
+// kInvalidArgument on truncated or corrupt input, never a crash.
+
+std::string Encode(const HelloMsg& m);
+std::string Encode(const HelloAckMsg& m);
+std::string Encode(const SubmitMsg& m);
+std::string Encode(const OutcomeMsg& m);
+std::string Encode(const CancelMsg& m);
+std::string Encode(const WriteMsg& m);
+std::string Encode(const WriteReplyMsg& m);
+std::string Encode(const DeltaMsg& m);
+std::string Encode(const GroupUpdateMsg& m);
+
+Result<HelloMsg> DecodeHello(std::string_view payload);
+Result<HelloAckMsg> DecodeHelloAck(std::string_view payload);
+Result<SubmitMsg> DecodeSubmit(std::string_view payload);
+Result<OutcomeMsg> DecodeOutcome(std::string_view payload);
+Result<CancelMsg> DecodeCancel(std::string_view payload);
+Result<WriteMsg> DecodeWrite(std::string_view payload);
+Result<WriteReplyMsg> DecodeWriteReply(std::string_view payload);
+Result<DeltaMsg> DecodeDelta(std::string_view payload);
+Result<GroupUpdateMsg> DecodeGroupUpdate(std::string_view payload);
+
+/// PortableQuery <-> bytes, usable standalone (the property test round-
+/// trips every dialect through these).
+void EncodePortableQuery(const client::PortableQuery& q, BinaryWriter* w);
+bool DecodePortableQuery(BinaryReader* r, client::PortableQuery* q);
+
+/// FNV-1a over the first `n` interned names (length-delimited, so
+/// ["ab","c"] and ["a","bc"] hash differently). The handshake's prefix
+/// fingerprint.
+uint64_t InternerPrefixHash(const StringInterner& interner, size_t n);
+
+}  // namespace eq::net
+
+#endif  // EQ_NET_WIRE_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "ir/parser.h"
 #include "sql/translator.h"
 
 namespace eq::service {
@@ -163,6 +164,46 @@ Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
   return Status::InvalidArgument("unknown query dialect");
 }
 
+Result<client::PortableQuery> CoordinationService::Canonicalize(
+    const client::Query& query) {
+  switch (query.dialect()) {
+    case client::Dialect::kBuilder: {
+      if (!query.program()) {
+        return Status::InvalidArgument("builder query carries no program");
+      }
+      std::lock_guard<std::mutex> lock(edge_mu_);
+      auto validated = query.program()->Instantiate(edge_ctx_.get());
+      if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
+      if (!validated.ok()) return validated.status();
+      return *query.program();
+    }
+    case client::Dialect::kSql:
+      if (IsBlank(query.text())) {
+        return Status::InvalidArgument("empty query text (sql dialect)");
+      }
+      return CanonicalizeSql(query.text());
+    case client::Dialect::kIr: {
+      if (IsBlank(query.text())) {
+        return Status::InvalidArgument("empty query text (ir dialect)");
+      }
+      // The single-node submit path defers IR parsing to the owning shard;
+      // the cluster edge cannot (it must ship the context-free form), so
+      // parse here against the edge catalog like SQL translation.
+      std::lock_guard<std::mutex> lock(edge_mu_);
+      ir::Parser parser(edge_ctx_.get());
+      auto q = parser.ParseQuery(query.text());
+      if (!q.ok()) {
+        if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
+        return q.status();
+      }
+      auto canonical = client::FromIr(*q, *edge_ctx_);
+      if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
+      return canonical;
+    }
+  }
+  return Status::InvalidArgument("unknown query dialect");
+}
+
 Result<client::PortableQuery> CoordinationService::CanonicalizeSql(
     const std::string& text) {
   std::lock_guard<std::mutex> lock(edge_mu_);
@@ -286,6 +327,19 @@ Status CoordinationService::ApplyBatch(
   return Status::OK();
 }
 
+Status CoordinationService::ApplyReplicatedTables(
+    const std::vector<db::Storage::TableReplacement>& reps) {
+  if (reps.empty()) return Status::OK();
+  EQ_RETURN_NOT_OK(storage_->ApplyReplacements(reps));
+  std::vector<std::string> tables;
+  tables.reserve(reps.size());
+  for (const db::Storage::TableReplacement& r : reps) {
+    tables.push_back(r.table);
+  }
+  NotifyWriteTouched(tables);
+  return Status::OK();
+}
+
 void CoordinationService::NotifyWriteTouched(
     const std::vector<std::string>& tables) {
   if (wakeup_index_ == nullptr || tables.empty()) return;
@@ -316,7 +370,8 @@ void CoordinationService::NotifyRelationsTouched(std::vector<SymbolId> rels) {
 }
 
 Result<Ticket> CoordinationService::SubmitPreparedLocked(
-    Prepared p, const SubmitOptions& opts, std::vector<Ticket>* dropped) {
+    Prepared p, const SubmitOptions& opts,
+    std::vector<PlannedMigration>* planned) {
   if (opts_.max_queue_depth != 0) {
     // The single admission point, BEFORE routing commits: a rejected
     // submission must not merge groups, migrate stranded partners onto a
@@ -400,7 +455,7 @@ Result<Ticket> CoordinationService::SubmitPreparedLocked(
   inflight_.emplace(ticket.id(), std::move(entry));
 
   if (!route->moved_relations.empty()) {
-    MigrateRelationsLocked(route->moved_relations, dropped);
+    PlanMigrationsLocked(route->moved_relations, planned, nullptr);
   }
 
   // Recorded just BEFORE the push so the op-queue handoff orders every
@@ -421,14 +476,13 @@ Result<Ticket> CoordinationService::Submit(client::Query query,
   auto prepared = PrepareQuery(query);
   if (!prepared.ok()) return prepared.status();
 
-  std::vector<Ticket> dropped;
+  std::vector<PlannedMigration> planned;
   Result<Ticket> out = Status::Internal("unreachable");
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    out = SubmitPreparedLocked(std::move(*prepared), opts, &dropped);
+    out = SubmitPreparedLocked(std::move(*prepared), opts, &planned);
   }
-  FailTickets(std::move(dropped),
-              Status::Cancelled("service is shutting down"));
+  EnqueuePlannedMigrations(std::move(planned));
   return out;
 }
 
@@ -445,7 +499,7 @@ std::vector<Result<Ticket>> CoordinationService::SubmitBatch(
   // acquisition, with a single stranded-group sweep per merge.
   std::vector<Result<Ticket>> out;
   out.reserve(prepared.size());
-  std::vector<Ticket> dropped;
+  std::vector<PlannedMigration> planned;
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
     for (Result<Prepared>& p : prepared) {
@@ -453,11 +507,10 @@ std::vector<Result<Ticket>> CoordinationService::SubmitBatch(
         out.push_back(p.status());
         continue;
       }
-      out.push_back(SubmitPreparedLocked(std::move(*p), opts, &dropped));
+      out.push_back(SubmitPreparedLocked(std::move(*p), opts, &planned));
     }
   }
-  FailTickets(std::move(dropped),
-              Status::Cancelled("service is shutting down"));
+  EnqueuePlannedMigrations(std::move(planned));
   return out;
 }
 
@@ -678,6 +731,8 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
   if (ev.kind == ShardRunner::Event::Kind::kMigratedOut) {
     Ticket resolved;
     bool was_cancel = false;
+    std::shared_ptr<ExtractCallback> extract_cb;
+    ExtractedQuery extracted;
     {
       std::lock_guard<std::mutex> lock(submit_mu_);
       auto it = inflight_.find(ev.ticket);
@@ -692,7 +747,25 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         migration_cv_.notify_all();
       }
       was_cancel = entry.cancel_requested;
-      if (!was_cancel) {
+      if (entry.extract_cb != nullptr && !was_cancel) {
+        // Cross-node extraction: pop the entry WITHOUT resolving the
+        // ticket and hand the canonical form to the cluster layer (the
+        // group's new owner node re-submits it and completes this same
+        // ticket from the remote outcome).
+        extract_cb = entry.extract_cb;
+        extracted.dialect = entry.dialect;
+        extracted.text = entry.text;
+        extracted.program = entry.program;
+        extracted.preference = entry.preference;
+        extracted.relations = entry.relations;
+        extracted.ticket = entry.ticket;
+        if (entry.deadline_tick != 0) {
+          uint64_t now = now_ticks();
+          extracted.ttl_remaining =
+              entry.deadline_tick > now ? entry.deadline_tick - now : 1;
+        }
+        EraseInflightLocked(it);
+      } else if (!was_cancel) {
         uint64_t remaining = 0;
         if (entry.deadline_tick != 0) {
           uint64_t now = now_ticks();
@@ -726,8 +799,17 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         // Target shard already stopped (service shutting down): fall
         // through and resolve the ticket rather than leaving it pending.
       }
-      resolved = entry.ticket;
-      EraseInflightLocked(it);
+      if (extract_cb == nullptr) {
+        resolved = entry.ticket;
+        EraseInflightLocked(it);
+      }
+    }
+    if (extract_cb != nullptr) {
+      // Outside submit_mu_: the callback typically forwards over a socket
+      // (bounded by the transport timeout) and must not deadlock against
+      // concurrent submissions.
+      (*extract_cb)(std::move(extracted));
+      return;
     }
     ServiceOutcome outcome;
     outcome.state = ServiceOutcome::State::kFailed;
@@ -757,34 +839,74 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
   CompleteTicket(ticket, std::move(ev.outcome));
 }
 
-void CoordinationService::MigrateRelationsLocked(
-    const std::vector<std::string>& rels, std::vector<Ticket>* dropped) {
+size_t CoordinationService::PlanMigrationsLocked(
+    const std::vector<std::string>& rels,
+    std::vector<PlannedMigration>* planned,
+    std::shared_ptr<ExtractCallback> extract_cb) {
+  size_t marked = 0;
   for (const std::string& rel : rels) {
     auto rit = rel_tickets_.find(rel);
     if (rit == rel_tickets_.end()) continue;
-    // Copy the ids: a failed enqueue erases from the set being walked.
-    std::vector<TicketId> ids(rit->second.begin(), rit->second.end());
-    for (TicketId id : ids) {
+    for (TicketId id : rit->second) {
       auto it = inflight_.find(id);
       if (it == inflight_.end()) continue;
       Inflight& entry = it->second;
       if (entry.migrating) continue;
-      uint32_t current = router_.ShardOfRelation(entry.relations.front());
-      if (current == kInvalidShard || current == entry.shard) continue;
-      ShardRunner::Op op;
-      op.kind = ShardRunner::Op::Kind::kMigrate;
-      op.ticket = id;
-      if (shards_[entry.shard]->Enqueue(std::move(op))) {
-        entry.migrating = true;
-        ++migrating_count_;
-      } else {
-        // Old shard already stopped (shutdown): no extraction event will
-        // ever come, so resolve the ticket here instead of leaking it.
-        dropped->push_back(entry.ticket);
-        EraseInflightLocked(it);
+      if (extract_cb == nullptr) {
+        // In-process rebalance: only entries whose routed shard actually
+        // changed move. Extraction (cross-node) takes everything under the
+        // swept relations — the group's new owner is another node, so the
+        // local shard assignment is irrelevant.
+        uint32_t current = router_.ShardOfRelation(entry.relations.front());
+        if (current == kInvalidShard || current == entry.shard) continue;
       }
+      entry.migrating = true;
+      entry.extract_cb = extract_cb;
+      ++migrating_count_;
+      planned->push_back({entry.shard, id});
+      ++marked;
     }
   }
+  return marked;
+}
+
+void CoordinationService::EnqueuePlannedMigrations(
+    std::vector<PlannedMigration> planned) {
+  if (planned.empty()) return;
+  std::vector<Ticket> dropped;
+  for (const PlannedMigration& pm : planned) {
+    ShardRunner::Op op;
+    op.kind = ShardRunner::Op::Kind::kMigrate;
+    op.ticket = pm.ticket;
+    if (shards_[pm.shard]->Enqueue(std::move(op))) continue;
+    // Old shard already stopped (shutdown): no extraction event will ever
+    // come, so resolve the ticket here instead of leaking it.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    auto it = inflight_.find(pm.ticket);
+    if (it == inflight_.end()) continue;  // resolved in the window
+    if (it->second.migrating) {
+      it->second.migrating = false;
+      --migrating_count_;
+      migration_cv_.notify_all();
+    }
+    dropped.push_back(it->second.ticket);
+    EraseInflightLocked(it);
+  }
+  FailTickets(std::move(dropped),
+              Status::Cancelled("service is shutting down"));
+}
+
+size_t CoordinationService::ExtractForRebalance(
+    const std::vector<std::string>& rels, ExtractCallback cb) {
+  auto shared_cb = std::make_shared<ExtractCallback>(std::move(cb));
+  std::vector<PlannedMigration> planned;
+  size_t marked = 0;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    marked = PlanMigrationsLocked(rels, &planned, std::move(shared_cb));
+  }
+  EnqueuePlannedMigrations(std::move(planned));
+  return marked;
 }
 
 std::unordered_map<TicketId, CoordinationService::Inflight>::iterator
@@ -810,17 +932,7 @@ void CoordinationService::FailTickets(std::vector<Ticket> tickets,
 
 void CoordinationService::CompleteTicket(const Ticket& ticket,
                                          ServiceOutcome outcome) {
-  auto& state = *ticket.state_;
-  TicketCallback callback;
-  {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (state.done) return;
-    state.outcome = std::move(outcome);
-    state.done = true;
-    callback = std::move(state.callback);
-  }
-  state.cv.notify_all();
-  if (callback) callback(state.id, state.outcome);
+  TicketFactory::Complete(ticket, std::move(outcome));
 }
 
 void CoordinationService::TickerLoop() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "client/query.h"
+#include "service/interface.h"
 #include "service/metrics.h"
 #include "service/router.h"
 #include "service/shard.h"
@@ -126,54 +127,28 @@ struct ServiceOptions {
   std::function<void(const QueryTrace&)> slow_query_sink;
 };
 
-/// Point-in-time introspection of the whole service's pending state
-/// (CoordinationService::DumpState): per shard, the op-queue depth, the
-/// snapshot version the engine evaluates against (vs. the storage head —
-/// the difference is the shard's snapshot lag), the drain-rate EWMA, and
-/// every pending query with its entangled-group fingerprint, engine
-/// partition size, and body relations. Each shard's section is one
-/// consistent observation taken on that shard's thread.
-struct ServiceStateDump {
-  struct PendingQuery {
-    TicketId ticket = 0;
-    ir::QueryId qid = ir::kInvalidQuery;  ///< shard-local engine id
-    double pending_ms = 0;
-    bool traced = false;  ///< Trace(ticket) has its lifecycle
-    /// Entangled-relation fingerprint the service routed on (sorted,
-    /// '+'-joined) — queries sharing it can coordinate.
-    std::string fingerprint;
-    size_t partition_size = 0;  ///< entangled-group size on the shard
-    std::vector<std::string> body_relations;
-  };
-  struct ShardState {
-    uint32_t shard_id = 0;
-    size_t queue_depth = 0;
-    uint64_t snapshot_version = 0;
-    /// Storage head minus snapshot_version = versions published but not
-    /// yet adopted by this shard.
-    uint64_t snapshot_lag = 0;
-    double drain_ops_per_sec = 0;
-    std::vector<PendingQuery> pending;  ///< sorted by ticket
-  };
-
-  uint64_t storage_version = 0;  ///< storage head at dump time
-  std::vector<ShardState> shards;
-
-  /// Multi-line human-readable rendering.
-  std::string ToString() const;
-};
-
-/// Per-submission knobs for CoordinationService::Submit / SubmitBatch.
-struct SubmitOptions {
-  /// Logical-tick TTL; 0 = never stale.
-  uint64_t ttl_ticks = 0;
-  /// Fires exactly once on the owning shard's thread when the query
-  /// resolves.
-  TicketCallback callback;
-  /// Per-query grounding preference (§6), summed across a coordination
-  /// partition with ServiceOptions::preference.
+/// One query pulled back out of the service without resolving its ticket —
+/// the cross-node migration unit. ExtractForRebalance reuses the in-process
+/// migration machinery (kMigrate → kMigratedOut) but pops the in-flight
+/// entry instead of re-submitting locally, handing the canonical form to
+/// the caller (the cluster layer re-submits it on the group's new owner
+/// node and completes the SAME ticket when the remote outcome arrives).
+struct ExtractedQuery {
+  client::Dialect dialect = client::Dialect::kIr;
+  /// Canonical payload: IR text for the kIr dialect, the portable program
+  /// otherwise (same convention as migration re-submission).
+  std::string text;
+  std::shared_ptr<const client::PortableQuery> program;
   client::PreferenceSpec preference;
+  uint64_t ttl_remaining = 0;  ///< 0 = no TTL
+  std::vector<std::string> relations;
+  Ticket ticket;  ///< still pending; the new owner resolves it
 };
+
+/// Invoked once per extracted query, on the shard thread that extracted it
+/// (keep it cheap / bounded — a frame send with a timeout is acceptable,
+/// blocking indefinitely is not).
+using ExtractCallback = std::function<void(ExtractedQuery)>;
 
 /// Thread-safe, sharded front-end to N CoordinationEngines — the paper's
 /// single-threaded evaluator (§5.1) scaled out by partitioning the query
@@ -202,10 +177,10 @@ struct SubmitOptions {
 /// thread. Ticket callbacks fire on the owning shard's thread (or on the
 /// destructor's thread for queries orphaned by shutdown) — don't block in
 /// them.
-class CoordinationService {
+class CoordinationService : public CoordinationInterface {
  public:
   explicit CoordinationService(ServiceOptions opts);
-  ~CoordinationService();
+  ~CoordinationService() override;
 
   CoordinationService(const CoordinationService&) = delete;
   CoordinationService& operator=(const CoordinationService&) = delete;
@@ -217,7 +192,7 @@ class CoordinationService {
   /// programs, and admission-control rejection (kResourceExhausted). IR
   /// text is only routed here; its full parse happens on the owning shard,
   /// so IR parse errors still resolve the ticket asynchronously.
-  Result<Ticket> Submit(client::Query query, SubmitOptions opts = {});
+  Result<Ticket> Submit(client::Query query, SubmitOptions opts = {}) override;
 
   /// Submits a whole batch under one acquisition of the submit lock:
   /// every query is routed, recorded and enqueued before any shard sees a
@@ -225,7 +200,7 @@ class CoordinationService {
   /// paid once. Returns one Result per query, in order (`opts` applies to
   /// each).
   std::vector<Result<Ticket>> SubmitBatch(std::vector<client::Query> queries,
-                                          SubmitOptions opts = {});
+                                          SubmitOptions opts = {}) override;
 
   /// Back-compat shim for the original IR-text API: equivalent to
   /// Submit(client::Query::Ir(query_text), {ttl_ticks, callback, {}}).
@@ -234,7 +209,7 @@ class CoordinationService {
 
   /// Withdraws a pending query; its ticket resolves as Cancelled. A no-op
   /// if the query already resolved (the resolution wins the race).
-  Status Cancel(const Ticket& ticket);
+  Status Cancel(const Ticket& ticket) override;
 
   /// Advances the logical staleness clock by `n` ticks on every shard (the
   /// ticker thread calls this once per tick_interval).
@@ -291,9 +266,10 @@ class CoordinationService {
                      const ir::Value& match_value, db::Row replacement,
                      size_t* updated = nullptr);
 
-  /// The declarative write surface: executes one SQL DELETE or UPDATE
-  /// statement —
+  /// The declarative write surface: executes one SQL INSERT, DELETE or
+  /// UPDATE statement —
   ///
+  ///   INSERT INTO Flights VALUES (136, 'Vienna')
   ///   DELETE FROM Flights WHERE dest = 'Vienna' AND fno < 200
   ///   UPDATE Flights SET dest = 'Naples' WHERE fno = 136
   ///
@@ -303,11 +279,39 @@ class CoordinationService {
   /// with the same CoW, no-match-no-publish, and wake-up semantics as the
   /// typed Apply* calls. Returns the number of rows affected; 0 means the
   /// predicate matched nothing (and nothing was published or woken).
-  Result<size_t> ExecuteWrite(std::string_view sql);
+  Result<size_t> ExecuteWrite(std::string_view sql) override;
 
   /// Applies a batch of writes (inserts, deletes, updates) atomically and
   /// publishes once; affected shards are woken once for the whole batch.
   Status ApplyBatch(const std::vector<db::Storage::TableWrite>& writes);
+
+  /// Follower-side replication entry point: swaps in whole replicated
+  /// tables (see db::Storage::ApplyReplacements — cells must already be
+  /// interned locally), publishes one version, and wakes exactly the
+  /// pending queries reading a replaced table — a shipped version delta
+  /// triggers the same reactive re-evaluation as a local write.
+  Status ApplyReplicatedTables(
+      const std::vector<db::Storage::TableReplacement>& reps);
+
+  /// Normalizes any dialect to the canonical context-free wire form
+  /// without submitting: SQL translates against the edge catalog, IR text
+  /// parses against it, builder programs validate as-is. This is the
+  /// cluster edge's serialization point — a query forwarded to a peer node
+  /// ships this form, never raw dialect text.
+  Result<client::PortableQuery> Canonicalize(const client::Query& query);
+
+  /// Pulls every in-flight query routed under `rels` out of the service
+  /// WITHOUT resolving its ticket, invoking `cb` once per query with its
+  /// canonical form (on the extracting shard's thread). The cross-node
+  /// half of group-merge migration: the cluster layer re-submits each
+  /// extracted query on the group's new owner node and completes the same
+  /// ticket from the remote outcome. Queries that resolve before the
+  /// extraction lands keep their resolution (cb is not invoked for them);
+  /// a Cancel that arrives mid-extraction wins, resolving the ticket as
+  /// Cancelled without invoking cb. Returns how many queries were marked
+  /// for extraction.
+  size_t ExtractForRebalance(const std::vector<std::string>& rels,
+                             ExtractCallback cb);
 
   /// The shared interner (thread-safe): intern string cells for writes or
   /// render symbols.
@@ -325,17 +329,15 @@ class CoordinationService {
 
   /// Aggregated per-shard + global counters, throughput and latency
   /// percentiles.
-  ServiceMetrics Metrics() const;
+  ServiceMetrics Metrics() const override;
 
   /// The recorded lifecycle of one (sampled) query, with derived spans:
   /// route time, op-queue wait, engine dwell, re-evaluation count, total.
   /// kNotFound when the ticket was not sampled (see trace_sample_every /
   /// trace_all) or its trace was evicted by the capacity bound. A migrated
   /// query's trace spans both shards.
-  Result<QueryTrace> Trace(TicketId ticket) const;
-  Result<QueryTrace> Trace(const Ticket& ticket) const {
-    return Trace(ticket.id());
-  }
+  Result<QueryTrace> Trace(TicketId ticket) const override;
+  using CoordinationInterface::Trace;
 
   /// The trace registry (admission/eviction counters, options).
   const TraceRegistry& traces() const { return *traces_; }
@@ -350,7 +352,7 @@ class CoordinationService {
   /// consistent), joined with the service's routing fingerprints. Blocks
   /// until every shard responds — don't call from a ticket callback (it
   /// runs on a shard thread and would deadlock against itself).
-  ServiceStateDump DumpState() const;
+  ServiceStateDump DumpState() const override;
 
   const QueryRouter& router() const { return router_; }
   uint64_t now_ticks() const {
@@ -378,6 +380,20 @@ class CoordinationService {
     std::vector<std::string> relations;
     Ticket ticket;
     bool traced = false;  ///< admitted into the trace registry at submit
+    /// Set by ExtractForRebalance: when the kMigratedOut event lands, pop
+    /// the entry and hand the canonical form to this callback instead of
+    /// re-submitting locally. Shared across one extraction sweep.
+    std::shared_ptr<ExtractCallback> extract_cb;
+  };
+
+  /// One planned (not yet enqueued) kMigrate op: the sweep marks entries
+  /// and collects these under submit_mu_, and the actual shard enqueues
+  /// happen after the lock is released (the queue push takes the shard's
+  /// queue mutex and can wake its thread — neither belongs under the
+  /// submit lock).
+  struct PlannedMigration {
+    uint32_t shard = 0;
+    TicketId ticket = 0;
   };
 
   /// A dialect-normalized query, ready to route: the canonical payloads
@@ -400,9 +416,10 @@ class CoordinationService {
   /// portable form.
   Result<client::PortableQuery> CanonicalizeSql(const std::string& text);
   /// Routes, records and enqueues one prepared query. Caller holds
-  /// submit_mu_.
+  /// submit_mu_ and enqueues `*planned` after releasing it (see
+  /// EnqueuePlannedMigrations).
   Result<Ticket> SubmitPreparedLocked(Prepared p, const SubmitOptions& opts,
-                                      std::vector<Ticket>* dropped);
+                                      std::vector<PlannedMigration>* planned);
 
   /// Records one service-side trace event (client thread, under
   /// submit_mu_): Submitted/Routed/Enqueued carry no shard of their own.
@@ -418,14 +435,22 @@ class CoordinationService {
   void NotifyRelationsTouched(std::vector<SymbolId> rels);
 
   void OnShardEvent(ShardRunner::Event ev);
-  /// After a group merge: extract the in-flight tickets keyed under
-  /// `rels` (the relations whose group assignment just changed) that are
-  /// now routed away from their recorded shard — O(stranded group), not
-  /// O(all in-flight). Caller holds submit_mu_. Tickets whose shard
-  /// already stopped are erased and appended to `dropped` for the caller
-  /// to fail once the lock is released.
-  void MigrateRelationsLocked(const std::vector<std::string>& rels,
-                              std::vector<Ticket>* dropped);
+  /// After a group merge: mark the in-flight tickets keyed under `rels`
+  /// (the relations whose group assignment just changed) that are now
+  /// routed away from their recorded shard — O(stranded group), not
+  /// O(all in-flight). Caller holds submit_mu_; the planned kMigrate ops
+  /// are enqueued by EnqueuePlannedMigrations AFTER the lock is released
+  /// (the entries are already marked migrating, so Cancel and duplicate
+  /// sweeps in the window behave as if the op were queued). When
+  /// `extract_cb` is non-null the marked entries extract to it instead of
+  /// re-submitting locally (ExtractForRebalance). Returns entries marked.
+  size_t PlanMigrationsLocked(const std::vector<std::string>& rels,
+                              std::vector<PlannedMigration>* planned,
+                              std::shared_ptr<ExtractCallback> extract_cb);
+  /// Enqueues the planned kMigrate ops (no locks held on entry). A shard
+  /// that already stopped yields no extraction event, so its entries are
+  /// dropped and their tickets failed here.
+  void EnqueuePlannedMigrations(std::vector<PlannedMigration> planned);
   /// Erases one in-flight entry and its relation-index slot; returns the
   /// next iterator. Caller holds submit_mu_.
   std::unordered_map<TicketId, Inflight>::iterator EraseInflightLocked(

@@ -81,6 +81,7 @@ class Ticket {
 
  private:
   friend class CoordinationService;
+  friend class TicketFactory;
 
   static const ServiceOutcome& InvalidOutcome() {
     static const ServiceOutcome outcome = [] {
@@ -105,6 +106,38 @@ class Ticket {
       : state_(std::move(state)) {}
 
   std::shared_ptr<SharedState> state_;
+};
+
+/// Mint-and-resolve access for ticket producers outside the single-node
+/// service — the cluster layer hands out proxy tickets for queries running
+/// on peer nodes and completes them when an outcome frame arrives. Kept as
+/// a narrow friend so Ticket's shared state stays private to producers.
+class TicketFactory {
+ public:
+  static Ticket Create(TicketId id, TicketCallback callback = nullptr) {
+    auto state = std::make_shared<Ticket::SharedState>();
+    state->id = id;
+    state->callback = std::move(callback);
+    return Ticket(std::move(state));
+  }
+
+  /// Resolves `ticket` exactly once (subsequent calls are no-ops; false).
+  /// The registered callback fires on the calling thread.
+  static bool Complete(const Ticket& ticket, ServiceOutcome outcome) {
+    if (!ticket.valid()) return false;
+    auto& state = *ticket.state_;
+    TicketCallback callback;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.done) return false;
+      state.outcome = std::move(outcome);
+      state.done = true;
+      callback = std::move(state.callback);
+    }
+    state.cv.notify_all();
+    if (callback) callback(state.id, state.outcome);
+    return true;
+  }
 };
 
 }  // namespace eq::service

@@ -75,7 +75,14 @@ std::string ToSql(const EntangledSelect& stmt) {
 
 std::string ToSql(const SqlWrite& stmt) {
   std::string out;
-  if (stmt.kind == SqlWrite::Kind::kDelete) {
+  if (stmt.kind == SqlWrite::Kind::kInsert) {
+    out = "INSERT INTO " + stmt.table + " VALUES (";
+    for (size_t i = 0; i < stmt.values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += TermToSql(stmt.values[i]);
+    }
+    out += ")";
+  } else if (stmt.kind == SqlWrite::Kind::kDelete) {
     out = "DELETE FROM " + stmt.table;
   } else {
     out = "UPDATE " + stmt.table + " SET ";

@@ -100,18 +100,21 @@ struct SetClause {
 /// A parsed SQL write statement — the declarative write surface next to
 /// the entangled SELECT:
 ///
+///   INSERT INTO tbl VALUES (lit [, lit]...)
 ///   DELETE FROM tbl [WHERE cmp [AND cmp]...]
 ///   UPDATE tbl SET col = lit [, col = lit]... [WHERE cmp [AND cmp]...]
 ///
 /// Each WHERE conjunct compares a column of `table` with a literal
-/// (either side); omitting WHERE matches every row. The translator
-/// resolves names and types against the catalog and produces a
-/// WriteStatement ready for db::Storage.
+/// (either side); omitting WHERE matches every row. INSERT values are
+/// positional literals, one per schema column. The translator resolves
+/// names and types against the catalog and produces a WriteStatement
+/// ready for db::Storage.
 struct SqlWrite {
-  enum class Kind { kDelete, kUpdate };
+  enum class Kind { kInsert, kDelete, kUpdate };
 
   Kind kind = Kind::kDelete;
   std::string table;
+  std::vector<SqlTerm> values;       ///< kInsert only: positional literals
   std::vector<SetClause> sets;       ///< kUpdate only
   std::vector<SqlComparison> where;  ///< conjunction; empty = all rows
 };

@@ -48,6 +48,30 @@ class Parser {
 
   Result<SqlWrite> ParseWrite() {
     SqlWrite stmt;
+    if (ConsumeKeyword("INSERT")) {
+      stmt.kind = SqlWrite::Kind::kInsert;
+      if (!ConsumeKeyword("INTO")) return ErrS("expected INTO after INSERT");
+      EQ_RETURN_ERR(ExpectIdent(&stmt.table));
+      if (!ConsumeKeyword("VALUES")) return ErrS("expected VALUES");
+      if (!Consume(TokenKind::kLParen)) {
+        return ErrS("expected '(' after VALUES");
+      }
+      do {
+        SqlTerm v;
+        EQ_RETURN_ERR(ParseTerm(&v));
+        if (v.kind == SqlTerm::Kind::kColumnRef) {
+          return ErrS("INSERT values must be literals");
+        }
+        stmt.values.push_back(std::move(v));
+      } while (Consume(TokenKind::kComma));
+      if (!Consume(TokenKind::kRParen)) {
+        return ErrS("expected ')' after the VALUES list");
+      }
+      if (Peek().kind != TokenKind::kEnd) {
+        return ErrS("unexpected trailing input");
+      }
+      return stmt;
+    }
     if (ConsumeKeyword("DELETE")) {
       stmt.kind = SqlWrite::Kind::kDelete;
       if (!ConsumeKeyword("FROM")) return ErrS("expected FROM after DELETE");
@@ -69,7 +93,7 @@ class Parser {
         stmt.sets.push_back(std::move(s));
       } while (Consume(TokenKind::kComma));
     } else {
-      return ErrS("expected DELETE or UPDATE");
+      return ErrS("expected INSERT, DELETE or UPDATE");
     }
 
     if (ConsumeKeyword("WHERE")) {

@@ -429,6 +429,25 @@ Result<WriteStatement> Translator::TranslateWrite(const SqlWrite& stmt) {
     return idx;
   };
 
+  if (stmt.kind == SqlWrite::Kind::kInsert) {
+    if (stmt.values.size() != schema.arity()) {
+      return Status::InvalidArgument(
+          "INSERT INTO " + stmt.table + " supplies " +
+          std::to_string(stmt.values.size()) + " values but the table has " +
+          std::to_string(schema.arity()) + " columns");
+    }
+    db::Row row;
+    row.reserve(stmt.values.size());
+    for (size_t i = 0; i < stmt.values.size(); ++i) {
+      auto v = lower_literal(stmt.values[i], static_cast<int>(i));
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(*v));
+    }
+    WriteStatement out;
+    out.write = db::Storage::TableWrite::Insert(stmt.table, std::move(row));
+    return out;
+  }
+
   db::Storage::TableWrite w;
   w.table = stmt.table;
   w.kind = stmt.kind == SqlWrite::Kind::kDelete

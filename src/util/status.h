@@ -22,6 +22,7 @@ enum class StatusCode {
   kTimeout,          ///< query became stale before coordination (paper §5.1)
   kCancelled,        ///< query was withdrawn by its submitter / the service
   kResourceExhausted,  ///< admission control rejected the request (queue full)
+  kUnavailable,      ///< a peer node or transport is unreachable (retryable)
   kInternal,         ///< invariant violation; indicates a bug
 };
 
@@ -69,6 +70,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -357,6 +357,20 @@ TEST(SqlWriteParserTest, ParsesUpdateWithSetListAndBareDelete) {
   EXPECT_TRUE(all->where.empty());
 }
 
+TEST(SqlWriteParserTest, ParsesInsertValues) {
+  auto stmt = ParseWriteSql("INSERT INTO Flights VALUES (136, 'Vienna')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, SqlWrite::Kind::kInsert);
+  EXPECT_EQ(stmt->table, "Flights");
+  ASSERT_EQ(stmt->values.size(), 2u);
+  EXPECT_EQ(stmt->values[0].kind, SqlTerm::Kind::kIntLit);
+  EXPECT_EQ(stmt->values[0].number, 136);
+  EXPECT_EQ(stmt->values[1].kind, SqlTerm::Kind::kStringLit);
+  EXPECT_EQ(stmt->values[1].text, "Vienna");
+  EXPECT_TRUE(stmt->where.empty());
+  EXPECT_TRUE(stmt->sets.empty());
+}
+
 TEST(SqlWriteParserTest, RejectsMalformedWrites) {
   for (const char* bad : {
            "DELETE Flights",                            // missing FROM
@@ -366,7 +380,12 @@ TEST(SqlWriteParserTest, RejectsMalformedWrites) {
            "UPDATE Flights SET dest = fno",             // non-literal SET
            "DELETE FROM Flights WHERE fno",             // dangling operand
            "DELETE FROM Flights WHERE fno = 1 OR fno = 2",  // OR unsupported
-           "INSERT INTO Flights VALUES (1)",            // not a write stmt
+           "INSERT Flights VALUES (1)",                 // missing INTO
+           "INSERT INTO Flights (1)",                   // missing VALUES
+           "INSERT INTO Flights VALUES 1",              // missing '('
+           "INSERT INTO Flights VALUES ()",             // empty value list
+           "INSERT INTO Flights VALUES (fno)",          // non-literal value
+           "INSERT INTO Flights VALUES (1) extra",      // trailing input
            "DELETE FROM Flights garbage",               // trailing input
        }) {
     auto r = ParseWriteSql(bad);
@@ -380,6 +399,7 @@ TEST(SqlWriteAstTest, WriteRoundTripsThroughToSql) {
            "DELETE FROM Flights WHERE dest = 'Paris' AND fno < 200",
            "UPDATE Flights SET dest = 'Naples' WHERE fno = 136",
            "DELETE FROM Flights",
+           "INSERT INTO Flights VALUES (136, 'Vienna')",
        }) {
     auto stmt1 = ParseWriteSql(sql);
     ASSERT_TRUE(stmt1.ok()) << stmt1.status().ToString();
@@ -419,6 +439,28 @@ TEST_F(TranslatorTest, TranslatesUpdateToSetClauses) {
   EXPECT_EQ(w->write.sets[0].value, ctx_.StrValue("Naples"));
   ASSERT_EQ(w->write.pred.terms.size(), 1u);
   EXPECT_EQ(w->write.pred.terms[0].op, ir::CompareOp::kNe);
+}
+
+TEST_F(TranslatorTest, TranslatesInsertToRow) {
+  Translator tr(&ctx_, db_.get());
+  auto w = tr.TranslateWriteSql("INSERT INTO Flights VALUES (136, 'Vienna')");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->kind(), db::Storage::TableWrite::Kind::kInsert);
+  EXPECT_EQ(w->table(), "Flights");
+  ASSERT_EQ(w->write.row.size(), 2u);
+  EXPECT_EQ(w->write.row[0], Value::Int(136));
+  EXPECT_EQ(w->write.row[1], ctx_.StrValue("Vienna"));
+
+  // Arity mismatches are caught at translation, before storage.
+  auto short_row = tr.TranslateWriteSql("INSERT INTO Flights VALUES (136)");
+  ASSERT_FALSE(short_row.ok());
+  EXPECT_EQ(short_row.status().code(), StatusCode::kInvalidArgument);
+  // Type mismatches too (dest is STRING, fno is INT).
+  auto mistyped =
+      tr.TranslateWriteSql("INSERT INTO Flights VALUES ('Vienna', 136)");
+  ASSERT_FALSE(mistyped.ok());
+  EXPECT_NE(mistyped.status().message().find("type mismatch"),
+            std::string::npos);
 }
 
 TEST_F(TranslatorTest, WriteTranslationTypeAndNameErrors) {

@@ -1,0 +1,481 @@
+// Tests for the cluster wire layer: the binary payload codec, the
+// PortableQuery round-trip property (every dialect's canonical form
+// survives encode -> decode with its routing fingerprint and IR rendering
+// intact), message codecs for every frame type, corrupt/truncated input
+// rejection (clean kInvalidArgument, never a crash), and the framed
+// socket transport over loopback.
+
+#include "db/database.h"
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/query.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/service.h"
+#include "util/interner.h"
+
+namespace eq::net {
+namespace {
+
+using client::PortableQuery;
+using client::Query;
+using service::CoordinationService;
+using service::ServiceOptions;
+
+// ------------------------------------------------------------- binary --
+
+TEST(BinaryCodecTest, RoundTripsPrimitives) {
+  BinaryWriter w;
+  w.U8(7);
+  w.U32(0xdeadbeef);
+  w.U64(0x0102030405060708ull);
+  w.I64(-42);
+  w.F64(2.5);
+  w.Str("hello");
+  w.Str("");  // empty strings are legal payloads
+  std::string buf = w.Take();
+
+  BinaryReader r(buf);
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double f64;
+  std::string s1, s2;
+  ASSERT_TRUE(r.U8(&u8));
+  ASSERT_TRUE(r.U32(&u32));
+  ASSERT_TRUE(r.U64(&u64));
+  ASSERT_TRUE(r.I64(&i64));
+  ASSERT_TRUE(r.F64(&f64));
+  ASSERT_TRUE(r.Str(&s1));
+  ASSERT_TRUE(r.Str(&s2));
+  EXPECT_EQ(u8, 7u);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0102030405060708ull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f64, 2.5);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryCodecTest, TruncationFailsSticky) {
+  BinaryWriter w;
+  w.U64(1);
+  std::string buf = w.Take();
+  buf.resize(4);  // half a u64
+
+  BinaryReader r(buf);
+  uint64_t v;
+  EXPECT_FALSE(r.U64(&v));
+  EXPECT_FALSE(r.ok());
+  // Sticky: even a read that would fit fails after the first failure.
+  uint8_t b;
+  EXPECT_FALSE(r.U8(&b));
+}
+
+TEST(BinaryCodecTest, CountGuardRejectsImpossibleCounts) {
+  // A corrupt element count larger than the remaining bytes could carry
+  // must fail up front instead of driving a giant reserve.
+  BinaryWriter w;
+  w.U32(0xffffff);  // claims ~16M elements
+  w.U64(0);         // ... backed by 8 bytes
+  std::string buf = w.Take();
+
+  BinaryReader r(buf);
+  uint32_t n;
+  EXPECT_FALSE(r.Count(&n, /*min_elem_bytes=*/4));
+  EXPECT_FALSE(r.ok());
+}
+
+// -------------------------------------------------- portable queries --
+
+// Figure 1 (a) with the full table names the SQL dialect resolves against.
+void FlightBootstrap(ir::QueryContext* ctx, db::Database* db) {
+  ASSERT_TRUE(db->CreateTable("Flights", {{"fno", ir::ValueType::kInt},
+                                          {"dest", ir::ValueType::kString}})
+                  .ok());
+  ASSERT_TRUE(db->CreateTable("Airlines",
+                              {{"fno", ir::ValueType::kInt},
+                               {"airline", ir::ValueType::kString}})
+                  .ok());
+  auto S = [&](const char* s) { return ir::Value::Str(ctx->Intern(s)); };
+  ASSERT_TRUE(db->Insert("Flights", {ir::Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(db->Insert("Airlines", {ir::Value::Int(122), S("United")}).ok());
+}
+
+ServiceOptions EdgeOpts() {
+  ServiceOptions o;
+  o.num_shards = 1;
+  o.bootstrap = FlightBootstrap;
+  return o;
+}
+
+std::string EncodeQuery(const PortableQuery& q) {
+  BinaryWriter w;
+  EncodePortableQuery(q, &w);
+  return w.Take();
+}
+
+Result<PortableQuery> DecodeQuery(std::string_view buf) {
+  BinaryReader r(buf);
+  PortableQuery q;
+  if (!DecodePortableQuery(&r, &q) || !r.ok() || !r.AtEnd()) {
+    return Status::InvalidArgument("corrupt query payload");
+  }
+  return q;
+}
+
+/// The round-trip property: the canonical form of a query in ANY dialect,
+/// pushed through encode -> decode, preserves both the routing fingerprint
+/// (EntangledRelations) and the exact IR rendering (ToIrText) — so a
+/// forwarded query evaluates identically on the peer node.
+void ExpectRoundTrips(const PortableQuery& q) {
+  auto back = DecodeQuery(EncodeQuery(q));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->EntangledRelations(), q.EntangledRelations());
+  EXPECT_EQ(back->ToIrText(), q.ToIrText());
+  EXPECT_EQ(back->label, q.label);
+  EXPECT_EQ(back->choose_k, q.choose_k);
+}
+
+TEST(PortableQueryWireTest, RoundTripsEveryDialect) {
+  CoordinationService svc(EdgeOpts());
+
+  const std::vector<Query> dialects = {
+      Query::Sql(
+          "SELECT 'Kramer', fno INTO ANSWER Reservation "
+          "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+          "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"),
+      Query::Sql(
+          "SELECT 'Jerry', fno INTO ANSWER Reservation "
+          "WHERE fno IN (SELECT fno FROM Flights F, Airlines A WHERE "
+          "F.dest='Paris' AND F.fno = A.fno AND A.airline = 'United') "
+          "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1"),
+      Query::Ir(
+          "{Reservation(Jerry, x)} Reservation(Kramer, x) "
+          ":- Flights(x, Paris)"),
+      Query::Ir(
+          "kramer: {Ra(Alice, z), Rb(Dan, z)} Ra(Bob, z), Rb(Carol, z) "
+          ":- Flights(z, Paris) choose 2"),
+      client::QueryBuilder()
+          .Label("built")
+          .Postcondition("Reservation", {client::Str("Jerry"),
+                                         client::Var("x")})
+          .Head("Reservation", {client::Str("Kramer"), client::Var("x")})
+          .Body("Flights", {client::Var("x"), client::Str("Paris")})
+          .Build(),
+  };
+
+  for (size_t i = 0; i < dialects.size(); ++i) {
+    SCOPED_TRACE("dialect case " + std::to_string(i));
+    auto canonical = svc.Canonicalize(dialects[i]);
+    ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+    ExpectRoundTrips(canonical.value());
+  }
+}
+
+TEST(PortableQueryWireTest, RoundTripsHostileStringsAndFilters) {
+  // Exercise codec paths no dialect above reaches: filters, negative and
+  // extreme ints, strings with quotes / NULs / non-ASCII bytes.
+  PortableQuery q;
+  q.label = "hostile 'label' with \"quotes\"";
+  q.choose_k = 3;
+  q.postconditions.push_back(
+      {"R", {client::Str(std::string("nul\0byte", 8)), client::Var("x")}});
+  q.head.push_back({"R", {client::Str("caf\xc3\xa9"), client::Var("x")}});
+  q.body.push_back({"F", {client::Var("x"), client::Int(-9223372036854775807LL)}});
+  q.filters.push_back(
+      {client::Var("x"), ir::CompareOp::kLt, client::Int(1000)});
+  q.filters.push_back(
+      {client::Var("x"), ir::CompareOp::kNe, client::Str("it's :- odd(")});
+  ExpectRoundTrips(q);
+}
+
+TEST(PortableQueryWireTest, EveryTruncationFailsCleanly) {
+  CoordinationService svc(EdgeOpts());
+  auto canonical = svc.Canonicalize(Query::Ir(
+      "{Reservation(Jerry, x)} Reservation(Kramer, x) "
+      ":- Flights(x, Paris), Airlines(x, United)"));
+  ASSERT_TRUE(canonical.ok());
+  std::string buf = EncodeQuery(canonical.value());
+
+  // Property: EVERY strict prefix of a valid encoding is rejected — the
+  // decoder demands each field, so no truncation point parses cleanly.
+  for (size_t len = 0; len < buf.size(); ++len) {
+    auto r = DecodeQuery(std::string_view(buf).substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(PortableQueryWireTest, CorruptBytesNeverCrash) {
+  CoordinationService svc(EdgeOpts());
+  auto canonical = svc.Canonicalize(Query::Ir(
+      "{Reservation(Jerry, x)} Reservation(Kramer, x) :- Flights(x, Paris)"));
+  ASSERT_TRUE(canonical.ok());
+  std::string buf = EncodeQuery(canonical.value());
+
+  // Flip every byte through a few values: decode must return (ok or a
+  // clean error), never crash or read out of bounds.
+  for (size_t pos = 0; pos < buf.size(); ++pos) {
+    for (uint8_t delta : {0x01, 0x80, 0xff}) {
+      std::string bad = buf;
+      bad[pos] = static_cast<char>(static_cast<uint8_t>(bad[pos]) ^ delta);
+      (void)DecodeQuery(bad);
+    }
+  }
+}
+
+// ---------------------------------------------------------- messages --
+
+TEST(MessageCodecTest, RoundTripsSubmitAndOutcome) {
+  CoordinationService svc(EdgeOpts());
+  auto canonical = svc.Canonicalize(Query::Ir(
+      "{Reservation(Jerry, x)} Reservation(Kramer, x) :- Flights(x, Paris)"));
+  ASSERT_TRUE(canonical.ok());
+
+  SubmitMsg s;
+  s.req_id = 77;
+  s.origin_node = 3;
+  s.hops = 2;
+  s.query = canonical.value();
+  s.ttl_ticks = 500;
+  s.preference = client::PreferenceSpec::MaximizeArg(1, 2.5);
+  s.group_relations = {"Ra", "Reservation"};
+  auto s2 = DecodeSubmit(Encode(s));
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  EXPECT_EQ(s2->req_id, 77u);
+  EXPECT_EQ(s2->origin_node, 3u);
+  EXPECT_EQ(s2->hops, 2u);
+  EXPECT_EQ(s2->ttl_ticks, 500u);
+  EXPECT_EQ(s2->query.ToIrText(), s.query.ToIrText());
+  EXPECT_EQ(s2->preference.kind, client::PreferenceSpec::Kind::kMaximizeArg);
+  EXPECT_EQ(s2->preference.arg_index, 1u);
+  EXPECT_EQ(s2->preference.weight, 2.5);
+  EXPECT_EQ(s2->group_relations, s.group_relations);
+
+  OutcomeMsg o;
+  o.req_id = 77;
+  o.outcome.state = service::ServiceOutcome::State::kAnswered;
+  o.outcome.tuples = {"Reservation(Kramer, 122)", "Reservation(Jerry, 122)"};
+  auto o2 = DecodeOutcome(Encode(o));
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o2->outcome.state, service::ServiceOutcome::State::kAnswered);
+  EXPECT_EQ(o2->outcome.tuples, o.outcome.tuples);
+
+  OutcomeMsg f;
+  f.req_id = 78;
+  f.outcome.state = service::ServiceOutcome::State::kFailed;
+  f.outcome.status = Status::Timeout("went stale");
+  auto f2 = DecodeOutcome(Encode(f));
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2->outcome.status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(f2->outcome.status.message(), "went stale");
+}
+
+TEST(MessageCodecTest, RoundTripsHandshakeWriteAndControl) {
+  HelloMsg h{42, 1000, 0xabcdef};
+  auto h2 = DecodeHello(Encode(h));
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h2->node_id, 42u);
+  EXPECT_EQ(h2->sym_hwm, 1000u);
+  EXPECT_EQ(h2->sym_prefix_hash, 0xabcdefu);
+
+  HelloAckMsg a;
+  a.node_id = 7;
+  a.ok = false;
+  a.error = "interner prefix mismatch";
+  a.applied_db_version = 12;
+  auto a2 = DecodeHelloAck(Encode(a));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(a2->ok);
+  EXPECT_EQ(a2->error, "interner prefix mismatch");
+  EXPECT_EQ(a2->applied_db_version, 12u);
+
+  WriteMsg w{9, "INSERT INTO Flights VALUES (200, 'Berlin')"};
+  auto w2 = DecodeWrite(Encode(w));
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w2->sql, w.sql);
+
+  WriteReplyMsg wr;
+  wr.req_id = 9;
+  wr.status = Status::InvalidArgument("not the storage owner");
+  auto wr2 = DecodeWriteReply(Encode(wr));
+  ASSERT_TRUE(wr2.ok());
+  EXPECT_EQ(wr2->status.code(), StatusCode::kInvalidArgument);
+
+  CancelMsg c{1234};
+  auto c2 = DecodeCancel(Encode(c));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2->req_id, 1234u);
+
+  GroupUpdateMsg g;
+  g.new_owner = 1;
+  g.relations = {"Ra", "Rb"};
+  auto g2 = DecodeGroupUpdate(Encode(g));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->new_owner, 1u);
+  EXPECT_EQ(g2->relations, g.relations);
+}
+
+TEST(MessageCodecTest, RoundTripsDelta) {
+  StringInterner interner;
+  SymbolId paris = interner.Intern("Paris");
+  SymbolId rome = interner.Intern("Rome");
+
+  DeltaMsg d;
+  d.origin_node = 0;
+  d.from_version = 3;
+  d.to_version = 5;
+  d.dict = {{paris, "Paris"}, {rome, "Rome"}};
+  DeltaMsg::TableRows rows;
+  rows.table = "Flights";
+  rows.arity = 2;
+  rows.cells = {ir::Value::Int(122), ir::Value::Str(paris),
+                ir::Value::Int(136), ir::Value::Str(rome)};
+  d.tables.push_back(rows);
+  DeltaMsg::TableRows empty;
+  empty.table = "Airlines";  // a table emptied by a delete: zero rows
+  d.tables.push_back(empty);
+
+  auto d2 = DecodeDelta(Encode(d));
+  ASSERT_TRUE(d2.ok()) << d2.status().ToString();
+  EXPECT_EQ(d2->from_version, 3u);
+  EXPECT_EQ(d2->to_version, 5u);
+  ASSERT_EQ(d2->dict.size(), 2u);
+  EXPECT_EQ(d2->dict[0].second, "Paris");
+  ASSERT_EQ(d2->tables.size(), 2u);
+  EXPECT_EQ(d2->tables[0].arity, 2u);
+  ASSERT_EQ(d2->tables[0].cells.size(), 4u);
+  EXPECT_EQ(d2->tables[0].cells[0], ir::Value::Int(122));
+  EXPECT_EQ(d2->tables[0].cells[1], ir::Value::Str(paris));
+  EXPECT_TRUE(d2->tables[1].cells.empty());
+}
+
+TEST(MessageCodecTest, TruncatedMessagesRejected) {
+  SubmitMsg s;
+  s.req_id = 1;
+  s.query.head.push_back({"R", {client::Var("x")}});
+  s.query.body.push_back({"F", {client::Var("x")}});
+  std::string buf = Encode(s);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    auto r = DecodeSubmit(std::string_view(buf).substr(0, len));
+    ASSERT_FALSE(r.ok()) << "prefix " << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Out-of-range enum tags are corruption, not UB: a Value tag of 255.
+  DeltaMsg d;
+  d.tables.push_back({"T", 1, {ir::Value::Int(1)}});
+  std::string db = Encode(d);
+  ASSERT_FALSE(db.empty());
+  db[db.size() - 9] = static_cast<char>(0xff);  // the cell's type tag
+  auto dd = DecodeDelta(db);
+  EXPECT_FALSE(dd.ok());
+}
+
+TEST(InternerHashTest, PrefixHashIsLengthDelimited) {
+  StringInterner a;
+  a.Intern("ab");
+  a.Intern("c");
+  StringInterner b;
+  b.Intern("a");
+  b.Intern("bc");
+  EXPECT_NE(InternerPrefixHash(a, 2), InternerPrefixHash(b, 2));
+
+  // Identical prefixes agree even when one side has interned further.
+  StringInterner c;
+  c.Intern("ab");
+  c.Intern("c");
+  c.Intern("extra");
+  EXPECT_EQ(InternerPrefixHash(a, 2), InternerPrefixHash(c, 2));
+  EXPECT_NE(InternerPrefixHash(c, 3), InternerPrefixHash(c, 2));
+}
+
+// ------------------------------------------------------------- frames --
+
+TEST(FrameTest, LoopbackRoundTrip) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  Socket server;
+  std::thread accepter([&] {
+    auto s = listener->Accept();
+    ASSERT_TRUE(s.ok());
+    server = std::move(s.value());
+  });
+  auto client = Socket::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  accepter.join();
+
+  ASSERT_TRUE(
+      SendFrame(client.value(), FrameType::kCancel, "payload", 2000).ok());
+  auto got = RecvFrame(server, 2000, 2000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, FrameType::kCancel);
+  EXPECT_EQ(got->payload, "payload");
+
+  // Close one end: the reader fails kUnavailable, not a hang or crash.
+  client.value().Close();
+  auto eof = RecvFrame(server, 2000, 2000);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, CorruptHeaderRejected) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Socket server;
+  std::thread accepter([&] {
+    auto s = listener->Accept();
+    ASSERT_TRUE(s.ok());
+    server = std::move(s.value());
+  });
+  auto client = Socket::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  accepter.join();
+
+  // An unknown frame type is a corrupt stream.
+  const char bad_type[] = {0, 0, 0, 0, (char)200};
+  ASSERT_TRUE(client.value().SendAll(bad_type, sizeof(bad_type), 2000).ok());
+  auto r1 = RecvFrame(server, 2000, 2000);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  // A length prefix beyond the payload cap is corruption, not an
+  // allocation request.
+  const unsigned char huge_len[] = {0xff, 0xff, 0xff, 0xff, 3};
+  ASSERT_TRUE(client.value().SendAll(huge_len, sizeof(huge_len), 2000).ok());
+  auto r2 = RecvFrame(server, 2000, 2000);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RecvTimesOutInsteadOfHanging) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Socket server;
+  std::thread accepter([&] {
+    auto s = listener->Accept();
+    ASSERT_TRUE(s.ok());
+    server = std::move(s.value());
+  });
+  auto client = Socket::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  accepter.join();
+
+  auto start = std::chrono::steady_clock::now();
+  auto r = RecvFrame(server, /*header_timeout_ms=*/100, 100);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+}  // namespace
+}  // namespace eq::net
