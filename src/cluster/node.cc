@@ -358,50 +358,83 @@ void ClusterService::PushDeltas() {
   std::lock_guard<std::mutex> push_lock(push_mu_);
   const StringInterner& interner = local_->interner();
   for (auto& [node, link] : links_) {
-    uint64_t from = link->last_pushed_version();
-    uint64_t to = 0;
-    std::vector<db::Storage::TableReplacement> reps;
-    if (!local_->storage().ExtractDelta(from, &to, &reps).ok()) continue;
-    if (to <= from || reps.empty()) continue;
+    // SendDelta may transparently reconnect mid-call; the handshake then
+    // resets the link's resume point to the follower's true applied
+    // version, which can sit BELOW the cursor this delta was extracted
+    // from. ConfirmPush detects the turnover via the connection
+    // generation and we re-extract from the fresh cursor instead of
+    // marking a range shipped that the follower never saw.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      PeerLink::PushCursor cur = link->push_cursor();
+      uint64_t to = 0;
+      std::vector<db::Storage::TableReplacement> reps;
+      if (!local_->storage().ExtractDelta(cur.version, &to, &reps).ok()) break;
+      if (to <= cur.version || reps.empty()) break;
 
-    net::DeltaMsg m;
-    m.origin_node = self_;
-    m.from_version = from;
-    m.to_version = to;
-    // Dictionary: every string symbol at or above the link's verified
-    // shared prefix ships by name (0 before the first connect — then the
-    // whole delta is self-describing, which is always safe).
-    uint64_t prefix = link->shared_sym_prefix();
-    std::set<uint32_t> dict_syms;
-    m.tables.reserve(reps.size());
-    for (const auto& rep : reps) {
-      net::DeltaMsg::TableRows t;
-      t.table = rep.table;
-      t.arity = rep.rows.empty()
-                    ? 0
-                    : static_cast<uint32_t>(rep.rows.front().size());
-      for (const auto& row : rep.rows) {
-        for (const auto& cell : row) {
-          if (cell.is_str() && cell.AsStr() >= prefix) {
-            dict_syms.insert(cell.AsStr());
+      net::DeltaMsg m;
+      m.origin_node = self_;
+      m.from_version = cur.version;
+      m.to_version = to;
+      // Dictionary: every string symbol at or above the link's verified
+      // shared prefix ships by name (0 before the first connect — then the
+      // whole delta is self-describing, which is always safe).
+      uint64_t prefix = link->shared_sym_prefix();
+      std::set<uint32_t> dict_syms;
+      m.tables.reserve(reps.size());
+      for (const auto& rep : reps) {
+        net::DeltaMsg::TableRows t;
+        t.table = rep.table;
+        t.arity = rep.rows.empty()
+                      ? 0
+                      : static_cast<uint32_t>(rep.rows.front().size());
+        for (const auto& row : rep.rows) {
+          for (const auto& cell : row) {
+            if (cell.is_str() && cell.AsStr() >= prefix) {
+              dict_syms.insert(cell.AsStr());
+            }
+            t.cells.push_back(cell);
           }
-          t.cells.push_back(cell);
         }
+        m.tables.push_back(std::move(t));
       }
-      m.tables.push_back(std::move(t));
-    }
-    m.dict.reserve(dict_syms.size());
-    for (uint32_t sym : dict_syms) {
-      m.dict.emplace_back(sym, interner.Name(sym));
-    }
+      m.dict.reserve(dict_syms.size());
+      for (uint32_t sym : dict_syms) {
+        m.dict.emplace_back(sym, interner.Name(sym));
+      }
 
-    if (link->SendDelta(m).ok()) link->NotePushed(to);
-    // On failure the resume point stays put; the next write (or
-    // reconnect handshake) re-ships the whole range.
+      if (!link->SendDelta(m).ok()) break;
+      // On failure the resume point stays put; the next write (or
+      // reconnect handshake) re-ships the whole range.
+      if (link->ConfirmPush(cur.generation, to)) break;
+    }
   }
 }
 
 Status ClusterService::HandleDelta(const net::DeltaMsg& m) {
+  // One delta at a time: the contiguity check below and the apply it
+  // guards must be atomic, and a dying connection's last frame must not
+  // interleave with a reconnected stream's first.
+  std::lock_guard<std::mutex> delta_lock(delta_mu_);
+  {
+    std::lock_guard<std::mutex> lock(applied_mu_);
+    uint64_t applied = applied_versions_[m.origin_node];
+    // Replayed history (an owner re-shipping after a reconnect whose
+    // handshake raced our apply): everything here is already applied.
+    if (m.to_version <= applied) return Status::OK();
+    if (m.from_version > applied) {
+      // Gap: a prior delta was lost in flight (sent into a connection
+      // that died under it). Applying this one would permanently skip
+      // every table touched only in the lost range. Fail so the caller
+      // drops the connection; the owner's next push reconnects and the
+      // handshake ack reports our real applied version, making the next
+      // extraction contiguous again.
+      return Status::Unavailable(
+          "replication gap from node " + std::to_string(m.origin_node) +
+          ": delta builds on version " + std::to_string(m.from_version) +
+          " but only version " + std::to_string(applied) + " is applied");
+    }
+  }
+
   // Remap owner symbol ids to local ids: dictionary entries re-intern by
   // name; everything else is below the verified shared prefix and is
   // identical by the handshake invariant.
@@ -434,6 +467,9 @@ Status ClusterService::HandleDelta(const net::DeltaMsg& m) {
     reps.push_back(std::move(rep));
   }
 
+  // Advance the applied version ONLY on a successful, contiguous apply:
+  // a failed apply followed by later deltas advancing it would make the
+  // reconnect-handshake resync lie about what we actually hold.
   Status s = local_->ApplyReplicatedTables(reps);
   if (s.ok()) {
     std::lock_guard<std::mutex> lock(applied_mu_);
@@ -511,6 +547,20 @@ void ClusterService::ReforwardExtracted(service::ExtractedQuery ex,
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<ClusterNode>> ClusterNode::Start(ClusterOptions opts) {
+  // Proxy ticket ids tag (node_id + 1) into bits 48..63; an id at or
+  // above 65535 would shift the tag out of the 64-bit id entirely, making
+  // proxy ids collide with the local service's counter ids.
+  if (opts.node_id >= 0xFFFF) {
+    return Status::InvalidArgument("node_id " + std::to_string(opts.node_id) +
+                                   " out of range (max 65534)");
+  }
+  for (const auto& p : opts.peers) {
+    if (p.node_id >= 0xFFFF) {
+      return Status::InvalidArgument(
+          "peer node_id " + std::to_string(p.node_id) +
+          " out of range (max 65534)");
+    }
+  }
   auto listener = net::Listener::Bind(opts.listen_host, opts.listen_port);
   if (!listener.ok()) return listener.status();
 
@@ -593,9 +643,11 @@ void ClusterNode::ServeConnection(std::shared_ptr<ServerConn> conn) {
       case net::FrameType::kDelta: {
         auto m = net::DecodeDelta(frame.value().payload);
         if (!m.ok()) return;
-        cluster_->HandleDelta(m.value());  // failures logged nowhere: the
-        // owner's resume point only advances on successful send, and the
-        // next delta re-ships the range.
+        // A replication gap or a failed apply must never be skipped
+        // silently: hang up, so the owner reconnects and the handshake
+        // ack tells it the version we actually hold — its next push then
+        // re-ships the whole missing range.
+        if (!cluster_->HandleDelta(m.value()).ok()) return;
         break;
       }
       case net::FrameType::kGroupUpdate: {

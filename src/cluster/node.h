@@ -24,6 +24,8 @@ namespace eq::cluster {
 /// lifetime (the paper's coordination model needs no elections — group
 /// ownership is a pure hash of relation names over the member list).
 struct ClusterOptions {
+  /// Unique per node, in [0, 65534] — proxy ticket ids tag (node_id + 1)
+  /// into their high 16 bits; ClusterNode::Start rejects ids beyond that.
   uint32_t node_id = 0;
   std::string listen_host = "127.0.0.1";
   /// 0 = kernel-assigned; read back via ClusterNode::listen_port().
@@ -163,11 +165,15 @@ class ClusterService : public service::CoordinationInterface {
   std::unordered_map<service::TicketId, Proxy> proxies_;
   std::atomic<uint64_t> next_proxy_seq_{1};
 
-  /// Per-origin replication progress (highest delta to_version applied),
-  /// reported back in HelloAck so a reconnecting storage owner resumes
-  /// instead of re-shipping.
+  /// Per-origin replication progress (highest delta to_version applied
+  /// contiguously), reported back in HelloAck so a reconnecting storage
+  /// owner resumes instead of re-shipping. Guarded by applied_mu_ (read
+  /// from the handshake path); HandleDelta additionally serializes its
+  /// whole check-then-apply-then-advance under delta_mu_ so deltas from
+  /// an old and a reconnected stream cannot interleave.
   mutable std::mutex applied_mu_;
   std::unordered_map<uint32_t, uint64_t> applied_versions_;
+  std::mutex delta_mu_;
 
   /// Serializes delta extraction + push so versions reach each peer in
   /// order.
@@ -196,7 +202,12 @@ class ClusterNode {
   /// client::Session exactly as you would a single-node service.
   ClusterService& service() { return *cluster_; }
   /// The embedded single-node service (tests/diagnostics: FlushAll,
-  /// AdvanceTicks, storage inspection).
+  /// AdvanceTicks, storage inspection). READ-ONLY in spirit on a cluster
+  /// node: writes applied here directly (ApplyWrite/ApplyBatch/
+  /// ExecuteWrite) update local storage and wake local queries but ship
+  /// NO delta — followers stay stale until the next write through
+  /// service().ExecuteWrite. All cluster writes must go through the
+  /// ClusterService surface.
   service::CoordinationService& local_service() { return *local_; }
 
   /// Orderly shutdown: stop accepting, close inbound connections, close

@@ -107,6 +107,7 @@ Status PeerLink::EnsureConnectedLocked() {
   next_attempt_ = {};
   shared_sym_prefix_v_ = std::min<uint64_t>(hwm, ack.value().sym_hwm);
   last_pushed_version_v_ = ack.value().applied_db_version;
+  ++conn_generation_v_;
   reader_ = std::thread(&PeerLink::ReaderLoop, this);
   return Status::OK();
 }
@@ -318,14 +319,16 @@ uint64_t PeerLink::shared_sym_prefix() const {
   return shared_sym_prefix_v_;
 }
 
-uint64_t PeerLink::last_pushed_version() const {
+PeerLink::PushCursor PeerLink::push_cursor() const {
   std::lock_guard<std::mutex> lock(conn_mu_);
-  return last_pushed_version_v_;
+  return {last_pushed_version_v_, conn_generation_v_};
 }
 
-void PeerLink::NotePushed(uint64_t version) {
+bool PeerLink::ConfirmPush(uint64_t generation, uint64_t version) {
   std::lock_guard<std::mutex> lock(conn_mu_);
+  if (conn_generation_v_ != generation) return false;
   last_pushed_version_v_ = std::max(last_pushed_version_v_, version);
+  return true;
 }
 
 void PeerLink::Close() {

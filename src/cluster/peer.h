@@ -96,10 +96,23 @@ class PeerLink {
   uint64_t shared_sym_prefix() const;
 
   /// Replication resume point: the highest storage version this peer is
-  /// known to have applied from us (seeded by the handshake ack, advanced
-  /// by NotePushed). The storage owner extracts deltas from here.
-  uint64_t last_pushed_version() const;
-  void NotePushed(uint64_t version);
+  /// known to have applied from us, captured together with the connection
+  /// generation it was read under. The generation increments on every
+  /// successful (re)connect — a reconnect resets the resume point to the
+  /// follower's true applied version from the handshake ack, invalidating
+  /// any delta extracted against the previous cursor.
+  struct PushCursor {
+    uint64_t version = 0;
+    uint64_t generation = 0;
+  };
+  PushCursor push_cursor() const;
+
+  /// Advances the resume point to `version` iff no reconnect happened
+  /// since `generation` was read. Returns false when the connection
+  /// turned over mid-push — the delta just sent was built on a cursor the
+  /// follower may not hold, so the caller must re-extract from the fresh
+  /// push_cursor() instead of marking the range shipped.
+  bool ConfirmPush(uint64_t generation, uint64_t version);
 
   /// Permanently closes the link: fails all in-flight requests with
   /// kUnavailable and rejects future operations.
@@ -142,6 +155,10 @@ class PeerLink {
   int backoff_ms_ = 0;
   uint64_t shared_sym_prefix_v_ = 0;
   uint64_t last_pushed_version_v_ = 0;
+  /// Bumped by every successful connect; pairs with last_pushed_version_v_
+  /// so ConfirmPush can tell whether a reconnect reset the resume point
+  /// while a delta was in flight.
+  uint64_t conn_generation_v_ = 0;
 
   std::mutex pending_mu_;
   uint64_t next_req_id_ = 1;

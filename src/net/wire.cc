@@ -8,7 +8,8 @@ using client::PortableTerm;
 using client::PreferenceSpec;
 using service::ServiceOutcome;
 
-constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kUnavailable);
 constexpr uint8_t kMaxCompareOp = static_cast<uint8_t>(ir::CompareOp::kGe);
 constexpr uint8_t kMaxTermKind = static_cast<uint8_t>(PortableTerm::Kind::kVar);
 constexpr uint8_t kMaxPrefKind =

@@ -22,8 +22,12 @@ enum class StatusCode {
   kTimeout,          ///< query became stale before coordination (paper §5.1)
   kCancelled,        ///< query was withdrawn by its submitter / the service
   kResourceExhausted,  ///< admission control rejected the request (queue full)
-  kUnavailable,      ///< a peer node or transport is unreachable (retryable)
   kInternal,         ///< invariant violation; indicates a bug
+  kUnavailable,      ///< a peer node or transport is unreachable (retryable)
+  // Codes cross the wire numerically (net::EncodeStatus) and the cluster
+  // handshake carries no protocol version: APPEND new codes here only —
+  // never insert or renumber. (net::wire.cc's kMaxStatusCode must name
+  // the last enumerator.)
 };
 
 /// Returns a short human-readable name for a code ("InvalidArgument", ...).

@@ -335,6 +335,81 @@ TEST(ClusterTest, CancelReachesForwardedQuery) {
       << t->outcome().status.ToString();
 }
 
+// -------------------------------------------------------- replication --
+
+TEST(ClusterTest, FollowerRejectsGappedDeltaAndIgnoresReplays) {
+  // A follower node; the configured storage owner (node 1) is not
+  // running — deltas are hand-crafted and fed straight to the handler,
+  // exactly what a connection thread does with a decoded kDelta frame.
+  ClusterOptions opts = NodeOpts(0, PickFreePort(), 1, PickFreePort());
+  opts.storage_owner = 1;
+  auto node = ClusterNode::Start(opts);
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  ClusterService& svc = node.value()->service();
+
+  // The follower's applied version for an origin is exactly what its
+  // HelloAck would report back to a reconnecting owner.
+  auto applied_version = [&](uint32_t origin) {
+    StringInterner empty;
+    net::HelloMsg hello;
+    hello.node_id = origin;
+    hello.sym_hwm = 0;
+    hello.sym_prefix_hash = net::InternerPrefixHash(empty, 0);
+    return svc.HandleHello(hello).applied_db_version;
+  };
+
+  auto delta = [&](uint64_t from, uint64_t to, int fno,
+                   const std::string& dest) {
+    net::DeltaMsg m;
+    m.origin_node = 1;
+    m.from_version = from;
+    m.to_version = to;
+    net::DeltaMsg::TableRows t;
+    t.table = "Flights";
+    t.arity = 2;
+    constexpr uint32_t kOwnerSym = 7777;  // above any shared prefix
+    t.cells = {ir::Value::Int(fno), ir::Value::Str(kOwnerSym)};
+    m.tables.push_back(std::move(t));
+    m.dict.emplace_back(kOwnerSym, dest);
+    return m;
+  };
+
+  // Contiguous from the initial state (applied = 0): accepted.
+  EXPECT_TRUE(svc.HandleDelta(delta(0, 3, 200, "Berlin")).ok());
+  EXPECT_EQ(applied_version(1), 3u);
+
+  // Replayed history (an owner re-shipping after a resync race):
+  // idempotently ignored, applied version unchanged.
+  EXPECT_TRUE(svc.HandleDelta(delta(0, 3, 201, "Oslo")).ok());
+  EXPECT_TRUE(svc.HandleDelta(delta(1, 2, 202, "Pisa")).ok());
+  EXPECT_EQ(applied_version(1), 3u);
+
+  // Gap (builds on version 5, only 3 applied): rejected so the serving
+  // thread drops the connection and the owner resyncs via handshake —
+  // applying it would silently skip tables touched in (3, 5].
+  Status gap = svc.HandleDelta(delta(5, 6, 203, "Nice"));
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.code(), StatusCode::kUnavailable) << gap.ToString();
+  EXPECT_EQ(applied_version(1), 3u);
+
+  // Overlapping re-ship after a resync (builds on 2 <= applied 3, a
+  // superset of what we miss): accepted, advances to 6.
+  EXPECT_TRUE(svc.HandleDelta(delta(2, 6, 204, "Rome")).ok());
+  EXPECT_EQ(applied_version(1), 6u);
+}
+
+TEST(ClusterTest, StartRejectsNodeIdsThatOverflowTheProxyTag) {
+  // (node_id + 1) << 48 with node_id 65535 shifts the proxy-ticket tag
+  // out of the id entirely — ids would collide with local counter ids.
+  auto self = ClusterNode::Start(NodeOpts(65535, 0, 1, PickFreePort()));
+  ASSERT_FALSE(self.ok());
+  EXPECT_EQ(self.status().code(), StatusCode::kInvalidArgument);
+
+  auto peer = ClusterNode::Start(NodeOpts(0, 0, 70000, PickFreePort()));
+  ASSERT_FALSE(peer.ok());
+  EXPECT_EQ(peer.status().code(), StatusCode::kInvalidArgument);
+}
+
 // ----------------------------------------------------------- protocol --
 
 TEST(ClusterTest, HandshakeRefusesMismatchedCatalog) {
