@@ -44,6 +44,9 @@ VOLATILE_KEYS = {
     # for the baseline row itself and can go mildly negative on a noisy
     # run where the traced variant happens to finish faster.
     "overhead_ratio",
+    # Prepare-bench hit rate is 0 by construction in the cold rows and
+    # depends on warmup timing in the cached rows.
+    "hit_rate",
 }
 
 

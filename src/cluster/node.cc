@@ -496,18 +496,15 @@ void ClusterService::ReforwardExtracted(service::ExtractedQuery ex,
                                         uint32_t owner,
                                         std::vector<std::string> group) {
   Ticket ticket = ex.ticket;
-  client::PortableQuery canonical;
-  if (ex.program != nullptr) {
-    canonical = *ex.program;
-  } else {
-    // IR text: parse to the canonical form via the edge catalog.
-    auto c = local_->Canonicalize(client::Query::Ir(ex.text));
-    if (!c.ok()) {
-      TicketFactory::Complete(ticket, FailedOutcome(c.status()));
-      return;
-    }
-    canonical = std::move(c.value());
+  if (ex.program == nullptr) {
+    // Unreachable: every dialect normalizes to the portable program at
+    // submission. Fail loudly rather than forwarding a blank query.
+    TicketFactory::Complete(
+        ticket, FailedOutcome(Status::Internal(
+                    "extracted query carries no canonical program")));
+    return;
   }
+  client::PortableQuery canonical = *ex.program;
 
   if (owner == self_) {
     service::SubmitOptions sopts;

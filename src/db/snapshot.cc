@@ -22,6 +22,12 @@ const TableVersion* Snapshot::GetTable(SymbolId rel) const {
   return it == rep_->tables.end() ? nullptr : it->second.get();
 }
 
+void Snapshot::ForEachTable(
+    const std::function<void(SymbolId, const TableVersion&)>& fn) const {
+  if (rep_ == nullptr) return;
+  for (const auto& [rel, table] : rep_->tables) fn(rel, *table);
+}
+
 const TableVersion* Snapshot::GetTable(std::string_view name) const {
   if (rep_ == nullptr) return nullptr;
   SymbolId rel = rep_->interner->Lookup(name);

@@ -1,6 +1,7 @@
 #ifndef EQ_DB_SNAPSHOT_H_
 #define EQ_DB_SNAPSHOT_H_
 
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <unordered_map>
@@ -61,6 +62,12 @@ class Snapshot {
   const StringInterner& interner() const;
 
   size_t table_count() const { return rep_ ? rep_->tables.size() : 0; }
+
+  /// Visits every (relation symbol, table version) pair, in unspecified
+  /// order. The catalog walk behind schema fingerprinting (plan-cache
+  /// invalidation) and diagnostics; `fn` must not retain the reference.
+  void ForEachTable(
+      const std::function<void(SymbolId, const TableVersion&)>& fn) const;
 
  private:
   friend class Database;

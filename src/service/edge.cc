@@ -1,0 +1,94 @@
+#include "service/edge.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "db/table.h"
+
+namespace eq::service {
+
+uint64_t SchemaFingerprint(const db::Snapshot& snapshot) {
+  // FNV-style per-table hash, XOR-combined so the (unspecified) iteration
+  // order doesn't matter.
+  uint64_t fp = 1469598103934665603ull ^ snapshot.table_count();
+  snapshot.ForEachTable([&fp](SymbolId rel, const db::TableVersion& table) {
+    uint64_t h = (static_cast<uint64_t>(rel) + 0x9e3779b97f4a7c15ull) *
+                 1099511628211ull;
+    for (const db::Column& c : table.schema().columns) {
+      h = (h ^ std::hash<std::string>{}(c.name)) * 1099511628211ull;
+      h = (h ^ static_cast<uint64_t>(c.type)) * 1099511628211ull;
+    }
+    fp ^= h;
+  });
+  return fp;
+}
+
+EdgeContextPool::EdgeContextPool(Options opts,
+                                 std::shared_ptr<StringInterner> interner,
+                                 const ir::QueryContext* base_ctx,
+                                 db::Storage* storage, RecycleHook on_recycle)
+    : opts_(opts),
+      interner_(std::move(interner)),
+      base_ctx_(base_ctx),
+      storage_(storage),
+      on_recycle_(std::move(on_recycle)) {
+  size_t n = opts_.pool_size == 0 ? 1 : opts_.pool_size;
+  slots_.resize(n);
+  free_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Reseed(slots_[i]);
+    free_.push_back(i);
+  }
+}
+
+void EdgeContextPool::Reseed(Slot& slot) {
+  // Re-seed from the shared snapshot instead of re-running the bootstrap:
+  // a fresh context (dropping the accumulated per-query variables) that
+  // shares the storage interner and adopts the bootstrap catalog metadata.
+  slot.ctx = std::make_unique<ir::QueryContext>(interner_);
+  slot.ctx->AdoptMetaFrom(*base_ctx_);
+  slot.snapshot = storage_->Current();
+  slot.translator =
+      std::make_unique<sql::Translator>(slot.ctx.get(), slot.snapshot);
+  slot.uses = 0;
+}
+
+EdgeContextPool::Lease EdgeContextPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !free_.empty(); });
+  size_t i = free_.back();
+  free_.pop_back();
+  return Lease(this, i);
+}
+
+void EdgeContextPool::Release(size_t slot) {
+  Slot& s = slots_[slot];
+  // The releasing thread still owns the slot exclusively (it is not on the
+  // free list), so the re-seed and the recycle hook run without the pool
+  // lock — other threads keep acquiring and releasing other slots.
+  if (opts_.recycle_uses != 0 && ++s.uses >= opts_.recycle_uses) {
+    Reseed(s);
+    recycles_.fetch_add(1, std::memory_order_relaxed);
+    if (on_recycle_) on_recycle_(s.snapshot);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(slot);
+  }
+  cv_.notify_one();
+}
+
+ir::QueryContext* EdgeContextPool::Lease::ctx() const {
+  return pool_->slots_[slot_].ctx.get();
+}
+
+sql::Translator& EdgeContextPool::Lease::translator() const {
+  return *pool_->slots_[slot_].translator;
+}
+
+const db::Snapshot& EdgeContextPool::Lease::snapshot() const {
+  return pool_->slots_[slot_].snapshot;
+}
+
+}  // namespace eq::service

@@ -1,0 +1,137 @@
+#ifndef EQ_SERVICE_EDGE_H_
+#define EQ_SERVICE_EDGE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "db/snapshot.h"
+#include "db/storage.h"
+#include "ir/query.h"
+#include "sql/translator.h"
+#include "util/interner.h"
+
+namespace eq::service {
+
+/// Order-independent fingerprint of a snapshot's catalog shape: every
+/// table's symbol, column names and column types. Two snapshots with the
+/// same fingerprint present the same schema to SQL translation and builder
+/// validation, so cached plans prepared against one are valid against the
+/// other (row contents don't matter — plans are shapes, not data).
+uint64_t SchemaFingerprint(const db::Snapshot& snapshot);
+
+/// A pool of snapshot-seeded edge catalogs: the contexts SQL is translated
+/// against, IR text is parsed against, and builder programs are validated
+/// against, before routing. Prepare ops check one out (Acquire), do their
+/// translation, and return it on Lease destruction — N client threads
+/// prepare in parallel instead of serializing on a single edge mutex.
+///
+/// Pooled contexts share the storage interner (internally synchronized), so
+/// they agree on SymbolIds: a plan prepared on any slot means the same
+/// thing everywhere. Each slot also holds a persistent sql::Translator
+/// (stateless beyond its context + snapshot pointers), so the hot SQL path
+/// stops constructing one per call.
+///
+/// Recycling is per slot: a context accumulates fresh variables per
+/// prepared query, so after `recycle_uses` leases the releasing thread
+/// re-seeds it from the shared snapshot (cheap — catalog metadata adoption,
+/// no bootstrap re-run) while the slot is still exclusively owned, then
+/// runs `on_recycle` with the fresh snapshot (the service hooks plan-cache
+/// invalidation on schema change there).
+///
+/// Thread safety: Acquire/Release are safe from any thread; a leased
+/// slot's context/translator are exclusively the lease holder's.
+class EdgeContextPool {
+ public:
+  struct Options {
+    size_t pool_size = 1;
+    /// Leases before a slot's context is re-seeded. 0 = never recycle
+    /// (same convention as ServiceOptions::edge_recycle_uses).
+    size_t recycle_uses = 4096;
+  };
+
+  /// Runs on the releasing thread after a slot re-seeds, outside the pool
+  /// lock, with the snapshot the slot now serves. May be null.
+  using RecycleHook = std::function<void(const db::Snapshot&)>;
+
+  /// Seeds `pool_size` contexts from `base_ctx` (the bootstrap catalog
+  /// metadata) and `storage->Current()`. `interner`, `base_ctx` and
+  /// `storage` must outlive the pool.
+  EdgeContextPool(Options opts, std::shared_ptr<StringInterner> interner,
+                  const ir::QueryContext* base_ctx, db::Storage* storage,
+                  RecycleHook on_recycle);
+
+  EdgeContextPool(const EdgeContextPool&) = delete;
+  EdgeContextPool& operator=(const EdgeContextPool&) = delete;
+
+  class Lease;
+
+  /// Checks out a context, blocking while every slot is leased (bounded by
+  /// translation time — prepare work holds a lease only across one
+  /// parse/translate/validate, never across a queue wait or a lock).
+  Lease Acquire();
+
+  size_t size() const { return slots_.size(); }
+  uint64_t recycles() const {
+    return recycles_.load(std::memory_order_relaxed);
+  }
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), slot_(other.slot_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->Release(slot_);
+    }
+
+    ir::QueryContext* ctx() const;
+    sql::Translator& translator() const;
+    const db::Snapshot& snapshot() const;
+
+   private:
+    friend class EdgeContextPool;
+    Lease(EdgeContextPool* pool, size_t slot) : pool_(pool), slot_(slot) {}
+
+    EdgeContextPool* pool_;
+    size_t slot_;
+  };
+
+ private:
+  struct Slot {
+    std::unique_ptr<ir::QueryContext> ctx;
+    db::Snapshot snapshot;
+    std::unique_ptr<sql::Translator> translator;
+    size_t uses = 0;  ///< leases since the last re-seed
+  };
+
+  /// Fresh context + snapshot + translator for `slot` (caller owns the
+  /// slot exclusively: either construction or a lease being released).
+  void Reseed(Slot& slot);
+  void Release(size_t slot);
+
+  const Options opts_;
+  std::shared_ptr<StringInterner> interner_;
+  const ir::QueryContext* base_ctx_;
+  db::Storage* storage_;
+  RecycleHook on_recycle_;
+
+  std::atomic<uint64_t> recycles_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::vector<size_t> free_;  ///< slot indexes available to Acquire
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_EDGE_H_

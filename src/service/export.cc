@@ -113,6 +113,21 @@ std::string MetricsToPrometheusText(const ServiceMetrics& m) {
   Sample(out, "eq_write_notifies_coalesced_total",
          "Write notifications absorbed by an already-queued op.", "counter",
          Num(m.write_notifies_coalesced));
+  Sample(out, "eq_prepare_cache_hits_total",
+         "Prepared-plan cache hits (repeat shapes skipping translation).",
+         "counter", Num(m.prepare_cache_hits));
+  Sample(out, "eq_prepare_cache_misses_total",
+         "Prepared-plan cache misses (cold prepares).", "counter",
+         Num(m.prepare_cache_misses));
+  Sample(out, "eq_prepare_cache_evictions_total",
+         "Prepared plans evicted by the capacity bound (LRU).", "counter",
+         Num(m.prepare_cache_evictions));
+  Sample(out, "eq_prepare_cache_invalidations_total",
+         "Plan-cache sweeps triggered by schema-affecting changes.",
+         "counter", Num(m.prepare_cache_invalidations));
+  Sample(out, "eq_edge_recycles_total",
+         "Pooled edge-context re-seeds from the shared snapshot.", "counter",
+         Num(m.edge_recycles));
   Sample(out, "eq_uptime_seconds", "Seconds since service start.", "gauge",
          Num(m.elapsed_seconds));
   Sample(out, "eq_answered_per_second", "Global answer throughput.", "gauge",
@@ -133,6 +148,23 @@ std::string MetricsToPrometheusText(const ServiceMetrics& m) {
   out += "eq_latency_ms_bucket{le=\"+Inf\"} " + Num(cumulative) + "\n";
   out += "eq_latency_ms_sum " + Num(sum_ms) + "\n";
   out += "eq_latency_ms_count " + Num(cumulative) + "\n";
+
+  // Prepare latency (PrepareQuery/Canonicalize wall time, hits + misses).
+  out +=
+      "# HELP eq_prepare_latency_ms Prepare-phase latency "
+      "(milliseconds).\n# TYPE eq_prepare_latency_ms histogram\n";
+  cumulative = 0;
+  sum_ms = 0;
+  for (size_t i = 0; i < m.prepare_latency_buckets.size(); ++i) {
+    cumulative += m.prepare_latency_buckets[i];
+    sum_ms +=
+        static_cast<double>(m.prepare_latency_buckets[i]) * BucketMidMs(i);
+    out += "eq_prepare_latency_ms_bucket{le=\"" + Num(BucketUpperMs(i)) +
+           "\"} " + Num(cumulative) + "\n";
+  }
+  out += "eq_prepare_latency_ms_bucket{le=\"+Inf\"} " + Num(cumulative) + "\n";
+  out += "eq_prepare_latency_ms_sum " + Num(sum_ms) + "\n";
+  out += "eq_prepare_latency_ms_count " + Num(cumulative) + "\n";
 
   // Per-shard breakdown (one metric family per counter, labelled by shard).
   ShardHeader(out, "eq_shard_submitted_total",
@@ -209,6 +241,12 @@ std::string MetricsToJson(const ServiceMetrics& m) {
   field("wakeup_reevals", Num(m.wakeup_reevals), false);
   field("wakeup_satisfied", Num(m.wakeup_satisfied), false);
   field("write_notifies_coalesced", Num(m.write_notifies_coalesced), false);
+  field("prepare_cache_hits", Num(m.prepare_cache_hits), false);
+  field("prepare_cache_misses", Num(m.prepare_cache_misses), false);
+  field("prepare_cache_evictions", Num(m.prepare_cache_evictions), false);
+  field("prepare_cache_invalidations", Num(m.prepare_cache_invalidations),
+        false);
+  field("edge_recycles", Num(m.edge_recycles), false);
   field("elapsed_seconds", Num(m.elapsed_seconds), false);
   field("answered_per_second", Num(m.answered_per_second), false);
 
@@ -224,6 +262,21 @@ std::string MetricsToJson(const ServiceMetrics& m) {
     first = false;
     out += "{\"le\": " + Num(BucketUpperMs(i)) +
            ", \"count\": " + Num(m.latency_buckets[i]) + "}";
+  }
+  out += "]\n  },\n";
+
+  out += "  \"prepare_latency_ms\": {\n";
+  out += "    \"p50\": " + Num(m.prepare_p50_ms) + ",\n";
+  out += "    \"p95\": " + Num(m.prepare_p95_ms) + ",\n";
+  out += "    \"p99\": " + Num(m.prepare_p99_ms) + ",\n";
+  out += "    \"buckets\": [";
+  first = true;
+  for (size_t i = 0; i < m.prepare_latency_buckets.size(); ++i) {
+    if (m.prepare_latency_buckets[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"le\": " + Num(BucketUpperMs(i)) +
+           ", \"count\": " + Num(m.prepare_latency_buckets[i]) + "}";
   }
   out += "]\n  },\n";
 

@@ -58,6 +58,19 @@ struct ServiceStateDump {
   uint64_t storage_version = 0;  ///< storage head at dump time
   std::vector<ShardState> shards;
 
+  /// Prepare-path state: plan-cache occupancy/counters and pool shape.
+  struct PrepareState {
+    size_t edge_pool_size = 0;
+    uint64_t edge_recycles = 0;
+    size_t plan_cache_size = 0;
+    size_t plan_cache_capacity = 0;
+    uint64_t plan_cache_hits = 0;
+    uint64_t plan_cache_misses = 0;
+    uint64_t plan_cache_evictions = 0;
+    uint64_t plan_cache_invalidations = 0;
+  };
+  PrepareState prepare;
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 };

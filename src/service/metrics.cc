@@ -148,6 +148,17 @@ std::string ServiceMetrics::ToString() const {
                 answered_per_second,
                 p50_latency_ms, p95_latency_ms, p99_latency_ms);
   out += line;
+  std::snprintf(line, sizeof(line),
+                "prepare: cache_hits=%llu cache_misses=%llu "
+                "cache_evictions=%llu cache_invalidations=%llu "
+                "edge_recycles=%llu p50=%.3fms p95=%.3fms p99=%.3fms\n",
+                (unsigned long long)prepare_cache_hits,
+                (unsigned long long)prepare_cache_misses,
+                (unsigned long long)prepare_cache_evictions,
+                (unsigned long long)prepare_cache_invalidations,
+                (unsigned long long)edge_recycles, prepare_p50_ms,
+                prepare_p95_ms, prepare_p99_ms);
+  out += line;
   for (const ShardMetricsSnapshot& s : shards) {
     std::snprintf(line, sizeof(line),
                   "  shard %u: submitted=%llu answered=%llu failed=%llu "

@@ -131,11 +131,29 @@ struct ServiceMetrics {
   /// (all shards) — the wake-up-storm damping under write bursts.
   uint64_t write_notifies_coalesced = 0;
 
+  /// Prepare-path (edge) counters, service-level rather than per-shard:
+  /// the fingerprint-keyed plan cache in front of translation and the
+  /// pooled edge-context recycles. Filled by CoordinationService::Metrics
+  /// after shard aggregation (AggregateMetrics leaves them zero).
+  uint64_t prepare_cache_hits = 0;
+  uint64_t prepare_cache_misses = 0;
+  uint64_t prepare_cache_evictions = 0;
+  uint64_t prepare_cache_invalidations = 0;  ///< schema-change sweeps
+  uint64_t edge_recycles = 0;  ///< pooled edge-context re-seeds
+
   double elapsed_seconds = 0;       ///< since service start
   double answered_per_second = 0;   ///< global throughput
   double p50_latency_ms = 0;
   double p95_latency_ms = 0;
   double p99_latency_ms = 0;
+
+  /// PrepareQuery/Canonicalize wall latency (cache hits and misses both;
+  /// same log-2 bucket layout as the resolution histogram). Also filled by
+  /// CoordinationService::Metrics, not AggregateMetrics.
+  double prepare_p50_ms = 0;
+  double prepare_p95_ms = 0;
+  double prepare_p99_ms = 0;
+  std::array<uint64_t, LatencyHistogram::kBuckets> prepare_latency_buckets{};
 
   /// Merged per-shard latency buckets (same log-2 layout as
   /// LatencyHistogram) — the exporters render these as cumulative

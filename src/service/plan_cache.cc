@@ -1,0 +1,82 @@
+#include "service/plan_cache.h"
+
+#include <cctype>
+
+namespace eq::service {
+
+bool PlanCache::Lookup(const std::string& key, Plan* out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *out = it->second->second;
+  return true;
+}
+
+void PlanCache::Insert(const std::string& key, Plan plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(plan);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  index_.clear();
+  lru_.clear();
+  ++invalidations_;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+std::string PlanCache::NormalizeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  char quote = 0;
+  bool pending_space = false;
+  for (char c : text) {
+    if (quote != 0) {
+      out.push_back(c);
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+    if (c == '\'' || c == '"') quote = c;
+  }
+  return out;
+}
+
+}  // namespace eq::service

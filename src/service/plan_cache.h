@@ -1,0 +1,101 @@
+#ifndef EQ_SERVICE_PLAN_CACHE_H_
+#define EQ_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "client/query.h"
+
+namespace eq::service {
+
+/// Bounded LRU cache of prepared plans, keyed by dialect + normalized query
+/// fingerprint. Coordination apps submit the same entangled shapes over and
+/// over (every flight-booking pair is one SQL template with different
+/// constants rendered in), so a repeat shape skips parse + translate +
+/// canonicalize entirely and goes straight to routing.
+///
+/// Cached plans are context-free: the canonical PortableQuery de-interns to
+/// plain strings and each shard re-instantiates it against its own catalog,
+/// so an entry stays valid across edge-context recycles. Only a
+/// schema-affecting change (a table appearing, disappearing, or changing
+/// shape) can make one stale — the service detects that by fingerprinting
+/// the snapshot at every recycle and calls InvalidateAll.
+///
+/// Thread safety: every method is safe from any thread (one internal mutex;
+/// all operations are O(1) hash + list splice, so the critical section is a
+/// few pointer writes — orders of magnitude below the translation work a
+/// hit saves).
+class PlanCache {
+ public:
+  /// One prepared plan: the canonical context-free program plus its
+  /// entangled-relation routing fingerprint (sorted, deduped).
+  struct Plan {
+    std::shared_ptr<const client::PortableQuery> program;
+    std::vector<std::string> relations;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      ///< entries dropped by the capacity bound
+    uint64_t invalidations = 0;  ///< InvalidateAll sweeps (schema changes)
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// `capacity` bounds the entry count (LRU eviction). 0 disables the
+  /// cache: Lookup always misses without counting, Insert is a no-op.
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// True (and fills `*out`) on a hit; the entry becomes most recent.
+  bool Lookup(const std::string& key, Plan* out);
+
+  /// Records `plan` under `key`, evicting the least recent entry when over
+  /// capacity. An existing key is refreshed in place (two threads missing
+  /// the same shape concurrently both insert; last one wins, harmlessly —
+  /// both plans are equivalent canonicalizations of the same text).
+  void Insert(const std::string& key, Plan plan);
+
+  /// Drops every entry (schema-affecting change: cached SQL plans were
+  /// translated against the old catalog shape).
+  void InvalidateAll();
+
+  Stats stats() const;
+
+  /// Collapses runs of whitespace to one space and trims the ends, WITHOUT
+  /// touching quoted string literals ('a  b' and 'a b' are different
+  /// constants), so trivially reformatted query text shares a cache key.
+  /// Quote tracking mirrors ir::Parser: either quote character opens a
+  /// literal, closed only by the same character, no escapes.
+  static std::string NormalizeText(std::string_view text);
+
+ private:
+  using LruList = std::list<std::pair<std::string, Plan>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  /// Keys view the list node's own string (node addresses are stable), so
+  /// each key is stored once.
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace eq::service
+
+#endif  // EQ_SERVICE_PLAN_CACHE_H_

@@ -35,9 +35,19 @@ CoordinationService::CoordinationService(ServiceOptions opts)
   }
   storage_->Publish();
 
-  // Edge catalog: a context seeded from the storage snapshot, owned by
-  // the service for pre-route SQL translation and builder validation.
-  RecycleEdgeCatalogLocked();  // no contention yet: shards don't exist
+  // Edge catalog pool + plan cache: contexts seeded from the storage
+  // snapshot, owned by the service for pre-route translation/validation.
+  // The schema fingerprint baseline is taken before the pool exists, so
+  // the first recycle compares against the bootstrap catalog shape.
+  schema_fingerprint_ = SchemaFingerprint(storage_->Current());
+  plan_cache_ = std::make_unique<PlanCache>(opts_.plan_cache_capacity);
+  EdgeContextPool::Options popts;
+  popts.pool_size =
+      opts_.edge_pool_size == 0 ? opts_.num_shards : opts_.edge_pool_size;
+  popts.recycle_uses = opts_.edge_recycle_uses;
+  edge_pool_ = std::make_unique<EdgeContextPool>(
+      popts, interner_, storage_ctx_.get(), storage_.get(),
+      [this](const db::Snapshot& snap) { MaybeInvalidateOnSchemaChange(snap); });
 
   if (opts_.write_wakeups) {
     wakeup_index_ = std::make_unique<WriteWakeupIndex>(router_.num_shards());
@@ -109,129 +119,126 @@ CoordinationService::~CoordinationService() {
                                 "query resolved"));
 }
 
-Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
+Result<PlanCache::Plan> CoordinationService::PreparePlan(
     const client::Query& query) {
-  Prepared p;
-  p.accepted_at = std::chrono::steady_clock::now();
-  p.dialect = query.dialect();
+  // Cache key: dialect prefix + the query's structural fingerprint. Text
+  // dialects normalize whitespace (quote-aware); builder programs render
+  // their canonical IR text (variables renamed v0, v1, ... — two programs
+  // built differently but structurally identical share a key).
+  std::string key;
   switch (query.dialect()) {
     case client::Dialect::kIr: {
       if (IsBlank(query.text())) {
         return Status::InvalidArgument("empty query text (ir dialect)");
       }
+      // Keep the lexical routability check ahead of the full parse: text
+      // with no entangled section at all stays kInvalidArgument (parse
+      // errors below are for text that looks like a query but is
+      // malformed).
       auto rels = QueryRouter::EntangledRelationsOf(query.text());
       if (!rels.ok()) return rels.status();
-      p.text = query.text();
-      p.relations = std::move(*rels);
-      return p;
+      key = "i:" + PlanCache::NormalizeText(query.text());
+      break;
     }
     case client::Dialect::kSql: {
       if (IsBlank(query.text())) {
         return Status::InvalidArgument("empty query text (sql dialect)");
       }
-      auto canonical = CanonicalizeSql(query.text());
-      if (!canonical.ok()) return canonical.status();
-      p.relations = canonical->EntangledRelations();
-      // Initial submission ships the SQL text (the owning shard translates
-      // it against its own catalog view); the canonical program is kept for
-      // migration re-submission.
-      p.text = query.text();
-      p.program = std::make_shared<const client::PortableQuery>(
-          std::move(*canonical));
-      return p;
+      key = "s:" + PlanCache::NormalizeText(query.text());
+      break;
     }
     case client::Dialect::kBuilder: {
       if (!query.program()) {
         return Status::InvalidArgument("builder query carries no program");
       }
-      {
-        // Validate eagerly against the edge catalog so malformed programs
-        // fail synchronously instead of on the shard.
-        std::lock_guard<std::mutex> lock(edge_mu_);
-        auto validated = query.program()->Instantiate(edge_ctx_.get());
-        if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
-        if (!validated.ok()) return validated.status();
-      }
-      p.program = query.program();
-      p.relations = p.program->EntangledRelations();
-      if (p.relations.empty()) {
-        return Status::InvalidArgument(
-            "builder query has no entangled atoms to route on");
-      }
-      return p;
+      key = "b:" + query.program()->ToIrText();
+      break;
     }
+    default:
+      return Status::InvalidArgument("unknown query dialect");
   }
-  return Status::InvalidArgument("unknown query dialect");
+
+  PlanCache::Plan plan;
+  if (plan_cache_->Lookup(key, &plan)) return plan;
+
+  // Miss: canonicalize on a pooled edge context. The lease is held only
+  // across this one parse/translate/validate.
+  auto lease = edge_pool_->Acquire();
+  switch (query.dialect()) {
+    case client::Dialect::kIr: {
+      ir::Parser parser(lease.ctx());
+      auto q = parser.ParseQuery(query.text());
+      if (!q.ok()) {
+        edge_parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        return q.status();
+      }
+      plan.program = std::make_shared<const client::PortableQuery>(
+          client::FromIr(*q, *lease.ctx()));
+      break;
+    }
+    case client::Dialect::kSql: {
+      auto q = lease.translator().TranslateSql(query.text());
+      if (!q.ok()) {
+        edge_parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        return q.status();
+      }
+      plan.program = std::make_shared<const client::PortableQuery>(
+          client::FromIr(*q, *lease.ctx()));
+      break;
+    }
+    case client::Dialect::kBuilder: {
+      // Validate eagerly against the edge catalog so malformed programs
+      // fail synchronously instead of on the shard.
+      auto validated = query.program()->Instantiate(lease.ctx());
+      if (!validated.ok()) return validated.status();
+      plan.program = query.program();
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown query dialect");
+  }
+  plan.relations = plan.program->EntangledRelations();
+  if (plan.relations.empty()) {
+    return Status::InvalidArgument(
+        "query has no entangled atoms to route on");
+  }
+  plan_cache_->Insert(key, plan);
+  return plan;
+}
+
+Result<CoordinationService::Prepared> CoordinationService::PrepareQuery(
+    const client::Query& query) {
+  Prepared p;
+  p.accepted_at = std::chrono::steady_clock::now();
+  p.dialect = query.dialect();
+  auto plan = PreparePlan(query);
+  prepare_latency_.Record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - p.accepted_at)
+                              .count());
+  if (!plan.ok()) return plan.status();
+  p.program = std::move(plan->program);
+  p.relations = std::move(plan->relations);
+  return p;
 }
 
 Result<client::PortableQuery> CoordinationService::Canonicalize(
     const client::Query& query) {
-  switch (query.dialect()) {
-    case client::Dialect::kBuilder: {
-      if (!query.program()) {
-        return Status::InvalidArgument("builder query carries no program");
-      }
-      std::lock_guard<std::mutex> lock(edge_mu_);
-      auto validated = query.program()->Instantiate(edge_ctx_.get());
-      if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
-      if (!validated.ok()) return validated.status();
-      return *query.program();
-    }
-    case client::Dialect::kSql:
-      if (IsBlank(query.text())) {
-        return Status::InvalidArgument("empty query text (sql dialect)");
-      }
-      return CanonicalizeSql(query.text());
-    case client::Dialect::kIr: {
-      if (IsBlank(query.text())) {
-        return Status::InvalidArgument("empty query text (ir dialect)");
-      }
-      // The single-node submit path defers IR parsing to the owning shard;
-      // the cluster edge cannot (it must ship the context-free form), so
-      // parse here against the edge catalog like SQL translation.
-      std::lock_guard<std::mutex> lock(edge_mu_);
-      ir::Parser parser(edge_ctx_.get());
-      auto q = parser.ParseQuery(query.text());
-      if (!q.ok()) {
-        if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
-        return q.status();
-      }
-      auto canonical = client::FromIr(*q, *edge_ctx_);
-      if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
-      return canonical;
-    }
-  }
-  return Status::InvalidArgument("unknown query dialect");
+  auto t0 = std::chrono::steady_clock::now();
+  auto plan = PreparePlan(query);
+  prepare_latency_.Record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  if (!plan.ok()) return plan.status();
+  return *plan->program;
 }
 
-Result<client::PortableQuery> CoordinationService::CanonicalizeSql(
-    const std::string& text) {
-  std::lock_guard<std::mutex> lock(edge_mu_);
-  sql::Translator translator(edge_ctx_.get(), edge_snapshot_);
-  auto q = translator.TranslateSql(text);
-  if (!q.ok()) {
-    if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
-    return q.status();
-  }
-  auto canonical = client::FromIr(*q, *edge_ctx_);
-  if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
-  return canonical;
-}
-
-bool CoordinationService::EdgeUseCountsTowardRecycle() {
-  // 0 = never recycle (the max_queue_depth "0 = unlimited" convention).
-  return ++edge_uses_ >= opts_.edge_recycle_uses &&
-         opts_.edge_recycle_uses != 0;
-}
-
-void CoordinationService::RecycleEdgeCatalogLocked() {
-  // Re-seed from the shared snapshot instead of re-running the bootstrap:
-  // a fresh context (dropping the accumulated per-query variables) that
-  // shares the storage interner and adopts the bootstrap catalog metadata.
-  edge_ctx_ = std::make_unique<ir::QueryContext>(interner_);
-  edge_ctx_->AdoptMetaFrom(*storage_ctx_);
-  edge_snapshot_ = storage_->Current();
-  edge_uses_ = 0;
+void CoordinationService::MaybeInvalidateOnSchemaChange(
+    const db::Snapshot& snapshot) {
+  uint64_t fp = SchemaFingerprint(snapshot);
+  std::lock_guard<std::mutex> lock(schema_mu_);
+  if (fp == schema_fingerprint_) return;
+  schema_fingerprint_ = fp;
+  plan_cache_->InvalidateAll();
 }
 
 Status CoordinationService::ApplyWrite(std::string_view table, db::Row row) {
@@ -282,10 +289,8 @@ Result<size_t> CoordinationService::ExecuteWrite(std::string_view sql) {
   // interner).
   sql::WriteStatement stmt;
   {
-    std::lock_guard<std::mutex> lock(edge_mu_);
-    sql::Translator translator(edge_ctx_.get(), edge_snapshot_);
-    auto translated = translator.TranslateWriteSql(sql);
-    if (EdgeUseCountsTowardRecycle()) RecycleEdgeCatalogLocked();
+    auto lease = edge_pool_->Acquire();
+    auto translated = lease.translator().TranslateWriteSql(sql);
     if (!translated.ok()) return translated.status();
     stmt = std::move(*translated);
   }
@@ -331,6 +336,9 @@ Status CoordinationService::ApplyReplicatedTables(
     const std::vector<db::Storage::TableReplacement>& reps) {
   if (reps.empty()) return Status::OK();
   EQ_RETURN_NOT_OK(storage_->ApplyReplacements(reps));
+  // Replication can introduce tables this node has never seen (leader-side
+  // catalog growth) — a schema-affecting change for cached SQL plans.
+  MaybeInvalidateOnSchemaChange(storage_->Current());
   std::vector<std::string> tables;
   tables.reserve(reps.size());
   for (const db::Storage::TableReplacement& r : reps) {
@@ -435,17 +443,11 @@ Result<Ticket> CoordinationService::SubmitPreparedLocked(
   entry.deadline_tick =
       opts.ttl_ticks == 0 ? 0 : now_ticks() + opts.ttl_ticks;
   entry.dialect = p.dialect;
-  // Payloads: builder programs ship as-is (the shard instantiates, no
-  // parsing); SQL ships as text for the shard's own translator, while the
-  // canonical program alone is kept for migration; IR text is both the
-  // initial payload and the canonical form.
-  if (p.dialect == client::Dialect::kBuilder) op.program = p.program;
-  if (p.dialect == client::Dialect::kIr) {
-    op.text = p.text;
-    entry.text = std::move(p.text);
-  } else {
-    op.text = std::move(p.text);
-  }
+  // Payload: every dialect ships its canonical program — the shard
+  // instantiates it directly (no re-parse, no re-translate), and
+  // migration re-submission and cross-node extraction reuse the same
+  // form.
+  op.program = p.program;
   entry.program = std::move(p.program);
   entry.preference = opts.preference;
   entry.relations = std::move(route->relations);
@@ -488,9 +490,9 @@ Result<Ticket> CoordinationService::Submit(client::Query query,
 
 std::vector<Result<Ticket>> CoordinationService::SubmitBatch(
     std::vector<client::Query> queries, SubmitOptions opts) {
-  // Phase 1, outside the submit lock: dialect normalization (SQL
-  // translation, builder validation, relation extraction) for the whole
-  // batch. SQL/builder preparation still serializes on edge_mu_.
+  // Phase 1, outside the submit lock: dialect normalization (plan-cache
+  // lookups, translation/validation on pooled edge contexts) for the
+  // whole batch.
   std::vector<Result<Prepared>> prepared;
   prepared.reserve(queries.size());
   for (const client::Query& q : queries) prepared.push_back(PrepareQuery(q));
@@ -646,6 +648,17 @@ ServiceStateDump CoordinationService::DumpState() const {
   // fingerprint is simply absent) — the dump is a snapshot, not a lock.
   ServiceStateDump dump;
   dump.storage_version = storage_->version();
+  {
+    PlanCache::Stats cs = plan_cache_->stats();
+    dump.prepare.edge_pool_size = edge_pool_->size();
+    dump.prepare.edge_recycles = edge_pool_->recycles();
+    dump.prepare.plan_cache_size = cs.size;
+    dump.prepare.plan_cache_capacity = cs.capacity;
+    dump.prepare.plan_cache_hits = cs.hits;
+    dump.prepare.plan_cache_misses = cs.misses;
+    dump.prepare.plan_cache_evictions = cs.evictions;
+    dump.prepare.plan_cache_invalidations = cs.invalidations;
+  }
   dump.shards.reserve(slots.size());
   std::lock_guard<std::mutex> lock(submit_mu_);
   for (size_t s = 0; s < slots.size(); ++s) {
@@ -688,6 +701,17 @@ std::string ServiceStateDump::ToString() const {
       "service state: storage_version=" + std::to_string(storage_version) +
       "\n";
   char line[256];
+  std::snprintf(line, sizeof(line),
+                "  prepare: edge_pool=%zu recycles=%llu plan_cache=%zu/%zu "
+                "hits=%llu misses=%llu evictions=%llu invalidations=%llu\n",
+                prepare.edge_pool_size,
+                (unsigned long long)prepare.edge_recycles,
+                prepare.plan_cache_size, prepare.plan_cache_capacity,
+                (unsigned long long)prepare.plan_cache_hits,
+                (unsigned long long)prepare.plan_cache_misses,
+                (unsigned long long)prepare.plan_cache_evictions,
+                (unsigned long long)prepare.plan_cache_invalidations);
+  out += line;
   for (const ShardState& s : shards) {
     std::snprintf(line, sizeof(line),
                   "  shard %u: queue_depth=%zu snapshot_version=%llu "
@@ -724,7 +748,21 @@ ServiceMetrics CoordinationService::Metrics() const {
   double elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - started_)
                        .count();
-  return AggregateMetrics(std::move(snaps), elapsed);
+  ServiceMetrics m = AggregateMetrics(std::move(snaps), elapsed);
+  // Prepare-path state lives at the service edge, not on a shard: fold it
+  // in after aggregation.
+  PlanCache::Stats cs = plan_cache_->stats();
+  m.prepare_cache_hits = cs.hits;
+  m.prepare_cache_misses = cs.misses;
+  m.prepare_cache_evictions = cs.evictions;
+  m.prepare_cache_invalidations = cs.invalidations;
+  m.edge_recycles = edge_pool_->recycles();
+  m.parse_errors += edge_parse_errors_.load(std::memory_order_relaxed);
+  m.prepare_latency_buckets = prepare_latency_.Snapshot();
+  m.prepare_p50_ms = HistogramPercentileMs(m.prepare_latency_buckets, 50);
+  m.prepare_p95_ms = HistogramPercentileMs(m.prepare_latency_buckets, 95);
+  m.prepare_p99_ms = HistogramPercentileMs(m.prepare_latency_buckets, 99);
+  return m;
 }
 
 void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
@@ -754,7 +792,6 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         // ticket from the remote outcome).
         extract_cb = entry.extract_cb;
         extracted.dialect = entry.dialect;
-        extracted.text = entry.text;
         extracted.program = entry.program;
         extracted.preference = entry.preference;
         extracted.relations = entry.relations;
@@ -777,15 +814,10 @@ void CoordinationService::OnShardEvent(ShardRunner::Event ev) {
         ShardRunner::Op op;
         op.kind = ShardRunner::Op::Kind::kSubmit;
         op.ticket = ev.ticket;
-        // Re-submit the canonical form regardless of the input dialect:
-        // IR text as-is, SQL and builder programs as the canonical
-        // portable program (the winning shard never re-translates SQL).
+        // Re-submit the canonical program regardless of the input dialect
+        // (the winning shard never re-parses or re-translates).
         op.dialect = entry.dialect;
-        if (entry.program) {
-          op.program = entry.program;
-        } else {
-          op.text = entry.text;
-        }
+        op.program = entry.program;
         op.preference = entry.preference;
         op.ttl_ticks = remaining;
         op.migrated_in = true;

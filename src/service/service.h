@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "client/query.h"
+#include "service/edge.h"
 #include "service/interface.h"
 #include "service/metrics.h"
+#include "service/plan_cache.h"
 #include "service/router.h"
 #include "service/shard.h"
 #include "service/ticket.h"
@@ -68,12 +70,32 @@ struct ServiceOptions {
   /// before routing).
   SnapshotBootstrap bootstrap;
 
-  /// The edge-catalog context accumulates fresh variables per translated
-  /// query, so it is recycled after this many uses to bound memory over a
-  /// long-lived service. Recycling re-seeds from the shared snapshot
-  /// (cheap); it does NOT re-run the bootstrap. 0 = never recycle (same
-  /// convention as max_queue_depth).
+  /// Each edge-catalog context accumulates fresh variables per translated
+  /// query, so it is recycled after this many uses (counted per pooled
+  /// context, not globally) to bound memory over a long-lived service.
+  /// Recycling re-seeds from the shared snapshot (cheap); it does NOT
+  /// re-run the bootstrap. 0 = never recycle (same convention as
+  /// max_queue_depth).
   size_t edge_recycle_uses = 4096;
+
+  /// Size of the edge-context pool that parallelizes the prepare phase:
+  /// every prepare (SQL translation, IR parsing, builder validation, SQL
+  /// write translation) checks out one of these snapshot-seeded contexts
+  /// instead of serializing on a single edge mutex, so N client threads
+  /// prepare concurrently. Pooled contexts share the internally
+  /// synchronized storage interner and therefore agree on SymbolIds.
+  /// 0 = one context per shard (num_shards).
+  size_t edge_pool_size = 0;
+
+  /// Entries in the fingerprint-keyed prepared-plan cache (LRU) in front
+  /// of translation: key = dialect + normalized query text (or the builder
+  /// program's canonical structural rendering), value = the canonical
+  /// portable program + entangled-relation list. A repeat shape skips
+  /// parse/translate/canonicalize and goes straight to routing. Entries
+  /// are context-free, so they survive edge recycles; the cache is swept
+  /// whenever a recycle (or replicated catalog) observes a
+  /// schema-affecting change. 0 disables caching.
+  size_t plan_cache_capacity = 1024;
 
   /// Write-triggered re-evaluation: when true (default), a successful
   /// ApplyWrite/ApplyBatch/ApplyDelete/ApplyUpdate posts a WriteNotify
@@ -135,9 +157,8 @@ struct ServiceOptions {
 /// node and completes the SAME ticket when the remote outcome arrives).
 struct ExtractedQuery {
   client::Dialect dialect = client::Dialect::kIr;
-  /// Canonical payload: IR text for the kIr dialect, the portable program
-  /// otherwise (same convention as migration re-submission).
-  std::string text;
+  /// Canonical payload: every dialect normalizes to the portable program
+  /// at submission (same form migration re-submission ships).
   std::shared_ptr<const client::PortableQuery> program;
   client::PreferenceSpec preference;
   uint64_t ttl_remaining = 0;  ///< 0 = no TTL
@@ -172,9 +193,10 @@ using ExtractCallback = std::function<void(ExtractedQuery)>;
 /// ApplyDelete/ApplyUpdate/ApplyBatch/ExecuteWrite), control (Cancel/
 /// AdvanceTicks/FlushAll/Drain), and observation (Metrics/storage/
 /// interner/ShardSnapshot). Internally, route→record→enqueue serializes
-/// on submit_mu_, SQL/builder preparation on edge_mu_, and storage writes
-/// on the Storage mutex; shard engine state is confined to each shard's
-/// thread. Ticket callbacks fire on the owning shard's thread (or on the
+/// on submit_mu_, preparation (parse/translate/validate) runs on a pooled
+/// edge context checked out per op, and storage writes serialize on the
+/// Storage mutex; shard engine state is confined to each shard's thread.
+/// Ticket callbacks fire on the owning shard's thread (or on the
 /// destructor's thread for queries orphaned by shutdown) — don't block in
 /// them.
 class CoordinationService : public CoordinationInterface {
@@ -187,11 +209,11 @@ class CoordinationService : public CoordinationInterface {
 
   /// Submits one typed query in any dialect.
   ///
-  /// Synchronous failures: empty/unroutable text (kInvalidArgument), SQL
-  /// parse/translation errors against the edge catalog, malformed builder
-  /// programs, and admission-control rejection (kResourceExhausted). IR
-  /// text is only routed here; its full parse happens on the owning shard,
-  /// so IR parse errors still resolve the ticket asynchronously.
+  /// Synchronous failures: empty/unroutable text (kInvalidArgument),
+  /// parse/translation errors against the edge catalog — all three
+  /// dialects, IR included, normalize to the canonical program here, so
+  /// malformed input fails before a ticket exists — malformed builder
+  /// programs, and admission-control rejection (kResourceExhausted).
   Result<Ticket> Submit(client::Query query, SubmitOptions opts = {}) override;
 
   /// Submits a whole batch under one acquisition of the submit lock:
@@ -321,6 +343,14 @@ class CoordinationService : public CoordinationInterface {
   /// current snapshot).
   const db::Storage& storage() const { return *storage_; }
 
+  /// Mutable storage access for catalog growth past the build phase
+  /// (mutable_db()->CreateTable + Publish) and diagnostics. Use at
+  /// quiescent points only — mutable_db() is not synchronized against
+  /// concurrent writers. A schema-affecting change is detected by the
+  /// fingerprint check at the next edge-context recycle (or replicated
+  /// catalog application) and sweeps the plan cache.
+  db::Storage& storage() { return *storage_; }
+
   /// The snapshot shard `s` currently evaluates against (test/diagnostic:
   /// e.g. asserting TableVersion pointer identity across shards).
   db::Snapshot ShardSnapshot(uint32_t s) const {
@@ -372,9 +402,8 @@ class CoordinationService : public CoordinationInterface {
     /// extraction lands instead of being re-submitted.
     bool cancel_requested = false;
     client::Dialect dialect = client::Dialect::kIr;
-    /// Canonical form for migration re-submission: IR text for the kIr
-    /// dialect, the canonical portable program otherwise.
-    std::string text;
+    /// Canonical form for migration re-submission: every dialect
+    /// normalizes to the portable program at prepare time.
     std::shared_ptr<const client::PortableQuery> program;
     client::PreferenceSpec preference;
     std::vector<std::string> relations;
@@ -396,11 +425,10 @@ class CoordinationService : public CoordinationInterface {
     TicketId ticket = 0;
   };
 
-  /// A dialect-normalized query, ready to route: the canonical payloads
+  /// A dialect-normalized query, ready to route: the canonical program
   /// plus the translated entangled-relation fingerprint.
   struct Prepared {
     client::Dialect dialect = client::Dialect::kIr;
-    std::string text;
     std::shared_ptr<const client::PortableQuery> program;
     std::vector<std::string> relations;
     /// When the service accepted the query (PrepareQuery entry) — the
@@ -408,13 +436,13 @@ class CoordinationService : public CoordinationInterface {
     std::chrono::steady_clock::time_point accepted_at{};
   };
 
-  /// Normalizes one query: blank-text rejection, SQL translation against
-  /// the edge catalog, builder-program validation, relation extraction.
-  /// Takes edge_mu_ for SQL/builder dialects; never takes submit_mu_.
+  /// Normalizes one query: blank-text rejection, then plan-cache lookup,
+  /// then (on a miss) parse/translate/validate on a pooled edge context.
+  /// Records the prepare-latency histogram. Never takes submit_mu_.
   Result<Prepared> PrepareQuery(const client::Query& query);
-  /// Translates entangled SQL against the edge catalog into the canonical
-  /// portable form.
-  Result<client::PortableQuery> CanonicalizeSql(const std::string& text);
+  /// The shared prepare worker behind PrepareQuery and Canonicalize:
+  /// cache key computation, lookup, miss-path canonicalization, insert.
+  Result<PlanCache::Plan> PreparePlan(const client::Query& query);
   /// Routes, records and enqueues one prepared query. Caller holds
   /// submit_mu_ and enqueues `*planned` after releasing it (see
   /// EnqueuePlannedMigrations).
@@ -480,26 +508,32 @@ class CoordinationService : public CoordinationInterface {
 
   std::vector<std::unique_ptr<ShardRunner>> shards_;
 
-  /// Re-seeds the edge catalog from the shared snapshot (no bootstrap
-  /// re-run). Caller holds edge_mu_.
-  void RecycleEdgeCatalogLocked();
+  /// Invalidates the plan cache when `snapshot` presents a different
+  /// catalog shape than the last one observed (recycle hook + replicated
+  /// catalog changes). Cached plans are schema-dependent (SQL translation
+  /// resolves tables/columns), but data-independent, so only shape changes
+  /// sweep the cache.
+  void MaybeInvalidateOnSchemaChange(const db::Snapshot& snapshot);
 
-  /// Counts one edge-catalog use; true when the recycle threshold is hit
-  /// (never, when edge_recycle_uses == 0). Caller holds edge_mu_.
-  bool EdgeUseCountsTowardRecycle();
-
-  /// Edge catalog: the service-side schema view (the shared storage
-  /// snapshot) that SQL is translated against and builder programs are
-  /// validated against, before routing. Guarded by edge_mu_, which
-  /// serializes the prepare phase across client threads (a per-thread
-  /// context pool is an open item). The context accumulates fresh
-  /// variables per translated query, so it is recycled every
-  /// ServiceOptions::edge_recycle_uses uses to bound memory over a
-  /// long-lived service.
-  std::mutex edge_mu_;
-  std::unique_ptr<ir::QueryContext> edge_ctx_;
-  db::Snapshot edge_snapshot_;
-  size_t edge_uses_ = 0;
+  /// Edge catalog pool: the service-side schema views (shared storage
+  /// snapshot) that SQL translates against, IR parses against, and
+  /// builder programs validate against, before routing. Prepare ops check
+  /// a context out and return it, so N client threads prepare in
+  /// parallel; each slot recycles independently after
+  /// ServiceOptions::edge_recycle_uses uses.
+  std::unique_ptr<EdgeContextPool> edge_pool_;
+  /// Fingerprint-keyed prepared-plan cache in front of translation.
+  std::unique_ptr<PlanCache> plan_cache_;
+  /// PrepareQuery/Canonicalize wall latency (cache hits and misses both),
+  /// surfaced as the prepare-latency histogram in ServiceMetrics.
+  LatencyHistogram prepare_latency_;
+  /// Synchronous parse/translation failures at the edge (all dialects) —
+  /// folded into ServiceMetrics::parse_errors alongside shard-side
+  /// realization failures.
+  std::atomic<uint64_t> edge_parse_errors_{0};
+  /// Last schema fingerprint the invalidation check observed.
+  std::mutex schema_mu_;
+  uint64_t schema_fingerprint_ = 0;
 
   /// Serializes route→record→enqueue so a shard's op queue always sees a
   /// ticket's Submit before any Migrate that targets it.

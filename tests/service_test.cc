@@ -286,14 +286,16 @@ TEST(CoordinationServiceTest, PartnerlessQueryFailsOnFlush) {
   EXPECT_EQ(t->outcome().status.code(), StatusCode::kUnsatisfiable);
 }
 
-TEST(CoordinationServiceTest, ParseErrorResolvesTicketAsync) {
+TEST(CoordinationServiceTest, ParseErrorFailsSynchronously) {
+  // Routable (R appears applied) but unparsable: the edge parses IR at
+  // submission now, so all three dialects report malformed input before a
+  // ticket exists.
   CoordinationService svc(Opts(2));
   auto t = svc.SubmitAsync("{R(J, x)} R(K, x :- F(x,");  // malformed
-  ASSERT_TRUE(t.ok());  // routable (R appears applied) but unparsable
-  t->Wait();
-  EXPECT_EQ(t->outcome().state, ServiceOutcome::State::kFailed);
-  EXPECT_EQ(t->outcome().status.code(), StatusCode::kParseError);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
   EXPECT_EQ(svc.Metrics().parse_errors, 1u);
+  EXPECT_EQ(svc.inflight_count(), 0u);
 }
 
 TEST(CoordinationServiceTest, UnroutableTextFailsSynchronously) {
