@@ -1,6 +1,7 @@
 #ifndef EQ_BENCH_BENCH_COMMON_H_
 #define EQ_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -19,7 +20,10 @@ namespace eq::bench {
 ///   --full        paper-scale sweeps (up to 100k queries; slower)
 ///   --runs=N      repetitions per point (default 3, as in §5.2)
 ///   --users=N     social-graph size (default 82168 = Slashdot scale)
-///   --seed=N      RNG seed
+///   --seed=N      RNG seed, threaded into every randomized section
+///                 (social graphs, Zipf skew, Poisson arrival schedules)
+///                 so a CI bench run is reproducible bit-for-bit; sections
+///                 that sample randomness echo it into their JSON rows
 ///   --json=PATH   also write machine-readable results (see JsonReporter)
 struct BenchFlags {
   bool full = false;
@@ -159,6 +163,23 @@ inline RunStats Repeat(int runs, const std::function<double()>& fn) {
   }
   out.stddev_ms = std::sqrt(out.stddev_ms / samples.size());
   return out;
+}
+
+/// Nearest-rank percentile over a sample (pct in [0, 100]; 100 = max).
+/// Takes the sample by value: percentile extraction sorts a copy, leaving
+/// the caller's insertion-ordered data intact.
+inline double Percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  size_t idx = static_cast<size_t>(pct / 100.0 * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
 }
 
 /// Query-count sweep used by the scalability figures: 5 → 100k in the

@@ -1,0 +1,217 @@
+#include "bench/workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bench/bench_common.h"
+#include "util/rng.h"
+#include "workload/kway_workload.h"
+
+namespace eq::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Per-group completion state. Callbacks fire on shard threads; the last
+/// member to resolve (remaining hits 0) owns latency_ms and the global
+/// outstanding decrement, so no lock is needed.
+struct GroupState {
+  std::atomic<int> remaining{0};
+  std::atomic<bool> failed{false};
+  int size = 0;
+  Clock::time_point arrival;  ///< scheduled arrival (latency epoch)
+  double latency_ms = 0;      ///< written by the last finisher only
+};
+
+/// Shared by the driver and every ticket callback: groups must stay alive
+/// until the service resolves (or orphans, at destruction) every ticket,
+/// which can be after RunOpenLoop returned its result.
+struct RunState {
+  explicit RunState(size_t n) : groups(n) {}
+  std::vector<GroupState> groups;
+  std::atomic<size_t> outstanding{0};
+};
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(service::CoordinationInterface* svc,
+                           const OpenLoopOptions& opts,
+                           const ArrivalFactory& make_arrival) {
+  OpenLoopResult out;
+  out.offered_qps = opts.offered_qps;
+  out.arrivals = opts.arrivals;
+  if (opts.arrivals == 0) return out;
+
+  // Pre-generate every arrival's queries — generation cost must not sit
+  // inside the timed region (the measurement is coordination, not query
+  // construction).
+  std::vector<std::vector<client::Query>> arrivals;
+  arrivals.reserve(opts.arrivals);
+  size_t total_queries = 0;
+  for (size_t i = 0; i < opts.arrivals; ++i) {
+    arrivals.push_back(make_arrival(i));
+    total_queries += arrivals.back().size();
+  }
+  out.queries = total_queries;
+  if (total_queries == 0) return out;
+
+  // The offered QPS is in queries/sec; arrival events carry whole groups,
+  // so the event rate scales down by the mean group size.
+  double mean_group = static_cast<double>(total_queries) /
+                      static_cast<double>(opts.arrivals);
+  double event_rate = opts.offered_qps / mean_group;
+  Rng rng(opts.seed);
+  std::vector<double> offsets_ms =
+      workload::PoissonArrivalsMs(opts.arrivals, event_rate, &rng);
+
+  auto state = std::make_shared<RunState>(opts.arrivals);
+  for (size_t i = 0; i < opts.arrivals; ++i) {
+    int k = static_cast<int>(arrivals[i].size());
+    state->groups[i].size = k;
+    state->groups[i].remaining.store(k, std::memory_order_relaxed);
+  }
+  state->outstanding.store(opts.arrivals, std::memory_order_relaxed);
+
+  // Small lead so the first scheduled arrival is still in the future when
+  // the client threads start.
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(5);
+  for (size_t i = 0; i < opts.arrivals; ++i) {
+    state->groups[i].arrival =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(offsets_ms[i]));
+  }
+
+  size_t threads = std::max<size_t>(1, opts.client_threads);
+  auto submit_arrival = [&](size_t i) {
+    GroupState& gs = state->groups[i];
+    for (client::Query& q : arrivals[i]) {
+      service::SubmitOptions sopts;
+      sopts.callback = [state, i](service::TicketId,
+                                  const service::ServiceOutcome& o) {
+        GroupState& g = state->groups[i];
+        if (o.state != service::ServiceOutcome::State::kAnswered) {
+          g.failed.store(true, std::memory_order_relaxed);
+        }
+        if (g.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          g.latency_ms = MsBetween(g.arrival, Clock::now());
+          state->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      };
+      auto t = svc->Submit(std::move(q), std::move(sopts));
+      if (!t.ok()) {
+        // Synchronous rejection (admission control, prepare error): the
+        // member never got a ticket, so account for it here.
+        gs.failed.store(true, std::memory_order_relaxed);
+        if (gs.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          gs.latency_ms = MsBetween(gs.arrival, Clock::now());
+          state->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    }
+  };
+
+  // Round-robin interleave: each thread's slice of the schedule is already
+  // time-ordered, so a simple sleep_until walk reproduces the arrival
+  // process even when one thread falls behind.
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = t; i < opts.arrivals; i += threads) {
+        std::this_thread::sleep_until(state->groups[i].arrival);
+        submit_arrival(i);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // Drain: wait for stragglers, bounded. Groups still pending afterwards
+  // count as failed; their callbacks may fire later (the shared state
+  // keeps them safe), but they no longer enter this run's report.
+  const Clock::time_point deadline = Clock::now() + opts.drain_timeout;
+  while (state->outstanding.load(std::memory_order_acquire) > 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Clock::time_point end = Clock::now();
+
+  std::vector<double> latencies;
+  latencies.reserve(opts.arrivals);
+  size_t answered_queries = 0;
+  for (GroupState& g : state->groups) {
+    if (g.remaining.load(std::memory_order_acquire) > 0) {
+      ++out.failed_groups;
+      continue;
+    }
+    if (g.failed.load(std::memory_order_relaxed)) {
+      ++out.failed_groups;
+      continue;
+    }
+    ++out.answered_groups;
+    answered_queries += static_cast<size_t>(g.size);
+    latencies.push_back(g.latency_ms);
+  }
+
+  out.duration_ms = MsBetween(t0, end);
+  out.achieved_qps = out.duration_ms > 0
+                         ? 1000.0 * static_cast<double>(answered_queries) /
+                               out.duration_ms
+                         : 0;
+  out.mean_ms = Mean(latencies);
+  out.p50_ms = Percentile(latencies, 50);
+  out.p95_ms = Percentile(latencies, 95);
+  out.p99_ms = Percentile(latencies, 99);
+  out.max_ms = Percentile(latencies, 100);
+  return out;
+}
+
+ChurnWriters::ChurnWriters(service::CoordinationInterface* svc,
+                           std::string table, double writes_per_sec,
+                           size_t threads, uint64_t seed) {
+  if (threads == 0) threads = 1;
+  if (writes_per_sec <= 0) writes_per_sec = 1;
+  const double gap_ms = 1000.0 * static_cast<double>(threads) / writes_per_sec;
+  threads_.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    threads_.emplace_back([this, svc, table, gap_ms, t, seed] {
+      Rng rng(seed + 0x9e37 * (t + 1));
+      auto next = Clock::now();
+      for (size_t i = 0; !stop_.load(std::memory_order_relaxed); ++i) {
+        // Jittered pacing (0.5x..1.5x the mean gap) so the writers don't
+        // beat in lockstep with the arrival schedule.
+        double jitter = 0.5 + rng.NextDouble();
+        next += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(gap_ms * jitter));
+        std::this_thread::sleep_until(next);
+        if (stop_.load(std::memory_order_relaxed)) break;
+        // Unique noise rows: never satisfy a pending group, but every one
+        // publishes a version and wakes the shards reading the table.
+        std::string sql = "INSERT INTO " + table + " VALUES (" +
+                          std::to_string(900000000 + t * 10000000 + i) +
+                          ", 'Churn" + std::to_string(t) + "_" +
+                          std::to_string(i) + "')";
+        if (svc->ExecuteWrite(sql).ok()) {
+          writes_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+}
+
+size_t ChurnWriters::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  return writes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace eq::bench

@@ -1,0 +1,110 @@
+#ifndef EQ_BENCH_WORKLOAD_H_
+#define EQ_BENCH_WORKLOAD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "client/query.h"
+#include "service/interface.h"
+
+namespace eq::bench {
+
+/// Open-loop multi-client workload driver.
+///
+/// Closed-loop benches (everything else in bench/) submit as fast as the
+/// service answers, so queueing delay is invisible and "latency" is really
+/// service time. This driver fixes the arrival process instead: a Poisson
+/// schedule at a target offered QPS is generated up front, N client
+/// threads submit each arrival at its scheduled instant whether or not the
+/// service has kept up, and per-group latency is measured from the
+/// SCHEDULED ARRIVAL (not the send) to the last member's resolution — so
+/// when the service saturates, the growing backlog shows up as latency,
+/// exactly as it would for real clients. Reporting latency-under-load
+/// percentiles at several offered-QPS points is what makes saturation and
+/// scheduling work (ROADMAP items 1–3) measurable.
+///
+/// The driver binds to service::CoordinationInterface, so the same harness
+/// drives a single-node CoordinationService or a multi-node
+/// cluster::ClusterService.
+
+/// Builds the queries of arrival event `i` — one entangled group submitted
+/// back-to-back (a k-way group, a hot-skew pair, ...). Called for every
+/// arrival BEFORE the timed region, so generation cost stays out of the
+/// measurement.
+using ArrivalFactory =
+    std::function<std::vector<client::Query>(size_t arrival)>;
+
+struct OpenLoopOptions {
+  /// Target offered load in queries/sec. The arrival-event rate is derived
+  /// from it (offered_qps / mean group size), so a k=4 catalog at the same
+  /// offered_qps produces k times fewer, four-times-larger arrivals.
+  double offered_qps = 1000;
+  /// Arrival events (groups) in the run.
+  size_t arrivals = 200;
+  /// Client threads the schedule is interleaved across.
+  size_t client_threads = 4;
+  /// Seed for the Poisson schedule (and nothing else: the factory owns any
+  /// randomness in query generation).
+  uint64_t seed = 42;
+  /// How long to wait for stragglers after the last arrival before
+  /// declaring the remaining groups failed.
+  std::chrono::milliseconds drain_timeout{10000};
+};
+
+struct OpenLoopResult {
+  double offered_qps = 0;   ///< echo of the target (queries/sec)
+  double achieved_qps = 0;  ///< answered queries / wall duration
+  double duration_ms = 0;   ///< first scheduled arrival -> last resolution
+  size_t arrivals = 0;      ///< arrival events submitted
+  size_t queries = 0;       ///< total member queries submitted
+  size_t answered_groups = 0;
+  size_t failed_groups = 0;  ///< rejected, failed, or still pending at drain
+  /// Group latency from scheduled arrival to last-member resolution.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Runs one open-loop measurement: pre-generates the schedule and all
+/// queries, fans the arrivals out over client threads, and collects
+/// latency-under-load percentiles. Blocks until every group resolved or
+/// `drain_timeout` elapsed past the last arrival.
+OpenLoopResult RunOpenLoop(service::CoordinationInterface* svc,
+                           const OpenLoopOptions& opts,
+                           const ArrivalFactory& make_arrival);
+
+/// Background write churn against the reactive pipeline: `threads` writers
+/// stream unique-row SQL INSERTs into `table` at a combined target rate
+/// until Stop(). Every insert touches the relation the pending groups
+/// read, so each one exercises snapshot publication + WriteNotify wake-up
+/// re-evaluation — the write-heavy interference the churn workload
+/// measures.
+class ChurnWriters {
+ public:
+  ChurnWriters(service::CoordinationInterface* svc, std::string table,
+               double writes_per_sec, size_t threads, uint64_t seed);
+  ~ChurnWriters() { Stop(); }
+
+  /// Stops the writers (idempotent) and returns writes applied.
+  size_t Stop();
+
+  size_t writes_applied() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> writes_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace eq::bench
+
+#endif  // EQ_BENCH_WORKLOAD_H_

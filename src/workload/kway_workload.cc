@@ -1,0 +1,106 @@
+#include "workload/kway_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eq::workload {
+
+namespace {
+
+std::string MemberName(const KWayGroupSpec& spec, int member) {
+  return "U" + std::to_string(spec.group_id) + "m" + std::to_string(member);
+}
+
+client::PortableQuery MakeMember(const KWayGroupSpec& spec, int member) {
+  using client::Str;
+  using client::Var;
+  std::string rel = KWayGroupRelation(spec);
+  std::string me = MemberName(spec, member);
+  std::string next = MemberName(spec, (member + 1) % spec.k);
+  client::QueryBuilder b;
+  b.Label(rel + ":" + me)
+      .Postcondition(rel, {Str(std::move(next)), Var("x")})
+      .Head(rel, {Str(std::move(me)), Var("x")})
+      .Body(spec.body_table, {Var("x"), Str(spec.dest)});
+  return b.BuildPortable();
+}
+
+}  // namespace
+
+std::string KWayGroupRelation(const KWayGroupSpec& spec) {
+  return spec.rel_prefix + std::to_string(spec.group_id);
+}
+
+std::vector<client::PortableQuery> MakeKWayGroupPrograms(
+    const KWayGroupSpec& spec) {
+  std::vector<client::PortableQuery> out;
+  out.reserve(static_cast<size_t>(spec.k));
+  for (int i = 0; i < spec.k; ++i) out.push_back(MakeMember(spec, i));
+  return out;
+}
+
+std::vector<client::Query> MakeKWayGroup(const KWayGroupSpec& spec) {
+  std::vector<client::Query> out;
+  out.reserve(static_cast<size_t>(spec.k));
+  for (int i = 0; i < spec.k; ++i) {
+    out.push_back(client::Query::Program(MakeMember(spec, i)));
+  }
+  return out;
+}
+
+std::pair<client::Query, client::Query> MakeHotGroupPair(
+    size_t arrival, size_t hot_group, const std::string& body_table,
+    const std::string& dest, const std::string& rel_prefix) {
+  using client::Str;
+  using client::Var;
+  std::string rel = rel_prefix + std::to_string(hot_group);
+  std::string a = "P" + std::to_string(arrival) + "a";
+  std::string b = "P" + std::to_string(arrival) + "b";
+  client::QueryBuilder qa;
+  qa.Label(rel + ":" + a)
+      .Postcondition(rel, {Str(b), Var("x")})
+      .Head(rel, {Str(a), Var("x")})
+      .Body(body_table, {Var("x"), Str(dest)});
+  client::QueryBuilder qb;
+  qb.Label(rel + ":" + b)
+      .Postcondition(rel, {Str(a), Var("y")})
+      .Head(rel, {Str(b), Var("y")})
+      .Body(body_table, {Var("y"), Str(dest)});
+  return {qa.Build(), qb.Build()};
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : theta_(theta) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    cdf_[i] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+std::vector<double> PoissonArrivalsMs(size_t n, double per_sec, Rng* rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  if (per_sec <= 0) per_sec = 1;
+  const double mean_gap_ms = 1000.0 / per_sec;
+  double t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Inverse-CDF exponential gap; 1 - u avoids log(0).
+    double u = rng->NextDouble();
+    t += -std::log(1.0 - u) * mean_gap_ms;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace eq::workload

@@ -1,0 +1,96 @@
+#ifndef EQ_WORKLOAD_KWAY_WORKLOAD_H_
+#define EQ_WORKLOAD_KWAY_WORKLOAD_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/query.h"
+#include "util/rng.h"
+
+namespace eq::workload {
+
+/// K-way entangled-group generators, Zipfian group skew and Poisson arrival
+/// schedules — the workload catalog behind the open-loop harness
+/// (bench/workload.h) and the deterministic k-way resolution tests.
+///
+/// The flight-booking workload from the paper (§7) only exercises pairwise
+/// entanglement; "The Complexity of Social Coordination" shows the problem
+/// gets qualitatively harder beyond pairwise groups. These generators
+/// produce what flight-booking doesn't: marketplace-matching-style k-way
+/// groups, adversarial hot-group skew, and the building blocks for
+/// write-heavy churn runs. Everything is built through QueryBuilder — no
+/// text, no parsing — so generation cost never pollutes a measurement, and
+/// every function is deterministic in its inputs (callers thread one Rng
+/// seed through Zipf/arrival sampling).
+
+/// Parameters of one k-way entangled group.
+///
+/// The k members form a postcondition ring over a per-group ANSWER
+/// relation `<rel_prefix><group_id>`: member i claims a seat and demands
+/// that member i+1 (mod k) gets one too,
+///
+///     { R(u_{i+1}, x) }  R(u_i, x)  :-  body_table(x, dest)
+///
+/// so the group resolves all-or-nothing — the ring of postconditions only
+/// closes when every member is present, and unification forces all k onto
+/// the same x (marketplace matching: the trade happens only if every party
+/// commits to the same item).
+struct KWayGroupSpec {
+  size_t group_id = 0;
+  int k = 2;  ///< members per group (2 = the classic pair)
+  /// Relation the bodies read: body_table(x, dest) must be a 2-column
+  /// (INT, STRING) table in the service bootstrap.
+  std::string body_table = "F";
+  std::string dest = "Paris";
+  std::string rel_prefix = "G";  ///< per-group ANSWER relation prefix
+};
+
+/// The k member queries of one group, as parse-free builder programs.
+std::vector<client::Query> MakeKWayGroup(const KWayGroupSpec& spec);
+
+/// Same members as raw portable programs (inspection / instantiation in
+/// tests without a service in the loop).
+std::vector<client::PortableQuery> MakeKWayGroupPrograms(
+    const KWayGroupSpec& spec);
+
+/// The group's ANSWER relation name (`<rel_prefix><group_id>`) — what the
+/// service routes the whole group on.
+std::string KWayGroupRelation(const KWayGroupSpec& spec);
+
+/// One arrival of the adversarial hot-group workload: a named-partner pair
+/// entangled through SHARED relation `<rel_prefix><hot_group>`. Distinct
+/// arrivals on the same hot group still resolve pairwise (partners are
+/// named), but they all route to one shard and pile into one engine
+/// partition — the skew stressor. `arrival` uniquifies the partner names.
+std::pair<client::Query, client::Query> MakeHotGroupPair(
+    size_t arrival, size_t hot_group, const std::string& body_table = "F",
+    const std::string& dest = "Paris", const std::string& rel_prefix = "H");
+
+/// Zipfian sampler over {0, ..., n-1}: P(i) ∝ 1/(i+1)^theta. theta = 0 is
+/// uniform; theta around 1 is the classic web/social skew. CDF is
+/// precomputed, so Sample is O(log n) and fully deterministic in the Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  size_t Sample(Rng* rng) const;
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  ///< cdf_[i] = P(value <= i); back() == 1
+};
+
+/// Open-loop Poisson arrival schedule: `n` cumulative arrival offsets in
+/// milliseconds, exponential inter-arrival gaps at `per_sec` arrivals per
+/// second. Offsets are nondecreasing and deterministic in the Rng — the
+/// whole point of an open-loop driver is that the schedule does not react
+/// to service latency, so it is fixed up front.
+std::vector<double> PoissonArrivalsMs(size_t n, double per_sec, Rng* rng);
+
+}  // namespace eq::workload
+
+#endif  // EQ_WORKLOAD_KWAY_WORKLOAD_H_

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 #include "db/database.h"
 
+#include <chrono>
 #include <set>
 #include <unordered_set>
 
@@ -9,7 +10,9 @@
 #include "core/safety.h"
 #include "core/unifiability_graph.h"
 #include "engine/engine.h"
+#include "service/service.h"
 #include "workload/flight_workload.h"
+#include "workload/kway_workload.h"
 #include "workload/social_graph.h"
 
 namespace eq::workload {
@@ -310,6 +313,207 @@ TEST_F(FlightWorkloadTest, CliqueQueriesCarryWPostconditions) {
     EXPECT_EQ(q.body.size(), 1u + 2u * 2u);  // own U + per-partner F and U
   }
 }
+
+// ------------------------------------------------------------ KWayGroup --
+
+TEST(KWayGroupTest, RingClosesOverAllKMembers) {
+  for (int k : {2, 3, 4}) {
+    KWayGroupSpec spec;
+    spec.group_id = 9;
+    spec.k = k;
+    auto programs = MakeKWayGroupPrograms(spec);
+    ASSERT_EQ(programs.size(), static_cast<size_t>(k));
+    std::string rel = KWayGroupRelation(spec);
+    EXPECT_EQ(rel, "G9");
+    for (int i = 0; i < k; ++i) {
+      const auto& p = programs[i];
+      ASSERT_EQ(p.postconditions.size(), 1u);
+      ASSERT_EQ(p.head.size(), 1u);
+      ASSERT_EQ(p.body.size(), 1u);
+      EXPECT_EQ(p.postconditions[0].relation, rel);
+      EXPECT_EQ(p.head[0].relation, rel);
+      EXPECT_EQ(p.body[0].relation, "F");
+      // Member i demands a seat for member i+1 (mod k): the partner the
+      // postcondition names is exactly the next member's head constant —
+      // that is what makes the ring close only when all k are present.
+      EXPECT_EQ(p.postconditions[0].args[0],
+                programs[(i + 1) % k].head[0].args[0]);
+      // Every atom shares the one variable, so unification forces all k
+      // members onto the same x.
+      EXPECT_EQ(p.head[0].args[1], p.body[0].args[0]);
+      EXPECT_EQ(p.postconditions[0].args[1], p.head[0].args[1]);
+    }
+  }
+}
+
+TEST(KWayGroupTest, GenerationIsDeterministicAndGroupsAreDisjoint) {
+  KWayGroupSpec spec;
+  spec.group_id = 3;
+  spec.k = 3;
+  auto a = MakeKWayGroupPrograms(spec);
+  auto b = MakeKWayGroupPrograms(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToIrText(), b[i].ToIrText());
+  }
+  // Distinct groups entangle distinct ANSWER relations, so they can never
+  // cross-coordinate (and a router can spread them across shards).
+  KWayGroupSpec other = spec;
+  other.group_id = 4;
+  EXPECT_NE(KWayGroupRelation(spec), KWayGroupRelation(other));
+  EXPECT_NE(a[0].ToIrText(), MakeKWayGroupPrograms(other)[0].ToIrText());
+}
+
+TEST(KWayGroupTest, ProgramsInstantiateIntoValidQuerySets) {
+  for (int k : {2, 3, 4}) {
+    ir::QueryContext ctx;
+    QuerySet qs;
+    KWayGroupSpec spec;
+    spec.k = k;
+    for (const auto& p : MakeKWayGroupPrograms(spec)) {
+      auto q = p.Instantiate(&ctx);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      qs.queries.push_back(std::move(q.value()));
+    }
+    qs.AssignIds();
+    Status st = ir::ValidateQuerySet(qs, &ctx);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    core::UnifiabilityGraph g(&qs);
+    ASSERT_TRUE(g.Build().ok());
+    EXPECT_GT(g.live_edge_count(), 0u) << "k=" << k;
+  }
+}
+
+TEST(KWayGroupTest, HotGroupPairsShareRelationButNamePrivatePartners) {
+  auto [a0, b0] = MakeHotGroupPair(0, 5);
+  auto [a1, b1] = MakeHotGroupPair(1, 5);
+  ASSERT_TRUE(a0.program() && b0.program() && a1.program());
+  // Same hot relation -> same routing fingerprint: every arrival on the
+  // hot group lands on the same shard (the skew stressor).
+  EXPECT_EQ(a0.program()->EntangledRelations(),
+            a1.program()->EntangledRelations());
+  // But partners are named, so arrival 0 only coordinates with its own
+  // other half, never with arrival 1's.
+  EXPECT_EQ(a0.program()->postconditions[0].args[0].text, "P0b");
+  EXPECT_EQ(b0.program()->postconditions[0].args[0].text, "P0a");
+  EXPECT_EQ(a1.program()->postconditions[0].args[0].text, "P1b");
+}
+
+// ---------------------------------------------------------- ZipfSampler --
+
+TEST(ZipfSamplerTest, DeterministicForSeedAndInRange) {
+  ZipfSampler z(64, 1.2);
+  Rng r1(9), r2(9);
+  for (int i = 0; i < 1000; ++i) {
+    size_t a = z.Sample(&r1);
+    EXPECT_EQ(a, z.Sample(&r2));
+    EXPECT_LT(a, 64u);
+  }
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniformHighThetaIsSkewed) {
+  constexpr size_t kN = 16;
+  constexpr int kDraws = 20000;
+  auto rank0_mass = [](double theta) {
+    ZipfSampler z(kN, theta);
+    Rng rng(17);
+    int hot = 0;
+    for (int i = 0; i < kDraws; ++i) hot += z.Sample(&rng) == 0;
+    return static_cast<double>(hot) / kDraws;
+  };
+  EXPECT_NEAR(rank0_mass(0.0), 1.0 / kN, 0.02);
+  // Analytic rank-0 mass at theta=1.2, n=16 is ~0.37.
+  EXPECT_GT(rank0_mass(1.2), 0.25);
+}
+
+// ------------------------------------------------------ PoissonArrivals --
+
+TEST(PoissonArrivalsTest, ScheduleIsSortedDeterministicAndPaced) {
+  Rng r1(21), r2(21);
+  auto a = PoissonArrivalsMs(4000, 500.0, &r1);
+  ASSERT_EQ(a.size(), 4000u);
+  EXPECT_EQ(a, PoissonArrivalsMs(4000, 500.0, &r2));
+  double prev = 0;
+  for (double t : a) {
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+  // 500 arrivals/sec -> 2ms mean gap; 4000 exponential gaps average to
+  // within ~6 sigma of it.
+  EXPECT_NEAR(a.back() / 4000.0, 2.0, 0.2);
+}
+
+// --------------------------------------------------------- KWayService --
+
+// The same shape of bootstrap bench_service's workload section runs: the
+// body table F with Paris rows for the rings to unify on.
+void KWayBootstrap(ir::QueryContext* ctx, db::Database* db) {
+  ASSERT_TRUE(db->CreateTable("F", {{"fno", ir::ValueType::kInt},
+                                    {"dest", ir::ValueType::kString}})
+                  .ok());
+  auto S = [&](const char* s) { return ir::Value::Str(ctx->Intern(s)); };
+  ASSERT_TRUE(db->Insert("F", {ir::Value::Int(122), S("Paris")}).ok());
+  ASSERT_TRUE(db->Insert("F", {ir::Value::Int(134), S("Paris")}).ok());
+}
+
+service::ServiceOptions KWayOpts() {
+  service::ServiceOptions o;
+  o.num_shards = 2;
+  o.mode = engine::EvalMode::kIncremental;
+  o.bootstrap = KWayBootstrap;
+  return o;
+}
+
+/// Which Paris flight a rendered answer tuple committed to.
+std::string FlightIn(const std::string& tuple) {
+  if (tuple.find("122") != std::string::npos) return "122";
+  if (tuple.find("134") != std::string::npos) return "134";
+  return "?";
+}
+
+class KWayServiceTest : public ::testing::TestWithParam<int> {};
+
+// All-or-nothing through the full service stack: k-1 members leave the
+// postcondition ring open and nothing resolves; the closing member
+// answers every ticket, all unified onto one flight.
+TEST_P(KWayServiceTest, GroupResolvesAllOrNothing) {
+  const int k = GetParam();
+  service::CoordinationService svc(KWayOpts());
+  KWayGroupSpec spec;
+  spec.group_id = 42;
+  spec.k = k;
+  auto members = MakeKWayGroup(spec);
+  ASSERT_EQ(members.size(), static_cast<size_t>(k));
+
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i + 1 < k; ++i) {
+    auto t = svc.Submit(members[i]);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    tickets.push_back(std::move(t.value()));
+  }
+  for (auto& t : tickets) {
+    EXPECT_FALSE(t.WaitFor(std::chrono::milliseconds(200)))
+        << "group resolved with an open ring (k=" << k << ")";
+  }
+
+  auto last = svc.Submit(members[k - 1]);
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  tickets.push_back(std::move(last.value()));
+
+  std::string flight;
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.WaitFor(std::chrono::milliseconds(10000)));
+    ASSERT_EQ(t.outcome().state, service::ServiceOutcome::State::kAnswered)
+        << t.outcome().status.ToString();
+    ASSERT_FALSE(t.outcome().tuples.empty());
+    std::string f = FlightIn(t.outcome().tuples[0]);
+    if (flight.empty()) flight = f;
+    EXPECT_EQ(f, flight) << t.outcome().tuples[0];
+  }
+  EXPECT_NE(flight, "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KWayServiceTest, ::testing::Values(3, 4));
 
 }  // namespace
 }  // namespace eq::workload
