@@ -190,6 +190,8 @@ class Shell {
         "  INSERT name (value, ...)            value = 123 | 'text'\n"
         "  DELETE FROM name [WHERE col op lit [AND ...]]\n"
         "  UPDATE name SET col = lit [, ...] [WHERE ...]   op = = != < <= > >=\n"
+        "      (ranges work on INT and STR alike; STR compares\n"
+        "       lexicographically via the sorted dictionary)\n"
         "  INDEX name column                   (pre-start)\n"
         "  SELECT ... INTO ANSWER ... CHOOSE k   entangled SQL (paper §2.1)\n"
         "  IR {C} H :- B                         Datalog-style IR (§2.2)\n"

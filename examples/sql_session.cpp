@@ -119,6 +119,17 @@ int main() {
   }
   std::printf("DELETE retracted %zu Paris flight(s) below 130\n", *dropped);
 
+  // String ranges are lexicographic: interned destinations compare through
+  // the storage's sorted dictionary, so `dest < 'M'` retracts Kyoto (and
+  // would retract Lisbon) while leaving Paris alone.
+  auto early = session.ExecuteWrite("DELETE FROM Flights WHERE dest < 'M'");
+  if (!early.ok()) {
+    std::fprintf(stderr, "string-range delete failed: %s\n",
+                 early.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DELETE retracted %zu flight(s) with dest < 'M'\n", *early);
+
   // Translation errors are synchronous: the edge catalog has no `Trains`
   // (for writes exactly like for queries).
   auto bad = session.SubmitSql(

@@ -20,6 +20,12 @@ ServiceOutcome FailedOutcome(Status status) {
   return o;
 }
 
+/// Reader-id base for cluster followers in the storage's version-GC
+/// registry. Local shard readers use their shard id (small integers);
+/// offsetting peers far above any realistic shard count keeps the two
+/// id spaces disjoint.
+constexpr uint64_t kPeerReaderBase = uint64_t{1} << 20;
+
 std::vector<uint32_t> AllMembers(const ClusterOptions& opts) {
   std::vector<uint32_t> members;
   members.push_back(opts.node_id);
@@ -57,11 +63,32 @@ ClusterService::ClusterService(const ClusterOptions& opts,
     links_.emplace(p.node_id,
                    std::make_unique<PeerLink>(p, lopts, &local->interner()));
   }
+  // The storage owner's version-GC watermark must respect replication
+  // progress: each follower registers as a reader pinned at its applied
+  // version (0 until the first confirmed push), so an unreachable or
+  // lagging follower holds superseded versions alive instead of GC
+  // racing the delta stream.
+  if (self_ == storage_owner_) {
+    for (const auto& p : opts.peers) {
+      local_->storage().RegisterReader(kPeerReaderBase + p.node_id);
+    }
+  }
 }
 
 ClusterService::~ClusterService() { Shutdown(); }
 
 void ClusterService::Shutdown() {
+  // Unregister exactly once: Shutdown runs again from the destructor,
+  // AFTER ClusterNode::Stop may have destroyed the embedded service
+  // `local_` points at.
+  bool expected = false;
+  if (shut_down_.compare_exchange_strong(expected, true) &&
+      self_ == storage_owner_) {
+    for (auto& [node, link] : links_) {
+      (void)link;
+      local_->storage().UnregisterReader(kPeerReaderBase + node);
+    }
+  }
   for (auto& [node, link] : links_) link->Close();
 }
 
@@ -358,6 +385,7 @@ void ClusterService::PushDeltas() {
   std::lock_guard<std::mutex> push_lock(push_mu_);
   const StringInterner& interner = local_->interner();
   for (auto& [node, link] : links_) {
+    const uint64_t reader = kPeerReaderBase + node;
     // SendDelta may transparently reconnect mid-call; the handshake then
     // resets the link's resume point to the follower's true applied
     // version, which can sit BELOW the cursor this delta was extracted
@@ -366,6 +394,11 @@ void ClusterService::PushDeltas() {
     // marking a range shipped that the follower never saw.
     for (int attempt = 0; attempt < 3; ++attempt) {
       PeerLink::PushCursor cur = link->push_cursor();
+      // The cursor IS the follower's confirmed replica version (seeded
+      // from its handshake ack) — report it so a caught-up follower does
+      // not hold the GC watermark back. Stale reports are ignored, so a
+      // reconnect resetting the cursor backwards cannot regress it.
+      local_->storage().ReportReadVersion(reader, cur.version);
       uint64_t to = 0;
       std::vector<db::Storage::TableReplacement> reps;
       if (!local_->storage().ExtractDelta(cur.version, &to, &reps).ok()) break;
@@ -405,7 +438,10 @@ void ClusterService::PushDeltas() {
       if (!link->SendDelta(m).ok()) break;
       // On failure the resume point stays put; the next write (or
       // reconnect handshake) re-ships the whole range.
-      if (link->ConfirmPush(cur.generation, to)) break;
+      if (link->ConfirmPush(cur.generation, to)) {
+        local_->storage().ReportReadVersion(reader, to);
+        break;
+      }
     }
   }
 }

@@ -152,6 +152,8 @@ class ClusterService : public service::CoordinationInterface {
   const uint64_t sym_catalog_hwm_;
   GroupTable groups_;
   std::unordered_map<uint32_t, std::unique_ptr<PeerLink>> links_;
+  /// First Shutdown() call wins the reader unregistration (see there).
+  std::atomic<bool> shut_down_{false};
 
   /// Proxy tickets for queries running on peers: ticket id -> (link,
   /// remote req id), so Cancel can chase them. Ids are tagged with the

@@ -4,7 +4,9 @@ namespace eq::db {
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   SymbolId rel = interner_->Intern(name);
-  auto [it, inserted] = tables_.emplace(rel, Table(std::move(schema)));
+  auto [it, inserted] = tables_.emplace(
+      rel, Table(std::move(schema), interner_.get(), compaction_threshold_,
+                 ordered_indexes_));
   (void)it;
   if (!inserted) {
     return Status::AlreadyExists("table '" + name + "' already exists");

@@ -159,7 +159,10 @@ class Evaluation {
     for (size_t fi = 0; fi < q_.filters.size(); ++fi) {
       if (filter_level_[fi] != -1) continue;
       const Filter& f = q_.filters[fi];
-      if (!EvalCompare(f.op, TermValue(f.lhs), TermValue(f.rhs))) return false;
+      if (!EvalCompare(f.op, TermValue(f.lhs), TermValue(f.rhs),
+                       &snap_.interner())) {
+        return false;
+      }
     }
     return true;
   }
@@ -168,7 +171,10 @@ class Evaluation {
     for (size_t fi = 0; fi < q_.filters.size(); ++fi) {
       if (filter_level_[fi] != level) continue;
       const Filter& f = q_.filters[fi];
-      if (!EvalCompare(f.op, TermValue(f.lhs), TermValue(f.rhs))) return false;
+      if (!EvalCompare(f.op, TermValue(f.lhs), TermValue(f.rhs),
+                       &snap_.interner())) {
+        return false;
+      }
     }
     return true;
   }
@@ -211,18 +217,35 @@ class Evaluation {
     const PlannedAtom& pa = plan_[level];
     const Atom& atom = *pa.atom;
 
-    // Candidate rows: an index probe on some bound column if permitted,
-    // otherwise a full scan.
-    const std::vector<uint32_t>* candidates = nullptr;
+    // Candidate rows: a hash probe on some bound column if permitted, else
+    // an ordered-index span narrowed by a range filter attached to this
+    // level, otherwise a full scan. Index postings reference live rows
+    // only, so no tombstone check is needed on the probe paths.
+    const uint32_t* cand_begin = nullptr;
+    const uint32_t* cand_end = nullptr;
+    bool have_candidates = false;
     if (opts_.use_indexes) {
       for (size_t i = 0; i < atom.args.size(); ++i) {
         const Term& t = atom.args[i];
         bool is_bound =
             t.is_const() || bound_[var_slots_.at(t.var())];
         if (is_bound && pa.table->HasIndex(i)) {
-          candidates = pa.table->Probe(i, TermValue(t));
+          const std::vector<uint32_t>* postings =
+              pa.table->Probe(i, TermValue(t));
+          cand_begin = postings->data();
+          cand_end = postings->data() + postings->size();
+          have_candidates = true;
           ++local_stats_.index_probes;
           break;
+        }
+      }
+      if (!have_candidates) {
+        auto span = RangeCandidates(level);
+        if (span.first != nullptr) {
+          cand_begin = span.first;
+          cand_end = span.second;
+          have_candidates = true;
+          ++local_stats_.range_probes;
         }
       }
     }
@@ -249,18 +272,67 @@ class Evaluation {
       return Status::OK();
     };
 
-    if (candidates != nullptr) {
-      for (uint32_t rid : *candidates) {
+    if (have_candidates) {
+      for (const uint32_t* p = cand_begin; p != cand_end; ++p) {
         if (done_) break;
-        EQ_RETURN_NOT_OK(visit(pa.table->row(rid)));
+        EQ_RETURN_NOT_OK(visit(pa.table->row(*p)));
       }
     } else {
-      for (size_t rid = 0; rid < pa.table->row_count(); ++rid) {
+      for (size_t rid = 0; rid < pa.table->physical_size(); ++rid) {
         if (done_) break;
+        if (pa.table->row_dead(rid)) continue;
         EQ_RETURN_NOT_OK(visit(pa.table->row(rid)));
       }
     }
     return Status::OK();
+  }
+
+  /// Mirrors an ordered comparison across swapped operands: `a < b` is
+  /// `b > a`. Only range ops reach the caller's flip path.
+  static CompareOp FlipOp(CompareOp op) {
+    switch (op) {
+      case CompareOp::kLt: return CompareOp::kGt;
+      case CompareOp::kLe: return CompareOp::kGe;
+      case CompareOp::kGt: return CompareOp::kLt;
+      case CompareOp::kGe: return CompareOp::kLe;
+      default: return op;
+    }
+  }
+
+  /// An ordered-index span for the atom at `level`: looks for a filter
+  /// attached to this level of the shape `var <op> bound-term` (or the
+  /// reverse, flipping the op) where `var` is introduced by this atom at an
+  /// ordered-indexed position, and narrows the candidates to the index
+  /// slice satisfying the comparison. The filter still runs afterwards —
+  /// the span only has to be a superset of the matching rows (it is in
+  /// fact exact for the conjunct it uses, since the index is sorted by the
+  /// same comparator EvalCompare applies).
+  std::pair<const uint32_t*, const uint32_t*> RangeCandidates(size_t level) {
+    const PlannedAtom& pa = plan_[level];
+    const Atom& atom = *pa.atom;
+    for (size_t fi = 0; fi < q_.filters.size(); ++fi) {
+      if (filter_level_[fi] != static_cast<int>(level)) continue;
+      const Filter& f = q_.filters[fi];
+      for (bool flip : {false, true}) {
+        const Term& vt = flip ? f.rhs : f.lhs;
+        const Term& ct = flip ? f.lhs : f.rhs;
+        if (!vt.is_var() || bound_[var_slots_.at(vt.var())]) continue;
+        if (ct.is_var() && !bound_[var_slots_.at(ct.var())]) continue;
+        CompareOp op = flip ? FlipOp(f.op) : f.op;
+        if (op != CompareOp::kLt && op != CompareOp::kLe &&
+            op != CompareOp::kGt && op != CompareOp::kGe) {
+          continue;
+        }
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          const Term& at = atom.args[i];
+          if (at.is_var() && at.var() == vt.var() &&
+              pa.table->HasOrderedIndex(i)) {
+            return pa.table->OrderedRange(i, op, TermValue(ct));
+          }
+        }
+      }
+    }
+    return {nullptr, nullptr};
   }
 
   const Snapshot& snap_;

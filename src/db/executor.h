@@ -34,7 +34,8 @@ struct ExecOptions {
 /// Counters filled in by Execute for benchmarking and plan inspection.
 struct ExecStats {
   uint64_t rows_scanned = 0;
-  uint64_t index_probes = 0;
+  uint64_t index_probes = 0;  ///< hash-index equality probes
+  uint64_t range_probes = 0;  ///< ordered-index range narrowings
   uint64_t output_rows = 0;
 };
 

@@ -13,7 +13,68 @@ Snapshot Storage::PublishLocked() {
   uint64_t next = version_.load(std::memory_order_relaxed) + 1;
   current_ = db_.MakeRep(next);
   version_.store(next, std::memory_order_release);
+  // Retain the new version in the GC history and trim whatever the
+  // watermark has already passed. With no registered readers this pops
+  // every superseded version immediately.
+  history_.emplace_back(next, current_);
+  GcLocked();
   return Snapshot(current_);
+}
+
+void Storage::GcLocked() {
+  uint64_t watermark = version_.load(std::memory_order_relaxed);
+  for (const auto& [id, v] : readers_) {
+    (void)id;
+    watermark = std::min(watermark, v);
+  }
+  gc_watermark_ = watermark;
+  // The back of history_ is the current version — always retained, even
+  // when a reader somehow reports past it.
+  while (history_.size() > 1 && history_.front().first < watermark) {
+    history_.pop_front();
+    ++versions_retired_;
+  }
+}
+
+void Storage::RegisterReader(uint64_t reader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  readers_[reader_id] = 0;
+  GcLocked();
+}
+
+void Storage::ReportReadVersion(uint64_t reader_id, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = readers_.find(reader_id);
+  if (it == readers_.end()) return;  // unregistered: ignore the straggler
+  if (version <= it->second) return;  // monotone: stale reports ignored
+  it->second = version;
+  GcLocked();
+}
+
+void Storage::UnregisterReader(uint64_t reader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  readers_.erase(reader_id);
+  GcLocked();
+}
+
+void Storage::GcTick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GcLocked();
+}
+
+uint64_t Storage::gc_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gc_watermark_;
+}
+
+uint64_t Storage::versions_retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_retired_;
+}
+
+uint64_t Storage::retained_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
 }
 
 Snapshot Storage::Current() const {
@@ -67,8 +128,13 @@ Status Storage::ExtractDelta(uint64_t since_version, uint64_t* to_version,
     if (t == nullptr) continue;  // symbol without a live table: nothing to ship
     TableReplacement rep;
     rep.table = std::string(interner_->Name(rel));
-    rep.rows.reserve(t->row_count());
-    for (size_t i = 0; i < t->row_count(); ++i) rep.rows.push_back(t->row(i));
+    // Ship live rows only — a follower materializes the delta as a fresh
+    // compact table, so tombstones never cross the wire.
+    const TableVersion& v = *t->version();
+    rep.rows.reserve(v.row_count());
+    for (size_t i = 0; i < v.physical_size(); ++i) {
+      if (!v.row_dead(i)) rep.rows.push_back(v.row(i));
+    }
     out->push_back(std::move(rep));
   }
   std::sort(out->begin(), out->end(),
@@ -192,7 +258,7 @@ Status Storage::ApplyBatch(const std::vector<TableWrite>& writes,
                         "': " + st.message());
     };
     if (w.kind != TableWrite::Kind::kInsert) {
-      Status st = w.pred.Validate(t->schema());
+      Status st = w.pred.Validate(t->schema(), t->version()->order());
       if (!st.ok()) return prefix(st);
     }
     if (w.kind == TableWrite::Kind::kInsert ||

@@ -2,6 +2,7 @@
 #define EQ_DB_STORAGE_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -195,11 +196,55 @@ class Storage {
   /// schema validation.
   Status ApplyReplacements(const std::vector<TableReplacement>& reps);
 
+  // ------------------------------------------------------ version GC ------
+  //
+  // Every published version is retained in a bounded history until the
+  // GC watermark — the minimum read-version across registered readers —
+  // passes it. Each shard registers itself and reports the version of the
+  // snapshot it evaluates against (cluster followers are registered by the
+  // storage owner and reported via the delta/ack path), so superseded
+  // TableVersions are released eagerly instead of living until their last
+  // reader happens to drop them. With no readers registered the watermark
+  // is the current version and GC is immediate (the pre-watermark
+  // behavior for standalone storages).
+
+  /// Registers a reader that will report its read-version. The reader is
+  /// assumed to read version 0 (i.e. nothing can be collected) until its
+  /// first ReportReadVersion. Re-registering an id resets it to 0.
+  void RegisterReader(uint64_t reader_id);
+
+  /// Reports the version `reader_id` currently reads at, and runs GC
+  /// inline (a rising minimum is exactly when history can shrink).
+  /// Reports are monotone: a stale out-of-order report is ignored.
+  void ReportReadVersion(uint64_t reader_id, uint64_t version);
+
+  /// Drops the reader from the watermark computation (shard shutdown,
+  /// peer removal) and runs GC inline.
+  void UnregisterReader(uint64_t reader_id);
+
+  /// Recomputes the watermark and releases history below it. Publishes and
+  /// reports already GC inline; this is the periodic safety net
+  /// (service gc_interval_ms) and the test hook.
+  void GcTick();
+
+  /// The last computed watermark (min read-version across readers at the
+  /// most recent GC; 0 before the first publish).
+  uint64_t gc_watermark() const;
+
+  /// Superseded versions released by watermark GC since construction.
+  uint64_t versions_retired() const;
+
+  /// Published versions currently retained (history length; the newest
+  /// published version always counts).
+  uint64_t retained_versions() const;
+
  private:
   Snapshot PublishLocked();
   /// Records that `table` changed in the version the NEXT PublishLocked
   /// publishes. Caller holds mu_ and publishes afterwards.
   void NoteTableChangedLocked(std::string_view table);
+  /// Recomputes the watermark from readers_ and pops history below it.
+  void GcLocked();
 
   mutable std::mutex mu_;
   std::shared_ptr<StringInterner> interner_;
@@ -213,6 +258,13 @@ class Storage {
   /// Table symbol → last version that changed it (see ChangedSince).
   std::unordered_map<SymbolId, uint64_t> rel_changed_;
   std::shared_ptr<const Snapshot::Rep> current_;
+  /// Published versions retained for readers below the watermark, oldest
+  /// first; the back is always the current version.
+  std::deque<std::pair<uint64_t, std::shared_ptr<const Snapshot::Rep>>>
+      history_;
+  std::unordered_map<uint64_t, uint64_t> readers_;  // reader id → version
+  uint64_t gc_watermark_ = 0;
+  uint64_t versions_retired_ = 0;
 };
 
 }  // namespace eq::db

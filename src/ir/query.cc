@@ -24,6 +24,11 @@ const char* CompareOpName(CompareOp op) {
 }
 
 int CompareValues(const Value& a, const Value& b) {
+  return CompareValues(a, b, nullptr);
+}
+
+int CompareValues(const Value& a, const Value& b,
+                  const StringInterner* order) {
   if (a.type() != b.type()) {
     return a.type() < b.type() ? -1 : 1;
   }
@@ -32,10 +37,18 @@ int CompareValues(const Value& a, const Value& b) {
     return 0;
   }
   if (a == b) return 0;
+  if (a.is_str() && order != nullptr) {
+    return order->OrderCompare(a.AsStr(), b.AsStr());  // sorted-dictionary
+  }
   return a.Hash() < b.Hash() ? -1 : 1;  // strings: arbitrary but total
 }
 
 bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  return EvalCompare(op, a, b, nullptr);
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b,
+                 const StringInterner* order) {
   // Equality/inequality are exact; ordered comparisons use CompareValues.
   switch (op) {
     case CompareOp::kEq:
@@ -43,13 +56,13 @@ bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
     case CompareOp::kNe:
       return a != b;
     case CompareOp::kLt:
-      return CompareValues(a, b) < 0;
+      return CompareValues(a, b, order) < 0;
     case CompareOp::kLe:
-      return CompareValues(a, b) <= 0;
+      return CompareValues(a, b, order) <= 0;
     case CompareOp::kGt:
-      return CompareValues(a, b) > 0;
+      return CompareValues(a, b, order) > 0;
     case CompareOp::kGe:
-      return CompareValues(a, b) >= 0;
+      return CompareValues(a, b, order) >= 0;
   }
   return false;
 }

@@ -28,18 +28,26 @@ const char* CompareOpName(CompareOp op);
 
 /// Three-way comparison of two values; types compare before payloads so
 /// that mixed-type comparisons are total (and deterministic) rather than
-/// errors. Integers order numerically; interned strings order by an
-/// arbitrary-but-total hash order — NOT lexicographic. Write predicates
-/// therefore reject ordered string comparisons outright
-/// (db::Predicate::Validate); query filters over strings should stick to
-/// = and != for the same reason.
+/// errors. Integers order numerically. Strings: the two-argument form
+/// orders interned symbols by an arbitrary-but-total hash order — NOT
+/// lexicographic; pass the interner (`order`) to get the sorted-dictionary
+/// lexicographic order instead. Interner-less write predicates reject
+/// ordered string comparisons outright (db::Predicate::Validate with a
+/// null order); everything that evaluates against a db::Snapshot passes
+/// the snapshot's interner and gets real string ranges.
 int CompareValues(const Value& a, const Value& b);
+int CompareValues(const Value& a, const Value& b,
+                  const StringInterner* order);
 
 /// Evaluates `a op b` under CompareValues semantics. The single comparison
 /// kernel shared by query filters (db::Executor) and write predicates
 /// (db::Predicate), so `WHERE fno < 200` means the same thing in a query
-/// body and in a DELETE statement.
+/// body and in a DELETE statement. The `order` overload makes ordered
+/// string comparisons lexicographic (see CompareValues); = and != are
+/// pure SymbolId comparisons either way.
 bool EvalCompare(CompareOp op, const Value& a, const Value& b);
+bool EvalCompare(CompareOp op, const Value& a, const Value& b,
+                 const StringInterner* order);
 
 /// A scalar filter `lhs op rhs` over body variables/constants.
 struct Filter {

@@ -128,6 +128,15 @@ std::string MetricsToPrometheusText(const ServiceMetrics& m) {
   Sample(out, "eq_edge_recycles_total",
          "Pooled edge-context re-seeds from the shared snapshot.", "counter",
          Num(m.edge_recycles));
+  Sample(out, "eq_versions_retired_total",
+         "Superseded storage versions released by the GC watermark.",
+         "counter", Num(m.versions_retired));
+  Sample(out, "eq_gc_watermark",
+         "Minimum read-version across registered storage readers.", "gauge",
+         Num(m.gc_watermark));
+  Sample(out, "eq_retained_versions",
+         "Published storage versions retained for lagging readers.", "gauge",
+         Num(m.retained_versions));
   Sample(out, "eq_uptime_seconds", "Seconds since service start.", "gauge",
          Num(m.elapsed_seconds));
   Sample(out, "eq_answered_per_second", "Global answer throughput.", "gauge",
@@ -247,6 +256,9 @@ std::string MetricsToJson(const ServiceMetrics& m) {
   field("prepare_cache_invalidations", Num(m.prepare_cache_invalidations),
         false);
   field("edge_recycles", Num(m.edge_recycles), false);
+  field("versions_retired", Num(m.versions_retired), false);
+  field("gc_watermark", Num(m.gc_watermark), false);
+  field("retained_versions", Num(m.retained_versions), false);
   field("elapsed_seconds", Num(m.elapsed_seconds), false);
   field("answered_per_second", Num(m.answered_per_second), false);
 

@@ -56,6 +56,12 @@ struct ServiceStateDump {
   };
 
   uint64_t storage_version = 0;  ///< storage head at dump time
+  /// Version-GC state at dump time: the watermark (min read-version across
+  /// registered readers), versions retired by it so far, and versions the
+  /// storage still retains for lagging readers.
+  uint64_t gc_watermark = 0;
+  uint64_t versions_retired = 0;
+  uint64_t retained_versions = 0;
   std::vector<ShardState> shards;
 
   /// Prepare-path state: plan-cache occupancy/counters and pool shape.

@@ -159,6 +159,13 @@ std::string ServiceMetrics::ToString() const {
                 (unsigned long long)edge_recycles, prepare_p50_ms,
                 prepare_p95_ms, prepare_p99_ms);
   out += line;
+  std::snprintf(line, sizeof(line),
+                "storage: versions_retired=%llu gc_watermark=%llu "
+                "retained_versions=%llu\n",
+                (unsigned long long)versions_retired,
+                (unsigned long long)gc_watermark,
+                (unsigned long long)retained_versions);
+  out += line;
   for (const ShardMetricsSnapshot& s : shards) {
     std::snprintf(line, sizeof(line),
                   "  shard %u: submitted=%llu answered=%llu failed=%llu "

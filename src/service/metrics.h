@@ -141,6 +141,15 @@ struct ServiceMetrics {
   uint64_t prepare_cache_invalidations = 0;  ///< schema-change sweeps
   uint64_t edge_recycles = 0;  ///< pooled edge-context re-seeds
 
+  /// Storage version GC (also filled by CoordinationService::Metrics, not
+  /// AggregateMetrics): superseded snapshot versions eagerly released by
+  /// the watermark, the watermark itself (min read-version across
+  /// registered readers), and how many published versions the storage
+  /// still retains for lagging readers.
+  uint64_t versions_retired = 0;
+  uint64_t gc_watermark = 0;
+  uint64_t retained_versions = 0;
+
   double elapsed_seconds = 0;       ///< since service start
   double answered_per_second = 0;   ///< global throughput
   double p50_latency_ms = 0;

@@ -29,11 +29,20 @@ CoordinationService::CoordinationService(ServiceOptions opts)
       started_(std::chrono::steady_clock::now()) {
   // Build the shared storage exactly once — the single bootstrap run for
   // the whole process, regardless of shard count. Version 1 is the
-  // snapshot every shard and the edge catalog share by pointer.
+  // snapshot every shard and the edge catalog share by pointer. The
+  // storage knobs go in first so bootstrap-created tables pick them up.
+  storage_->mutable_db()->set_compaction_threshold(opts_.compaction_threshold);
+  storage_->mutable_db()->set_ordered_indexes(opts_.ordered_indexes);
   if (opts_.bootstrap) {
     opts_.bootstrap(storage_ctx_.get(), storage_->mutable_db());
   }
   storage_->Publish();
+  // Register each shard as a version-GC reader (reader id = shard id)
+  // before its thread exists, so the watermark is conservative from the
+  // first publish: a shard that has not yet reported holds it at 0.
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    storage_->RegisterReader(s);
+  }
 
   // Edge catalog pool + plan cache: contexts seeded from the storage
   // snapshot, owned by the service for pre-route translation/validation.
@@ -90,6 +99,9 @@ CoordinationService::CoordinationService(ServiceOptions opts)
   if (opts_.tick_interval.count() > 0) {
     ticker_ = std::thread([this] { TickerLoop(); });
   }
+  if (opts_.gc_interval_ms > 0) {
+    gc_thread_ = std::thread([this] { GcLoop(); });
+  }
 }
 
 CoordinationService::~CoordinationService() {
@@ -99,9 +111,15 @@ CoordinationService::~CoordinationService() {
   }
   ticker_cv_.notify_all();
   if (ticker_.joinable()) ticker_.join();
+  if (gc_thread_.joinable()) gc_thread_.join();
   // Stop shards before tearing down inflight_ — queued ops still drain and
   // deliver events into OnShardEvent.
   for (auto& shard : shards_) shard->Stop();
+  // Stopped shards report no more read-versions; drop them from the
+  // watermark so the final GC state is not pinned by dead readers.
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    storage_->UnregisterReader(s);
+  }
   // Resolve whatever is still pending so no thread stays blocked in
   // Ticket::Wait() past the service's lifetime. (Callbacks fire on this
   // thread.)
@@ -648,6 +666,9 @@ ServiceStateDump CoordinationService::DumpState() const {
   // fingerprint is simply absent) — the dump is a snapshot, not a lock.
   ServiceStateDump dump;
   dump.storage_version = storage_->version();
+  dump.gc_watermark = storage_->gc_watermark();
+  dump.versions_retired = storage_->versions_retired();
+  dump.retained_versions = storage_->retained_versions();
   {
     PlanCache::Stats cs = plan_cache_->stats();
     dump.prepare.edge_pool_size = edge_pool_->size();
@@ -701,6 +722,13 @@ std::string ServiceStateDump::ToString() const {
       "service state: storage_version=" + std::to_string(storage_version) +
       "\n";
   char line[256];
+  std::snprintf(line, sizeof(line),
+                "  gc: watermark=%llu versions_retired=%llu "
+                "retained_versions=%llu\n",
+                (unsigned long long)gc_watermark,
+                (unsigned long long)versions_retired,
+                (unsigned long long)retained_versions);
+  out += line;
   std::snprintf(line, sizeof(line),
                 "  prepare: edge_pool=%zu recycles=%llu plan_cache=%zu/%zu "
                 "hits=%llu misses=%llu evictions=%llu invalidations=%llu\n",
@@ -762,6 +790,10 @@ ServiceMetrics CoordinationService::Metrics() const {
   m.prepare_p50_ms = HistogramPercentileMs(m.prepare_latency_buckets, 50);
   m.prepare_p95_ms = HistogramPercentileMs(m.prepare_latency_buckets, 95);
   m.prepare_p99_ms = HistogramPercentileMs(m.prepare_latency_buckets, 99);
+  // Storage version GC lives below the shards; report it alongside them.
+  m.versions_retired = storage_->versions_retired();
+  m.gc_watermark = storage_->gc_watermark();
+  m.retained_versions = storage_->retained_versions();
   return m;
 }
 
@@ -975,6 +1007,17 @@ void CoordinationService::TickerLoop() {
       break;
     }
     AdvanceTicks(1);
+  }
+}
+
+void CoordinationService::GcLoop() {
+  std::unique_lock<std::mutex> lock(ticker_mu_);
+  while (!stopping_) {
+    if (ticker_cv_.wait_for(lock, std::chrono::milliseconds(opts_.gc_interval_ms),
+                            [this] { return stopping_; })) {
+      break;
+    }
+    storage_->GcTick();
   }
 }
 

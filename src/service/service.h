@@ -70,6 +70,25 @@ struct ServiceOptions {
   /// before routing).
   SnapshotBootstrap bootstrap;
 
+  /// Tombstoned-row fraction that triggers physical compaction in storage
+  /// tables: deletes/updates mark rows dead and patch the touched posting
+  /// lists, deferring the compaction + index rebuild until this fraction
+  /// of a table is dead. <= 0 compacts eagerly on every delete/update (the
+  /// pre-tombstone behavior).
+  double compaction_threshold = 0.3;
+
+  /// Periodic version-GC safety net: every this-many milliseconds the
+  /// service recomputes the storage GC watermark and releases superseded
+  /// snapshot versions no registered reader can still need. 0 disables the
+  /// thread — GC still runs inline at every publish and read-version
+  /// report, which is sufficient for steadily-active workloads.
+  int gc_interval_ms = 0;
+
+  /// Whether bootstrap-built indexes also build an ordered index on the
+  /// same column, unlocking range-predicate (<, <=, >, >=) fast paths —
+  /// including on STRING columns via the interner's sorted dictionary.
+  bool ordered_indexes = true;
+
   /// Each edge-catalog context accumulates fresh variables per translated
   /// query, so it is recycled after this many uses (counted per pooled
   /// context, not globally) to bound memory over a long-lived service.
@@ -487,6 +506,7 @@ class CoordinationService : public CoordinationInterface {
   /// Completes each ticket as kFailed with `status` (no locks held).
   void FailTickets(std::vector<Ticket> tickets, const Status& status);
   void TickerLoop();
+  void GcLoop();
 
   ServiceOptions opts_;
   QueryRouter router_;
@@ -557,6 +577,9 @@ class CoordinationService : public CoordinationInterface {
   std::condition_variable ticker_cv_;
   bool stopping_ = false;
   std::thread ticker_;
+  /// Version-GC safety net (gc_interval_ms > 0); shares the ticker's
+  /// stop signal.
+  std::thread gc_thread_;
 };
 
 }  // namespace eq::service

@@ -66,6 +66,10 @@ void ShardRunner::Run() {
     snapshot_ = initial;
   }
   stats_.snapshot_version.store(initial.version(), std::memory_order_relaxed);
+  // First read-version report: until now the version-GC watermark treated
+  // this shard as reading version 0 (conservative). A no-op when the
+  // service did not register this shard as a reader.
+  opts_.storage->ReportReadVersion(opts_.shard_id, initial.version());
 
   engine::EngineOptions eopts;
   eopts.mode = opts_.mode;
@@ -144,6 +148,17 @@ void ShardRunner::Dispatch(Op& op) {
       // unsigned overdue arithmetic in MaybeFlush would wrap.
       tick_ = std::max(tick_, op.tick);
       engine_->AdvanceTime(op.tick);
+      // A tick is an evaluation boundary for an IDLE shard: with nothing
+      // pending it adopts the latest snapshot (advancing the GC watermark
+      // under write churn its queries don't read); with queries in flight
+      // it only reports the version it actually evaluates at — flushes and
+      // write wake-ups keep their adoption semantics.
+      if (inflight_.empty()) {
+        RefreshSnapshot();
+      } else {
+        opts_.storage->ReportReadVersion(opts_.shard_id,
+                                         engine_->snapshot().version());
+      }
       MaybeFlush(/*force=*/false);
       break;
     case Op::Kind::kFlush:
@@ -251,6 +266,13 @@ db::Snapshot ShardRunner::adopted_snapshot() const {
 
 void ShardRunner::RefreshSnapshot() {
   db::Snapshot latest = opts_.storage->Current();
+  // Report BEFORE the no-change early return: an up-to-date shard must
+  // still push the watermark forward, or an idle shard would pin every
+  // version published after its last adoption. Reporting ahead of the
+  // engine swap is safe — the snapshots this shard still holds are
+  // shared_ptr-owned, so GC releasing the storage's history reference
+  // never invalidates them.
+  opts_.storage->ReportReadVersion(opts_.shard_id, latest.version());
   if (latest.version() == engine_->snapshot().version()) return;
   stats_.snapshot_version.store(latest.version(), std::memory_order_relaxed);
   stats_.snapshot_refreshes.fetch_add(1, std::memory_order_relaxed);

@@ -484,10 +484,12 @@ Result<WriteStatement> Translator::TranslateWrite(const SqlWrite& stmt) {
   }
 
   // Edge-side semantic validation with the storage-layer validators (one
-  // implementation): catches ordered comparisons on STRING columns (no
-  // lexicographic order over interned symbols) and duplicate SET targets
-  // here, with the same synchronous-error contract as query translation.
-  EQ_RETURN_NOT_OK(w.pred.Validate(schema));
+  // implementation): catches duplicate SET targets and — for tables
+  // without a sorted dictionary — ordered comparisons on STRING columns,
+  // with the same synchronous-error contract as query translation.
+  // Database-owned tables carry their interner as the dictionary, so
+  // `name < 'carol'` validates and evaluates lexicographically there.
+  EQ_RETURN_NOT_OK(w.pred.Validate(schema, table->order()));
   if (w.kind == db::Storage::TableWrite::Kind::kUpdate) {
     EQ_RETURN_NOT_OK(db::ValidateColumnSets(schema, w.sets));
   }

@@ -39,6 +39,15 @@ const std::string& StringInterner::Name(SymbolId id) const {
   return names_[id];
 }
 
+int StringInterner::OrderCompare(SymbolId a, SymbolId b) const {
+  if (a == b) return 0;  // same id ⇔ same string: no lock needed
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string_view sa = a < names_.size() ? names_[a] : std::string_view();
+  std::string_view sb = b < names_.size() ? names_[b] : std::string_view();
+  int c = sa.compare(sb);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
 size_t StringInterner::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return names_.size();

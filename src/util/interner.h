@@ -44,6 +44,14 @@ class StringInterner {
   /// interner's lifetime.
   const std::string& Name(SymbolId id) const;
 
+  /// Three-way lexicographic comparison of two interned strings (<0, 0, >0).
+  /// This is the sorted-dictionary order: SymbolIds themselves are assigned
+  /// in interning order and carry no lexicographic meaning, so every ordered
+  /// string comparison (range predicates, ordered indexes) must go through
+  /// here. One shared-lock acquisition per call; ids from another interner
+  /// compare as the empty string (mirrors Name's placeholder behavior).
+  int OrderCompare(SymbolId a, SymbolId b) const;
+
   size_t size() const;
 
  private:

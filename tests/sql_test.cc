@@ -490,15 +490,13 @@ TEST_F(TranslatorTest, WriteTranslationTypeAndNameErrors) {
   EXPECT_FALSE(
       tr.TranslateWriteSql("DELETE FROM Flights WHERE fno = fno").ok());
   EXPECT_FALSE(tr.TranslateWriteSql("DELETE FROM Flights WHERE 1 = 1").ok());
-  // Ordered comparisons on STRING columns: interned symbols carry no
-  // lexicographic order, so `dest < 'M'` would silently match an
-  // arbitrary subset — rejected at the edge instead.
+  // Ordered comparisons on STRING columns translate now: database tables
+  // carry the interner as their sorted dictionary, so `dest < 'Rome'`
+  // means real lexicographic order (semantics verified end-to-end in
+  // TranslatedStringRangeRunsThroughStorage).
   auto ordered =
       tr.TranslateWriteSql("DELETE FROM Flights WHERE dest < 'Rome'");
-  ASSERT_FALSE(ordered.ok());
-  EXPECT_EQ(ordered.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(ordered.status().message().find("ordered comparison"),
-            std::string::npos);
+  EXPECT_TRUE(ordered.ok()) << ordered.status().ToString();
   // Duplicate SET targets are rejected at the edge too.
   EXPECT_FALSE(
       tr.TranslateWriteSql(
@@ -539,6 +537,50 @@ TEST_F(TranslatorTest, TranslatedWriteRunsThroughStorage) {
   ASSERT_TRUE(storage.ApplyBatch({del->write}, &rows).ok());
   EXPECT_EQ(rows, 1u);
   EXPECT_EQ(storage.Current().GetTable("Flights")->row_count(), 1u);
+}
+
+TEST_F(TranslatorTest, TranslatedStringRangeRunsThroughStorage) {
+  // A string range predicate all the way through SQL: the sorted
+  // dictionary gives `dest < 'Paris'` true lexicographic semantics, NOT
+  // symbol-id order — proven by interning the names in reverse.
+  auto interner = std::make_shared<StringInterner>();
+  QueryContext ctx(interner);
+  db::Storage storage(interner);
+  ASSERT_TRUE(storage.mutable_db()
+                  ->CreateTable("Flights", {{"fno", ValueType::kInt},
+                                            {"dest", ValueType::kString}})
+                  .ok());
+  auto S = [&](const char* s) { return Value::Str(interner->Intern(s)); };
+  // Reverse-alphabetical interning order: id order disagrees with
+  // lexicographic order for every adjacent pair.
+  const char* dests[] = {"Zurich", "Rome", "Paris", "Lisbon", "Amsterdam"};
+  int fno = 101;
+  for (const char* d : dests) {
+    ASSERT_TRUE(
+        storage.mutable_db()->Insert("Flights", {Value::Int(fno++), S(d)}).ok());
+  }
+  storage.Publish();
+
+  Translator tr(&ctx, storage.Current());
+  auto del = tr.TranslateWriteSql("DELETE FROM Flights WHERE dest < 'Paris'");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  size_t rows = 0;
+  ASSERT_TRUE(storage.ApplyBatch({del->write}, &rows).ok());
+  EXPECT_EQ(rows, 2u);  // Amsterdam, Lisbon
+  const db::TableVersion* t = storage.Current().GetTable("Flights");
+  EXPECT_FALSE(t->AnyMatch(1, S("Amsterdam")));
+  EXPECT_FALSE(t->AnyMatch(1, S("Lisbon")));
+  EXPECT_TRUE(t->AnyMatch(1, S("Paris")));
+
+  auto upd = tr.TranslateWriteSql(
+      "UPDATE Flights SET fno = 9 WHERE dest >= 'Rome'");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  rows = 0;
+  ASSERT_TRUE(storage.ApplyBatch({upd->write}, &rows).ok());
+  EXPECT_EQ(rows, 2u);  // Rome, Zurich
+  t = storage.Current().GetTable("Flights");
+  EXPECT_EQ(t->row_count(), 3u);
+  EXPECT_TRUE(t->AnyMatch(0, Value::Int(9)));
 }
 
 TEST_F(TranslatorTest, AstRoundTripsThroughToSql) {

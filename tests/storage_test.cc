@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "db/database.h"
@@ -15,6 +18,7 @@
 #include "db/snapshot.h"
 #include "engine/engine.h"
 #include "ir/parser.h"
+#include "util/rng.h"
 
 namespace eq::db {
 namespace {
@@ -283,9 +287,11 @@ TEST(PredicateTest, InvalidPredicatesFailBeforeAnyClone) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(t.UpdateWhere(Predicate{}, {}).code(),
             StatusCode::kInvalidArgument);
-  // Ordered comparisons on STRING columns are rejected: interned symbols
-  // have no lexicographic order, so `tag < 'm'` would silently match an
-  // arbitrary (hash-ordered) subset of rows.
+  // Ordered comparisons on STRING columns are rejected on this BARE table
+  // (no sorted dictionary): symbol ids alone have no lexicographic order,
+  // so `tag < 'm'` would silently match an arbitrary (hash-ordered)
+  // subset of rows. Database-created tables carry their interner and
+  // accept the same predicate (see OrderedIndexPropertyTest).
   Status ordered = t.DeleteWhere(
       Predicate{}.And(1, ir::CompareOp::kLt, ctx.StrValue("m")));
   EXPECT_EQ(ordered.code(), StatusCode::kInvalidArgument);
@@ -688,6 +694,289 @@ TEST(StorageTest, DroppingLastSnapshotReleasesOldVersion) {
   EXPECT_FALSE(weak.expired());
   v1 = Snapshot();  // drop the last reader
   EXPECT_TRUE(weak.expired());
+}
+
+// ------------------------------------------------ version GC watermark ---
+
+TEST(StorageGcTest, NoRegisteredReadersTrimEagerly) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  EXPECT_EQ(storage.retained_versions(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(storage
+                    .ApplyWrite("Flights",
+                                {ir::Value::Int(200 + i),
+                                 ir::Value::Str(interner->Intern("Rome"))})
+                    .ok());
+  }
+  // No readers registered: the watermark is the head, so every superseded
+  // version retires at publish time and only the head stays retained.
+  EXPECT_EQ(storage.retained_versions(), 1u);
+  EXPECT_EQ(storage.versions_retired(), 3u);
+  EXPECT_EQ(storage.gc_watermark(), storage.version());
+}
+
+TEST(StorageGcTest, LaggingReaderPinsHistoryUntilItReports) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+  storage.RegisterReader(7);  // registers at version 0: pins everything
+  std::weak_ptr<const TableVersion> weak =
+      storage.mutable_db()->GetTable("Flights")->version();
+  v1 = Snapshot();  // only the GC history pins the v1 tables now
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(storage
+                    .ApplyWrite("Flights",
+                                {ir::Value::Int(300 + i),
+                                 ir::Value::Str(interner->Intern("Oslo"))})
+                    .ok());
+  }
+  EXPECT_EQ(storage.retained_versions(), 4u);
+  EXPECT_EQ(storage.gc_watermark(), 0u);
+  EXPECT_FALSE(weak.expired());  // the lagging reader holds v1 alive
+
+  // A stale report (lower than one already made) must not regress the
+  // watermark.
+  storage.ReportReadVersion(7, 2);
+  EXPECT_EQ(storage.gc_watermark(), 2u);
+  storage.ReportReadVersion(7, 1);
+  EXPECT_EQ(storage.gc_watermark(), 2u);
+
+  // Catching up to the head releases everything superseded.
+  storage.ReportReadVersion(7, storage.version());
+  EXPECT_EQ(storage.retained_versions(), 1u);
+  EXPECT_TRUE(weak.expired());
+  storage.UnregisterReader(7);
+}
+
+TEST(StorageGcTest, UnregisteringALaggardReleasesItsPins) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  storage.Publish();
+  storage.RegisterReader(9);
+  std::weak_ptr<const TableVersion> weak =
+      storage.mutable_db()->GetTable("Flights")->version();
+  ASSERT_TRUE(storage
+                  .ApplyWrite("Flights", {ir::Value::Int(400),
+                                          ir::Value::Str(
+                                              interner->Intern("Rome"))})
+                  .ok());
+  EXPECT_FALSE(weak.expired());
+  storage.UnregisterReader(9);  // the laggard is gone: GC reruns
+  EXPECT_TRUE(weak.expired());
+  EXPECT_EQ(storage.retained_versions(), 1u);
+  // Reports from an unregistered reader are ignored, so standalone shards
+  // can always report without knowing whether anyone registered them.
+  storage.ReportReadVersion(9, 1);
+  EXPECT_EQ(storage.gc_watermark(), storage.version());
+}
+
+TEST(StorageGcTest, HeldSnapshotPinsExactlyItsOwnVersion) {
+  auto interner = std::make_shared<StringInterner>();
+  ir::QueryContext ctx(interner);
+  Storage storage(interner);
+  FillFlights(&ctx, storage.mutable_db());
+  Snapshot v1 = storage.Publish();
+  std::weak_ptr<const TableVersion> w1 =
+      storage.mutable_db()->GetTable("Flights")->version();
+  v1 = Snapshot();
+  ASSERT_TRUE(storage
+                  .ApplyWrite("Flights", {ir::Value::Int(500),
+                                          ir::Value::Str(
+                                              interner->Intern("Rome"))})
+                  .ok());
+  Snapshot held = storage.Current();
+  std::weak_ptr<const TableVersion> w2 =
+      storage.mutable_db()->GetTable("Flights")->version();
+  ASSERT_TRUE(storage
+                  .ApplyWrite("Flights", {ir::Value::Int(501),
+                                          ir::Value::Str(
+                                              interner->Intern("Oslo"))})
+                  .ok());
+  // GC already trimmed history to the head (no registered readers), yet
+  // the held snapshot keeps ITS version alive — and only its.
+  EXPECT_EQ(storage.retained_versions(), 1u);
+  EXPECT_TRUE(w1.expired());
+  EXPECT_FALSE(w2.expired());
+  held = Snapshot();
+  EXPECT_TRUE(w2.expired());
+}
+
+TEST(StorageGcTest, TombstonedRowsInvisibleToNewSnapshots) {
+  auto interner = std::make_shared<StringInterner>();
+  Storage storage(interner);
+  ASSERT_TRUE(storage.mutable_db()
+                  ->CreateTable("T", {{"n", ir::ValueType::kInt}})
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(storage.mutable_db()->Insert("T", IntRow(i)).ok());
+  }
+  Snapshot before = storage.Publish();
+  size_t rows = 0;
+  ASSERT_TRUE(storage
+                  .ApplyBatch({Storage::TableWrite::Delete(
+                                  "T", 0, ir::Value::Int(3))},
+                              &rows)
+                  .ok());
+  EXPECT_EQ(rows, 1u);
+  const TableVersion* t = storage.Current().GetTable("T");
+  // 1/10 dead is below the default 0.3 threshold: the slot is tombstoned,
+  // not compacted away — but invisible to every read path.
+  EXPECT_EQ(t->row_count(), 9u);
+  EXPECT_EQ(t->physical_size(), 10u);
+  EXPECT_EQ(t->dead_count(), 1u);
+  EXPECT_FALSE(t->AnyMatch(0, ir::Value::Int(3)));
+  size_t live = 0;
+  for (size_t i = 0; i < t->physical_size(); ++i) {
+    if (t->row_dead(i)) continue;
+    ++live;
+    EXPECT_NE(t->row(i)[0], ir::Value::Int(3));
+  }
+  EXPECT_EQ(live, 9u);
+  // The pre-delete snapshot still sees the row (MVCC isolation).
+  EXPECT_TRUE(before.GetTable("T")->AnyMatch(0, ir::Value::Int(3)));
+}
+
+// ------------------------------------------------ ordered-index property --
+
+TEST(OrderedIndexPropertyTest, RangesAgreeWithScanOracle) {
+  const ir::CompareOp ops[] = {ir::CompareOp::kLt, ir::CompareOp::kLe,
+                               ir::CompareOp::kGt, ir::CompareOp::kGe};
+  auto cmp_ok = [](int c, ir::CompareOp op) {
+    switch (op) {
+      case ir::CompareOp::kLt:
+        return c < 0;
+      case ir::CompareOp::kLe:
+        return c <= 0;
+      case ir::CompareOp::kGt:
+        return c > 0;
+      case ir::CompareOp::kGe:
+        return c >= 0;
+      default:
+        return false;
+    }
+  };
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    Rng rng(seed);
+    ir::QueryContext ctx;
+    Database db(&ctx.interner());
+    ASSERT_TRUE(db.CreateTable("P", {{"s", ir::ValueType::kString},
+                                     {"n", ir::ValueType::kInt}})
+                    .ok());
+    Table* table = db.GetTable("P");
+    // Reference model: plain (string, int) pairs compared with
+    // std::string order — the oracle the sorted dictionary must match.
+    std::vector<std::pair<std::string, int64_t>> ref;
+    auto rand_name = [&] {
+      size_t len = 1 + rng.Below(4);
+      std::string s;
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Below(6)));
+      }
+      return s;
+    };
+    for (int i = 0; i < 200; ++i) {
+      std::string name = rand_name();
+      auto n = static_cast<int64_t>(rng.Below(50));
+      ref.emplace_back(name, n);
+      ASSERT_TRUE(db.Insert("P", {ir::Value::Str(ctx.Intern(name)),
+                                  ir::Value::Int(n)})
+                      .ok());
+    }
+    // Database tables pair every hash index with an ordered one.
+    ASSERT_TRUE(table->BuildIndex(0).ok());
+    ASSERT_TRUE(table->BuildOrderedIndex(1).ok());
+    ASSERT_TRUE(table->HasOrderedIndex(0));
+
+    auto check_all = [&](const char* when) {
+      auto v = table->version();
+      for (ir::CompareOp op : ops) {
+        std::string sb = rand_name();
+        auto [b, e] = v->OrderedRange(0, op, ir::Value::Str(ctx.Intern(sb)));
+        size_t want = 0;
+        for (const auto& [name, n] : ref) {
+          (void)n;
+          if (cmp_ok(name.compare(sb), op)) ++want;
+        }
+        ASSERT_EQ(static_cast<size_t>(e - b), want)
+            << when << " seed=" << seed << " string bound=" << sb;
+        for (const uint32_t* p = b; p != e; ++p) {
+          ASSERT_FALSE(v->row_dead(*p));
+          std::string name(ctx.interner().Name(v->row(*p)[0].AsStr()));
+          ASSERT_TRUE(cmp_ok(name.compare(sb), op));
+        }
+        auto nb = static_cast<int64_t>(rng.Below(50));
+        auto [ib, ie] = v->OrderedRange(1, op, ir::Value::Int(nb));
+        want = 0;
+        for (const auto& [name, n] : ref) {
+          (void)name;
+          int c = n < nb ? -1 : (n > nb ? 1 : 0);
+          if (cmp_ok(c, op)) ++want;
+        }
+        ASSERT_EQ(static_cast<size_t>(ie - ib), want)
+            << when << " seed=" << seed << " int bound=" << nb;
+      }
+    };
+    check_all("fresh");
+
+    // Tombstone interaction: defer compaction entirely, delete a range,
+    // and the spans must shrink to exactly the live survivors.
+    table->set_compaction_threshold(1.1);
+    Predicate pred;
+    pred.And(1, ir::CompareOp::kLt, ir::Value::Int(10));
+    size_t removed = 0;
+    ASSERT_TRUE(table->DeleteWhere(pred, &removed).ok());
+    size_t expect_removed = 0;
+    for (const auto& [name, n] : ref) {
+      (void)name;
+      if (n < 10) ++expect_removed;
+    }
+    EXPECT_EQ(removed, expect_removed);
+    ref.erase(std::remove_if(ref.begin(), ref.end(),
+                             [](const auto& r) { return r.second < 10; }),
+              ref.end());
+    EXPECT_GT(table->version()->dead_count(), 0u);
+    check_all("tombstoned");
+
+    // Between-conjunct (range AND range AND string range) agrees with the
+    // oracle too.
+    Predicate between;
+    between.And(1, ir::CompareOp::kGe, ir::Value::Int(20))
+        .And(1, ir::CompareOp::kLt, ir::Value::Int(30))
+        .And(0, ir::CompareOp::kGe, ir::Value::Str(ctx.Intern("c")));
+    removed = 0;
+    ASSERT_TRUE(table->DeleteWhere(between, &removed).ok());
+    auto in_between = [](const std::pair<std::string, int64_t>& r) {
+      return r.second >= 20 && r.second < 30 && r.first.compare("c") >= 0;
+    };
+    expect_removed = 0;
+    for (const auto& r : ref) {
+      if (in_between(r)) ++expect_removed;
+    }
+    EXPECT_EQ(removed, expect_removed);
+    ref.erase(std::remove_if(ref.begin(), ref.end(), in_between), ref.end());
+    check_all("between");
+
+    // Post-compaction equivalence: physical erasure + index rebuild must
+    // not change any answer.
+    table->set_compaction_threshold(0.0);
+    Predicate one;
+    one.And(1, ir::CompareOp::kGe, ir::Value::Int(45));
+    ASSERT_TRUE(table->DeleteWhere(one, &removed).ok());
+    ref.erase(std::remove_if(ref.begin(), ref.end(),
+                             [](const auto& r) { return r.second >= 45; }),
+              ref.end());
+    EXPECT_EQ(table->version()->dead_count(), 0u);
+    EXPECT_EQ(table->version()->physical_size(), ref.size());
+    check_all("compacted");
+  }
 }
 
 // ------------------------------------------------ engine-level isolation --
